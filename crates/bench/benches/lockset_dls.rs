@@ -1,0 +1,28 @@
+//! Criterion bench: ULCP-free replay with and without the dynamic locking
+//! strategy (the engine behind Table 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfplay::prelude::*;
+use perfplay::workloads::{App, InputSize};
+use perfplay_bench::record_app;
+
+fn bench_lockset_dls(c: &mut Criterion) {
+    let trace = record_app(App::Fluidanimate, 2, InputSize::SimMedium);
+    let analysis = Detector::default().analyze(&trace);
+    let transformed = Transformer::default().transform(&trace, &analysis);
+
+    let mut group = c.benchmark_group("lockset_dls");
+    group.sample_size(20);
+    group.bench_function("with_dls", |b| {
+        let replayer = UlcpFreeReplayer::default();
+        b.iter(|| replayer.replay(&transformed).unwrap().lockset_ops)
+    });
+    group.bench_function("without_dls", |b| {
+        let replayer = UlcpFreeReplayer::default().with_dls(false);
+        b.iter(|| replayer.replay(&transformed).unwrap().lockset_ops)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lockset_dls);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench: end-to-end PerfPlay pipeline cost (record → identify →
+//! transform → replay twice → report) on representative workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfplay::workloads::{App, InputSize, WorkloadConfig};
+use perfplay::PerfPlay;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let perfplay = PerfPlay::new();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for app in [App::Pbzip2, App::TransmissionBt, App::Dedup] {
+        let program = app.build(&WorkloadConfig::new(2, InputSize::SimSmall));
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), &program, |b, p| {
+            b.iter(|| perfplay.analyze_program(p).unwrap().report.grouped_ulcps())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

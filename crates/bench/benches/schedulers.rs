@@ -1,0 +1,31 @@
+//! Criterion bench: replay cost of the four scheduling schemes (the engine
+//! behind Figure 13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfplay::prelude::*;
+use perfplay::workloads::{App, InputSize};
+use perfplay_bench::record_app;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let trace = record_app(App::Bodytrack, 2, InputSize::SimMedium);
+    let replayer = Replayer::default();
+    let mut group = c.benchmark_group("replay_schedulers");
+    group.sample_size(20);
+    for kind in ScheduleKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
+            b.iter(|| {
+                let schedule = match kind {
+                    ScheduleKind::OrigS => ReplaySchedule::orig(7),
+                    ScheduleKind::ElscS => ReplaySchedule::elsc(),
+                    ScheduleKind::SyncS => ReplaySchedule::sync(),
+                    ScheduleKind::MemS => ReplaySchedule::mem(),
+                };
+                replayer.replay(&trace, schedule).unwrap().total_time
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,332 @@
+//! `repro` — regenerates every table and figure of the PerfPlay paper's
+//! evaluation (Section 6) from the synthetic workload models.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p perfplay-bench --release --bin repro -- <experiment> [--no-reversed-replay]
+//! ```
+//!
+//! where `<experiment>` is one of `table1`, `fig2`, `fig13`, `fig14`,
+//! `table2`, `table3`, `fig15`, `fig16`, `fig19`, or `all`.
+//!
+//! Absolute numbers are virtual-time measurements on the simulator and are
+//! not expected to match the paper's wall-clock numbers; the *shapes* (who
+//! wins, category mixes, trends with thread count and input size) are what
+//! `EXPERIMENTS.md` compares.
+
+use perfplay::prelude::*;
+use perfplay::workloads::cases;
+use perfplay::workloads::{App, InputSize, WorkloadConfig};
+use perfplay::{PerfPlay, PerfPlayConfig};
+use perfplay_bench::{analyze_app, ms, pct, record_app};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiment = args.first().map(String::as_str).unwrap_or("all");
+    let no_reversed_replay = args.iter().any(|a| a == "--no-reversed-replay");
+
+    match experiment {
+        "table1" => table1(no_reversed_replay),
+        "fig2" => fig2(),
+        "fig13" => fig13(),
+        "fig14" => fig14(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "fig15" => fig15(),
+        "fig16" => fig16(),
+        "fig19" => fig19(),
+        "all" => {
+            table1(no_reversed_replay);
+            fig2();
+            fig13();
+            fig14();
+            table2();
+            table3();
+            fig15();
+            fig16();
+            fig19();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!("expected: table1 fig2 fig13 fig14 table2 table3 fig15 fig16 fig19 all");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Table 1: breakdown of ULCPs in real-world programs and PARSEC (2 threads).
+fn table1(no_reversed_replay: bool) {
+    println!("== Table 1: breakdown of ULCPs (2 threads, simmedium) ==");
+    if no_reversed_replay {
+        println!("   [ablation: reversed-replay benign detection disabled]");
+    }
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7}",
+        "application", "LOC", "size", "#locks", "NL", "RR", "DW", "Benign"
+    );
+    for app in App::ALL {
+        let trace = record_app(app, 2, InputSize::SimMedium);
+        let detector = Detector::new(DetectorConfig {
+            use_reversed_replay: !no_reversed_replay,
+            max_scan_per_thread: None,
+        });
+        let b = detector.analyze(&trace).breakdown;
+        println!(
+            "{:<16} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7}",
+            app.name(),
+            app.loc(),
+            app.code_size(),
+            b.lock_acquisitions,
+            b.null_lock,
+            b.read_read,
+            b.disjoint_write,
+            b.benign
+        );
+    }
+    println!();
+}
+
+/// Figure 2: number of ULCPs with increasing thread count.
+fn fig2() {
+    println!("== Figure 2: #ULCPs vs thread count (simsmall) ==");
+    println!("{:<12} {:>4} {:>10}", "application", "thr", "#ULCPs");
+    for app in [App::OpenLdap, App::Pbzip2, App::Bodytrack] {
+        for threads in [2usize, 4, 8, 16, 32] {
+            let trace = record_app(app, threads, InputSize::SimSmall);
+            let b = Detector::default().analyze(&trace).breakdown;
+            println!("{:<12} {:>4} {:>10}", app.name(), threads, b.total_ulcps());
+        }
+    }
+    println!();
+}
+
+/// Figure 13: performance fidelity of MEM-S / SYNC-S / ELSC-S / ORIG-S.
+fn fig13() {
+    println!("== Figure 13: replay fidelity across schedules (PARSEC, simlarge, 2 threads, 10 replays) ==");
+    println!(
+        "{:<15} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "application", "scheme", "mean(ms)", "min(ms)", "max(ms)", "recorded"
+    );
+    let perfplay = PerfPlay::new();
+    for app in App::PARSEC {
+        let trace = record_app(app, 2, InputSize::SimLarge);
+        for kind in ScheduleKind::ALL {
+            let report = perfplay
+                .fidelity(&trace, kind, 10)
+                .expect("fidelity replays succeed");
+            println!(
+                "{:<15} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                app.name(),
+                kind.label(),
+                ms(report.mean()),
+                ms(report.min()),
+                ms(report.max()),
+                ms(report.recorded)
+            );
+        }
+    }
+    println!();
+}
+
+/// Figure 14: normalized execution time with and without ULCPs.
+fn fig14() {
+    println!("== Figure 14: normalized performance impact of ULCPs (2 threads, simlarge) ==");
+    println!(
+        "{:<16} {:>14} {:>16} {:>12}",
+        "application", "degradation", "waste/thread", "normal"
+    );
+    let mut sum_deg = 0.0;
+    let mut sum_waste = 0.0;
+    let mut count = 0.0;
+    for app in App::ALL {
+        let analysis = analyze_app(app, 2, InputSize::SimLarge);
+        let deg = analysis.report.normalized_degradation();
+        let waste = analysis.report.normalized_waste_per_thread();
+        sum_deg += deg;
+        sum_waste += waste;
+        count += 1.0;
+        println!(
+            "{:<16} {:>14} {:>16} {:>12}",
+            app.name(),
+            pct(deg),
+            pct(waste),
+            pct(1.0 - deg)
+        );
+    }
+    println!(
+        "{:<16} {:>14} {:>16}",
+        "average",
+        pct(sum_deg / count),
+        pct(sum_waste / count)
+    );
+    println!();
+}
+
+/// Table 2: grouped ULCP code regions and the most beneficial one's share.
+fn table2() {
+    println!("== Table 2: grouped ULCP code regions and top opportunity (2 threads, simlarge) ==");
+    println!(
+        "{:<16} {:>15} {:>10}",
+        "application", "#grouped ULCPs", "ULCP1.P"
+    );
+    for app in App::TABLE2 {
+        let analysis = analyze_app(app, 2, InputSize::SimLarge);
+        println!(
+            "{:<16} {:>15} {:>10}",
+            app.name(),
+            analysis.report.grouped_ulcps(),
+            pct(analysis.report.top_opportunity())
+        );
+    }
+    println!();
+}
+
+/// Table 3: lockset overhead with and without the dynamic locking strategy.
+fn table3() {
+    println!("== Table 3: lockset overhead without / with the dynamic locking strategy (PARSEC, 2 threads, simlarge) ==");
+    println!(
+        "{:<16} {:>10} {:>10}",
+        "application", "w/o DLS", "w/ DLS"
+    );
+    for app in App::PARSEC {
+        let trace = record_app(app, 2, InputSize::SimLarge);
+        let analysis = Detector::default().analyze(&trace);
+        let transformed = Transformer::default().transform(&trace, &analysis);
+        let without = UlcpFreeReplayer::default()
+            .with_dls(false)
+            .replay(&transformed)
+            .expect("replay succeeds");
+        let with = UlcpFreeReplayer::default()
+            .replay(&transformed)
+            .expect("replay succeeds");
+        println!(
+            "{:<16} {:>10} {:>10}",
+            app.name(),
+            pct(without.lockset_overhead_fraction()),
+            pct(with.lockset_overhead_fraction())
+        );
+    }
+    println!();
+}
+
+fn sensitivity_row(app: App, threads: usize, input: InputSize) -> (f64, f64) {
+    let analysis = analyze_app(app, threads, input);
+    (
+        analysis.report.normalized_degradation(),
+        analysis.report.normalized_waste_per_thread(),
+    )
+}
+
+/// Figure 15: ULCP impact with the increasing number of threads.
+fn fig15() {
+    println!("== Figure 15: ULCP impact vs thread count (simlarge) ==");
+    println!(
+        "{:<15} {:>4} {:>14} {:>16}",
+        "application", "thr", "perf loss", "waste/thread"
+    );
+    for app in [App::Canneal, App::Bodytrack, App::Fluidanimate] {
+        for threads in [2usize, 4, 6, 8] {
+            let (deg, waste) = sensitivity_row(app, threads, InputSize::SimLarge);
+            println!(
+                "{:<15} {:>4} {:>14} {:>16}",
+                app.name(),
+                threads,
+                pct(deg),
+                pct(waste)
+            );
+        }
+    }
+    println!();
+}
+
+/// Figure 16: ULCP impact with varying input size.
+fn fig16() {
+    println!("== Figure 16: ULCP impact vs input size (2 threads) ==");
+    println!(
+        "{:<15} {:>10} {:>14} {:>16}",
+        "application", "input", "perf loss", "waste/thread"
+    );
+    for app in [App::Canneal, App::Bodytrack, App::Fluidanimate] {
+        for input in [InputSize::SimSmall, InputSize::SimMedium, InputSize::SimLarge] {
+            let (deg, waste) = sensitivity_row(app, 2, input);
+            println!(
+                "{:<15} {:>10} {:>14} {:>16}",
+                app.name(),
+                input.label(),
+                pct(deg),
+                pct(waste)
+            );
+        }
+    }
+    println!();
+}
+
+/// Figure 19: sensitivity of the two exploited case-study bugs.
+fn fig19() {
+    println!("== Figure 19: case studies #BUG 1 (openldap) and #BUG 2 (pbzip2) ==");
+    let perfplay = PerfPlay::with_config(PerfPlayConfig::default());
+
+    let analyze_case = |program: &perfplay::prelude::Program| {
+        perfplay
+            .analyze_program(program)
+            .expect("case programs analyze")
+    };
+
+    println!("-- (a) varying thread count (input: 1000 entries / 64M file) --");
+    println!(
+        "{:<8} {:>4} {:>14} {:>16}",
+        "bug", "thr", "perf loss", "waste/thread"
+    );
+    for threads in [2usize, 4, 6, 8] {
+        let config = WorkloadConfig::new(threads, InputSize::SimMedium);
+        let bug1 = analyze_case(&cases::bug1_openldap_spinwait(&config));
+        let bug2 = analyze_case(&cases::bug2_pbzip2_join(&config));
+        println!(
+            "{:<8} {:>4} {:>14} {:>16}",
+            "BUG1",
+            threads,
+            pct(bug1.report.normalized_degradation()),
+            pct(bug1.report.normalized_waste_per_thread())
+        );
+        println!(
+            "{:<8} {:>4} {:>14} {:>16}",
+            "BUG2",
+            threads,
+            pct(bug2.report.normalized_degradation()),
+            pct(bug2.report.normalized_waste_per_thread())
+        );
+    }
+
+    println!("-- (b) varying input size (4 threads) --");
+    println!(
+        "{:<8} {:>12} {:>14} {:>16}",
+        "bug", "input", "perf loss", "waste/thread"
+    );
+    let inputs = [
+        ("500/32M", 0.5),
+        ("1000/64M", 1.0),
+        ("1500/128M", 1.5),
+        ("2000/256M", 2.0),
+    ];
+    for (label, scale) in inputs {
+        let config = WorkloadConfig::new(4, InputSize::Custom(scale));
+        let bug1 = analyze_case(&cases::bug1_openldap_spinwait(&config));
+        let bug2 = analyze_case(&cases::bug2_pbzip2_join(&config));
+        println!(
+            "{:<8} {:>12} {:>14} {:>16}",
+            "BUG1",
+            label,
+            pct(bug1.report.normalized_degradation()),
+            pct(bug1.report.normalized_waste_per_thread())
+        );
+        println!(
+            "{:<8} {:>12} {:>14} {:>16}",
+            "BUG2",
+            label,
+            pct(bug2.report.normalized_degradation()),
+            pct(bug2.report.normalized_waste_per_thread())
+        );
+    }
+    println!();
+}

@@ -1,0 +1,36 @@
+//! Shared helpers for the PerfPlay evaluation harness (the `repro` binary and
+//! the Criterion benches).
+
+#![forbid(unsafe_code)]
+
+use perfplay::prelude::*;
+use perfplay::workloads::{App, InputSize, WorkloadConfig};
+use perfplay::{Analysis, PerfPlay};
+use perfplay_trace::Trace;
+
+/// Records one application model and returns its trace.
+pub fn record_app(app: App, threads: usize, input: InputSize) -> Trace {
+    let program = app.build(&WorkloadConfig::new(threads, input));
+    Recorder::new(SimConfig::default())
+        .record(&program)
+        .expect("workload models always record")
+        .trace
+}
+
+/// Runs the full pipeline on one application model.
+pub fn analyze_app(app: App, threads: usize, input: InputSize) -> Analysis {
+    let program = app.build(&WorkloadConfig::new(threads, input));
+    PerfPlay::new()
+        .analyze_program(&program)
+        .expect("workload models always analyze")
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Formats virtual time as milliseconds with three decimals.
+pub fn ms(t: perfplay_trace::Time) -> String {
+    format!("{:.3}", t.as_nanos() as f64 / 1e6)
+}

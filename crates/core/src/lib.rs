@@ -1,0 +1,336 @@
+//! # perfplay
+//!
+//! PerfPlay: a replay-based performance debugging framework for unnecessary
+//! lock contentions (ULCPs), reproducing *"On Performance Debugging of
+//! Unnecessary Lock Contentions on Multicore Processors: A Replay-based
+//! Approach"* (CGO 2015).
+//!
+//! The crate wires the five stages of the paper's pipeline (Figure 5)
+//! together behind one entry point, [`PerfPlay`]:
+//!
+//! 1. **record** — execute a lock program on the deterministic simulator and
+//!    record its trace (`perfplay-record`);
+//! 2. **identify** — find every ULCP and true contention pair
+//!    (`perfplay-detect`, Algorithm 1 + reversed replay);
+//! 3. **transform** — build the ULCP-free trace (`perfplay-transform`,
+//!    RULES 1–4 + dynamic locking strategy);
+//! 4. **replay** — replay the original trace under ELSC and the ULCP-free
+//!    trace under the lockset semantics (`perfplay-replay`);
+//! 5. **debug** — evaluate Equation 1 per pair, fuse per code region, rank by
+//!    Equation 2, and report (`perfplay-report`).
+//!
+//! ```
+//! use perfplay::PerfPlay;
+//! use perfplay::workloads::{App, InputSize, WorkloadConfig};
+//!
+//! let program = App::Pbzip2.build(&WorkloadConfig::new(2, InputSize::SimSmall));
+//! let analysis = PerfPlay::new().analyze_program(&program)?;
+//! assert!(analysis.report.breakdown.total_ulcps() > 0);
+//! println!("{}", analysis.report.render(&analysis.trace));
+//! # Ok::<(), perfplay::PerfPlayError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use perfplay_detect::{Detector, DetectorConfig, UlcpAnalysis};
+use perfplay_program::Program;
+use perfplay_record::{RecordedExecution, Recorder, RecordingMode};
+use perfplay_replay::{
+    measure_fidelity, FidelityReport, ReplayConfig, ReplayError, ReplayResult, ReplaySchedule,
+    Replayer, ScheduleKind, UlcpFreeReplayer,
+};
+use perfplay_report::PerfReport;
+use perfplay_sim::{ExecutionTiming, SimConfig, SimError};
+use perfplay_trace::Trace;
+use perfplay_transform::{TransformConfig, TransformedTrace, Transformer};
+
+/// Convenience re-exports of the building-block crates.
+pub mod prelude {
+    pub use perfplay_detect::{
+        Detector, DetectorConfig, Ulcp, UlcpAnalysis, UlcpBreakdown, UlcpKind,
+    };
+    pub use perfplay_program::{Program, ProgramBuilder};
+    pub use perfplay_record::{Recorder, RecordingMode, WallClockRecorder};
+    pub use perfplay_replay::{
+        measure_fidelity, FidelityReport, ReplayConfig, ReplayResult, ReplaySchedule, Replayer,
+        ScheduleKind, UlcpFreeReplayer,
+    };
+    pub use perfplay_report::{GroupedUlcp, PerfReport, Recommendation};
+    pub use perfplay_sim::{ExecutionResult, Executor, SimConfig};
+    pub use perfplay_trace::{Time, Trace, TraceStats};
+    pub use perfplay_transform::{TransformedTrace, Transformer};
+}
+
+/// Re-export of the workload models used throughout the evaluation.
+pub mod workloads {
+    pub use perfplay_workloads::*;
+}
+
+/// Errors produced by the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerfPlayError {
+    /// Recording (simulation) failed.
+    Record(SimError),
+    /// One of the replays failed.
+    Replay(ReplayError),
+}
+
+impl std::fmt::Display for PerfPlayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerfPlayError::Record(e) => write!(f, "recording failed: {e}"),
+            PerfPlayError::Replay(e) => write!(f, "replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfPlayError {}
+
+impl From<SimError> for PerfPlayError {
+    fn from(e: SimError) -> Self {
+        PerfPlayError::Record(e)
+    }
+}
+
+impl From<ReplayError> for PerfPlayError {
+    fn from(e: ReplayError) -> Self {
+        PerfPlayError::Replay(e)
+    }
+}
+
+/// Configuration of the end-to-end pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfPlayConfig {
+    /// Machine model used while recording.
+    pub sim: SimConfig,
+    /// Cost model used while replaying.
+    pub replay: ReplayConfig,
+    /// Complete or selective recording.
+    pub recording_mode: RecordingMode,
+    /// ULCP detector options (reversed-replay refinement, scan caps).
+    pub detector: DetectorConfig,
+    /// Trace transformation options.
+    pub transform: TransformConfig,
+    /// Whether the ULCP-free replay uses the dynamic locking strategy.
+    pub use_dls: bool,
+    /// Schedule used for the original-trace replay (the paper uses ELSC).
+    pub original_schedule: ScheduleKind,
+}
+
+impl Default for PerfPlayConfig {
+    fn default() -> Self {
+        PerfPlayConfig {
+            sim: SimConfig::default(),
+            replay: ReplayConfig::default(),
+            recording_mode: RecordingMode::Complete,
+            detector: DetectorConfig::default(),
+            transform: TransformConfig::default(),
+            use_dls: true,
+            original_schedule: ScheduleKind::ElscS,
+        }
+    }
+}
+
+/// Everything PerfPlay learned about one execution.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The recorded trace.
+    pub trace: Trace,
+    /// Timing of the recording run (absent when analysing a pre-existing
+    /// trace).
+    pub recording_timing: Option<ExecutionTiming>,
+    /// ULCP identification results.
+    pub ulcps: UlcpAnalysis,
+    /// The ULCP-free transformed trace.
+    pub transformed: TransformedTrace,
+    /// Replay of the original trace (ELSC by default).
+    pub original_replay: ReplayResult,
+    /// Replay of the ULCP-free trace.
+    pub ulcp_free_replay: ReplayResult,
+    /// The programmer-facing report.
+    pub report: PerfReport,
+}
+
+/// The PerfPlay framework.
+#[derive(Debug, Clone, Default)]
+pub struct PerfPlay {
+    config: PerfPlayConfig,
+}
+
+impl PerfPlay {
+    /// Creates a framework instance with the default configuration.
+    pub fn new() -> Self {
+        PerfPlay::default()
+    }
+
+    /// Creates a framework instance with an explicit configuration.
+    pub fn with_config(config: PerfPlayConfig) -> Self {
+        PerfPlay { config }
+    }
+
+    /// Returns the active configuration.
+    pub fn config(&self) -> &PerfPlayConfig {
+        &self.config
+    }
+
+    /// Records a program and runs the full analysis pipeline on the
+    /// resulting trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfPlayError`] if the program cannot be executed or a
+    /// replay fails.
+    pub fn analyze_program(&self, program: &Program) -> Result<Analysis, PerfPlayError> {
+        let RecordedExecution { trace, timing, .. } = Recorder::new(self.config.sim)
+            .mode(self.config.recording_mode)
+            .record(program)?;
+        let mut analysis = self.analyze_trace(&trace)?;
+        analysis.recording_timing = Some(timing);
+        Ok(analysis)
+    }
+
+    /// Runs the analysis pipeline (identify → transform → replay → debug) on
+    /// an already-recorded trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfPlayError::Replay`] if either replay fails.
+    pub fn analyze_trace(&self, trace: &Trace) -> Result<Analysis, PerfPlayError> {
+        let ulcps = Detector::new(self.config.detector).analyze(trace);
+        let transformed = Transformer::new(self.config.transform).transform(trace, &ulcps);
+
+        let schedule = match self.config.original_schedule {
+            ScheduleKind::OrigS => ReplaySchedule::orig(1),
+            ScheduleKind::ElscS => ReplaySchedule::elsc(),
+            ScheduleKind::SyncS => ReplaySchedule::sync(),
+            ScheduleKind::MemS => ReplaySchedule::mem(),
+        };
+        let original_replay = Replayer::new(self.config.replay).replay(trace, schedule)?;
+        let ulcp_free_replay = UlcpFreeReplayer::new(self.config.replay)
+            .with_dls(self.config.use_dls)
+            .replay(&transformed)?;
+
+        let report = PerfReport::build(
+            trace,
+            &ulcps,
+            &transformed,
+            &original_replay,
+            &ulcp_free_replay,
+        );
+        Ok(Analysis {
+            trace: trace.clone(),
+            recording_timing: None,
+            ulcps,
+            transformed,
+            original_replay,
+            ulcp_free_replay,
+            report,
+        })
+    }
+
+    /// Measures replay fidelity (stability and precision) of a trace under a
+    /// given schedule, replaying it `replays` times (Figure 13).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfPlayError::Replay`] if any replay fails.
+    pub fn fidelity(
+        &self,
+        trace: &Trace,
+        kind: ScheduleKind,
+        replays: usize,
+    ) -> Result<FidelityReport, PerfPlayError> {
+        Ok(measure_fidelity(
+            &Replayer::new(self.config.replay),
+            trace,
+            kind,
+            replays,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfplay_program::ProgramBuilder;
+    use perfplay_workloads::{App, InputSize, WorkloadConfig};
+
+    fn small_program() -> Program {
+        let mut b = ProgramBuilder::new("core-test");
+        let lock = b.lock("m");
+        let x = b.shared("x", 0);
+        let site = b.site("core.c", "reader", 1);
+        for i in 0..2 {
+            b.thread(format!("t{i}"), |t| {
+                t.loop_n(6, |l| {
+                    l.locked(lock, site, |cs| {
+                        cs.read(x);
+                        cs.compute_ns(400);
+                    });
+                    l.compute_ns(200);
+                });
+            });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn end_to_end_pipeline_produces_a_report() {
+        let analysis = PerfPlay::new().analyze_program(&small_program()).unwrap();
+        assert!(analysis.recording_timing.is_some());
+        assert!(analysis.report.breakdown.read_read > 0);
+        assert!(analysis.report.impact.original_time > analysis.report.impact.ulcp_free_time);
+        assert_eq!(analysis.trace.num_threads(), 2);
+        assert!(analysis.report.grouped_ulcps() >= 1);
+    }
+
+    #[test]
+    fn analyze_trace_matches_analyze_program() {
+        let program = small_program();
+        let perfplay = PerfPlay::new();
+        let via_program = perfplay.analyze_program(&program).unwrap();
+        let via_trace = perfplay.analyze_trace(&via_program.trace).unwrap();
+        assert_eq!(via_program.report, via_trace.report);
+        assert!(via_trace.recording_timing.is_none());
+    }
+
+    #[test]
+    fn configuration_is_respected() {
+        let config = PerfPlayConfig {
+            use_dls: false,
+            ..PerfPlayConfig::default()
+        };
+        let perfplay = PerfPlay::with_config(config);
+        assert!(!perfplay.config().use_dls);
+        let analysis = perfplay.analyze_program(&small_program()).unwrap();
+        assert!(analysis.report.impact.original_time > perfplay_trace::Time::ZERO);
+    }
+
+    #[test]
+    fn fidelity_helper_reports_per_schedule() {
+        let perfplay = PerfPlay::new();
+        let analysis = perfplay.analyze_program(&small_program()).unwrap();
+        let elsc = perfplay
+            .fidelity(&analysis.trace, ScheduleKind::ElscS, 3)
+            .unwrap();
+        assert_eq!(elsc.spread(), 0.0);
+        let orig = perfplay
+            .fidelity(&analysis.trace, ScheduleKind::OrigS, 3)
+            .unwrap();
+        assert_eq!(orig.times.len(), 3);
+    }
+
+    #[test]
+    fn workload_models_run_through_the_pipeline() {
+        let program = App::TransmissionBt.build(&WorkloadConfig::new(2, InputSize::SimSmall));
+        let analysis = PerfPlay::new().analyze_program(&program).unwrap();
+        assert!(analysis.report.breakdown.total_ulcps() > 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e: PerfPlayError = ReplayError::StepLimitExceeded { limit: 1 }.into();
+        assert!(e.to_string().contains("replay failed"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Algorithm 1 (ULCP identification) and the reversed-replay benign check.
+
+use std::collections::BTreeMap;
+
+use perfplay_trace::{CriticalSection, MemAccess, ObjectId};
+
+use crate::kinds::{PairClass, UlcpKind};
+use crate::shadow::MemorySnapshot;
+
+/// Classifies a pair of critical sections protected by the same lock using
+/// the read/write-set intersections of Algorithm 1.
+///
+/// Returns the disjointness-based classification only; conflicting pairs are
+/// reported as [`PairClass::Tlcp`] here and must be refined by
+/// [`refine_conflicting_pair`] (the reversed-replay check) to separate benign
+/// ULCPs from true contention.
+pub fn classify_by_sets(c1: &CriticalSection, c2: &CriticalSection) -> PairClass {
+    // Line 1: either section performs no shared access at all.
+    if c1.is_access_free() || c2.is_access_free() {
+        return PairClass::Ulcp(UlcpKind::NullLock);
+    }
+    // Line 3: neither section writes.
+    if c1.writes.is_empty() && c2.writes.is_empty() {
+        return PairClass::Ulcp(UlcpKind::ReadRead);
+    }
+    // Line 5: all read/write and write/write intersections are empty.
+    let rd_wr = c1.reads.intersection(&c2.writes).next().is_some();
+    let wr_rd = c1.writes.intersection(&c2.reads).next().is_some();
+    let wr_wr = c1.writes.intersection(&c2.writes).next().is_some();
+    if !rd_wr && !wr_rd && !wr_wr {
+        return PairClass::Ulcp(UlcpKind::DisjointWrite);
+    }
+    PairClass::Tlcp
+}
+
+/// The observable outcome of executing two critical sections in a given
+/// order: the values each section read, plus the final memory over the
+/// touched footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PairOutcome {
+    reads_first_section: Vec<i64>,
+    reads_second_section: Vec<i64>,
+    final_memory: BTreeMap<ObjectId, i64>,
+}
+
+fn execute_accesses(
+    accesses: &[MemAccess],
+    memory: &mut MemorySnapshot,
+    reads: &mut Vec<i64>,
+) {
+    for access in accesses {
+        match access {
+            MemAccess::Read(obj) => reads.push(memory.get(*obj)),
+            MemAccess::Write(obj, op) => {
+                let new = op.apply(memory.get(*obj));
+                memory.set(*obj, new);
+            }
+        }
+    }
+}
+
+fn run_order(
+    a: &CriticalSection,
+    b: &CriticalSection,
+    start: &MemorySnapshot,
+    footprint: &[ObjectId],
+) -> PairOutcome {
+    let mut memory = start.clone();
+    let mut reads_a = Vec::new();
+    let mut reads_b = Vec::new();
+    execute_accesses(&a.accesses, &mut memory, &mut reads_a);
+    execute_accesses(&b.accesses, &mut memory, &mut reads_b);
+    PairOutcome {
+        reads_first_section: reads_a,
+        reads_second_section: reads_b,
+        final_memory: memory.project(footprint.iter().copied()),
+    }
+}
+
+/// The reversed-replay check of Section 3.1: replays the two conflicting
+/// critical sections in both orders from the memory state the original
+/// execution had before the pair, and compares the results.
+///
+/// If both orders produce the same final memory *and* each section observes
+/// the same read values in both orders, the conflict is false and the pair is
+/// a benign ULCP; otherwise it is a true lock contention pair.
+pub fn refine_conflicting_pair(
+    c1: &CriticalSection,
+    c2: &CriticalSection,
+    state_before: &MemorySnapshot,
+) -> PairClass {
+    let footprint: Vec<ObjectId> = c1
+        .reads
+        .iter()
+        .chain(c1.writes.iter())
+        .chain(c2.reads.iter())
+        .chain(c2.writes.iter())
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    let forward = run_order(c1, c2, state_before, &footprint);
+    let reversed = run_order(c2, c1, state_before, &footprint);
+
+    let same_memory = forward.final_memory == reversed.final_memory;
+    // In the reversed order the roles swap: c1 runs second, c2 runs first.
+    let same_reads_c1 = forward.reads_first_section == reversed.reads_second_section;
+    let same_reads_c2 = forward.reads_second_section == reversed.reads_first_section;
+
+    if same_memory && same_reads_c1 && same_reads_c2 {
+        PairClass::Ulcp(UlcpKind::Benign)
+    } else {
+        PairClass::Tlcp
+    }
+}
+
+/// Full pair classification: Algorithm 1 followed by the reversed-replay
+/// refinement for conflicting pairs.
+///
+/// When `use_reversed_replay` is false (the ablation mode), every conflicting
+/// pair is conservatively reported as a TLCP, exactly as Algorithm 1 alone
+/// would.
+pub fn classify_pair(
+    c1: &CriticalSection,
+    c2: &CriticalSection,
+    state_before: &MemorySnapshot,
+    use_reversed_replay: bool,
+) -> PairClass {
+    match classify_by_sets(c1, c2) {
+        PairClass::Tlcp if use_reversed_replay => refine_conflicting_pair(c1, c2, state_before),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfplay_trace::{
+        CodeSiteId, LockId, SectionId, ThreadId, Time, WriteOp,
+    };
+    use std::collections::BTreeSet;
+
+    fn section(
+        id: u32,
+        thread: u32,
+        reads: &[u64],
+        writes: &[(u64, WriteOp)],
+    ) -> CriticalSection {
+        let mut accesses = Vec::new();
+        let mut read_set = BTreeSet::new();
+        let mut write_set = BTreeSet::new();
+        for &r in reads {
+            let obj = ObjectId::new(r);
+            read_set.insert(obj);
+            accesses.push(MemAccess::Read(obj));
+        }
+        for &(w, op) in writes {
+            let obj = ObjectId::new(w);
+            write_set.insert(obj);
+            accesses.push(MemAccess::Write(obj, op));
+        }
+        CriticalSection {
+            id: SectionId::new(id),
+            thread: ThreadId::new(thread),
+            lock: LockId::new(0),
+            site: CodeSiteId::new(id),
+            acquire_index: 0,
+            release_index: 1,
+            enter_time: Time::from_nanos(u64::from(id) * 10),
+            exit_time: Time::from_nanos(u64::from(id) * 10 + 5),
+            reads: read_set,
+            writes: write_set,
+            accesses,
+            body_cost: Time::from_nanos(5),
+            depth: 0,
+        }
+    }
+
+    fn empty_state() -> MemorySnapshot {
+        MemorySnapshot::default()
+    }
+
+    #[test]
+    fn null_lock_when_either_side_is_access_free() {
+        let empty = section(0, 0, &[], &[]);
+        let reader = section(1, 1, &[1], &[]);
+        assert_eq!(
+            classify_by_sets(&empty, &reader),
+            PairClass::Ulcp(UlcpKind::NullLock)
+        );
+        assert_eq!(
+            classify_by_sets(&reader, &empty),
+            PairClass::Ulcp(UlcpKind::NullLock)
+        );
+    }
+
+    #[test]
+    fn read_read_when_neither_writes() {
+        let a = section(0, 0, &[1, 2], &[]);
+        let b = section(1, 1, &[2, 3], &[]);
+        assert_eq!(classify_by_sets(&a, &b), PairClass::Ulcp(UlcpKind::ReadRead));
+    }
+
+    #[test]
+    fn disjoint_write_when_footprints_do_not_overlap() {
+        let a = section(0, 0, &[1], &[(2, WriteOp::Set(1))]);
+        let b = section(1, 1, &[3], &[(4, WriteOp::Set(1))]);
+        assert_eq!(
+            classify_by_sets(&a, &b),
+            PairClass::Ulcp(UlcpKind::DisjointWrite)
+        );
+    }
+
+    #[test]
+    fn overlapping_write_is_conflicting() {
+        let a = section(0, 0, &[], &[(1, WriteOp::Add(1))]);
+        let b = section(1, 1, &[1], &[]);
+        assert_eq!(classify_by_sets(&a, &b), PairClass::Tlcp);
+    }
+
+    #[test]
+    fn redundant_writes_are_benign() {
+        // Both sections store the same constant: order does not matter.
+        let a = section(0, 0, &[], &[(1, WriteOp::Set(7))]);
+        let b = section(1, 1, &[], &[(1, WriteOp::Set(7))]);
+        assert_eq!(
+            refine_conflicting_pair(&a, &b, &empty_state()),
+            PairClass::Ulcp(UlcpKind::Benign)
+        );
+        assert_eq!(
+            classify_pair(&a, &b, &empty_state(), true),
+            PairClass::Ulcp(UlcpKind::Benign)
+        );
+    }
+
+    #[test]
+    fn commuting_increments_without_reads_are_benign() {
+        let a = section(0, 0, &[], &[(1, WriteOp::Add(2))]);
+        let b = section(1, 1, &[], &[(1, WriteOp::Add(5))]);
+        assert_eq!(
+            refine_conflicting_pair(&a, &b, &empty_state()),
+            PairClass::Ulcp(UlcpKind::Benign)
+        );
+    }
+
+    #[test]
+    fn read_of_written_value_is_true_contention() {
+        // One section reads what the other writes: order changes the read.
+        let writer = section(0, 0, &[], &[(1, WriteOp::Set(9))]);
+        let reader = section(1, 1, &[1], &[(2, WriteOp::Set(1))]);
+        assert_eq!(classify_by_sets(&writer, &reader), PairClass::Tlcp);
+        assert_eq!(
+            refine_conflicting_pair(&writer, &reader, &empty_state()),
+            PairClass::Tlcp
+        );
+    }
+
+    #[test]
+    fn set_and_add_to_same_object_do_not_commute() {
+        let setter = section(0, 0, &[], &[(1, WriteOp::Set(10))]);
+        let adder = section(1, 1, &[], &[(1, WriteOp::Add(3))]);
+        assert_eq!(
+            refine_conflicting_pair(&setter, &adder, &empty_state()),
+            PairClass::Tlcp
+        );
+    }
+
+    #[test]
+    fn reversed_replay_ablation_treats_conflicts_as_tlcp() {
+        let a = section(0, 0, &[], &[(1, WriteOp::Set(7))]);
+        let b = section(1, 1, &[], &[(1, WriteOp::Set(7))]);
+        assert_eq!(classify_pair(&a, &b, &empty_state(), false), PairClass::Tlcp);
+    }
+
+    #[test]
+    fn starting_state_matters_for_benign_decision() {
+        // Section A reads obj1 then writes obj1 := 5; section B writes obj1 := 5.
+        // From a state where obj1 == 5 the pair commutes (A reads 5 either way);
+        // from obj1 == 0 it does not (A reads 0 or 5 depending on order).
+        let a = section(0, 0, &[1], &[(1, WriteOp::Set(5))]);
+        let b = section(1, 1, &[], &[(1, WriteOp::Set(5))]);
+        let mut state5 = MemorySnapshot::default();
+        state5.set(ObjectId::new(1), 5);
+        assert_eq!(
+            refine_conflicting_pair(&a, &b, &state5),
+            PairClass::Ulcp(UlcpKind::Benign)
+        );
+        let state0 = MemorySnapshot::default();
+        assert_eq!(refine_conflicting_pair(&a, &b, &state0), PairClass::Tlcp);
+    }
+}

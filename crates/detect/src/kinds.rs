@@ -1,0 +1,107 @@
+//! Classification categories for pairs of critical sections.
+
+use serde::{Deserialize, Serialize};
+
+/// The four ULCP categories of Section 2.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum UlcpKind {
+    /// At least one of the two critical sections performs no shared-memory
+    /// access at all (Figure 3: accesses guarded by an if-branch that never
+    /// fires).
+    NullLock,
+    /// Both sections only read shared data (Figure 4: concurrent readers of
+    /// `dbmfp->ref`).
+    ReadRead,
+    /// The sections write disjoint shared locations, with at least one write
+    /// (e.g. a shared lock protecting different objects through a uniform
+    /// pointer).
+    DisjointWrite,
+    /// The sections access the same data and at least one writes it, but the
+    /// conflict is false: both execution orders produce the same result
+    /// (redundant writes, disjoint bit manipulation, ad-hoc synchronization).
+    Benign,
+}
+
+impl UlcpKind {
+    /// All kinds, in the order Table 1 reports them.
+    pub const ALL: [UlcpKind; 4] = [
+        UlcpKind::NullLock,
+        UlcpKind::ReadRead,
+        UlcpKind::DisjointWrite,
+        UlcpKind::Benign,
+    ];
+
+    /// Short column label used in reports (matches Table 1's headers).
+    pub fn label(self) -> &'static str {
+        match self {
+            UlcpKind::NullLock => "NL",
+            UlcpKind::ReadRead => "RR",
+            UlcpKind::DisjointWrite => "DW",
+            UlcpKind::Benign => "Benign",
+        }
+    }
+}
+
+impl std::fmt::Display for UlcpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            UlcpKind::NullLock => "null-lock",
+            UlcpKind::ReadRead => "read-read",
+            UlcpKind::DisjointWrite => "disjoint-write",
+            UlcpKind::Benign => "benign",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The outcome of classifying a pair of critical sections protected by the
+/// same lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairClass {
+    /// The pair is an unnecessary lock contention pair of the given kind.
+    Ulcp(UlcpKind),
+    /// The pair is a true lock contention pair: the sections genuinely
+    /// conflict and the lock is necessary.
+    Tlcp,
+}
+
+impl PairClass {
+    /// Returns the ULCP kind if the pair is unnecessary.
+    pub fn ulcp_kind(self) -> Option<UlcpKind> {
+        match self {
+            PairClass::Ulcp(kind) => Some(kind),
+            PairClass::Tlcp => None,
+        }
+    }
+
+    /// Returns true if the pair is a true lock contention pair.
+    pub fn is_tlcp(self) -> bool {
+        matches!(self, PairClass::Tlcp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(UlcpKind::NullLock.label(), "NL");
+        assert_eq!(UlcpKind::ReadRead.label(), "RR");
+        assert_eq!(UlcpKind::DisjointWrite.label(), "DW");
+        assert_eq!(UlcpKind::Benign.label(), "Benign");
+        assert_eq!(UlcpKind::ReadRead.to_string(), "read-read");
+        assert_eq!(UlcpKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn pair_class_accessors() {
+        assert_eq!(
+            PairClass::Ulcp(UlcpKind::ReadRead).ulcp_kind(),
+            Some(UlcpKind::ReadRead)
+        );
+        assert_eq!(PairClass::Tlcp.ulcp_kind(), None);
+        assert!(PairClass::Tlcp.is_tlcp());
+        assert!(!PairClass::Ulcp(UlcpKind::Benign).is_tlcp());
+    }
+}

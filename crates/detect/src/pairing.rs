@@ -1,0 +1,513 @@
+//! Pairing of critical sections into ULCPs and TLCP causal edges.
+//!
+//! The matching procedure follows Section 3.1 of the paper: every critical
+//! section is compared, per other thread, against the later critical sections
+//! protected by the same lock in timing-index order ("sequential searching");
+//! non-conflicting pairs encountered on the way are ULCPs, and the first true
+//! contention found per thread ends the search and yields the causal edge
+//! RULE 1 keeps in the ULCP-free topology.
+
+use std::collections::BTreeMap;
+
+use perfplay_trace::{
+    extract_critical_sections, sections_by_lock, CriticalSection, Event, LockId, ObjectId,
+    SectionId, Trace,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::classify::classify_pair;
+use crate::kinds::{PairClass, UlcpKind};
+use crate::shadow::MemorySnapshot;
+
+/// One unnecessary lock contention pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ulcp {
+    /// The earlier critical section of the pair (by original timing).
+    pub first: SectionId,
+    /// The later critical section of the pair.
+    pub second: SectionId,
+    /// The lock both sections are protected by.
+    pub lock: LockId,
+    /// The ULCP category.
+    pub kind: UlcpKind,
+}
+
+/// A causal edge between two truly conflicting critical sections (a TLCP),
+/// kept by RULE 1 when the ULCP-free topology is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CausalEdge {
+    /// Source node (earlier section).
+    pub from: SectionId,
+    /// Destination node (later section).
+    pub to: SectionId,
+    /// The lock that made the two sections contend.
+    pub lock: LockId,
+}
+
+/// Per-category ULCP counts for one application — one row of Table 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UlcpBreakdown {
+    /// Dynamic lock acquisitions in the trace (the "# Locks" column).
+    pub lock_acquisitions: usize,
+    /// Null-lock ULCPs.
+    pub null_lock: usize,
+    /// Read-read ULCPs.
+    pub read_read: usize,
+    /// Disjoint-write ULCPs.
+    pub disjoint_write: usize,
+    /// Benign ULCPs.
+    pub benign: usize,
+    /// True lock contention pairs (causal edges retained).
+    pub tlcp_edges: usize,
+}
+
+impl UlcpBreakdown {
+    /// Total number of ULCPs across all categories.
+    pub fn total_ulcps(&self) -> usize {
+        self.null_lock + self.read_read + self.disjoint_write + self.benign
+    }
+
+    /// Count for a specific category.
+    pub fn count(&self, kind: UlcpKind) -> usize {
+        match kind {
+            UlcpKind::NullLock => self.null_lock,
+            UlcpKind::ReadRead => self.read_read,
+            UlcpKind::DisjointWrite => self.disjoint_write,
+            UlcpKind::Benign => self.benign,
+        }
+    }
+
+    fn add(&mut self, kind: UlcpKind) {
+        match kind {
+            UlcpKind::NullLock => self.null_lock += 1,
+            UlcpKind::ReadRead => self.read_read += 1,
+            UlcpKind::DisjointWrite => self.disjoint_write += 1,
+            UlcpKind::Benign => self.benign += 1,
+        }
+    }
+}
+
+/// Configuration of the ULCP detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Refine conflicting pairs with the reversed-replay benign check
+    /// (Section 3.1). Disabling this is the ablation the bench harness
+    /// exposes: every conflict becomes a TLCP.
+    pub use_reversed_replay: bool,
+    /// Optional cap on how many later sections are examined per
+    /// (section, other-thread) pair before the search gives up. `None`
+    /// scans until the first TLCP as the paper describes.
+    pub max_scan_per_thread: Option<usize>,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            use_reversed_replay: true,
+            max_scan_per_thread: None,
+        }
+    }
+}
+
+/// The result of ULCP identification over one trace.
+#[derive(Debug, Clone)]
+pub struct UlcpAnalysis {
+    /// Every dynamic critical section, indexed by [`SectionId::index`].
+    pub sections: Vec<CriticalSection>,
+    /// All unnecessary lock contention pairs found.
+    pub ulcps: Vec<Ulcp>,
+    /// All causal edges (true contention pairs) found.
+    pub edges: Vec<CausalEdge>,
+    /// Per-category counts.
+    pub breakdown: UlcpBreakdown,
+}
+
+impl UlcpAnalysis {
+    /// Returns the critical section for an id.
+    pub fn section(&self, id: SectionId) -> &CriticalSection {
+        &self.sections[id.index()]
+    }
+
+    /// Groups the ULCPs by the lock that produced them.
+    pub fn ulcps_by_lock(&self) -> BTreeMap<LockId, Vec<&Ulcp>> {
+        let mut map: BTreeMap<LockId, Vec<&Ulcp>> = BTreeMap::new();
+        for u in &self.ulcps {
+            map.entry(u.lock).or_default().push(u);
+        }
+        map
+    }
+}
+
+/// PerfPlay's ULCP identification stage.
+#[derive(Debug, Clone, Default)]
+pub struct Detector {
+    config: DetectorConfig,
+}
+
+impl Detector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: DetectorConfig) -> Self {
+        Detector { config }
+    }
+
+    /// Identifies all ULCPs and causal edges in a recorded trace.
+    pub fn analyze(&self, trace: &Trace) -> UlcpAnalysis {
+        let sections = extract_critical_sections(trace);
+        let snapshots = per_section_snapshots(trace, &sections);
+        let by_lock = sections_by_lock(&sections);
+
+        let mut ulcps = Vec::new();
+        let mut edges = Vec::new();
+        let mut breakdown = UlcpBreakdown {
+            lock_acquisitions: trace.num_acquisitions(),
+            ..UlcpBreakdown::default()
+        };
+
+        for (lock, lock_sections) in &by_lock {
+            // Per-thread lists, preserving timing order.
+            let mut per_thread: BTreeMap<_, Vec<&CriticalSection>> = BTreeMap::new();
+            for s in lock_sections {
+                per_thread.entry(s.thread).or_default().push(s);
+            }
+            for current in lock_sections {
+                for (other_thread, others) in &per_thread {
+                    if *other_thread == current.thread {
+                        continue;
+                    }
+                    let mut scanned = 0usize;
+                    for candidate in others.iter().filter(|s| s.id > current.id) {
+                        if let Some(cap) = self.config.max_scan_per_thread {
+                            if scanned >= cap {
+                                break;
+                            }
+                        }
+                        scanned += 1;
+                        let class = classify_pair(
+                            current,
+                            candidate,
+                            &snapshots[current.id.index()],
+                            self.config.use_reversed_replay,
+                        );
+                        match class {
+                            PairClass::Tlcp => {
+                                edges.push(CausalEdge {
+                                    from: current.id,
+                                    to: candidate.id,
+                                    lock: *lock,
+                                });
+                                breakdown.tlcp_edges += 1;
+                                break;
+                            }
+                            PairClass::Ulcp(kind) => {
+                                breakdown.add(kind);
+                                ulcps.push(Ulcp {
+                                    first: current.id,
+                                    second: candidate.id,
+                                    lock: *lock,
+                                    kind,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        UlcpAnalysis {
+            sections,
+            ulcps,
+            edges,
+            breakdown,
+        }
+    }
+}
+
+/// Computes, for every critical section, the shared-memory snapshot just
+/// before its entry, in one sweep over the trace.
+fn per_section_snapshots(trace: &Trace, sections: &[CriticalSection]) -> Vec<MemorySnapshot> {
+    // Gather all memory events sorted by time.
+    let mut mem_events: Vec<(perfplay_trace::Time, &Event)> = trace
+        .iter_events()
+        .filter(|(_, _, te)| te.event.is_memory_access())
+        .map(|(_, _, te)| (te.at, &te.event))
+        .collect();
+    mem_events.sort_by_key(|(at, _)| *at);
+
+    let mut running: BTreeMap<ObjectId, i64> = BTreeMap::new();
+    let mut snapshots = Vec::with_capacity(sections.len());
+    let mut cursor = 0usize;
+    for section in sections {
+        while cursor < mem_events.len() && mem_events[cursor].0 < section.enter_time {
+            match mem_events[cursor].1 {
+                Event::Write { obj, value, .. } => {
+                    running.insert(*obj, *value);
+                }
+                Event::Read { obj, value } => {
+                    running.entry(*obj).or_insert(*value);
+                }
+                _ => {}
+            }
+            cursor += 1;
+        }
+        snapshots.push(MemorySnapshot::from_values(running.clone()));
+    }
+    snapshots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfplay_program::ProgramBuilder;
+    use perfplay_record::Recorder;
+    use perfplay_sim::SimConfig;
+
+    fn record(build: impl FnOnce(&mut ProgramBuilder)) -> Trace {
+        let mut b = ProgramBuilder::new("detect-test");
+        build(&mut b);
+        Recorder::new(SimConfig::default())
+            .record(&b.build())
+            .unwrap()
+            .trace
+    }
+
+    #[test]
+    fn read_read_workload_produces_read_read_ulcps() {
+        let trace = record(|b| {
+            let lock = b.lock("m");
+            let x = b.shared("x", 0);
+            let site = b.site("rr.c", "reader", 1);
+            for i in 0..2 {
+                b.thread(format!("t{i}"), |t| {
+                    t.loop_n(3, |l| {
+                        l.locked(lock, site, |cs| {
+                            cs.read(x);
+                            cs.compute_ns(100);
+                        });
+                        l.compute_ns(50);
+                    });
+                });
+            }
+        });
+        let analysis = Detector::default().analyze(&trace);
+        assert_eq!(analysis.breakdown.lock_acquisitions, 6);
+        assert!(analysis.breakdown.read_read > 0);
+        assert_eq!(analysis.breakdown.tlcp_edges, 0);
+        assert_eq!(analysis.breakdown.null_lock, 0);
+        assert_eq!(
+            analysis.breakdown.total_ulcps(),
+            analysis.ulcps.len()
+        );
+        // All pairs are cross-thread and ordered by id.
+        for u in &analysis.ulcps {
+            assert!(u.first < u.second);
+            assert_ne!(
+                analysis.section(u.first).thread,
+                analysis.section(u.second).thread
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_workload_produces_tlcp_edges_not_ulcps() {
+        let trace = record(|b| {
+            let lock = b.lock("m");
+            let x = b.shared("x", 0);
+            let site = b.site("w.c", "writer", 1);
+            for i in 0..2 {
+                b.thread(format!("t{i}"), |t| {
+                    t.locked(lock, site, |cs| {
+                        let v = cs.read_into(x);
+                        cs.write_set(x, 1);
+                        // Use the local so the read is meaningful.
+                        cs.if_then(perfplay_program::Cond::eq(
+                            perfplay_program::ValueSource::Local(v), 99,
+                        ), |then| { then.compute_ns(1); });
+                    });
+                });
+            }
+        });
+        let analysis = Detector::default().analyze(&trace);
+        assert_eq!(analysis.breakdown.tlcp_edges, 1);
+        assert_eq!(analysis.breakdown.total_ulcps(), 0);
+        assert_eq!(analysis.edges.len(), 1);
+        assert!(analysis.edges[0].from < analysis.edges[0].to);
+    }
+
+    #[test]
+    fn null_lock_workload_is_classified_null() {
+        let trace = record(|b| {
+            let lock = b.lock("m");
+            let _x = b.shared("x", 0);
+            let site = b.site("nl.c", "maybe_update", 1);
+            for i in 0..2 {
+                b.thread(format!("t{i}"), |t| {
+                    t.loop_n(2, |l| {
+                        // The branch on a local that is always 0 means the
+                        // shared update never happens: a null-lock.
+                        l.locked(lock, site, |cs| {
+                            cs.compute_ns(40);
+                        });
+                        l.compute_ns(10);
+                    });
+                });
+            }
+        });
+        let analysis = Detector::default().analyze(&trace);
+        assert!(analysis.breakdown.null_lock > 0);
+        assert_eq!(analysis.breakdown.tlcp_edges, 0);
+    }
+
+    #[test]
+    fn disjoint_writes_under_one_lock_are_detected() {
+        let trace = record(|b| {
+            let lock = b.lock("m");
+            let x = b.shared("x", 0);
+            let y = b.shared("y", 0);
+            let site_a = b.site("dw.c", "update_x", 1);
+            let site_b = b.site("dw.c", "update_y", 2);
+            b.thread("tx", |t| {
+                t.locked(lock, site_a, |cs| {
+                    cs.write_add(x, 1);
+                });
+            });
+            b.thread("ty", |t| {
+                t.locked(lock, site_b, |cs| {
+                    cs.write_add(y, 1);
+                });
+            });
+        });
+        let analysis = Detector::default().analyze(&trace);
+        assert_eq!(analysis.breakdown.disjoint_write, 1);
+        assert_eq!(analysis.breakdown.tlcp_edges, 0);
+    }
+
+    #[test]
+    fn benign_redundant_writes_need_reversed_replay() {
+        let build = |b: &mut ProgramBuilder| {
+            let lock = b.lock("m");
+            let flag = b.shared("done", 0);
+            let site = b.site("bw.c", "set_done", 1);
+            for i in 0..2 {
+                b.thread(format!("t{i}"), |t| {
+                    t.locked(lock, site, |cs| {
+                        cs.write_set(flag, 1);
+                    });
+                });
+            }
+        };
+        let trace = record(build);
+        let with_rr = Detector::default().analyze(&trace);
+        assert_eq!(with_rr.breakdown.benign, 1);
+        assert_eq!(with_rr.breakdown.tlcp_edges, 0);
+
+        let without_rr = Detector::new(DetectorConfig {
+            use_reversed_replay: false,
+            max_scan_per_thread: None,
+        })
+        .analyze(&trace);
+        assert_eq!(without_rr.breakdown.benign, 0);
+        assert_eq!(without_rr.breakdown.tlcp_edges, 1);
+    }
+
+    #[test]
+    fn tlcp_stops_the_sequential_search() {
+        // Thread 1 performs: read-only CS, then a writing CS, then another
+        // read-only CS. Thread 0 performs one read-only CS before all of them.
+        // The search from thread 0's section must stop at the writing CS, so
+        // the trailing read-only CS does not form a ULCP with it.
+        let trace = record(|b| {
+            let lock = b.lock("m");
+            let x = b.shared("x", 0);
+            let site = b.site("seq.c", "f", 1);
+            b.thread("t0", |t| {
+                t.locked(lock, site, |cs| {
+                    cs.read(x);
+                });
+                t.compute_us(50);
+            });
+            b.thread("t1", |t| {
+                t.compute_us(5);
+                t.locked(lock, site, |cs| {
+                    cs.read(x);
+                });
+                t.locked(lock, site, |cs| {
+                    cs.write_add(x, 1);
+                    cs.read(x);
+                });
+                t.locked(lock, site, |cs| {
+                    cs.read(x);
+                });
+            });
+        });
+        let analysis = Detector::default().analyze(&trace);
+        // t0's section pairs with t1's first read-only section (ULCP), then
+        // hits the writing section (TLCP edge) and stops.
+        let t0_first = analysis
+            .sections
+            .iter()
+            .find(|s| s.thread == perfplay_trace::ThreadId::new(0))
+            .unwrap()
+            .id;
+        let ulcps_from_t0: Vec<_> = analysis.ulcps.iter().filter(|u| u.first == t0_first).collect();
+        assert_eq!(ulcps_from_t0.len(), 1);
+        let edges_from_t0: Vec<_> = analysis.edges.iter().filter(|e| e.from == t0_first).collect();
+        assert_eq!(edges_from_t0.len(), 1);
+    }
+
+    #[test]
+    fn scan_cap_limits_pairs() {
+        let build = |b: &mut ProgramBuilder| {
+            let lock = b.lock("m");
+            let x = b.shared("x", 0);
+            let site = b.site("cap.c", "reader", 1);
+            b.thread("t0", |t| {
+                t.locked(lock, site, |cs| {
+                    cs.read(x);
+                });
+                t.compute_us(100);
+            });
+            b.thread("t1", |t| {
+                t.compute_us(10);
+                t.loop_n(6, |l| {
+                    l.locked(lock, site, |cs| {
+                        cs.read(x);
+                    });
+                });
+            });
+        };
+        let trace = record(build);
+        let unlimited = Detector::default().analyze(&trace);
+        let capped = Detector::new(DetectorConfig {
+            use_reversed_replay: true,
+            max_scan_per_thread: Some(2),
+        })
+        .analyze(&trace);
+        assert!(capped.breakdown.total_ulcps() < unlimited.breakdown.total_ulcps());
+    }
+
+    #[test]
+    fn ulcps_by_lock_groups_pairs() {
+        let trace = record(|b| {
+            let l0 = b.lock("a");
+            let l1 = b.lock("b");
+            let x = b.shared("x", 0);
+            let y = b.shared("y", 0);
+            let s0 = b.site("g.c", "fa", 1);
+            let s1 = b.site("g.c", "fb", 2);
+            for i in 0..2 {
+                b.thread(format!("t{i}"), |t| {
+                    t.locked(l0, s0, |cs| {
+                        cs.read(x);
+                    });
+                    t.locked(l1, s1, |cs| {
+                        cs.read(y);
+                    });
+                });
+            }
+        });
+        let analysis = Detector::default().analyze(&trace);
+        let grouped = analysis.ulcps_by_lock();
+        assert_eq!(grouped.len(), 2);
+        assert!(grouped.values().all(|v| v.len() == 1));
+    }
+}

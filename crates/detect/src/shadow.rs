@@ -1,0 +1,189 @@
+//! Shadow memory: reconstructing shared-memory state from a recorded trace.
+//!
+//! The paper uses shadow memory to keep per-critical-section read/write sets.
+//! Those sets live on [`CriticalSection`](perfplay_trace::CriticalSection)
+//! already; this module adds the piece the *reversed replay* benign check
+//! needs — the value every shared object held at an arbitrary point of the
+//! recorded execution, so a pair of critical sections can be re-executed in
+//! both orders from the correct starting state.
+
+use std::collections::BTreeMap;
+
+use perfplay_trace::{Event, ObjectId, Time, Trace};
+
+/// A snapshot of shared-memory values at some virtual time of the original
+/// execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemorySnapshot {
+    values: BTreeMap<ObjectId, i64>,
+}
+
+impl MemorySnapshot {
+    /// Reconstructs the values all shared objects held just before virtual
+    /// time `at` in the recorded execution.
+    ///
+    /// Values come from the last write before `at`; objects not yet written
+    /// take the value observed by any read before `at` (reads see the initial
+    /// value until the first write), falling back to the first value the
+    /// object is ever observed with, and finally to zero for objects the
+    /// trace never touches.
+    pub fn before(trace: &Trace, at: Time) -> Self {
+        let mut last_write: BTreeMap<ObjectId, (Time, i64)> = BTreeMap::new();
+        let mut earliest_observation: BTreeMap<ObjectId, (Time, i64)> = BTreeMap::new();
+        let mut pre_read: BTreeMap<ObjectId, i64> = BTreeMap::new();
+
+        for (_, _, te) in trace.iter_events() {
+            match &te.event {
+                Event::Write { obj, value, .. } => {
+                    if te.at < at {
+                        let entry = last_write.entry(*obj).or_insert((te.at, *value));
+                        if te.at >= entry.0 {
+                            *entry = (te.at, *value);
+                        }
+                    }
+                    let first = earliest_observation.entry(*obj).or_insert((te.at, *value));
+                    if te.at < first.0 {
+                        *first = (te.at, *value);
+                    }
+                }
+                Event::Read { obj, value } => {
+                    if te.at < at && !last_write.contains_key(obj) {
+                        pre_read.entry(*obj).or_insert(*value);
+                    }
+                    let first = earliest_observation.entry(*obj).or_insert((te.at, *value));
+                    if te.at < first.0 {
+                        *first = (te.at, *value);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut values = BTreeMap::new();
+        for (obj, (_, v)) in &earliest_observation {
+            values.insert(*obj, *v);
+        }
+        for (obj, v) in &pre_read {
+            values.insert(*obj, *v);
+        }
+        for (obj, (_, v)) in &last_write {
+            values.insert(*obj, *v);
+        }
+        MemorySnapshot { values }
+    }
+
+    /// Creates a snapshot from explicit values (used in tests and by the
+    /// benign check's re-execution).
+    pub fn from_values(values: BTreeMap<ObjectId, i64>) -> Self {
+        MemorySnapshot { values }
+    }
+
+    /// Returns the value of an object, defaulting to zero for untracked
+    /// objects.
+    pub fn get(&self, obj: ObjectId) -> i64 {
+        self.values.get(&obj).copied().unwrap_or(0)
+    }
+
+    /// Sets the value of an object.
+    pub fn set(&mut self, obj: ObjectId, value: i64) {
+        self.values.insert(obj, value);
+    }
+
+    /// Returns the values restricted to the given objects (used to compare
+    /// the outcome of the two replay orders over the touched footprint).
+    pub fn project(&self, objects: impl IntoIterator<Item = ObjectId>) -> BTreeMap<ObjectId, i64> {
+        objects
+            .into_iter()
+            .map(|obj| (obj, self.get(obj)))
+            .collect()
+    }
+
+    /// Number of objects with a known value.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns true if no object value is known.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfplay_trace::{CodeSiteId, LockId, Time, TraceMeta, WriteOp};
+
+    fn trace_with_history() -> Trace {
+        let mut trace = Trace::new(TraceMeta::default(), 1);
+        let t = &mut trace.threads[0];
+        let obj = ObjectId::new(0);
+        let other = ObjectId::new(1);
+        t.push(
+            Time::from_nanos(1),
+            Event::LockAcquire {
+                lock: LockId::new(0),
+                site: CodeSiteId::new(0),
+            },
+        );
+        // Initial value of obj observed as 5 before any write.
+        t.push(Time::from_nanos(2), Event::Read { obj, value: 5 });
+        t.push(
+            Time::from_nanos(3),
+            Event::Write {
+                obj,
+                op: WriteOp::Set(9),
+                value: 9,
+            },
+        );
+        t.push(
+            Time::from_nanos(5),
+            Event::Write {
+                obj: other,
+                op: WriteOp::Add(2),
+                value: 12,
+            },
+        );
+        t.push(Time::from_nanos(6), Event::LockRelease { lock: LockId::new(0) });
+        trace.total_time = Time::from_nanos(6);
+        trace
+    }
+
+    #[test]
+    fn snapshot_before_first_write_sees_initial_value() {
+        let trace = trace_with_history();
+        let snap = MemorySnapshot::before(&trace, Time::from_nanos(3));
+        assert_eq!(snap.get(ObjectId::new(0)), 5);
+    }
+
+    #[test]
+    fn snapshot_after_write_sees_written_value() {
+        let trace = trace_with_history();
+        let snap = MemorySnapshot::before(&trace, Time::from_nanos(4));
+        assert_eq!(snap.get(ObjectId::new(0)), 9);
+    }
+
+    #[test]
+    fn never_written_object_falls_back_to_first_observation() {
+        let trace = trace_with_history();
+        // Before time 5 `other` has not been written; its first observation is
+        // the write at t=5 with value 12, which is the best available guess.
+        let snap = MemorySnapshot::before(&trace, Time::from_nanos(5));
+        assert_eq!(snap.get(ObjectId::new(1)), 12);
+        // Unknown objects default to zero.
+        assert_eq!(snap.get(ObjectId::new(42)), 0);
+    }
+
+    #[test]
+    fn project_and_mutate() {
+        let mut snap = MemorySnapshot::from_values(
+            [(ObjectId::new(0), 3), (ObjectId::new(1), 4)].into_iter().collect(),
+        );
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.is_empty());
+        snap.set(ObjectId::new(0), 7);
+        let projected = snap.project([ObjectId::new(0), ObjectId::new(9)]);
+        assert_eq!(projected[&ObjectId::new(0)], 7);
+        assert_eq!(projected[&ObjectId::new(9)], 0);
+    }
+}

@@ -1,0 +1,521 @@
+//! Fluent builders for constructing lock programs.
+//!
+//! The workloads crate builds every synthetic application model through this
+//! API; examples use it directly. Declarations (locks, shared objects,
+//! condition variables, barriers, code sites) are made on the
+//! [`ProgramBuilder`]; thread bodies are described with a [`BodyBuilder`]
+//! inside closures so nesting follows the program's lexical structure.
+//!
+//! ```
+//! use perfplay_program::ProgramBuilder;
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let lock = b.lock("cache_mutex");
+//! let hits = b.shared("hits", 0);
+//! let site = b.site("cache.c", "lookup", 42);
+//! for i in 0..2 {
+//!     b.thread(format!("worker-{i}"), |t| {
+//!         t.compute_us(1);
+//!         t.locked(lock, site, |cs| {
+//!             cs.read(hits);
+//!             cs.compute_ns(50);
+//!         });
+//!     });
+//! }
+//! let program = b.build();
+//! assert_eq!(program.num_threads(), 2);
+//! assert!(program.validate().is_ok());
+//! ```
+
+use perfplay_trace::{
+    BarrierId, CodeSite, CodeSiteId, CondId, LockId, ObjectId, SiteTable, Time, WriteOp,
+};
+
+use crate::program::{BarrierDecl, ObjectDecl, Program, ThreadSpec};
+use crate::stmt::{Cond, LocalId, Stmt, ValueSource};
+
+/// Builder for a [`Program`].
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    input: String,
+    sites: SiteTable,
+    locks: Vec<String>,
+    objects: Vec<ObjectDecl>,
+    conds: Vec<String>,
+    barriers: Vec<BarrierDecl>,
+    threads: Vec<ThreadSpec>,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            input: String::new(),
+            sites: SiteTable::new(),
+            locks: Vec::new(),
+            objects: Vec::new(),
+            conds: Vec::new(),
+            barriers: Vec::new(),
+            threads: Vec::new(),
+        }
+    }
+
+    /// Sets the free-form input description (e.g. `simlarge`).
+    pub fn input(&mut self, input: impl Into<String>) -> &mut Self {
+        self.input = input.into();
+        self
+    }
+
+    /// Declares an application lock and returns its id.
+    pub fn lock(&mut self, name: impl Into<String>) -> LockId {
+        self.locks.push(name.into());
+        LockId::new((self.locks.len() - 1) as u32)
+    }
+
+    /// Declares a shared object with an initial value and returns its id.
+    pub fn shared(&mut self, name: impl Into<String>, init: i64) -> ObjectId {
+        self.objects.push(ObjectDecl {
+            name: name.into(),
+            init,
+        });
+        ObjectId::new((self.objects.len() - 1) as u64)
+    }
+
+    /// Declares a condition variable and returns its id.
+    pub fn condvar(&mut self, name: impl Into<String>) -> CondId {
+        self.conds.push(name.into());
+        CondId::new((self.conds.len() - 1) as u32)
+    }
+
+    /// Declares a barrier with the given participant count and returns its id.
+    pub fn barrier(&mut self, name: impl Into<String>, participants: usize) -> BarrierId {
+        self.barriers.push(BarrierDecl {
+            name: name.into(),
+            participants,
+        });
+        BarrierId::new((self.barriers.len() - 1) as u32)
+    }
+
+    /// Interns a code site (file, function, line) and returns its id.
+    pub fn site(&mut self, file: impl Into<String>, function: impl Into<String>, line: u32) -> CodeSiteId {
+        self.sites.intern(CodeSite::new(file, function, line))
+    }
+
+    /// Adds a thread whose body is described by the closure.
+    pub fn thread(&mut self, name: impl Into<String>, f: impl FnOnce(&mut BodyBuilder)) -> &mut Self {
+        let mut body = BodyBuilder::new();
+        f(&mut body);
+        self.threads.push(ThreadSpec {
+            name: name.into(),
+            body: body.finish(),
+        });
+        self
+    }
+
+    /// Adds a thread with an explicit statement list.
+    pub fn thread_with_body(&mut self, name: impl Into<String>, body: Vec<Stmt>) -> &mut Self {
+        self.threads.push(ThreadSpec {
+            name: name.into(),
+            body,
+        });
+        self
+    }
+
+    /// Finishes the builder and returns the program.
+    pub fn build(self) -> Program {
+        Program {
+            name: self.name,
+            input: self.input,
+            sites: self.sites,
+            locks: self.locks,
+            objects: self.objects,
+            conds: self.conds,
+            barriers: self.barriers,
+            threads: self.threads,
+        }
+    }
+}
+
+/// Builder for a statement list (a thread body, critical-section body, loop
+/// body or branch arm).
+#[derive(Debug, Default)]
+pub struct BodyBuilder {
+    stmts: Vec<Stmt>,
+    next_local: u32,
+}
+
+impl BodyBuilder {
+    /// Creates an empty body builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn child(&self) -> BodyBuilder {
+        BodyBuilder {
+            stmts: Vec::new(),
+            next_local: self.next_local,
+        }
+    }
+
+    /// Returns the accumulated statements.
+    pub fn finish(self) -> Vec<Stmt> {
+        self.stmts
+    }
+
+    /// Allocates a fresh thread-local variable id.
+    pub fn local(&mut self) -> LocalId {
+        let id = LocalId::new(self.next_local);
+        self.next_local += 1;
+        id
+    }
+
+    /// Appends a raw statement.
+    pub fn push(&mut self, stmt: Stmt) -> &mut Self {
+        self.stmts.push(stmt);
+        self
+    }
+
+    /// Thread-local computation of `nanos` virtual nanoseconds.
+    pub fn compute_ns(&mut self, nanos: u64) -> &mut Self {
+        self.push(Stmt::Compute {
+            cost: Time::from_nanos(nanos),
+        })
+    }
+
+    /// Thread-local computation of `micros` virtual microseconds.
+    pub fn compute_us(&mut self, micros: u64) -> &mut Self {
+        self.push(Stmt::Compute {
+            cost: Time::from_micros(micros),
+        })
+    }
+
+    /// Thread-local computation with an explicit [`Time`] cost.
+    pub fn compute(&mut self, cost: Time) -> &mut Self {
+        self.push(Stmt::Compute { cost })
+    }
+
+    /// A critical section protected by `lock`, attributed to `site`.
+    pub fn locked(&mut self, lock: LockId, site: CodeSiteId, f: impl FnOnce(&mut BodyBuilder)) -> &mut Self {
+        let mut body = self.child();
+        f(&mut body);
+        self.next_local = body.next_local;
+        let body = body.finish();
+        self.push(Stmt::Lock { lock, site, body })
+    }
+
+    /// Reads a shared object (value discarded).
+    pub fn read(&mut self, obj: ObjectId) -> &mut Self {
+        self.push(Stmt::Read { obj, into: None })
+    }
+
+    /// Reads a shared object into a fresh local, returning the local id.
+    pub fn read_into(&mut self, obj: ObjectId) -> LocalId {
+        let local = self.local();
+        self.push(Stmt::Read {
+            obj,
+            into: Some(local),
+        });
+        local
+    }
+
+    /// Writes an absolute value to a shared object.
+    pub fn write_set(&mut self, obj: ObjectId, value: i64) -> &mut Self {
+        self.push(Stmt::Write {
+            obj,
+            op: WriteOp::Set(value),
+        })
+    }
+
+    /// Adds a delta to a shared object.
+    pub fn write_add(&mut self, obj: ObjectId, delta: i64) -> &mut Self {
+        self.push(Stmt::Write {
+            obj,
+            op: WriteOp::Add(delta),
+        })
+    }
+
+    /// Sets a local variable to a constant.
+    pub fn set_local(&mut self, local: LocalId, value: i64) -> &mut Self {
+        self.push(Stmt::SetLocal { local, value })
+    }
+
+    /// Two-armed conditional.
+    pub fn if_else(
+        &mut self,
+        cond: Cond,
+        then_f: impl FnOnce(&mut BodyBuilder),
+        else_f: impl FnOnce(&mut BodyBuilder),
+    ) -> &mut Self {
+        let mut then_b = self.child();
+        then_f(&mut then_b);
+        self.next_local = then_b.next_local;
+        let mut else_b = self.child();
+        else_f(&mut else_b);
+        self.next_local = else_b.next_local;
+        let (then_branch, else_branch) = (then_b.finish(), else_b.finish());
+        self.push(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
+    }
+
+    /// One-armed conditional.
+    pub fn if_then(&mut self, cond: Cond, then_f: impl FnOnce(&mut BodyBuilder)) -> &mut Self {
+        self.if_else(cond, then_f, |_| {})
+    }
+
+    /// Fixed-count loop.
+    pub fn loop_n(&mut self, count: u32, f: impl FnOnce(&mut BodyBuilder)) -> &mut Self {
+        let mut body = self.child();
+        f(&mut body);
+        self.next_local = body.next_local;
+        let body = body.finish();
+        self.push(Stmt::Loop { count, body })
+    }
+
+    /// Condition-controlled loop bounded by `max_iters`.
+    pub fn while_cond(
+        &mut self,
+        cond: Cond,
+        max_iters: u32,
+        f: impl FnOnce(&mut BodyBuilder),
+    ) -> &mut Self {
+        let mut body = self.child();
+        f(&mut body);
+        self.next_local = body.next_local;
+        let body = body.finish();
+        self.push(Stmt::While {
+            cond,
+            body,
+            max_iters,
+        })
+    }
+
+    /// Spin-wait: keep re-reading `obj` inside a critical section on `lock`
+    /// until it compares equal to `until_value`, spending `spin_cost` per
+    /// probe. This is the paper's Figure 4 pattern.
+    pub fn spin_wait_shared(
+        &mut self,
+        lock: LockId,
+        site: CodeSiteId,
+        obj: ObjectId,
+        until_value: i64,
+        spin_cost: Time,
+        max_iters: u32,
+    ) -> &mut Self {
+        self.while_cond(
+            Cond::ne(ValueSource::Shared(obj), until_value),
+            max_iters,
+            |b| {
+                b.locked(lock, site, |cs| {
+                    cs.read(obj);
+                    cs.compute(spin_cost);
+                });
+            },
+        )
+    }
+
+    /// `pthread_cond_wait`-style wait.
+    pub fn cond_wait(&mut self, cond: CondId, lock: LockId) -> &mut Self {
+        self.push(Stmt::CondWait { cond, lock })
+    }
+
+    /// Signals one waiter of a condition variable.
+    pub fn cond_signal(&mut self, cond: CondId) -> &mut Self {
+        self.push(Stmt::CondSignal {
+            cond,
+            broadcast: false,
+        })
+    }
+
+    /// Wakes all waiters of a condition variable.
+    pub fn cond_broadcast(&mut self, cond: CondId) -> &mut Self {
+        self.push(Stmt::CondSignal {
+            cond,
+            broadcast: true,
+        })
+    }
+
+    /// Waits at a barrier.
+    pub fn barrier(&mut self, barrier: BarrierId) -> &mut Self {
+        self.push(Stmt::Barrier { barrier })
+    }
+
+    /// A selectively-recorded region replay bypasses (system call, library
+    /// call), charging `cost`.
+    pub fn skip_region(&mut self, site: CodeSiteId, cost: Time) -> &mut Self {
+        self.push(Stmt::SkipRegion { site, cost })
+    }
+
+    /// Emits a checkpoint marker.
+    pub fn checkpoint(&mut self, id: u32) -> &mut Self {
+        self.push(Stmt::Checkpoint { id })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::stmt_count;
+
+    #[test]
+    fn builder_declarations_are_dense() {
+        let mut b = ProgramBuilder::new("decl");
+        assert_eq!(b.lock("a"), LockId::new(0));
+        assert_eq!(b.lock("b"), LockId::new(1));
+        assert_eq!(b.shared("x", 1), ObjectId::new(0));
+        assert_eq!(b.condvar("cv"), CondId::new(0));
+        assert_eq!(b.barrier("bar", 2), BarrierId::new(0));
+        let s1 = b.site("f.c", "g", 1);
+        let s2 = b.site("f.c", "g", 1);
+        assert_eq!(s1, s2);
+        b.input("small");
+        b.thread("t", |t| {
+            t.compute_ns(1);
+        });
+        let p = b.build();
+        assert_eq!(p.input, "small");
+        assert_eq!(p.objects[0].init, 1);
+        assert_eq!(p.barriers[0].participants, 2);
+    }
+
+    #[test]
+    fn nested_bodies_follow_lexical_structure() {
+        let mut b = ProgramBuilder::new("nest");
+        let lock = b.lock("m");
+        let obj = b.shared("x", 0);
+        let site = b.site("n.c", "f", 3);
+        b.thread("t", |t| {
+            t.loop_n(4, |l| {
+                l.locked(lock, site, |cs| {
+                    cs.read(obj);
+                    cs.if_then(Cond::eq(ValueSource::Shared(obj), 0), |then| {
+                        then.write_add(obj, 1);
+                    });
+                });
+                l.compute_ns(5);
+            });
+        });
+        let p = b.build();
+        assert!(p.validate().is_ok());
+        match &p.threads[0].body[0] {
+            Stmt::Loop { count, body } => {
+                assert_eq!(*count, 4);
+                assert_eq!(body.len(), 2);
+                match &body[0] {
+                    Stmt::Lock { body: cs, .. } => assert_eq!(cs.len(), 2),
+                    other => panic!("expected Lock, got {other:?}"),
+                }
+            }
+            other => panic!("expected Loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_into_allocates_distinct_locals() {
+        let mut b = ProgramBuilder::new("locals");
+        let lock = b.lock("m");
+        let obj = b.shared("x", 0);
+        let site = b.site("l.c", "f", 1);
+        b.thread("t", |t| {
+            let a = t.read_into(obj);
+            let mut captured = None;
+            t.locked(lock, site, |cs| {
+                captured = Some(cs.read_into(obj));
+            });
+            assert_ne!(a, captured.unwrap());
+        });
+        let p = b.build();
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn spin_wait_shared_expands_to_while_of_lock() {
+        let mut b = ProgramBuilder::new("spin");
+        let lock = b.lock("m");
+        let obj = b.shared("ref", 0);
+        let site = b.site("mp.c", "wait", 7);
+        b.thread("t", |t| {
+            t.spin_wait_shared(lock, site, obj, 1, Time::from_nanos(20), 50);
+        });
+        let p = b.build();
+        match &p.threads[0].body[0] {
+            Stmt::While { body, max_iters, .. } => {
+                assert_eq!(*max_iters, 50);
+                assert!(matches!(body[0], Stmt::Lock { .. }));
+            }
+            other => panic!("expected While, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn condvars_barriers_and_misc_statements() {
+        let mut b = ProgramBuilder::new("sync");
+        let lock = b.lock("m");
+        let cv = b.condvar("cv");
+        let bar = b.barrier("bar", 2);
+        let site = b.site("s.c", "f", 1);
+        b.thread("waiter", |t| {
+            t.cond_wait(cv, lock);
+            t.barrier(bar);
+            t.checkpoint(1);
+        });
+        b.thread("signaller", |t| {
+            t.cond_signal(cv);
+            t.cond_broadcast(cv);
+            t.barrier(bar);
+            t.skip_region(site, Time::from_nanos(9));
+        });
+        let p = b.build();
+        assert!(p.validate().is_ok());
+        assert_eq!(stmt_count(&p.threads[0].body), 3);
+        assert_eq!(stmt_count(&p.threads[1].body), 4);
+    }
+
+    #[test]
+    fn thread_with_body_accepts_raw_statements() {
+        let mut b = ProgramBuilder::new("raw");
+        b.thread_with_body(
+            "t",
+            vec![Stmt::Compute {
+                cost: Time::from_nanos(5),
+            }],
+        );
+        let p = b.build();
+        assert_eq!(p.threads[0].name, "t");
+        assert_eq!(p.threads[0].body.len(), 1);
+    }
+
+    #[test]
+    fn if_else_builds_both_arms() {
+        let mut b = ProgramBuilder::new("branch");
+        let obj = b.shared("flag", 0);
+        b.thread("t", |t| {
+            t.if_else(
+                Cond::eq(ValueSource::Shared(obj), 1),
+                |then| {
+                    then.compute_ns(1);
+                },
+                |els| {
+                    els.compute_ns(2);
+                    els.compute_ns(3);
+                },
+            );
+        });
+        let p = b.build();
+        match &p.threads[0].body[0] {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                assert_eq!(then_branch.len(), 1);
+                assert_eq!(else_branch.len(), 2);
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+}

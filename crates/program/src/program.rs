@@ -1,0 +1,399 @@
+//! The lock-program: declarations plus one statement list per thread.
+
+use std::collections::BTreeSet;
+
+use perfplay_trace::{BarrierId, CodeSiteId, CondId, LockId, ObjectId, SiteTable, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::stmt::{stmt_count, visit_stmts, Stmt, ValueSource};
+
+/// Declaration of a shared object with its initial value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectDecl {
+    /// Human-readable name (e.g. `dbmfp->ref`).
+    pub name: String,
+    /// Initial value at program start.
+    pub init: i64,
+}
+
+/// Declaration of a barrier and how many threads participate in it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BarrierDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of arrivals that release the barrier.
+    pub participants: usize,
+}
+
+/// The body of one thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadSpec {
+    /// Human-readable name (e.g. `consumer-0`).
+    pub name: String,
+    /// Statements executed by the thread, in order.
+    pub body: Vec<Stmt>,
+}
+
+/// A complete multi-threaded lock program.
+///
+/// Programs are produced by hand, by the
+/// [`ProgramBuilder`](crate::ProgramBuilder), or by the workload generators,
+/// and are executed by the `perfplay-sim` simulator under the control of the
+/// `perfplay-record` recorder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name (used as the trace's program name).
+    pub name: String,
+    /// Free-form description of the input configuration.
+    pub input: String,
+    /// Interned code sites referenced by `Stmt::Lock` / `Stmt::SkipRegion`.
+    pub sites: SiteTable,
+    /// Lock names; index is the [`LockId`].
+    pub locks: Vec<String>,
+    /// Shared object declarations; index is the [`ObjectId`].
+    pub objects: Vec<ObjectDecl>,
+    /// Condition variable names; index is the [`CondId`].
+    pub conds: Vec<String>,
+    /// Barrier declarations; index is the [`BarrierId`].
+    pub barriers: Vec<BarrierDecl>,
+    /// Thread bodies.
+    pub threads: Vec<ThreadSpec>,
+}
+
+/// Errors reported by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A statement references a lock that was never declared.
+    UnknownLock(LockId),
+    /// A statement references a shared object that was never declared.
+    UnknownObject(ObjectId),
+    /// A statement references a condition variable that was never declared.
+    UnknownCond(CondId),
+    /// A statement references a barrier that was never declared.
+    UnknownBarrier(BarrierId),
+    /// A statement references a code site missing from the site table.
+    UnknownSite(CodeSiteId),
+    /// A `While` loop with a zero iteration bound can never run and is
+    /// almost certainly a construction bug.
+    ZeroBoundWhile,
+    /// A barrier declares zero participants.
+    EmptyBarrier(BarrierId),
+    /// The program has no threads.
+    NoThreads,
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::UnknownLock(l) => write!(f, "statement references undeclared lock {l}"),
+            ProgramError::UnknownObject(o) => {
+                write!(f, "statement references undeclared object {o}")
+            }
+            ProgramError::UnknownCond(c) => {
+                write!(f, "statement references undeclared condition variable {c}")
+            }
+            ProgramError::UnknownBarrier(b) => {
+                write!(f, "statement references undeclared barrier {b}")
+            }
+            ProgramError::UnknownSite(s) => write!(f, "statement references unknown code site {s}"),
+            ProgramError::ZeroBoundWhile => write!(f, "while loop has a zero iteration bound"),
+            ProgramError::EmptyBarrier(b) => write!(f, "barrier {b} declares zero participants"),
+            ProgramError::NoThreads => write!(f, "program has no threads"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Structural statistics of a program.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramStats {
+    /// Number of threads.
+    pub threads: usize,
+    /// Number of declared locks.
+    pub locks: usize,
+    /// Number of declared shared objects.
+    pub objects: usize,
+    /// Total statements across all threads (nested statements included).
+    pub statements: usize,
+    /// Number of static critical sections (`Stmt::Lock` occurrences).
+    pub static_critical_sections: usize,
+    /// Distinct code sites used by critical sections.
+    pub critical_section_sites: usize,
+}
+
+impl Program {
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Number of declared locks.
+    pub fn num_locks(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Number of declared shared objects.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Computes structural statistics.
+    pub fn stats(&self) -> ProgramStats {
+        let mut statements = 0;
+        let mut static_cs = 0;
+        let mut cs_sites = BTreeSet::new();
+        for t in &self.threads {
+            statements += stmt_count(&t.body);
+            visit_stmts(&t.body, &mut |s| {
+                if let Stmt::Lock { site, .. } = s {
+                    static_cs += 1;
+                    cs_sites.insert(*site);
+                }
+            });
+        }
+        ProgramStats {
+            threads: self.threads.len(),
+            locks: self.locks.len(),
+            objects: self.objects.len(),
+            statements,
+            static_critical_sections: static_cs,
+            critical_section_sites: cs_sites.len(),
+        }
+    }
+
+    /// Sum of all `Compute` and `SkipRegion` costs in the program text (an
+    /// upper bound on per-run intrinsic cost for programs without loops).
+    pub fn static_compute_cost(&self) -> Time {
+        let mut total = Time::ZERO;
+        for t in &self.threads {
+            visit_stmts(&t.body, &mut |s| match s {
+                Stmt::Compute { cost } | Stmt::SkipRegion { cost, .. } => total += *cost,
+                _ => {}
+            });
+        }
+        total
+    }
+
+    /// Checks that every identifier referenced by a statement has been
+    /// declared and that loop/barrier bounds are sane.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.threads.is_empty() {
+            return Err(ProgramError::NoThreads);
+        }
+        for (i, b) in self.barriers.iter().enumerate() {
+            if b.participants == 0 {
+                return Err(ProgramError::EmptyBarrier(BarrierId::new(i as u32)));
+            }
+        }
+        for t in &self.threads {
+            let mut result = Ok(());
+            visit_stmts(&t.body, &mut |s| {
+                if result.is_ok() {
+                    result = self.check_stmt(s);
+                }
+            });
+            result?;
+        }
+        Ok(())
+    }
+
+    fn check_value_source(&self, v: ValueSource) -> Result<(), ProgramError> {
+        if let ValueSource::Shared(obj) = v {
+            if obj.raw() as usize >= self.objects.len() {
+                return Err(ProgramError::UnknownObject(obj));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&self, s: &Stmt) -> Result<(), ProgramError> {
+        match s {
+            Stmt::Lock { lock, site, .. } => {
+                if lock.index() >= self.locks.len() {
+                    return Err(ProgramError::UnknownLock(*lock));
+                }
+                if self.sites.get(*site).is_none() {
+                    return Err(ProgramError::UnknownSite(*site));
+                }
+            }
+            Stmt::Read { obj, .. } | Stmt::Write { obj, .. } => {
+                if obj.raw() as usize >= self.objects.len() {
+                    return Err(ProgramError::UnknownObject(*obj));
+                }
+            }
+            Stmt::If { cond, .. } => self.check_value_source(cond.lhs)?,
+            Stmt::While { cond, max_iters, .. } => {
+                self.check_value_source(cond.lhs)?;
+                if *max_iters == 0 {
+                    return Err(ProgramError::ZeroBoundWhile);
+                }
+            }
+            Stmt::CondWait { cond, lock } => {
+                if cond.index() >= self.conds.len() {
+                    return Err(ProgramError::UnknownCond(*cond));
+                }
+                if lock.index() >= self.locks.len() {
+                    return Err(ProgramError::UnknownLock(*lock));
+                }
+            }
+            Stmt::CondSignal { cond, .. } => {
+                if cond.index() >= self.conds.len() {
+                    return Err(ProgramError::UnknownCond(*cond));
+                }
+            }
+            Stmt::Barrier { barrier } => {
+                if barrier.index() >= self.barriers.len() {
+                    return Err(ProgramError::UnknownBarrier(*barrier));
+                }
+            }
+            Stmt::SkipRegion { site, .. } => {
+                if self.sites.get(*site).is_none() {
+                    return Err(ProgramError::UnknownSite(*site));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use perfplay_trace::WriteOp;
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new("tiny");
+        let lock = b.lock("m");
+        let obj = b.shared("x", 0);
+        let site = b.site("a.c", "f", 10);
+        b.thread("t0", |t| {
+            t.compute_ns(10);
+            t.locked(lock, site, |cs| {
+                cs.read(obj);
+            });
+        });
+        b.thread("t1", |t| {
+            t.locked(lock, site, |cs| {
+                cs.write_add(obj, 1);
+            });
+        });
+        b.build()
+    }
+
+    #[test]
+    fn stats_count_threads_and_sections() {
+        let p = tiny_program();
+        let stats = p.stats();
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.locks, 1);
+        assert_eq!(stats.objects, 1);
+        assert_eq!(stats.static_critical_sections, 2);
+        assert_eq!(stats.critical_section_sites, 1);
+        assert!(stats.statements >= 5);
+        assert_eq!(p.num_threads(), 2);
+        assert_eq!(p.num_locks(), 1);
+        assert_eq!(p.num_objects(), 1);
+    }
+
+    #[test]
+    fn static_compute_cost_sums_compute() {
+        let p = tiny_program();
+        assert_eq!(p.static_compute_cost(), Time::from_nanos(10));
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        assert_eq!(tiny_program().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_lock() {
+        let mut p = tiny_program();
+        p.threads[0].body.push(Stmt::Lock {
+            lock: LockId::new(9),
+            site: CodeSiteId::new(0),
+            body: vec![],
+        });
+        assert_eq!(p.validate(), Err(ProgramError::UnknownLock(LockId::new(9))));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_object_and_site() {
+        let mut p = tiny_program();
+        p.threads[0].body.push(Stmt::Write {
+            obj: ObjectId::new(77),
+            op: WriteOp::Set(0),
+        });
+        assert!(matches!(p.validate(), Err(ProgramError::UnknownObject(_))));
+
+        let mut p2 = tiny_program();
+        p2.threads[0].body.push(Stmt::SkipRegion {
+            site: CodeSiteId::new(99),
+            cost: Time::ZERO,
+        });
+        assert!(matches!(p2.validate(), Err(ProgramError::UnknownSite(_))));
+    }
+
+    #[test]
+    fn validate_rejects_zero_bound_while_and_empty_barrier() {
+        let mut p = tiny_program();
+        p.threads[0].body.push(Stmt::While {
+            cond: crate::stmt::Cond::eq(ValueSource::Const(0), 0),
+            body: vec![],
+            max_iters: 0,
+        });
+        assert_eq!(p.validate(), Err(ProgramError::ZeroBoundWhile));
+
+        let mut p2 = tiny_program();
+        p2.barriers.push(BarrierDecl {
+            name: "b".into(),
+            participants: 0,
+        });
+        assert!(matches!(p2.validate(), Err(ProgramError::EmptyBarrier(_))));
+    }
+
+    #[test]
+    fn validate_rejects_empty_program_and_unknown_cond() {
+        let p = Program {
+            name: "empty".into(),
+            input: String::new(),
+            sites: SiteTable::new(),
+            locks: vec![],
+            objects: vec![],
+            conds: vec![],
+            barriers: vec![],
+            threads: vec![],
+        };
+        assert_eq!(p.validate(), Err(ProgramError::NoThreads));
+
+        let mut p2 = tiny_program();
+        p2.threads[0].body.push(Stmt::CondSignal {
+            cond: CondId::new(3),
+            broadcast: false,
+        });
+        assert!(matches!(p2.validate(), Err(ProgramError::UnknownCond(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ProgramError::UnknownLock(LockId::new(1))
+            .to_string()
+            .contains("L1"));
+        assert!(ProgramError::NoThreads.to_string().contains("no threads"));
+    }
+
+    #[test]
+    fn program_serde_roundtrip() {
+        let p = tiny_program();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Program = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,337 @@
+//! Statements of the lock-program intermediate representation.
+//!
+//! The IR models exactly the behaviours the PerfPlay paper's workloads
+//! exhibit: thread-local computation, critical sections, shared reads and
+//! writes, data-dependent branches (the source of null-locks, Figure 3),
+//! loops, spin-waits (the OpenLDAP case of Figure 4), condition variables
+//! (the pthread_cond_wait case), and barriers.
+
+use perfplay_trace::{BarrierId, CodeSiteId, CondId, LockId, ObjectId, Time, WriteOp};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a thread-local variable.
+///
+/// Locals hold values read from shared memory so that later branches can
+/// depend on them (e.g. `if (local_variable) shared_variable++` from the
+/// paper's null-lock model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocalId(u32);
+
+impl LocalId {
+    /// Creates a local-variable id.
+    pub const fn new(index: u32) -> Self {
+        LocalId(index)
+    }
+
+    /// Returns the dense index of this local.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LocalId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// The source of a value used in a condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValueSource {
+    /// A constant.
+    Const(i64),
+    /// A thread-local variable (set by a prior [`Stmt::Read`] or
+    /// [`Stmt::SetLocal`]).
+    Local(LocalId),
+    /// A shared object, read at condition-evaluation time. When evaluated
+    /// inside a critical section this counts as a shared read for the ULCP
+    /// analysis.
+    Shared(ObjectId),
+}
+
+/// Comparison operators for conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// A boolean condition comparing a value source against a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cond {
+    /// Left-hand side of the comparison.
+    pub lhs: ValueSource,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side constant.
+    pub rhs: i64,
+}
+
+impl Cond {
+    /// Condition `source == value`.
+    pub fn eq(lhs: ValueSource, rhs: i64) -> Self {
+        Cond { lhs, op: CmpOp::Eq, rhs }
+    }
+
+    /// Condition `source != value`.
+    pub fn ne(lhs: ValueSource, rhs: i64) -> Self {
+        Cond { lhs, op: CmpOp::Ne, rhs }
+    }
+
+    /// Condition `source < value`.
+    pub fn lt(lhs: ValueSource, rhs: i64) -> Self {
+        Cond { lhs, op: CmpOp::Lt, rhs }
+    }
+
+    /// Condition `source >= value`.
+    pub fn ge(lhs: ValueSource, rhs: i64) -> Self {
+        Cond { lhs, op: CmpOp::Ge, rhs }
+    }
+}
+
+/// One statement of a thread body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Thread-local computation costing `cost` virtual time.
+    Compute {
+        /// Virtual time consumed.
+        cost: Time,
+    },
+    /// A critical section: acquire `lock`, run `body`, release `lock`.
+    Lock {
+        /// Lock protecting the section.
+        lock: LockId,
+        /// Static code site of this lock/unlock pair.
+        site: CodeSiteId,
+        /// Statements executed while holding the lock.
+        body: Vec<Stmt>,
+    },
+    /// Read a shared object, optionally storing the observed value into a
+    /// local variable.
+    Read {
+        /// Object to read.
+        obj: ObjectId,
+        /// Local to store the value into, if any.
+        into: Option<LocalId>,
+    },
+    /// Write a shared object.
+    Write {
+        /// Object to write.
+        obj: ObjectId,
+        /// Operation applied to the object's current value.
+        op: WriteOp,
+    },
+    /// Set a thread-local variable to a constant.
+    SetLocal {
+        /// Local to set.
+        local: LocalId,
+        /// New value.
+        value: i64,
+    },
+    /// Two-armed conditional.
+    If {
+        /// Condition to evaluate.
+        cond: Cond,
+        /// Statements run when the condition holds.
+        then_branch: Vec<Stmt>,
+        /// Statements run otherwise.
+        else_branch: Vec<Stmt>,
+    },
+    /// Fixed-count loop.
+    Loop {
+        /// Number of iterations.
+        count: u32,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Condition-controlled loop (spin-wait). `max_iters` bounds execution so
+    /// simulation always terminates; a spin loop that hits the bound simply
+    /// stops iterating.
+    While {
+        /// Loop condition, re-evaluated before each iteration.
+        cond: Cond,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Upper bound on iterations.
+        max_iters: u32,
+    },
+    /// `pthread_cond_wait`-style wait on `cond` with `lock` held.
+    CondWait {
+        /// Condition variable.
+        cond: CondId,
+        /// Lock released while waiting.
+        lock: LockId,
+    },
+    /// Signal or broadcast a condition variable.
+    CondSignal {
+        /// Condition variable.
+        cond: CondId,
+        /// Wake all waiters instead of one.
+        broadcast: bool,
+    },
+    /// Wait at a barrier.
+    Barrier {
+        /// Barrier to wait at.
+        barrier: BarrierId,
+    },
+    /// A selectively-recorded region (system call, library call) that replay
+    /// bypasses, charging `cost` instead.
+    SkipRegion {
+        /// Code site naming the region.
+        site: CodeSiteId,
+        /// Original cost of the region.
+        cost: Time,
+    },
+    /// Checkpoint marker.
+    Checkpoint {
+        /// User-assigned checkpoint number.
+        id: u32,
+    },
+}
+
+impl Stmt {
+    /// Returns the nested statement lists of this statement (empty for
+    /// leaves). Useful for structural traversals.
+    pub fn children(&self) -> Vec<&[Stmt]> {
+        match self {
+            Stmt::Lock { body, .. } | Stmt::Loop { body, .. } | Stmt::While { body, .. } => {
+                vec![body.as_slice()]
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => vec![then_branch.as_slice(), else_branch.as_slice()],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Counts this statement plus all statements nested inside it.
+    pub fn size(&self) -> usize {
+        1 + self
+            .children()
+            .into_iter()
+            .flat_map(|c| c.iter())
+            .map(Stmt::size)
+            .sum::<usize>()
+    }
+}
+
+/// Counts all statements in a statement list, including nested ones.
+pub fn stmt_count(stmts: &[Stmt]) -> usize {
+    stmts.iter().map(Stmt::size).sum()
+}
+
+/// Visits every statement in a statement list in pre-order.
+pub fn visit_stmts<'a>(stmts: &'a [Stmt], visit: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        visit(s);
+        for child in s.children() {
+            visit_stmts(child, visit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_eval() {
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Ne.eval(3, 4));
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+        assert!(!CmpOp::Lt.eval(2, 2));
+        assert!(!CmpOp::Eq.eval(1, 0));
+    }
+
+    #[test]
+    fn cond_constructors() {
+        let c = Cond::eq(ValueSource::Const(1), 1);
+        assert_eq!(c.op, CmpOp::Eq);
+        assert_eq!(Cond::ne(ValueSource::Const(0), 1).op, CmpOp::Ne);
+        assert_eq!(Cond::lt(ValueSource::Const(0), 1).op, CmpOp::Lt);
+        assert_eq!(Cond::ge(ValueSource::Const(0), 1).op, CmpOp::Ge);
+    }
+
+    #[test]
+    fn stmt_size_counts_nested() {
+        let inner = Stmt::Read {
+            obj: ObjectId::new(0),
+            into: None,
+        };
+        let cs = Stmt::Lock {
+            lock: LockId::new(0),
+            site: CodeSiteId::new(0),
+            body: vec![inner.clone(), inner.clone()],
+        };
+        assert_eq!(cs.size(), 3);
+        let ifs = Stmt::If {
+            cond: Cond::eq(ValueSource::Const(0), 0),
+            then_branch: vec![cs.clone()],
+            else_branch: vec![],
+        };
+        assert_eq!(ifs.size(), 4);
+        assert_eq!(stmt_count(&[ifs, cs]), 7);
+    }
+
+    #[test]
+    fn visit_stmts_preorder() {
+        let prog = vec![
+            Stmt::Compute {
+                cost: Time::from_nanos(1),
+            },
+            Stmt::Loop {
+                count: 2,
+                body: vec![Stmt::Write {
+                    obj: ObjectId::new(1),
+                    op: WriteOp::Add(1),
+                }],
+            },
+        ];
+        let mut kinds = Vec::new();
+        visit_stmts(&prog, &mut |s| {
+            kinds.push(std::mem::discriminant(s));
+        });
+        assert_eq!(kinds.len(), 3);
+    }
+
+    #[test]
+    fn local_id_display() {
+        assert_eq!(LocalId::new(4).to_string(), "l4");
+        assert_eq!(LocalId::new(4).index(), 4);
+    }
+
+    #[test]
+    fn stmt_serde_roundtrip() {
+        let s = Stmt::While {
+            cond: Cond::eq(ValueSource::Shared(ObjectId::new(2)), 0),
+            body: vec![Stmt::Compute {
+                cost: Time::from_nanos(10),
+            }],
+            max_iters: 100,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Stmt = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,170 @@
+//! Performance-fidelity measurement across repeated replays (Section 6.2,
+//! Figure 13).
+//!
+//! Fidelity has two components in the paper: *stability* (do repeated replays
+//! of the same trace report the same time?) and *precision* (does the replay
+//! time match the original execution?). [`measure_fidelity`] replays a trace
+//! several times under one schedule and summarizes both.
+
+use perfplay_trace::{Time, Trace};
+
+use crate::original::Replayer;
+use crate::result::ReplayError;
+use crate::schedule::{ReplaySchedule, ScheduleKind};
+
+/// Summary of repeated replays of one trace under one schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityReport {
+    /// The schedule measured.
+    pub kind: ScheduleKind,
+    /// Replayed total times, one per replay.
+    pub times: Vec<Time>,
+    /// Total time of the original (recorded) execution.
+    pub recorded: Time,
+}
+
+impl FidelityReport {
+    /// Mean replayed time.
+    pub fn mean(&self) -> Time {
+        if self.times.is_empty() {
+            return Time::ZERO;
+        }
+        let sum: u128 = self.times.iter().map(|t| t.as_nanos() as u128).sum();
+        Time::from_nanos((sum / self.times.len() as u128) as u64)
+    }
+
+    /// Smallest replayed time.
+    pub fn min(&self) -> Time {
+        self.times.iter().copied().min().unwrap_or(Time::ZERO)
+    }
+
+    /// Largest replayed time.
+    pub fn max(&self) -> Time {
+        self.times.iter().copied().max().unwrap_or(Time::ZERO)
+    }
+
+    /// Stability: relative spread `(max - min) / mean`. Zero means perfectly
+    /// stable (deterministic) replays.
+    pub fn spread(&self) -> f64 {
+        let mean = self.mean();
+        (self.max() - self.min()).ratio(mean)
+    }
+
+    /// Precision: relative distance of the mean replay time from the
+    /// recorded execution time.
+    pub fn precision_error(&self) -> f64 {
+        let mean = self.mean().as_nanos() as f64;
+        let recorded = self.recorded.as_nanos() as f64;
+        if recorded == 0.0 {
+            0.0
+        } else {
+            (mean - recorded).abs() / recorded
+        }
+    }
+}
+
+/// Replays `trace` `replays` times under `kind` and reports fidelity.
+/// Non-deterministic schedules (ORIG-S) vary the noise seed per replay.
+///
+/// # Errors
+///
+/// Propagates the first replay failure.
+pub fn measure_fidelity(
+    replayer: &Replayer,
+    trace: &Trace,
+    kind: ScheduleKind,
+    replays: usize,
+) -> Result<FidelityReport, ReplayError> {
+    let mut times = Vec::with_capacity(replays);
+    for i in 0..replays {
+        let schedule = match kind {
+            ScheduleKind::OrigS => ReplaySchedule::orig(i as u64 + 1),
+            ScheduleKind::ElscS => ReplaySchedule::elsc(),
+            ScheduleKind::SyncS => ReplaySchedule::sync(),
+            ScheduleKind::MemS => ReplaySchedule::mem(),
+        };
+        times.push(replayer.replay(trace, schedule)?.total_time);
+    }
+    Ok(FidelityReport {
+        kind,
+        times,
+        recorded: trace.total_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfplay_program::ProgramBuilder;
+    use perfplay_record::Recorder;
+    use perfplay_sim::SimConfig;
+
+    fn contended_trace() -> Trace {
+        let mut b = ProgramBuilder::new("fidelity-test");
+        let lock = b.lock("m");
+        let x = b.shared("x", 0);
+        let site = b.site("f.c", "work", 1);
+        for i in 0..4 {
+            b.thread(format!("t{i}"), |t| {
+                t.loop_n(12, |l| {
+                    l.locked(lock, site, |cs| {
+                        cs.read(x);
+                        cs.compute_ns(350);
+                    });
+                    l.compute_ns(250);
+                });
+            });
+        }
+        Recorder::new(SimConfig::default())
+            .record(&b.build())
+            .unwrap()
+            .trace
+    }
+
+    #[test]
+    fn deterministic_schedules_have_zero_spread() {
+        let trace = contended_trace();
+        let replayer = Replayer::default();
+        for kind in [ScheduleKind::ElscS, ScheduleKind::SyncS, ScheduleKind::MemS] {
+            let report = measure_fidelity(&replayer, &trace, kind, 5).unwrap();
+            assert_eq!(report.spread(), 0.0, "{kind} should be stable");
+            assert_eq!(report.times.len(), 5);
+        }
+    }
+
+    #[test]
+    fn orig_schedule_is_unstable_but_elsc_is_precise() {
+        let trace = contended_trace();
+        let replayer = Replayer::default();
+        let orig = measure_fidelity(&replayer, &trace, ScheduleKind::OrigS, 8).unwrap();
+        let elsc = measure_fidelity(&replayer, &trace, ScheduleKind::ElscS, 8).unwrap();
+        assert!(orig.spread() > 0.0, "ORIG-S should vary across replays");
+        assert!(elsc.precision_error() < 0.02, "ELSC-S should match the recording");
+        assert!(elsc.precision_error() <= orig.precision_error() + 0.02);
+    }
+
+    #[test]
+    fn sync_and_mem_add_overhead_relative_to_elsc() {
+        let trace = contended_trace();
+        let replayer = Replayer::default();
+        let elsc = measure_fidelity(&replayer, &trace, ScheduleKind::ElscS, 3).unwrap();
+        let sync = measure_fidelity(&replayer, &trace, ScheduleKind::SyncS, 3).unwrap();
+        let mem = measure_fidelity(&replayer, &trace, ScheduleKind::MemS, 3).unwrap();
+        assert!(sync.mean() >= elsc.mean());
+        assert!(mem.mean() >= elsc.mean());
+    }
+
+    #[test]
+    fn report_statistics_are_consistent() {
+        let report = FidelityReport {
+            kind: ScheduleKind::ElscS,
+            times: vec![Time::from_nanos(90), Time::from_nanos(110)],
+            recorded: Time::from_nanos(100),
+        };
+        assert_eq!(report.mean(), Time::from_nanos(100));
+        assert_eq!(report.min(), Time::from_nanos(90));
+        assert_eq!(report.max(), Time::from_nanos(110));
+        assert!((report.spread() - 0.2).abs() < 1e-12);
+        assert_eq!(report.precision_error(), 0.0);
+    }
+}

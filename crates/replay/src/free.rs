@@ -1,0 +1,596 @@
+//! Replay of the ULCP-free (transformed) trace.
+//!
+//! The ULCP-free replayer executes the same per-thread event streams as the
+//! original replay, but the original lock acquire/release events are
+//! reinterpreted through the transformation plan:
+//!
+//! * sections whose locks were stripped (null-locks and standalone topology
+//!   nodes) synchronize with nobody and cost nothing;
+//! * every other section atomically acquires its RULE 3 *lockset*, giving the
+//!   RULE 4 mutual-exclusion semantics, and obeys the RULE 2 ordering
+//!   constraints so replays are stable;
+//! * with the dynamic locking strategy (DLS) enabled, auxiliary locks of
+//!   already-finished source sections are skipped, which is what keeps the
+//!   lockset maintenance overhead at the level Table 3 reports.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use perfplay_trace::{AuxLockId, Event, SectionId, ThreadId, Time};
+use perfplay_transform::{dynamic_lockset, TransformedTrace};
+
+use crate::common::{build_section_index, build_sync_deps, ReplayConfig, SectionIndex, SyncDeps};
+use crate::result::{ReplayError, ReplayResult, ThreadReplayTiming};
+
+/// Replays transformed (ULCP-free) traces.
+#[derive(Debug, Clone)]
+pub struct UlcpFreeReplayer {
+    config: ReplayConfig,
+    use_dls: bool,
+}
+
+impl Default for UlcpFreeReplayer {
+    fn default() -> Self {
+        UlcpFreeReplayer {
+            config: ReplayConfig::default(),
+            use_dls: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Blocked,
+    Finished,
+}
+
+enum Outcome {
+    Completed,
+    Blocked,
+    Finished,
+}
+
+struct ThreadState {
+    idx: usize,
+    clock: Time,
+    status: Status,
+    timing: ThreadReplayTiming,
+    request_time: Option<Time>,
+}
+
+struct Engine<'a> {
+    config: ReplayConfig,
+    use_dls: bool,
+    tt: &'a TransformedTrace,
+    deps: SyncDeps,
+    sections: SectionIndex,
+    constraints: BTreeMap<SectionId, Vec<SectionId>>,
+    threads: Vec<ThreadState>,
+    event_times: Vec<Vec<Time>>,
+    aux_holder: BTreeMap<AuxLockId, SectionId>,
+    aux_free_since: BTreeMap<AuxLockId, Time>,
+    section_locks: BTreeMap<SectionId, BTreeSet<AuxLockId>>,
+    finished: BTreeSet<SectionId>,
+    finish_times: BTreeMap<SectionId, Time>,
+    barrier_arrivals: BTreeMap<(usize, usize), Time>,
+    lockset_ops: u64,
+    lockset_overhead: Time,
+}
+
+impl UlcpFreeReplayer {
+    /// Creates a replayer with the given cost model and DLS enabled.
+    pub fn new(config: ReplayConfig) -> Self {
+        UlcpFreeReplayer {
+            config,
+            use_dls: true,
+        }
+    }
+
+    /// Enables or disables the dynamic locking strategy (Figure 9). The
+    /// Table 3 ablation compares both settings.
+    pub fn with_dls(mut self, use_dls: bool) -> Self {
+        self.use_dls = use_dls;
+        self
+    }
+
+    /// Replays the ULCP-free trace once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError`] if the transformed synchronization cannot make
+    /// progress (which would indicate a transformation bug) or the step limit
+    /// is exceeded.
+    pub fn replay(&self, transformed: &TransformedTrace) -> Result<ReplayResult, ReplayError> {
+        Engine::new(&self.config, self.use_dls, transformed).run()
+    }
+}
+
+impl<'a> Engine<'a> {
+    fn new(config: &ReplayConfig, use_dls: bool, tt: &'a TransformedTrace) -> Self {
+        let deps = build_sync_deps(&tt.original);
+        let sections = build_section_index(&tt.sections);
+        let mut constraints: BTreeMap<SectionId, Vec<SectionId>> = BTreeMap::new();
+        for c in &tt.order_constraints {
+            constraints.entry(c.after).or_default().push(c.before);
+        }
+        Engine {
+            config: *config,
+            use_dls,
+            tt,
+            deps,
+            sections,
+            constraints,
+            threads: tt
+                .original
+                .threads
+                .iter()
+                .map(|_| ThreadState {
+                    idx: 0,
+                    clock: Time::ZERO,
+                    status: Status::Ready,
+                    timing: ThreadReplayTiming::default(),
+                    request_time: None,
+                })
+                .collect(),
+            event_times: tt
+                .original
+                .threads
+                .iter()
+                .map(|t| vec![Time::ZERO; t.events.len()])
+                .collect(),
+            aux_holder: BTreeMap::new(),
+            aux_free_since: BTreeMap::new(),
+            section_locks: BTreeMap::new(),
+            finished: BTreeSet::new(),
+            finish_times: BTreeMap::new(),
+            barrier_arrivals: BTreeMap::new(),
+            lockset_ops: 0,
+            lockset_overhead: Time::ZERO,
+        }
+    }
+
+    fn run(mut self) -> Result<ReplayResult, ReplayError> {
+        let mut steps: u64 = 0;
+        loop {
+            steps += 1;
+            if steps > self.config.max_steps {
+                return Err(ReplayError::StepLimitExceeded {
+                    limit: self.config.max_steps,
+                });
+            }
+            let next = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Ready)
+                .min_by_key(|(i, t)| (t.clock, *i))
+                .map(|(i, _)| i);
+            let Some(ti) = next else {
+                let blocked: Vec<ThreadId> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status != Status::Finished)
+                    .map(|(i, _)| ThreadId::new(i as u32))
+                    .collect();
+                if blocked.is_empty() {
+                    break;
+                }
+                return Err(ReplayError::Stuck { blocked });
+            };
+            match self.try_event(ti) {
+                Outcome::Completed => self.wake_all(),
+                Outcome::Blocked => self.threads[ti].status = Status::Blocked,
+                Outcome::Finished => {
+                    self.threads[ti].status = Status::Finished;
+                    self.threads[ti].timing.finish_time = self.threads[ti].clock;
+                    self.wake_all();
+                }
+            }
+        }
+        let total_time = self
+            .threads
+            .iter()
+            .map(|t| t.timing.finish_time)
+            .max()
+            .unwrap_or(Time::ZERO);
+        Ok(ReplayResult {
+            total_time,
+            per_thread: self.threads.iter().map(|t| t.timing).collect(),
+            event_times: self.event_times,
+            lockset_ops: self.lockset_ops,
+            lockset_overhead: self.lockset_overhead,
+        })
+    }
+
+    fn wake_all(&mut self) {
+        for t in &mut self.threads {
+            if t.status == Status::Blocked {
+                t.status = Status::Ready;
+            }
+        }
+    }
+
+    fn complete(&mut self, ti: usize, idx: usize, completion: Time) {
+        self.event_times[ti][idx] = completion;
+        self.threads[ti].clock = completion;
+        self.threads[ti].idx = idx + 1;
+        self.threads[ti].request_time = None;
+    }
+
+    fn try_event(&mut self, ti: usize) -> Outcome {
+        let idx = self.threads[ti].idx;
+        let events = &self.tt.original.threads[ti].events;
+        if idx >= events.len() {
+            return Outcome::Finished;
+        }
+        let clock = self.threads[ti].clock;
+        let event = events[idx].event.clone();
+        match event {
+            Event::Compute { cost } | Event::SkipRegion { saved_cost: cost, .. } => {
+                self.threads[ti].timing.busy += cost;
+                self.complete(ti, idx, clock + cost);
+                Outcome::Completed
+            }
+            Event::Read { .. } | Event::Write { .. } => {
+                let cost = self.config.mem_access_cost;
+                self.threads[ti].timing.busy += cost;
+                self.complete(ti, idx, clock + cost);
+                Outcome::Completed
+            }
+            Event::LockAcquire { .. } => self.try_enter_section(ti, idx),
+            Event::LockRelease { .. } => self.exit_section(ti, idx),
+            Event::CondWait { .. } | Event::Checkpoint { .. } | Event::ThreadExit => {
+                self.complete(ti, idx, clock);
+                Outcome::Completed
+            }
+            Event::CondSignal { .. } => {
+                let cost = self.config.cond_signal_cost;
+                self.threads[ti].timing.busy += cost;
+                self.complete(ti, idx, clock + cost);
+                Outcome::Completed
+            }
+            Event::BarrierWait { .. } => {
+                self.barrier_arrivals.entry((ti, idx)).or_insert(clock);
+                let Some(group) = self.deps.barrier_groups.get(&(ti, idx)) else {
+                    self.complete(ti, idx, clock + self.config.barrier_release_cost);
+                    return Outcome::Completed;
+                };
+                let arrivals: Vec<Time> = group
+                    .iter()
+                    .filter_map(|r| self.barrier_arrivals.get(r).copied())
+                    .collect();
+                if arrivals.len() < group.len() {
+                    return Outcome::Blocked;
+                }
+                let release = arrivals.iter().copied().max().unwrap_or(clock)
+                    + self.config.barrier_release_cost;
+                self.threads[ti].timing.sync_wait += release - clock;
+                self.complete(ti, idx, release);
+                Outcome::Completed
+            }
+        }
+    }
+
+    fn try_enter_section(&mut self, ti: usize, idx: usize) -> Outcome {
+        let clock = self.threads[ti].clock;
+        // The recorded partial order of condition-variable wake-ups still
+        // applies in the ULCP-free replay.
+        let mut dep_time = Time::ZERO;
+        if let Some(dep) = self.deps.wake_deps.get(&(ti, idx)) {
+            let (dti, dei) = *dep;
+            if self.threads[dti].idx <= dei {
+                return Outcome::Blocked;
+            }
+            dep_time = self.event_times[dti][dei];
+        }
+
+        let Some(&sid) = self.sections.by_acquire.get(&(ti, idx)) else {
+            self.complete(ti, idx, clock.max(dep_time));
+            return Outcome::Completed;
+        };
+        let node = self.tt.node(sid);
+
+        if node.strip_lock {
+            self.complete(ti, idx, clock.max(dep_time));
+            return Outcome::Completed;
+        }
+
+        if self.threads[ti].request_time.is_none() {
+            self.threads[ti].request_time = Some(clock);
+        }
+
+        // RULE 2: ordered predecessors must have finished.
+        let mut order_time = Time::ZERO;
+        if let Some(befores) = self.constraints.get(&sid) {
+            for before in befores {
+                match self.finish_times.get(before) {
+                    Some(t) => order_time = order_time.max(*t),
+                    None => return Outcome::Blocked,
+                }
+            }
+        }
+
+        // RULE 3/4: take the (possibly DLS-pruned) lockset atomically.
+        let lockset = if self.use_dls {
+            dynamic_lockset(node, &self.tt.plan, &self.finished)
+        } else {
+            node.lockset.clone()
+        };
+        let mut lockset_free_time = Time::ZERO;
+        for lock in &lockset {
+            if self.aux_holder.contains_key(lock) {
+                return Outcome::Blocked;
+            }
+            lockset_free_time =
+                lockset_free_time.max(self.aux_free_since.get(lock).copied().unwrap_or(Time::ZERO));
+        }
+
+        let dls_cost = if self.use_dls {
+            self.config.dls_check_cost * node.sources.len() as u64
+        } else {
+            Time::ZERO
+        };
+        let op_cost = self.config.lockset_op_cost * lockset.len() as u64;
+        let start = clock
+            .max(dep_time)
+            .max(order_time)
+            .max(lockset_free_time);
+        let completion = start + self.config.lock_acquire_cost + op_cost + dls_cost;
+
+        let requested = self.threads[ti].request_time.unwrap_or(clock);
+        self.threads[ti].timing.lock_wait += start.saturating_sub(requested);
+        self.threads[ti].timing.busy += self.config.lock_acquire_cost + op_cost + dls_cost;
+        self.lockset_ops += lockset.len() as u64;
+        self.lockset_overhead += op_cost + dls_cost;
+
+        for lock in &lockset {
+            self.aux_holder.insert(*lock, sid);
+        }
+        self.section_locks.insert(sid, lockset);
+        self.complete(ti, idx, completion);
+        Outcome::Completed
+    }
+
+    fn exit_section(&mut self, ti: usize, idx: usize) -> Outcome {
+        let clock = self.threads[ti].clock;
+        let Some(&sid) = self.sections.by_release.get(&(ti, idx)) else {
+            self.complete(ti, idx, clock);
+            return Outcome::Completed;
+        };
+        let node = self.tt.node(sid);
+        if node.strip_lock {
+            self.finished.insert(sid);
+            self.finish_times.insert(sid, clock);
+            self.complete(ti, idx, clock);
+            return Outcome::Completed;
+        }
+        let held = self.section_locks.remove(&sid).unwrap_or_default();
+        let op_cost = self.config.lockset_op_cost * held.len() as u64;
+        let completion = clock + self.config.lock_release_cost + op_cost;
+        self.threads[ti].timing.busy += self.config.lock_release_cost + op_cost;
+        self.lockset_ops += held.len() as u64;
+        self.lockset_overhead += op_cost;
+        for lock in held {
+            self.aux_holder.remove(&lock);
+            self.aux_free_since.insert(lock, completion);
+        }
+        self.finished.insert(sid);
+        self.finish_times.insert(sid, completion);
+        self.complete(ti, idx, completion);
+        Outcome::Completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::original::Replayer;
+    use crate::schedule::ReplaySchedule;
+    use perfplay_detect::Detector;
+    use perfplay_program::ProgramBuilder;
+    use perfplay_record::Recorder;
+    use perfplay_sim::SimConfig;
+    use perfplay_transform::Transformer;
+
+    fn pipeline(build: impl FnOnce(&mut ProgramBuilder)) -> (perfplay_trace::Trace, TransformedTrace) {
+        let mut b = ProgramBuilder::new("free-replay-test");
+        build(&mut b);
+        let trace = Recorder::new(SimConfig::default())
+            .record(&b.build())
+            .unwrap()
+            .trace;
+        let analysis = Detector::default().analyze(&trace);
+        let tt = Transformer::default().transform(&trace, &analysis);
+        (trace, tt)
+    }
+
+    fn read_heavy(threads: usize, iters: u32) -> impl FnOnce(&mut ProgramBuilder) {
+        move |b: &mut ProgramBuilder| {
+            let lock = b.lock("m");
+            let x = b.shared("x", 0);
+            let site = b.site("rh.c", "reader", 1);
+            for i in 0..threads {
+                b.thread(format!("t{i}"), |t| {
+                    t.loop_n(iters, |l| {
+                        l.locked(lock, site, |cs| {
+                            cs.read(x);
+                            cs.compute_ns(500);
+                        });
+                        l.compute_ns(100);
+                    });
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn ulcp_free_replay_is_faster_for_read_heavy_contention() {
+        let (trace, tt) = pipeline(read_heavy(4, 10));
+        let original = Replayer::default()
+            .replay(&trace, ReplaySchedule::elsc())
+            .unwrap();
+        let free = UlcpFreeReplayer::default().replay(&tt).unwrap();
+        assert!(
+            free.total_time < original.total_time,
+            "ULCP-free {:?} should beat original {:?}",
+            free.total_time,
+            original.total_time
+        );
+        // All sections were standalone, so no lockset overhead at all.
+        assert_eq!(free.lockset_ops, 0);
+    }
+
+    #[test]
+    fn true_contention_is_preserved_by_the_transformation() {
+        let (trace, tt) = pipeline(|b| {
+            let lock = b.lock("m");
+            let x = b.shared("x", 0);
+            let site = b.site("tc.c", "writer", 1);
+            for i in 0..2 {
+                b.thread(format!("t{i}"), |t| {
+                    t.loop_n(5, |l| {
+                        l.locked(lock, site, |cs| {
+                            let v = cs.read_into(x);
+                            cs.write_add(x, 1);
+                            cs.compute_ns(600);
+                            let _ = v;
+                        });
+                    });
+                });
+            }
+        });
+        let original = Replayer::default()
+            .replay(&trace, ReplaySchedule::elsc())
+            .unwrap();
+        let free = UlcpFreeReplayer::default().replay(&tt).unwrap();
+        // Truly conflicting sections stay serialized: the bodies (600ns * 10)
+        // can never overlap, so the free replay cannot drop below that bound.
+        assert!(free.total_time >= Time::from_nanos(6_000));
+        // And it cannot be dramatically faster than the original replay.
+        assert!(free.total_time.as_nanos() as f64 >= 0.7 * original.total_time.as_nanos() as f64);
+        assert!(free.lockset_ops > 0);
+    }
+
+    #[test]
+    fn order_constraints_keep_causal_sections_in_original_order() {
+        let (_, tt) = pipeline(|b| {
+            let lock = b.lock("m");
+            let x = b.shared("x", 0);
+            let site = b.site("oc.c", "writer", 1);
+            for i in 0..3 {
+                b.thread(format!("t{i}"), |t| {
+                    t.compute_ns(100 * (i as u64 + 1));
+                    t.locked(lock, site, |cs| {
+                        let v = cs.read_into(x);
+                        cs.write_set(x, i as i64);
+                        cs.compute_ns(400);
+                        let _ = v;
+                    });
+                });
+            }
+        });
+        let free = UlcpFreeReplayer::default().replay(&tt).unwrap();
+        for c in &tt.order_constraints {
+            let before = &tt.sections[c.before.index()];
+            let after = &tt.sections[c.after.index()];
+            let before_release = free.event_times[before.thread.index()][before.release_index];
+            let after_acquire = free.event_times[after.thread.index()][after.acquire_index];
+            assert!(
+                after_acquire >= before_release,
+                "constraint {:?} -> {:?} violated",
+                c.before,
+                c.after
+            );
+        }
+    }
+
+    #[test]
+    fn dls_reduces_lockset_operations_and_overhead() {
+        let (_, tt) = pipeline(|b| {
+            // Writers with gaps between them: by the time a later section
+            // starts, its causal sources have usually finished, so DLS can
+            // skip their auxiliary locks.
+            let lock = b.lock("m");
+            let x = b.shared("x", 0);
+            let site = b.site("dls.c", "writer", 1);
+            for i in 0..4 {
+                b.thread(format!("t{i}"), |t| {
+                    t.compute_us(5 * (i as u64 + 1));
+                    t.locked(lock, site, |cs| {
+                        let v = cs.read_into(x);
+                        cs.write_set(x, i as i64 + 1);
+                        cs.compute_ns(300);
+                        let _ = v;
+                    });
+                });
+            }
+        });
+        let with_dls = UlcpFreeReplayer::default().replay(&tt).unwrap();
+        let without_dls = UlcpFreeReplayer::default()
+            .with_dls(false)
+            .replay(&tt)
+            .unwrap();
+        assert!(with_dls.lockset_ops <= without_dls.lockset_ops);
+        assert!(with_dls.lockset_overhead <= without_dls.lockset_overhead);
+        assert!(without_dls.lockset_ops > 0);
+    }
+
+    #[test]
+    fn free_replay_is_deterministic() {
+        let (_, tt) = pipeline(read_heavy(3, 6));
+        let r1 = UlcpFreeReplayer::default().replay(&tt).unwrap();
+        let r2 = UlcpFreeReplayer::default().replay(&tt).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn null_lock_sections_cost_nothing_in_the_free_replay() {
+        let (trace, tt) = pipeline(|b| {
+            let lock = b.lock("m");
+            let _x = b.shared("x", 0);
+            let site = b.site("nl.c", "empty", 1);
+            for i in 0..2 {
+                b.thread(format!("t{i}"), |t| {
+                    t.loop_n(10, |l| {
+                        l.locked(lock, site, |_| {});
+                        l.compute_ns(50);
+                    });
+                });
+            }
+        });
+        let original = Replayer::default()
+            .replay(&trace, ReplaySchedule::elsc())
+            .unwrap();
+        let free = UlcpFreeReplayer::default().replay(&tt).unwrap();
+        assert!(free.total_time < original.total_time);
+        assert_eq!(free.lockset_ops, 0);
+        assert_eq!(free.lockset_overhead, Time::ZERO);
+    }
+
+    #[test]
+    fn condvar_traces_replay_without_sticking() {
+        let (_, tt) = pipeline(|b| {
+            let lock = b.lock("m");
+            let cv = b.condvar("cv");
+            let flag = b.shared("flag", 0);
+            let site_w = b.site("cvf.c", "waiter", 1);
+            let site_s = b.site("cvf.c", "signaller", 2);
+            b.thread("waiter", |t| {
+                t.locked(lock, site_w, |cs| {
+                    cs.cond_wait(cv, lock);
+                    cs.read(flag);
+                });
+            });
+            b.thread("signaller", |t| {
+                t.compute_us(4);
+                t.locked(lock, site_s, |cs| {
+                    cs.write_set(flag, 1);
+                    cs.cond_signal(cv);
+                });
+            });
+        });
+        let free = UlcpFreeReplayer::default().replay(&tt).unwrap();
+        assert!(free.per_thread[0].finish_time >= Time::from_micros(4));
+    }
+}

@@ -1,0 +1,34 @@
+//! # perfplay-replay
+//!
+//! The replay engine of the PerfPlay framework: re-executes recorded traces
+//! under controlled schedules and re-executes the ULCP-free transformed trace
+//! so the two can be compared.
+//!
+//! * [`Replayer`] replays the *original* trace under one of four schemes
+//!   ([`ScheduleKind`]): the paper's **ELSC-S** (enforced locking
+//!   serialization constraint, Section 5.2), the free-running **ORIG-S**, the
+//!   Kendo-style **SYNC-S**, and the PinPlay/CoreDet-style **MEM-S**.
+//! * [`UlcpFreeReplayer`] replays the [`TransformedTrace`]
+//!   produced by `perfplay-transform`, honouring the RULE 2 ordering, the
+//!   RULE 3/4 lockset semantics, and optionally the dynamic locking strategy.
+//! * [`measure_fidelity`] quantifies performance stability and precision
+//!   across repeated replays (Figure 13).
+//!
+//! [`TransformedTrace`]: perfplay_transform::TransformedTrace
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod common;
+mod fidelity;
+mod free;
+mod original;
+mod result;
+mod schedule;
+
+pub use common::ReplayConfig;
+pub use fidelity::{measure_fidelity, FidelityReport};
+pub use free::UlcpFreeReplayer;
+pub use original::Replayer;
+pub use result::{ReplayError, ReplayResult, ThreadReplayTiming};
+pub use schedule::{ReplaySchedule, ScheduleKind};

@@ -1,0 +1,697 @@
+//! Replay of the *original* recorded trace under the four scheduling schemes
+//! (ORIG-S, ELSC-S, SYNC-S, MEM-S).
+//!
+//! The replayer is a discrete-event loop over the recorded per-thread event
+//! streams: computation and memory accesses are charged their model cost,
+//! lock acquisitions are granted subject to the active schedule's admission
+//! rule, and condition-variable / barrier waits follow the recorded partial
+//! order. The result carries per-event completion times so that the report
+//! layer can evaluate the paper's Equation 1.
+
+use std::collections::BTreeMap;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use perfplay_trace::{Event, LockId, ThreadId, Time, Trace};
+
+use crate::common::{build_sync_deps, EventRef, ReplayConfig, SyncDeps};
+use crate::result::{ReplayError, ReplayResult, ThreadReplayTiming};
+use crate::schedule::{ReplaySchedule, ScheduleKind};
+
+/// Replays original (untransformed) traces.
+#[derive(Debug, Clone, Default)]
+pub struct Replayer {
+    config: ReplayConfig,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Blocked,
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    idx: usize,
+    clock: Time,
+    status: Status,
+    timing: ThreadReplayTiming,
+    request_time: Option<Time>,
+    acquires_done: usize,
+}
+
+enum Outcome {
+    Completed,
+    Blocked,
+    Finished,
+}
+
+struct Engine<'a> {
+    config: ReplayConfig,
+    schedule: ReplaySchedule,
+    trace: &'a Trace,
+    deps: SyncDeps,
+    threads: Vec<ThreadState>,
+    event_times: Vec<Vec<Time>>,
+    // Lock state.
+    holder: BTreeMap<LockId, Option<usize>>,
+    last_holder: BTreeMap<LockId, usize>,
+    free_since: BTreeMap<LockId, Time>,
+    // ELSC: per-lock recorded grant order and progress.
+    elsc_order: BTreeMap<LockId, Vec<EventRef>>,
+    elsc_next: BTreeMap<LockId, usize>,
+    // SYNC-S: round-robin admission over (ordinal, thread) tickets.
+    sync_order: BTreeMap<(usize, usize), usize>,
+    sync_next: usize,
+    sync_completed: std::collections::BTreeSet<usize>,
+    sync_last_completion: Time,
+    /// Thread allowed to bypass SYNC-S admission once, used to break the
+    /// circular waits nested locks can create under a rigid ticket order.
+    sync_bypass: Option<usize>,
+    // MEM-S: global memory-access order.
+    mem_order: BTreeMap<EventRef, usize>,
+    mem_next: usize,
+    mem_last_completion: Time,
+    // Barrier arrivals.
+    barrier_arrivals: BTreeMap<EventRef, Time>,
+    rng: ChaCha8Rng,
+}
+
+impl Replayer {
+    /// Creates a replayer with the default cost model.
+    pub fn new(config: ReplayConfig) -> Self {
+        Replayer { config }
+    }
+
+    /// Replays the trace once under the given schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::Stuck`] if the trace and schedule are mutually
+    /// inconsistent, or [`ReplayError::StepLimitExceeded`] for runaway
+    /// replays.
+    pub fn replay(
+        &self,
+        trace: &Trace,
+        schedule: ReplaySchedule,
+    ) -> Result<ReplayResult, ReplayError> {
+        Engine::new(&self.config, schedule, trace).run()
+    }
+}
+
+impl<'a> Engine<'a> {
+    fn new(config: &ReplayConfig, schedule: ReplaySchedule, trace: &'a Trace) -> Self {
+        let deps = build_sync_deps(trace);
+
+        // ELSC: project the recorded total grant order onto each lock.
+        let mut elsc_order: BTreeMap<LockId, Vec<EventRef>> = BTreeMap::new();
+        let mut schedule_entries = trace.lock_schedule.clone();
+        schedule_entries.sort_by_key(|g| g.seq);
+        for g in &schedule_entries {
+            elsc_order
+                .entry(g.lock)
+                .or_default()
+                .push((g.thread.index(), g.event_index));
+        }
+
+        // SYNC-S: deterministic round-robin ticket order over per-thread
+        // acquisition ordinals, derived from the input alone.
+        let mut sync_order = BTreeMap::new();
+        {
+            let acq_counts: Vec<usize> = trace
+                .threads
+                .iter()
+                .map(|t| t.acquisition_count())
+                .collect();
+            let max = acq_counts.iter().copied().max().unwrap_or(0);
+            let mut position = 0usize;
+            for ordinal in 0..max {
+                for (ti, count) in acq_counts.iter().enumerate() {
+                    if ordinal < *count {
+                        sync_order.insert((ordinal, ti), position);
+                        position += 1;
+                    }
+                }
+            }
+        }
+
+        // MEM-S: global order of all shared-memory accesses by recorded time.
+        let mut mem_events: Vec<(Time, EventRef)> = Vec::new();
+        for (ti, tt) in trace.threads.iter().enumerate() {
+            for (ei, te) in tt.events.iter().enumerate() {
+                if te.event.is_memory_access() {
+                    mem_events.push((te.at, (ti, ei)));
+                }
+            }
+        }
+        mem_events.sort_by_key(|(at, (ti, ei))| (*at, *ti, *ei));
+        let mem_order = mem_events
+            .into_iter()
+            .enumerate()
+            .map(|(pos, (_, r))| (r, pos))
+            .collect();
+
+        Engine {
+            config: *config,
+            schedule,
+            trace,
+            deps,
+            threads: trace
+                .threads
+                .iter()
+                .map(|_| ThreadState {
+                    idx: 0,
+                    clock: Time::ZERO,
+                    status: Status::Ready,
+                    timing: ThreadReplayTiming::default(),
+                    request_time: None,
+                    acquires_done: 0,
+                })
+                .collect(),
+            event_times: trace
+                .threads
+                .iter()
+                .map(|t| vec![Time::ZERO; t.events.len()])
+                .collect(),
+            holder: BTreeMap::new(),
+            last_holder: BTreeMap::new(),
+            free_since: BTreeMap::new(),
+            elsc_order,
+            elsc_next: BTreeMap::new(),
+            sync_order,
+            sync_next: 0,
+            sync_completed: std::collections::BTreeSet::new(),
+            sync_last_completion: Time::ZERO,
+            sync_bypass: None,
+            mem_order,
+            mem_next: 0,
+            mem_last_completion: Time::ZERO,
+            barrier_arrivals: BTreeMap::new(),
+            rng: ChaCha8Rng::seed_from_u64(schedule.seed),
+        }
+    }
+
+    fn run(mut self) -> Result<ReplayResult, ReplayError> {
+        let mut steps: u64 = 0;
+        loop {
+            steps += 1;
+            if steps > self.config.max_steps {
+                return Err(ReplayError::StepLimitExceeded {
+                    limit: self.config.max_steps,
+                });
+            }
+            let next = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Ready)
+                .min_by_key(|(i, t)| (t.clock, *i))
+                .map(|(i, _)| i);
+            let Some(ti) = next else {
+                let blocked: Vec<ThreadId> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status != Status::Finished)
+                    .map(|(i, _)| ThreadId::new(i as u32))
+                    .collect();
+                if blocked.is_empty() {
+                    break;
+                }
+                // Under SYNC-S, nested locks can deadlock a rigid ticket
+                // order (the next-ticket thread waits for a lock whose holder
+                // waits for its own ticket). Let the blocked thread whose
+                // next acquire targets a *free* lock bypass admission once.
+                if self.schedule.kind == ScheduleKind::SyncS && self.sync_bypass.is_none() {
+                    if let Some(candidate) = self.find_sync_bypass_candidate() {
+                        self.sync_bypass = Some(candidate);
+                        self.threads[candidate].status = Status::Ready;
+                        continue;
+                    }
+                }
+                return Err(ReplayError::Stuck { blocked });
+            };
+            match self.try_event(ti) {
+                Outcome::Completed => self.wake_all(),
+                Outcome::Blocked => {
+                    self.threads[ti].status = Status::Blocked;
+                }
+                Outcome::Finished => {
+                    self.threads[ti].status = Status::Finished;
+                    self.threads[ti].timing.finish_time = self.threads[ti].clock;
+                    self.wake_all();
+                }
+            }
+        }
+        let total_time = self
+            .threads
+            .iter()
+            .map(|t| t.timing.finish_time)
+            .max()
+            .unwrap_or(Time::ZERO);
+        Ok(ReplayResult {
+            total_time,
+            per_thread: self.threads.iter().map(|t| t.timing).collect(),
+            event_times: self.event_times,
+            lockset_ops: 0,
+            lockset_overhead: Time::ZERO,
+        })
+    }
+
+    fn wake_all(&mut self) {
+        for t in &mut self.threads {
+            if t.status == Status::Blocked {
+                t.status = Status::Ready;
+            }
+        }
+    }
+
+    /// Among blocked threads, finds one whose next event is a lock
+    /// acquisition of a currently-free lock (so only admission stops it).
+    fn find_sync_bypass_candidate(&self) -> Option<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Blocked)
+            .filter(|(ti, t)| {
+                let events = &self.trace.threads[*ti].events;
+                match events.get(t.idx).map(|te| &te.event) {
+                    Some(Event::LockAcquire { lock, .. }) => {
+                        !matches!(self.holder.get(lock), Some(Some(h)) if h != ti)
+                    }
+                    _ => false,
+                }
+            })
+            .min_by_key(|(ti, t)| {
+                self.sync_order
+                    .get(&(t.acquires_done, *ti))
+                    .copied()
+                    .unwrap_or(usize::MAX)
+            })
+            .map(|(ti, _)| ti)
+    }
+
+    fn complete(&mut self, ti: usize, idx: usize, completion: Time) {
+        self.event_times[ti][idx] = completion;
+        self.threads[ti].clock = completion;
+        self.threads[ti].idx = idx + 1;
+        self.threads[ti].request_time = None;
+    }
+
+    fn try_event(&mut self, ti: usize) -> Outcome {
+        let idx = self.threads[ti].idx;
+        let events = &self.trace.threads[ti].events;
+        if idx >= events.len() {
+            return Outcome::Finished;
+        }
+        let clock = self.threads[ti].clock;
+        let event = events[idx].event.clone();
+        match event {
+            Event::Compute { cost } | Event::SkipRegion { saved_cost: cost, .. } => {
+                self.threads[ti].timing.busy += cost;
+                self.complete(ti, idx, clock + cost);
+                Outcome::Completed
+            }
+            Event::Read { .. } | Event::Write { .. } => {
+                let cost = self.config.mem_access_cost;
+                if self.schedule.kind == ScheduleKind::MemS {
+                    match self.mem_order.get(&(ti, idx)) {
+                        Some(&pos) if pos != self.mem_next => return Outcome::Blocked,
+                        _ => {}
+                    }
+                    let cost = cost + self.config.mem_order_overhead;
+                    let start = clock.max(self.mem_last_completion);
+                    self.threads[ti].timing.sync_wait += start - clock;
+                    self.threads[ti].timing.busy += cost;
+                    let completion = start + cost;
+                    self.mem_last_completion = completion;
+                    self.mem_next += 1;
+                    self.complete(ti, idx, completion);
+                } else {
+                    self.threads[ti].timing.busy += cost;
+                    self.complete(ti, idx, clock + cost);
+                }
+                Outcome::Completed
+            }
+            Event::LockAcquire { lock, .. } => self.try_acquire(ti, idx, lock),
+            Event::LockRelease { lock } => {
+                let cost = self.config.lock_release_cost;
+                let completion = clock + cost;
+                self.threads[ti].timing.busy += cost;
+                self.holder.insert(lock, None);
+                self.last_holder.insert(lock, ti);
+                self.free_since.insert(lock, completion);
+                self.complete(ti, idx, completion);
+                Outcome::Completed
+            }
+            Event::CondWait { .. } | Event::Checkpoint { .. } | Event::ThreadExit => {
+                self.complete(ti, idx, clock);
+                Outcome::Completed
+            }
+            Event::CondSignal { .. } => {
+                let cost = self.config.cond_signal_cost;
+                self.threads[ti].timing.busy += cost;
+                self.complete(ti, idx, clock + cost);
+                Outcome::Completed
+            }
+            Event::BarrierWait { .. } => {
+                self.barrier_arrivals.entry((ti, idx)).or_insert(clock);
+                let Some(group) = self.deps.barrier_groups.get(&(ti, idx)) else {
+                    self.complete(ti, idx, clock + self.config.barrier_release_cost);
+                    return Outcome::Completed;
+                };
+                let arrivals: Vec<Time> = group
+                    .iter()
+                    .filter_map(|r| self.barrier_arrivals.get(r).copied())
+                    .collect();
+                if arrivals.len() < group.len() {
+                    return Outcome::Blocked;
+                }
+                let release = arrivals.iter().copied().max().unwrap_or(clock)
+                    + self.config.barrier_release_cost;
+                self.threads[ti].timing.sync_wait += release - clock;
+                self.complete(ti, idx, release);
+                Outcome::Completed
+            }
+        }
+    }
+
+    fn try_acquire(&mut self, ti: usize, idx: usize, lock: LockId) -> Outcome {
+        let clock = self.threads[ti].clock;
+        if self.threads[ti].request_time.is_none() {
+            self.threads[ti].request_time = Some(clock);
+        }
+
+        // Recorded partial order for condition-variable wake-ups.
+        let mut dep_time = Time::ZERO;
+        if let Some(dep) = self.deps.wake_deps.get(&(ti, idx)) {
+            let (dti, dei) = *dep;
+            if self.threads[dti].idx <= dei {
+                return Outcome::Blocked;
+            }
+            dep_time = self.event_times[dti][dei];
+        }
+
+        // Schedule admission. MEM-S enforces the recorded order of *all*
+        // shared accesses, which subsumes the lock acquisitions themselves,
+        // so it reuses the per-lock recorded grant order like ELSC-S does.
+        let mut admission_time = Time::ZERO;
+        let mut sync_pos = None;
+        match self.schedule.kind {
+            ScheduleKind::ElscS | ScheduleKind::MemS => {
+                if let Some(order) = self.elsc_order.get(&lock) {
+                    let next = self.elsc_next.get(&lock).copied().unwrap_or(0);
+                    if let Some(&expected) = order.get(next) {
+                        if expected != (ti, idx) {
+                            return Outcome::Blocked;
+                        }
+                    }
+                }
+            }
+            ScheduleKind::SyncS => {
+                let ticket = (self.threads[ti].acquires_done, ti);
+                if let Some(&pos) = self.sync_order.get(&ticket) {
+                    if pos != self.sync_next && self.sync_bypass != Some(ti) {
+                        return Outcome::Blocked;
+                    }
+                    admission_time =
+                        self.sync_last_completion + self.config.sync_turn_overhead;
+                    sync_pos = Some(pos);
+                }
+            }
+            ScheduleKind::OrigS => {}
+        }
+
+        // Lock availability.
+        if matches!(self.holder.get(&lock), Some(Some(h)) if *h != ti) {
+            if self.schedule.kind == ScheduleKind::OrigS && !self.schedule.jitter.is_zero() {
+                // OS scheduling noise: a blocked thread wakes up a little
+                // late, which perturbs who wins the next grant.
+                let jitter = self.rng.gen_range(0..=self.schedule.jitter.as_nanos());
+                self.threads[ti].clock = clock + Time::from_nanos(jitter);
+            }
+            return Outcome::Blocked;
+        }
+
+        let free_since = self.free_since.get(&lock).copied().unwrap_or(Time::ZERO);
+        let start = clock.max(free_since).max(dep_time).max(admission_time);
+        let handoff = match self.last_holder.get(&lock) {
+            Some(last) if *last != ti => self.config.lock_handoff_cost,
+            None => Time::ZERO,
+            _ => Time::ZERO,
+        };
+        let noise = if self.schedule.kind == ScheduleKind::OrigS && !self.schedule.jitter.is_zero()
+        {
+            Time::from_nanos(self.rng.gen_range(0..=self.schedule.jitter.as_nanos() / 16))
+        } else {
+            Time::ZERO
+        };
+        let completion = start + self.config.lock_acquire_cost + handoff + noise;
+
+        let requested = self.threads[ti].request_time.unwrap_or(clock);
+        self.threads[ti].timing.lock_wait += start.saturating_sub(requested);
+        self.threads[ti].timing.busy += self.config.lock_acquire_cost;
+
+        self.holder.insert(lock, Some(ti));
+        self.last_holder.insert(lock, ti);
+        match self.schedule.kind {
+            ScheduleKind::ElscS | ScheduleKind::MemS => {
+                *self.elsc_next.entry(lock).or_insert(0) += 1;
+            }
+            ScheduleKind::SyncS => {
+                if let Some(pos) = sync_pos {
+                    self.sync_completed.insert(pos);
+                    while self.sync_completed.contains(&self.sync_next) {
+                        self.sync_next += 1;
+                    }
+                }
+                self.sync_bypass = None;
+                self.sync_last_completion = completion;
+            }
+            _ => {}
+        }
+        self.threads[ti].acquires_done += 1;
+        self.complete(ti, idx, completion);
+        Outcome::Completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfplay_program::ProgramBuilder;
+    use perfplay_record::Recorder;
+    use perfplay_sim::SimConfig;
+
+    fn contended_trace(threads: usize, iters: u32) -> Trace {
+        let mut b = ProgramBuilder::new("replay-test");
+        let lock = b.lock("m");
+        let x = b.shared("x", 0);
+        let site = b.site("r.c", "work", 1);
+        for i in 0..threads {
+            b.thread(format!("t{i}"), |t| {
+                t.loop_n(iters, |l| {
+                    l.locked(lock, site, |cs| {
+                        cs.read(x);
+                        cs.compute_ns(400);
+                    });
+                    l.compute_ns(300);
+                });
+            });
+        }
+        Recorder::new(SimConfig::default())
+            .record(&b.build())
+            .unwrap()
+            .trace
+    }
+
+    #[test]
+    fn elsc_replay_matches_recorded_total_time() {
+        let trace = contended_trace(3, 8);
+        let result = Replayer::default()
+            .replay(&trace, ReplaySchedule::elsc())
+            .unwrap();
+        let recorded = trace.total_time.as_nanos() as f64;
+        let replayed = result.total_time.as_nanos() as f64;
+        let relative_error = (replayed - recorded).abs() / recorded;
+        assert!(
+            relative_error < 0.02,
+            "ELSC replay {replayed}ns differs from recorded {recorded}ns by {relative_error}"
+        );
+    }
+
+    #[test]
+    fn elsc_replay_is_deterministic() {
+        let trace = contended_trace(4, 6);
+        let r1 = Replayer::default()
+            .replay(&trace, ReplaySchedule::elsc())
+            .unwrap();
+        let r2 = Replayer::default()
+            .replay(&trace, ReplaySchedule::elsc())
+            .unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn orig_replay_varies_with_seed_but_stays_close_to_recorded() {
+        let trace = contended_trace(4, 10);
+        let times: Vec<Time> = (0..6)
+            .map(|seed| {
+                Replayer::default()
+                    .replay(&trace, ReplaySchedule::orig(seed))
+                    .unwrap()
+                    .total_time
+            })
+            .collect();
+        let min = times.iter().min().unwrap().as_nanos();
+        let max = times.iter().max().unwrap().as_nanos();
+        assert!(max > min, "ORIG-S should show run-to-run variation");
+        // But the mean stays within 20% of the recorded execution.
+        let mean: f64 = times.iter().map(|t| t.as_nanos() as f64).sum::<f64>() / times.len() as f64;
+        let recorded = trace.total_time.as_nanos() as f64;
+        assert!((mean - recorded).abs() / recorded < 0.2);
+    }
+
+    #[test]
+    fn sync_replay_is_deterministic_and_not_faster_than_elsc() {
+        let trace = contended_trace(4, 8);
+        let sync1 = Replayer::default()
+            .replay(&trace, ReplaySchedule::sync())
+            .unwrap();
+        let sync2 = Replayer::default()
+            .replay(&trace, ReplaySchedule::sync())
+            .unwrap();
+        assert_eq!(sync1, sync2);
+        let elsc = Replayer::default()
+            .replay(&trace, ReplaySchedule::elsc())
+            .unwrap();
+        assert!(sync1.total_time >= elsc.total_time);
+    }
+
+    #[test]
+    fn mem_replay_is_much_slower_than_elsc() {
+        let mut b = ProgramBuilder::new("mem-heavy");
+        let lock = b.lock("m");
+        let x = b.shared("x", 0);
+        let site = b.site("m.c", "work", 1);
+        for i in 0..4 {
+            b.thread(format!("t{i}"), |t| {
+                // One lock acquisition, then memory-access-dominated work
+                // that would otherwise run fully in parallel.
+                t.locked(lock, site, |cs| {
+                    cs.read(x);
+                });
+                t.loop_n(60, |l| {
+                    l.read(x);
+                    l.read(x);
+                    l.read(x);
+                    l.read(x);
+                });
+            });
+        }
+        let trace = Recorder::new(SimConfig::default())
+            .record(&b.build())
+            .unwrap()
+            .trace;
+        let elsc = Replayer::default()
+            .replay(&trace, ReplaySchedule::elsc())
+            .unwrap();
+        let mem = Replayer::default()
+            .replay(&trace, ReplaySchedule::mem())
+            .unwrap();
+        assert!(
+            mem.total_time.as_nanos() as f64 > 1.5 * elsc.total_time.as_nanos() as f64,
+            "MEM-S {:?} should be much slower than ELSC-S {:?}",
+            mem.total_time,
+            elsc.total_time
+        );
+        assert!(mem.per_thread.iter().any(|t| t.sync_wait > Time::ZERO));
+    }
+
+    #[test]
+    fn event_times_are_monotone_per_thread() {
+        let trace = contended_trace(2, 5);
+        let result = Replayer::default()
+            .replay(&trace, ReplaySchedule::elsc())
+            .unwrap();
+        for times in &result.event_times {
+            for pair in times.windows(2) {
+                assert!(pair[0] <= pair[1]);
+            }
+        }
+        assert_eq!(result.event_times.len(), trace.num_threads());
+    }
+
+    #[test]
+    fn condvar_trace_replays_without_getting_stuck() {
+        let mut b = ProgramBuilder::new("cv-replay");
+        let lock = b.lock("m");
+        let cv = b.condvar("cv");
+        let flag = b.shared("flag", 0);
+        let site_w = b.site("cv.c", "waiter", 1);
+        let site_s = b.site("cv.c", "signaller", 2);
+        b.thread("waiter", |t| {
+            t.locked(lock, site_w, |cs| {
+                cs.cond_wait(cv, lock);
+                cs.read(flag);
+            });
+        });
+        b.thread("signaller", |t| {
+            t.compute_us(5);
+            t.locked(lock, site_s, |cs| {
+                cs.write_set(flag, 1);
+                cs.cond_signal(cv);
+            });
+        });
+        let trace = Recorder::new(SimConfig::default())
+            .record(&b.build())
+            .unwrap()
+            .trace;
+        for schedule in [
+            ReplaySchedule::elsc(),
+            ReplaySchedule::orig(3),
+            ReplaySchedule::sync(),
+            ReplaySchedule::mem(),
+        ] {
+            let result = Replayer::default().replay(&trace, schedule).unwrap();
+            // The waiter cannot finish before the signaller signalled (~5us in).
+            assert!(result.per_thread[0].finish_time >= Time::from_micros(5));
+        }
+    }
+
+    #[test]
+    fn barrier_trace_replays_with_synchronized_release() {
+        let mut b = ProgramBuilder::new("barrier-replay");
+        let bar = b.barrier("sync", 3);
+        for i in 0..3u32 {
+            let pre = u64::from(i + 1) * 10;
+            b.thread(format!("t{i}"), move |t| {
+                t.compute_us(pre);
+                t.barrier(bar);
+                t.compute_us(1);
+            });
+        }
+        let trace = Recorder::new(SimConfig::default())
+            .record(&b.build())
+            .unwrap()
+            .trace;
+        let result = Replayer::default()
+            .replay(&trace, ReplaySchedule::elsc())
+            .unwrap();
+        for t in &result.per_thread {
+            assert!(t.finish_time >= Time::from_micros(31));
+        }
+        assert!(result.per_thread[0].sync_wait >= Time::from_micros(19));
+    }
+
+    #[test]
+    fn lock_wait_appears_under_contention() {
+        let trace = contended_trace(2, 4);
+        let result = Replayer::default()
+            .replay(&trace, ReplaySchedule::elsc())
+            .unwrap();
+        assert!(result.total_lock_wait() > Time::ZERO);
+        assert_eq!(result.lockset_ops, 0);
+    }
+}

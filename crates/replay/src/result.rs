@@ -1,0 +1,135 @@
+//! Results of replaying a trace.
+
+use perfplay_trace::{ThreadId, Time};
+
+/// Per-thread timing of one replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadReplayTiming {
+    /// Virtual time at which the thread finished its replayed events.
+    pub finish_time: Time,
+    /// Time spent executing computation, memory accesses and lock operations.
+    pub busy: Time,
+    /// Time spent waiting for lock acquisitions (including scheduler
+    /// admission waits).
+    pub lock_wait: Time,
+    /// Time spent waiting on condition variables, barriers and enforced
+    /// memory-order turns.
+    pub sync_wait: Time,
+}
+
+/// The outcome of replaying one trace once.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayResult {
+    /// Makespan of the replay.
+    pub total_time: Time,
+    /// Per-thread accounts, indexed by [`ThreadId::index`].
+    pub per_thread: Vec<ThreadReplayTiming>,
+    /// Completion time of every replayed event, indexed `[thread][event]` and
+    /// aligned with the original trace's event indices.
+    pub event_times: Vec<Vec<Time>>,
+    /// Number of auxiliary-lock (lockset) operations performed. Zero for
+    /// original-trace replays; the ULCP-free replay uses it to quantify
+    /// lockset maintenance overhead (Table 3).
+    pub lockset_ops: u64,
+    /// Total virtual time charged to lockset maintenance.
+    pub lockset_overhead: Time,
+}
+
+impl ReplayResult {
+    /// Returns the account for a thread.
+    pub fn thread(&self, thread: ThreadId) -> &ThreadReplayTiming {
+        &self.per_thread[thread.index()]
+    }
+
+    /// Completion time of a specific event.
+    pub fn event_time(&self, thread: ThreadId, index: usize) -> Option<Time> {
+        self.event_times
+            .get(thread.index())
+            .and_then(|v| v.get(index))
+            .copied()
+    }
+
+    /// Total lock-wait time summed over threads.
+    pub fn total_lock_wait(&self) -> Time {
+        self.per_thread.iter().map(|t| t.lock_wait).sum()
+    }
+
+    /// Fraction of the replay's makespan attributable to lockset maintenance.
+    pub fn lockset_overhead_fraction(&self) -> f64 {
+        self.lockset_overhead.ratio(self.total_time)
+    }
+}
+
+/// Errors produced by the replayers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// No runnable thread remains but some threads still have events;
+    /// indicates an inconsistent trace or schedule.
+    Stuck {
+        /// Threads that still have unplayed events.
+        blocked: Vec<ThreadId>,
+    },
+    /// The replay exceeded the step limit.
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Stuck { blocked } => {
+                write!(f, "replay stuck with {} blocked thread(s)", blocked.len())
+            }
+            ReplayError::StepLimitExceeded { limit } => {
+                write!(f, "replay step limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_work() {
+        let result = ReplayResult {
+            total_time: Time::from_nanos(100),
+            per_thread: vec![
+                ThreadReplayTiming {
+                    finish_time: Time::from_nanos(100),
+                    busy: Time::from_nanos(70),
+                    lock_wait: Time::from_nanos(20),
+                    sync_wait: Time::from_nanos(10),
+                },
+                ThreadReplayTiming::default(),
+            ],
+            event_times: vec![vec![Time::from_nanos(5), Time::from_nanos(100)], vec![]],
+            lockset_ops: 4,
+            lockset_overhead: Time::from_nanos(10),
+        };
+        assert_eq!(result.thread(ThreadId::new(0)).busy, Time::from_nanos(70));
+        assert_eq!(
+            result.event_time(ThreadId::new(0), 1),
+            Some(Time::from_nanos(100))
+        );
+        assert_eq!(result.event_time(ThreadId::new(1), 0), None);
+        assert_eq!(result.total_lock_wait(), Time::from_nanos(20));
+        assert!((result.lockset_overhead_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ReplayError::Stuck {
+            blocked: vec![ThreadId::new(0), ThreadId::new(1)],
+        };
+        assert!(e.to_string().contains("2 blocked"));
+        assert!(ReplayError::StepLimitExceeded { limit: 9 }
+            .to_string()
+            .contains('9'));
+    }
+}

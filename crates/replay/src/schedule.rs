@@ -1,0 +1,141 @@
+//! Replay schedules: the four execution-enforcement schemes compared in
+//! Section 6.2 / Figure 13 of the paper.
+
+use perfplay_trace::Time;
+
+/// Which events the replay scheduler constrains, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleKind {
+    /// Free-running parallel replay with no enforcement (ORIG-S). Lock grant
+    /// order follows request order with randomized scheduling noise, so
+    /// repeated replays of the same trace may differ.
+    OrigS,
+    /// Enforced locking serialization constraint (ELSC-S, the paper's
+    /// scheme): lock acquisitions are granted in exactly the order recorded
+    /// at runtime, nothing else is constrained.
+    ElscS,
+    /// Kendo-style synchronization-based determinism (SYNC-S): lock
+    /// acquisitions follow a deterministic order derived from the input
+    /// (round-robin over per-thread acquisition counts), independent of the
+    /// recorded schedule.
+    SyncS,
+    /// Memory-based determinism (MEM-S, PinPlay/CoreDet style): every shared
+    /// memory access is additionally forced into the recorded global order.
+    MemS,
+}
+
+impl ScheduleKind {
+    /// All kinds in the order Figure 13 plots them.
+    pub const ALL: [ScheduleKind; 4] = [
+        ScheduleKind::MemS,
+        ScheduleKind::SyncS,
+        ScheduleKind::ElscS,
+        ScheduleKind::OrigS,
+    ];
+
+    /// Human-readable name used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScheduleKind::OrigS => "ORIG-S",
+            ScheduleKind::ElscS => "ELSC-S",
+            ScheduleKind::SyncS => "SYNC-S",
+            ScheduleKind::MemS => "MEM-S",
+        }
+    }
+
+    /// Whether repeated replays under this schedule are deterministic.
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, ScheduleKind::OrigS)
+    }
+}
+
+impl std::fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A concrete replay schedule: the enforcement scheme plus the noise seed
+/// used by the free-running scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaySchedule {
+    /// Enforcement scheme.
+    pub kind: ScheduleKind,
+    /// Seed for scheduling noise (only ORIG-S uses it).
+    pub seed: u64,
+    /// Magnitude of the scheduling noise applied to lock requests under
+    /// ORIG-S, modelling OS scheduling nondeterminism on real hardware.
+    pub jitter: Time,
+}
+
+impl ReplaySchedule {
+    /// Free-running replay with the given noise seed.
+    pub fn orig(seed: u64) -> Self {
+        ReplaySchedule {
+            kind: ScheduleKind::OrigS,
+            seed,
+            jitter: Time::from_nanos(300),
+        }
+    }
+
+    /// The paper's ELSC schedule.
+    pub fn elsc() -> Self {
+        ReplaySchedule {
+            kind: ScheduleKind::ElscS,
+            seed: 0,
+            jitter: Time::ZERO,
+        }
+    }
+
+    /// Kendo-style deterministic lock order.
+    pub fn sync() -> Self {
+        ReplaySchedule {
+            kind: ScheduleKind::SyncS,
+            seed: 0,
+            jitter: Time::ZERO,
+        }
+    }
+
+    /// Memory-access-order determinism.
+    pub fn mem() -> Self {
+        ReplaySchedule {
+            kind: ScheduleKind::MemS,
+            seed: 0,
+            jitter: Time::ZERO,
+        }
+    }
+
+    /// Returns a copy with a different jitter magnitude.
+    pub fn with_jitter(mut self, jitter: Time) -> Self {
+        self.jitter = jitter;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_determinism() {
+        assert_eq!(ScheduleKind::ElscS.label(), "ELSC-S");
+        assert_eq!(ScheduleKind::OrigS.to_string(), "ORIG-S");
+        assert!(ScheduleKind::ElscS.is_deterministic());
+        assert!(ScheduleKind::SyncS.is_deterministic());
+        assert!(ScheduleKind::MemS.is_deterministic());
+        assert!(!ScheduleKind::OrigS.is_deterministic());
+        assert_eq!(ScheduleKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn constructors_set_expected_kinds() {
+        assert_eq!(ReplaySchedule::orig(5).kind, ScheduleKind::OrigS);
+        assert_eq!(ReplaySchedule::orig(5).seed, 5);
+        assert!(ReplaySchedule::orig(5).jitter > Time::ZERO);
+        assert_eq!(ReplaySchedule::elsc().kind, ScheduleKind::ElscS);
+        assert_eq!(ReplaySchedule::sync().kind, ScheduleKind::SyncS);
+        assert_eq!(ReplaySchedule::mem().kind, ScheduleKind::MemS);
+        let custom = ReplaySchedule::orig(1).with_jitter(Time::from_nanos(10));
+        assert_eq!(custom.jitter, Time::from_nanos(10));
+    }
+}

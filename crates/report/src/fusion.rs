@@ -1,0 +1,296 @@
+//! ULCP fusion and performance accumulation (Algorithm 2) and the
+//! relative-opportunity ranking (Equation 2).
+//!
+//! Many dynamic ULCPs come from the same source code. Fusion merges ULCPs
+//! whose code regions overlap — either matching first-with-first /
+//! second-with-second or crosswise — accumulating their performance gains, so
+//! the report can point the programmer at the *code region* with the highest
+//! optimization opportunity.
+
+use perfplay_detect::UlcpAnalysis;
+use perfplay_trace::CodeRegion;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::UlcpGain;
+
+/// A group of fused ULCPs attributed to one pair of code regions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupedUlcp {
+    /// Code region of the first critical sections.
+    pub region_first: CodeRegion,
+    /// Code region of the second critical sections.
+    pub region_second: CodeRegion,
+    /// Number of dynamic ULCPs fused into this group.
+    pub dynamic_pairs: usize,
+    /// Accumulated performance improvement in nanoseconds (clamped gains).
+    pub gain_ns: u64,
+}
+
+impl GroupedUlcp {
+    fn can_fuse(&self, other: &GroupedUlcp) -> bool {
+        // Algorithm 2, lines 1 and 5: straight or crosswise region overlap.
+        (self.region_first.overlaps(&other.region_first)
+            && self.region_second.overlaps(&other.region_second))
+            || (self.region_first.overlaps(&other.region_second)
+                && self.region_second.overlaps(&other.region_first))
+    }
+
+    fn fuse(&self, other: &GroupedUlcp) -> GroupedUlcp {
+        let straight = self.region_first.overlaps(&other.region_first)
+            && self.region_second.overlaps(&other.region_second);
+        let (first, second) = if straight {
+            (
+                self.region_first.merge(&other.region_first),
+                self.region_second.merge(&other.region_second),
+            )
+        } else {
+            (
+                self.region_first.merge(&other.region_second),
+                self.region_second.merge(&other.region_first),
+            )
+        };
+        GroupedUlcp {
+            region_first: first,
+            region_second: second,
+            dynamic_pairs: self.dynamic_pairs + other.dynamic_pairs,
+            gain_ns: self.gain_ns + other.gain_ns,
+        }
+    }
+}
+
+/// A ranked recommendation: a fused ULCP group together with its relative
+/// optimization opportunity `P` (Equation 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The fused group.
+    pub group: GroupedUlcp,
+    /// Relative optimization opportunity (`gain / total gain`), in `[0, 1]`.
+    pub opportunity: f64,
+}
+
+/// Fuses per-ULCP gains into unique code-region groups (Algorithm 2).
+///
+/// Gains are clamped at zero before accumulation, matching the paper's use of
+/// the metric as an optimization opportunity.
+pub fn fuse_ulcps(analysis: &UlcpAnalysis, gains: &[UlcpGain]) -> Vec<GroupedUlcp> {
+    // Seed one group per dynamic ULCP, keyed by its two code sites. Grouping
+    // identical site pairs first keeps the fixpoint loop small.
+    let mut seeds: std::collections::BTreeMap<(u32, u32), GroupedUlcp> =
+        std::collections::BTreeMap::new();
+    for gain in gains {
+        let first_site = analysis.section(gain.ulcp.first).site;
+        let second_site = analysis.section(gain.ulcp.second).site;
+        let key = if first_site.raw() <= second_site.raw() {
+            (first_site.raw(), second_site.raw())
+        } else {
+            (second_site.raw(), first_site.raw())
+        };
+        let entry = seeds.entry(key).or_insert_with(|| GroupedUlcp {
+            region_first: CodeRegion::single(perfplay_trace::CodeSiteId::new(key.0)),
+            region_second: CodeRegion::single(perfplay_trace::CodeSiteId::new(key.1)),
+            dynamic_pairs: 0,
+            gain_ns: 0,
+        });
+        entry.dynamic_pairs += 1;
+        entry.gain_ns += gain.clamped();
+    }
+
+    // Fixpoint fusion over the seeded groups.
+    let mut groups: Vec<GroupedUlcp> = seeds.into_values().collect();
+    loop {
+        let mut fused_any = false;
+        let mut result: Vec<GroupedUlcp> = Vec::with_capacity(groups.len());
+        'outer: for group in groups.into_iter() {
+            for existing in &mut result {
+                if existing.can_fuse(&group) {
+                    *existing = existing.fuse(&group);
+                    fused_any = true;
+                    continue 'outer;
+                }
+            }
+            result.push(group);
+        }
+        groups = result;
+        if !fused_any {
+            break;
+        }
+    }
+    groups
+}
+
+/// Ranks fused groups by relative optimization opportunity (Equation 2),
+/// highest first.
+pub fn rank_groups(groups: Vec<GroupedUlcp>) -> Vec<Recommendation> {
+    let total: u64 = groups.iter().map(|g| g.gain_ns).sum();
+    let mut recommendations: Vec<Recommendation> = groups
+        .into_iter()
+        .map(|group| {
+            let opportunity = if total == 0 {
+                0.0
+            } else {
+                group.gain_ns as f64 / total as f64
+            };
+            Recommendation { group, opportunity }
+        })
+        .collect();
+    recommendations.sort_by(|a, b| {
+        b.group
+            .gain_ns
+            .cmp(&a.group.gain_ns)
+            .then_with(|| a.group.region_first.cmp(&b.group.region_first))
+    });
+    recommendations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfplay_detect::{Detector, UlcpKind};
+    use perfplay_program::ProgramBuilder;
+    use perfplay_record::Recorder;
+    use perfplay_sim::SimConfig;
+    use perfplay_trace::CodeSiteId;
+
+    fn group(first: u32, second: u32, gain: u64) -> GroupedUlcp {
+        GroupedUlcp {
+            region_first: CodeRegion::single(CodeSiteId::new(first)),
+            region_second: CodeRegion::single(CodeSiteId::new(second)),
+            dynamic_pairs: 1,
+            gain_ns: gain,
+        }
+    }
+
+    #[test]
+    fn straight_and_crosswise_fusion() {
+        let a = group(1, 2, 10);
+        let b = group(1, 2, 5);
+        assert!(a.can_fuse(&b));
+        let fused = a.fuse(&b);
+        assert_eq!(fused.gain_ns, 15);
+        assert_eq!(fused.dynamic_pairs, 2);
+
+        let c = group(2, 1, 7); // crosswise
+        assert!(a.can_fuse(&c));
+        let fused = a.fuse(&c);
+        assert_eq!(fused.gain_ns, 17);
+        assert!(fused.region_first.contains(CodeSiteId::new(1)));
+        assert!(fused.region_second.contains(CodeSiteId::new(2)));
+
+        let d = group(3, 4, 1);
+        assert!(!a.can_fuse(&d));
+    }
+
+    #[test]
+    fn fuse_ulcps_groups_by_code_site_pair() {
+        // Two threads running the same code: all dynamic ULCPs share one
+        // site pair and must collapse into a single group.
+        let mut b = ProgramBuilder::new("fusion-test");
+        let lock = b.lock("m");
+        let x = b.shared("x", 0);
+        let site = b.site("f.c", "reader", 1);
+        for i in 0..2 {
+            b.thread(format!("t{i}"), |t| {
+                t.loop_n(4, |l| {
+                    l.locked(lock, site, |cs| {
+                        cs.read(x);
+                    });
+                    l.compute_ns(50);
+                });
+            });
+        }
+        let trace = Recorder::new(SimConfig::default())
+            .record(&b.build())
+            .unwrap()
+            .trace;
+        let analysis = Detector::default().analyze(&trace);
+        assert!(analysis.ulcps.len() > 1);
+        let gains: Vec<UlcpGain> = analysis
+            .ulcps
+            .iter()
+            .map(|u| UlcpGain { ulcp: *u, gain_ns: 100 })
+            .collect();
+        let groups = fuse_ulcps(&analysis, &gains);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].dynamic_pairs, analysis.ulcps.len());
+        assert_eq!(groups[0].gain_ns, 100 * analysis.ulcps.len() as u64);
+    }
+
+    #[test]
+    fn distinct_code_sites_stay_in_distinct_groups() {
+        let mut b = ProgramBuilder::new("fusion-distinct");
+        let lock_a = b.lock("a");
+        let lock_b = b.lock("b");
+        let x = b.shared("x", 0);
+        let y = b.shared("y", 0);
+        let site_a = b.site("f.c", "fa", 1);
+        let site_b = b.site("f.c", "fb", 2);
+        for i in 0..2 {
+            b.thread(format!("t{i}"), |t| {
+                t.locked(lock_a, site_a, |cs| {
+                    cs.read(x);
+                });
+                t.locked(lock_b, site_b, |cs| {
+                    cs.read(y);
+                });
+            });
+        }
+        let trace = Recorder::new(SimConfig::default())
+            .record(&b.build())
+            .unwrap()
+            .trace;
+        let analysis = Detector::default().analyze(&trace);
+        let gains: Vec<UlcpGain> = analysis
+            .ulcps
+            .iter()
+            .map(|u| UlcpGain { ulcp: *u, gain_ns: 10 })
+            .collect();
+        let groups = fuse_ulcps(&analysis, &gains);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn ranking_follows_equation_2() {
+        let groups = vec![group(1, 2, 30), group(3, 4, 60), group(5, 6, 10)];
+        let ranked = rank_groups(groups);
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].group.gain_ns, 60);
+        assert!((ranked[0].opportunity - 0.6).abs() < 1e-12);
+        assert!((ranked[1].opportunity - 0.3).abs() < 1e-12);
+        let total: f64 = ranked.iter().map(|r| r.opportunity).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_with_zero_total_gain_is_all_zero() {
+        let ranked = rank_groups(vec![group(1, 2, 0), group(3, 4, 0)]);
+        assert!(ranked.iter().all(|r| r.opportunity == 0.0));
+    }
+
+    #[test]
+    fn negative_gains_do_not_contribute() {
+        let mut b = ProgramBuilder::new("fusion-negative");
+        let lock = b.lock("m");
+        let x = b.shared("x", 0);
+        let site = b.site("n.c", "reader", 1);
+        for i in 0..2 {
+            b.thread(format!("t{i}"), |t| {
+                t.locked(lock, site, |cs| {
+                    cs.read(x);
+                });
+            });
+        }
+        let trace = Recorder::new(SimConfig::default())
+            .record(&b.build())
+            .unwrap()
+            .trace;
+        let analysis = Detector::default().analyze(&trace);
+        assert_eq!(analysis.breakdown.count(UlcpKind::ReadRead), 1);
+        let gains: Vec<UlcpGain> = analysis
+            .ulcps
+            .iter()
+            .map(|u| UlcpGain { ulcp: *u, gain_ns: -500 })
+            .collect();
+        let groups = fuse_ulcps(&analysis, &gains);
+        assert_eq!(groups[0].gain_ns, 0);
+    }
+}

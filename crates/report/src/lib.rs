@@ -1,0 +1,29 @@
+//! # perfplay-report
+//!
+//! The performance-debugging stage of PerfPlay (Section 4 of the paper):
+//! turns the two replayed executions — original and ULCP-free — into the
+//! programmer-facing answer *"which code region should I fix first, and how
+//! much would it buy me?"*
+//!
+//! * [`ulcp_gains`] evaluates **Equation 1** (`ΔT_ULCP = ΔMAX{Time2, Time3} −
+//!   ΔTime1`) for every detected pair, using the per-event completion times
+//!   both replays expose.
+//! * [`fuse_ulcps`] implements **Algorithm 2** (ULCP fusion and performance
+//!   accumulation per code region) and [`rank_groups`] applies **Equation 2**
+//!   to rank regions by relative optimization opportunity `P`.
+//! * [`ImpactSplit`] separates the whole-program impact into performance
+//!   degradation `T_pd` and CPU resource waste `T_rw`, the two bands of
+//!   Figure 14.
+//! * [`PerfReport`] bundles everything, renders a human-readable summary and
+//!   serializes to JSON.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod fusion;
+mod metrics;
+mod report;
+
+pub use fusion::{fuse_ulcps, rank_groups, GroupedUlcp, Recommendation};
+pub use metrics::{segment_anchors, ulcp_gains, ImpactSplit, SegmentAnchors, UlcpGain};
+pub use report::PerfReport;

@@ -1,0 +1,127 @@
+//! Per-thread and whole-execution timing accounts kept by the simulator.
+
+use perfplay_trace::{ThreadId, Time};
+
+/// Timing account of one simulated thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadTiming {
+    /// Virtual time at which the thread finished.
+    pub finish_time: Time,
+    /// Time spent in useful computation and memory accesses.
+    pub busy: Time,
+    /// Time spent blocked waiting for lock acquisitions.
+    pub lock_wait: Time,
+    /// Time spent blocked on condition variables and barriers.
+    pub sync_wait: Time,
+    /// Busy time spent inside spin-wait (`While`) loops — CPU time the paper
+    /// counts as resource waste when the spinning is caused by a ULCP.
+    pub spin: Time,
+}
+
+impl ThreadTiming {
+    /// Total time the thread existed (equals `finish_time` since all threads
+    /// start at time zero).
+    pub fn lifetime(&self) -> Time {
+        self.finish_time
+    }
+
+    /// Fraction of the thread's lifetime spent blocked (lock + sync waits).
+    pub fn wait_fraction(&self) -> f64 {
+        (self.lock_wait + self.sync_wait).ratio(self.finish_time)
+    }
+}
+
+/// Timing account of a whole simulated execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionTiming {
+    /// Makespan: the finish time of the last thread.
+    pub total_time: Time,
+    /// Per-thread accounts, indexed by [`ThreadId::index`].
+    pub per_thread: Vec<ThreadTiming>,
+}
+
+impl ExecutionTiming {
+    /// Returns the account for a thread.
+    pub fn thread(&self, thread: ThreadId) -> &ThreadTiming {
+        &self.per_thread[thread.index()]
+    }
+
+    /// Sum of lock-wait time across threads.
+    pub fn total_lock_wait(&self) -> Time {
+        self.per_thread.iter().map(|t| t.lock_wait).sum()
+    }
+
+    /// Sum of spin time across threads.
+    pub fn total_spin(&self) -> Time {
+        self.per_thread.iter().map(|t| t.spin).sum()
+    }
+
+    /// Sum of busy time across threads.
+    pub fn total_busy(&self) -> Time {
+        self.per_thread.iter().map(|t| t.busy).sum()
+    }
+
+    /// Average per-thread CPU waste (spin time), the denominator the paper
+    /// uses for "CPU-time wasting per thread".
+    pub fn spin_per_thread(&self) -> Time {
+        if self.per_thread.is_empty() {
+            Time::ZERO
+        } else {
+            self.total_spin() / self.per_thread.len() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_timing_fractions() {
+        let t = ThreadTiming {
+            finish_time: Time::from_nanos(100),
+            busy: Time::from_nanos(60),
+            lock_wait: Time::from_nanos(30),
+            sync_wait: Time::from_nanos(10),
+            spin: Time::from_nanos(5),
+        };
+        assert_eq!(t.lifetime(), Time::from_nanos(100));
+        assert!((t.wait_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn execution_timing_aggregates() {
+        let timing = ExecutionTiming {
+            total_time: Time::from_nanos(200),
+            per_thread: vec![
+                ThreadTiming {
+                    finish_time: Time::from_nanos(200),
+                    busy: Time::from_nanos(100),
+                    lock_wait: Time::from_nanos(50),
+                    sync_wait: Time::ZERO,
+                    spin: Time::from_nanos(20),
+                },
+                ThreadTiming {
+                    finish_time: Time::from_nanos(150),
+                    busy: Time::from_nanos(90),
+                    lock_wait: Time::from_nanos(10),
+                    sync_wait: Time::from_nanos(5),
+                    spin: Time::from_nanos(10),
+                },
+            ],
+        };
+        assert_eq!(timing.total_lock_wait(), Time::from_nanos(60));
+        assert_eq!(timing.total_spin(), Time::from_nanos(30));
+        assert_eq!(timing.total_busy(), Time::from_nanos(190));
+        assert_eq!(timing.spin_per_thread(), Time::from_nanos(15));
+        assert_eq!(
+            timing.thread(ThreadId::new(1)).finish_time,
+            Time::from_nanos(150)
+        );
+    }
+
+    #[test]
+    fn empty_execution_has_zero_spin_per_thread() {
+        assert_eq!(ExecutionTiming::default().spin_per_thread(), Time::ZERO);
+    }
+}

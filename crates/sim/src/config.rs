@@ -1,0 +1,79 @@
+//! Simulator configuration: the machine cost model.
+
+use perfplay_trace::Time;
+
+/// Cost model of the simulated multicore machine.
+///
+/// The defaults approximate a commodity x86 server (the paper's 2×quad-core
+/// Xeon): tens of nanoseconds for an uncontended lock operation, an extra
+/// cache-line-transfer penalty when a lock or object migrates between cores,
+/// and a few nanoseconds per shared-memory access.
+///
+/// All performance results in this reproduction are *shapes*, not absolute
+/// numbers; the cost model only has to keep the relative magnitudes sane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Cost of acquiring a free lock.
+    pub lock_acquire_cost: Time,
+    /// Cost of releasing a lock.
+    pub lock_release_cost: Time,
+    /// Extra latency when ownership of a lock moves between threads
+    /// (cache-line transfer / futex hand-off).
+    pub lock_handoff_cost: Time,
+    /// Cost of one shared-memory read or write.
+    pub mem_access_cost: Time,
+    /// Cost charged for a condition-variable signal/broadcast.
+    pub cond_signal_cost: Time,
+    /// Cost charged when a barrier releases its waiters.
+    pub barrier_release_cost: Time,
+    /// Seed for tie-breaking when several threads contend at exactly the same
+    /// virtual instant. Recording runs use a fixed seed so the recorded trace
+    /// is deterministic; free-running (ORIG-S style) replays vary it.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            lock_acquire_cost: Time::from_nanos(25),
+            lock_release_cost: Time::from_nanos(15),
+            lock_handoff_cost: Time::from_nanos(60),
+            mem_access_cost: Time::from_nanos(8),
+            cond_signal_cost: Time::from_nanos(30),
+            barrier_release_cost: Time::from_nanos(40),
+            seed: 0x5eed_0001,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns the default configuration with a different tie-break seed.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_nonzero_and_ordered() {
+        let c = SimConfig::default();
+        assert!(c.lock_acquire_cost > Time::ZERO);
+        assert!(c.lock_handoff_cost > c.lock_release_cost);
+        assert!(c.mem_access_cost > Time::ZERO);
+    }
+
+    #[test]
+    fn with_seed_only_changes_seed() {
+        let c = SimConfig::with_seed(7);
+        let d = SimConfig::default();
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.lock_acquire_cost, d.lock_acquire_cost);
+        assert_eq!(c.mem_access_cost, d.mem_access_cost);
+    }
+}

@@ -1,0 +1,378 @@
+//! Synchronization state of the simulated machine: locks, condition
+//! variables and barriers, plus the lock-grant arbiter hook.
+
+use std::collections::BTreeMap;
+
+use perfplay_trace::{BarrierId, CondId, LockId, ThreadId, Time};
+
+/// A pending lock request from a blocked thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitingRequest {
+    /// Requesting thread.
+    pub thread: ThreadId,
+    /// Virtual time at which the request was made.
+    pub requested_at: Time,
+}
+
+/// Policy deciding which waiting thread receives a lock when it is released.
+///
+/// The program executor uses [`FifoArbiter`]; replay schedulers provide their
+/// own arbiters (ELSC grants along the recorded schedule, SYNC-S along a
+/// deterministic per-input order, ORIG-S breaks ties randomly).
+pub trait LockArbiter {
+    /// Chooses the index (into `waiters`) of the thread to grant `lock` to
+    /// next. `waiters` is non-empty and ordered by request time.
+    fn choose(&mut self, lock: LockId, waiters: &[WaitingRequest]) -> usize;
+}
+
+/// First-come-first-served arbitration with deterministic seeded tie-breaks.
+#[derive(Debug, Clone)]
+pub struct FifoArbiter {
+    state: u64,
+}
+
+impl FifoArbiter {
+    /// Creates an arbiter with the given tie-break seed.
+    pub fn new(seed: u64) -> Self {
+        FifoArbiter {
+            state: seed | 1, // xorshift state must be non-zero
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: cheap, deterministic, and good enough for tie-breaks.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+impl LockArbiter for FifoArbiter {
+    fn choose(&mut self, _lock: LockId, waiters: &[WaitingRequest]) -> usize {
+        let earliest = waiters
+            .iter()
+            .map(|w| w.requested_at)
+            .min()
+            .expect("waiters is non-empty");
+        let tied: Vec<usize> = waiters
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.requested_at == earliest)
+            .map(|(i, _)| i)
+            .collect();
+        if tied.len() == 1 {
+            tied[0]
+        } else {
+            tied[(self.next_u64() % tied.len() as u64) as usize]
+        }
+    }
+}
+
+/// State of one simulated lock.
+#[derive(Debug, Clone, Default)]
+pub struct LockState {
+    /// Thread currently holding the lock, if any.
+    pub holder: Option<ThreadId>,
+    /// Last thread to have held the lock (for hand-off cost accounting).
+    pub last_holder: Option<ThreadId>,
+    /// Pending requests, ordered by request time.
+    pub waiters: Vec<WaitingRequest>,
+    /// Number of grants so far.
+    pub grants: u64,
+}
+
+/// Table of all lock states, indexed by [`LockId`].
+#[derive(Debug, Clone, Default)]
+pub struct LockTable {
+    locks: BTreeMap<LockId, LockState>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the state for a lock, creating it on first use.
+    pub fn state_mut(&mut self, lock: LockId) -> &mut LockState {
+        self.locks.entry(lock).or_default()
+    }
+
+    /// Returns the state for a lock if it has been used.
+    pub fn state(&self, lock: LockId) -> Option<&LockState> {
+        self.locks.get(&lock)
+    }
+
+    /// Returns true if the lock is currently held.
+    pub fn is_held(&self, lock: LockId) -> bool {
+        self.locks
+            .get(&lock)
+            .map(|s| s.holder.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Attempts to acquire `lock` for `thread` at time `now`.
+    ///
+    /// Returns `true` if the lock was granted immediately; otherwise the
+    /// thread is queued as a waiter.
+    pub fn acquire_or_wait(&mut self, lock: LockId, thread: ThreadId, now: Time) -> bool {
+        let st = self.state_mut(lock);
+        if st.holder.is_none() {
+            st.holder = Some(thread);
+            st.grants += 1;
+            true
+        } else {
+            st.waiters.push(WaitingRequest {
+                thread,
+                requested_at: now,
+            });
+            st.waiters.sort_by_key(|w| (w.requested_at, w.thread));
+            false
+        }
+    }
+
+    /// Releases `lock` held by `thread` and, if any thread is waiting, uses
+    /// the arbiter to pick the next holder.
+    ///
+    /// Returns the woken thread and its original request time, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` does not hold the lock (the executor validates the
+    /// program, so this indicates an internal bug).
+    pub fn release(
+        &mut self,
+        lock: LockId,
+        thread: ThreadId,
+        arbiter: &mut dyn LockArbiter,
+    ) -> Option<WaitingRequest> {
+        let st = self.state_mut(lock);
+        assert_eq!(
+            st.holder,
+            Some(thread),
+            "release of {lock} by {thread} which does not hold it"
+        );
+        st.last_holder = Some(thread);
+        st.holder = None;
+        if st.waiters.is_empty() {
+            return None;
+        }
+        let idx = arbiter.choose(lock, &st.waiters);
+        let woken = st.waiters.remove(idx);
+        st.holder = Some(woken.thread);
+        st.last_holder = Some(thread);
+        st.grants += 1;
+        Some(woken)
+    }
+
+    /// Whether granting `lock` to `thread` crosses threads (and therefore
+    /// pays the hand-off cost).
+    pub fn handoff_from_other(&self, lock: LockId, thread: ThreadId) -> bool {
+        self.locks
+            .get(&lock)
+            .and_then(|s| s.last_holder)
+            .map(|t| t != thread)
+            .unwrap_or(false)
+    }
+}
+
+/// State of one condition variable: the set of threads currently waiting.
+#[derive(Debug, Clone, Default)]
+pub struct CondState {
+    /// Threads blocked in `cond_wait`, with the lock each must re-acquire.
+    pub waiters: Vec<(ThreadId, LockId)>,
+}
+
+/// Table of condition variables.
+#[derive(Debug, Clone, Default)]
+pub struct CondTable {
+    conds: BTreeMap<CondId, CondState>,
+}
+
+impl CondTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `thread` as waiting on `cond`, remembering the lock to
+    /// re-acquire on wake-up.
+    pub fn wait(&mut self, cond: CondId, thread: ThreadId, lock: LockId) {
+        self.conds
+            .entry(cond)
+            .or_default()
+            .waiters
+            .push((thread, lock));
+    }
+
+    /// Wakes one waiter (FIFO) or all waiters, returning the woken set.
+    pub fn signal(&mut self, cond: CondId, broadcast: bool) -> Vec<(ThreadId, LockId)> {
+        let st = self.conds.entry(cond).or_default();
+        if st.waiters.is_empty() {
+            Vec::new()
+        } else if broadcast {
+            std::mem::take(&mut st.waiters)
+        } else {
+            vec![st.waiters.remove(0)]
+        }
+    }
+
+    /// Number of threads currently waiting on `cond`.
+    pub fn waiter_count(&self, cond: CondId) -> usize {
+        self.conds.get(&cond).map(|s| s.waiters.len()).unwrap_or(0)
+    }
+}
+
+/// State of one barrier.
+#[derive(Debug, Clone, Default)]
+pub struct BarrierState {
+    /// Threads that have arrived and are blocked.
+    pub arrived: Vec<(ThreadId, Time)>,
+}
+
+/// Table of barriers.
+#[derive(Debug, Clone, Default)]
+pub struct BarrierTable {
+    barriers: BTreeMap<BarrierId, BarrierState>,
+}
+
+impl BarrierTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an arrival. If this arrival completes the barrier (reaches
+    /// `participants`), returns all arrivals (including this one) together
+    /// with the release time (the latest arrival time); otherwise `None`.
+    pub fn arrive(
+        &mut self,
+        barrier: BarrierId,
+        thread: ThreadId,
+        now: Time,
+        participants: usize,
+    ) -> Option<(Vec<(ThreadId, Time)>, Time)> {
+        let st = self.barriers.entry(barrier).or_default();
+        st.arrived.push((thread, now));
+        if st.arrived.len() >= participants {
+            let all = std::mem::take(&mut st.arrived);
+            let release = all.iter().map(|(_, t)| *t).max().unwrap_or(now);
+            Some((all, release))
+        } else {
+            None
+        }
+    }
+
+    /// Number of threads currently blocked at `barrier`.
+    pub fn arrived_count(&self, barrier: BarrierId) -> usize {
+        self.barriers
+            .get(&barrier)
+            .map(|s| s.arrived.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn lock_acquire_release_cycle() {
+        let mut table = LockTable::new();
+        let mut arb = FifoArbiter::new(1);
+        let l = LockId::new(0);
+        assert!(!table.is_held(l));
+        assert!(table.acquire_or_wait(l, t(0), Time::from_nanos(1)));
+        assert!(table.is_held(l));
+        // Second thread must wait.
+        assert!(!table.acquire_or_wait(l, t(1), Time::from_nanos(2)));
+        assert_eq!(table.state(l).unwrap().waiters.len(), 1);
+        // Release hands over to the waiter.
+        let woken = table.release(l, t(0), &mut arb).unwrap();
+        assert_eq!(woken.thread, t(1));
+        assert!(table.is_held(l));
+        assert!(table.handoff_from_other(l, t(1)));
+        assert!(table.release(l, t(1), &mut arb).is_none());
+        assert!(!table.is_held(l));
+        assert_eq!(table.state(l).unwrap().grants, 2);
+    }
+
+    #[test]
+    fn fifo_arbiter_prefers_earliest_request() {
+        let mut table = LockTable::new();
+        let mut arb = FifoArbiter::new(3);
+        let l = LockId::new(0);
+        assert!(table.acquire_or_wait(l, t(0), Time::from_nanos(0)));
+        assert!(!table.acquire_or_wait(l, t(2), Time::from_nanos(9)));
+        assert!(!table.acquire_or_wait(l, t(1), Time::from_nanos(4)));
+        let woken = table.release(l, t(0), &mut arb).unwrap();
+        assert_eq!(woken.thread, t(1));
+    }
+
+    #[test]
+    fn fifo_arbiter_tie_breaks_deterministically_per_seed() {
+        let waiters = vec![
+            WaitingRequest {
+                thread: t(0),
+                requested_at: Time::from_nanos(5),
+            },
+            WaitingRequest {
+                thread: t(1),
+                requested_at: Time::from_nanos(5),
+            },
+        ];
+        let mut a1 = FifoArbiter::new(42);
+        let mut a2 = FifoArbiter::new(42);
+        let pick1 = a1.choose(LockId::new(0), &waiters);
+        let pick2 = a2.choose(LockId::new(0), &waiters);
+        assert_eq!(pick1, pick2);
+        assert!(pick1 < 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold it")]
+    fn release_by_non_holder_panics() {
+        let mut table = LockTable::new();
+        let mut arb = FifoArbiter::new(1);
+        let l = LockId::new(0);
+        table.acquire_or_wait(l, t(0), Time::ZERO);
+        table.release(l, t(1), &mut arb);
+    }
+
+    #[test]
+    fn condvar_signal_and_broadcast() {
+        let mut cv = CondTable::new();
+        let c = CondId::new(0);
+        let l = LockId::new(0);
+        cv.wait(c, t(0), l);
+        cv.wait(c, t(1), l);
+        cv.wait(c, t(2), l);
+        assert_eq!(cv.waiter_count(c), 3);
+        let one = cv.signal(c, false);
+        assert_eq!(one, vec![(t(0), l)]);
+        let rest = cv.signal(c, true);
+        assert_eq!(rest.len(), 2);
+        assert_eq!(cv.waiter_count(c), 0);
+        assert!(cv.signal(c, false).is_empty());
+    }
+
+    #[test]
+    fn barrier_releases_when_full() {
+        let mut bt = BarrierTable::new();
+        let b = BarrierId::new(0);
+        assert!(bt.arrive(b, t(0), Time::from_nanos(5), 3).is_none());
+        assert!(bt.arrive(b, t(1), Time::from_nanos(9), 3).is_none());
+        assert_eq!(bt.arrived_count(b), 2);
+        let (all, release) = bt.arrive(b, t(2), Time::from_nanos(7), 3).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(release, Time::from_nanos(9));
+        assert_eq!(bt.arrived_count(b), 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Events recorded during program execution.
+//!
+//! The recorder (a stand-in for the paper's Pin-based instrumentation) emits
+//! one [`Event`] per observed action: computation segments, lock acquire /
+//! release, shared memory reads and writes inside critical sections, condition
+//! variable and barrier operations, selective-recording skips and checkpoints.
+//!
+//! Each event is wrapped in a [`TimedEvent`] carrying the virtual timestamp at
+//! which the action *completed* in the original execution; replay recomputes
+//! new timestamps under different schedules.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{BarrierId, CodeSiteId, CondId, LockId, ObjectId};
+use crate::time::Time;
+
+/// The value operation performed by a shared write.
+///
+/// Recording the *operation* rather than only the resulting value lets the
+/// reversed-replay benign check (Section 3.1 of the paper) decide whether two
+/// conflicting critical sections commute: e.g. two `Set` writes of the same
+/// value are a redundant (benign) conflict, while `Add` and `Set` generally do
+/// not commute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WriteOp {
+    /// Store an absolute value into the object.
+    Set(i64),
+    /// Add a delta to the object's current value.
+    Add(i64),
+}
+
+impl WriteOp {
+    /// Applies this operation to a current value, returning the new value.
+    pub fn apply(self, current: i64) -> i64 {
+        match self {
+            WriteOp::Set(v) => v,
+            WriteOp::Add(d) => current.wrapping_add(d),
+        }
+    }
+}
+
+/// A single recorded action of one thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A stretch of thread-local computation costing `cost` virtual time.
+    Compute {
+        /// Virtual time consumed by the computation.
+        cost: Time,
+    },
+    /// Completion of a lock acquisition.
+    LockAcquire {
+        /// The application lock that was acquired.
+        lock: LockId,
+        /// Static code site of the lock/unlock pair (the static critical
+        /// section this dynamic acquisition is an instance of).
+        site: CodeSiteId,
+    },
+    /// Release of a lock previously acquired by the same thread.
+    LockRelease {
+        /// The application lock that was released.
+        lock: LockId,
+    },
+    /// A read of a shared object (observed inside or outside critical
+    /// sections; ULCP analysis only considers those inside).
+    Read {
+        /// The shared object read.
+        obj: ObjectId,
+        /// The value observed in the original execution.
+        value: i64,
+    },
+    /// A write to a shared object.
+    Write {
+        /// The shared object written.
+        obj: ObjectId,
+        /// The operation performed.
+        op: WriteOp,
+        /// The resulting value in the original execution.
+        value: i64,
+    },
+    /// `pthread_cond_wait`-style wait: atomically releases `lock`, blocks
+    /// until signalled, then re-acquires `lock`.
+    CondWait {
+        /// Condition variable waited on.
+        cond: CondId,
+        /// Lock released while waiting and re-acquired before returning.
+        lock: LockId,
+    },
+    /// Signal (or broadcast) of a condition variable.
+    CondSignal {
+        /// Condition variable signalled.
+        cond: CondId,
+        /// Whether every waiter is woken (broadcast) or just one.
+        broadcast: bool,
+    },
+    /// Barrier wait; completes when all participating threads arrive.
+    BarrierWait {
+        /// Barrier waited on.
+        barrier: BarrierId,
+    },
+    /// Selective recording: a code range (system call, library call,
+    /// spin-loop body, …) whose effects were recorded as a state delta and
+    /// which is bypassed during replay, charging `saved_cost` instead of
+    /// re-executing it.
+    SkipRegion {
+        /// Code site naming the skipped range.
+        site: CodeSiteId,
+        /// Virtual time the skipped range took in the original execution.
+        saved_cost: Time,
+    },
+    /// A checkpoint marker enabling replay to start from a later point.
+    Checkpoint {
+        /// User-assigned checkpoint number.
+        id: u32,
+    },
+    /// End of the thread.
+    ThreadExit,
+}
+
+impl Event {
+    /// Returns true if this event is a lock acquisition.
+    pub fn is_acquire(&self) -> bool {
+        matches!(self, Event::LockAcquire { .. })
+    }
+
+    /// Returns true if this event is a lock release.
+    pub fn is_release(&self) -> bool {
+        matches!(self, Event::LockRelease { .. })
+    }
+
+    /// Returns true if this event is a shared-memory access.
+    pub fn is_memory_access(&self) -> bool {
+        matches!(self, Event::Read { .. } | Event::Write { .. })
+    }
+
+    /// Returns the lock involved in this event, if any.
+    pub fn lock(&self) -> Option<LockId> {
+        match self {
+            Event::LockAcquire { lock, .. }
+            | Event::LockRelease { lock }
+            | Event::CondWait { lock, .. } => Some(*lock),
+            _ => None,
+        }
+    }
+
+    /// Returns the shared object accessed by this event, if any.
+    pub fn object(&self) -> Option<ObjectId> {
+        match self {
+            Event::Read { obj, .. } | Event::Write { obj, .. } => Some(*obj),
+            _ => None,
+        }
+    }
+
+    /// Returns the intrinsic virtual-time cost of the event (computation and
+    /// skipped regions have one; synchronization costs are schedule-dependent
+    /// and therefore not intrinsic).
+    pub fn intrinsic_cost(&self) -> Time {
+        match self {
+            Event::Compute { cost } => *cost,
+            Event::SkipRegion { saved_cost, .. } => *saved_cost,
+            _ => Time::ZERO,
+        }
+    }
+}
+
+/// An [`Event`] together with the virtual time at which it completed in the
+/// original (recorded) execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Completion timestamp in the original execution.
+    pub at: Time,
+    /// The recorded action.
+    pub event: Event,
+}
+
+impl TimedEvent {
+    /// Creates a timed event.
+    pub fn new(at: Time, event: Event) -> Self {
+        TimedEvent { at, event }
+    }
+}
+
+/// One entry of the recorded global lock-acquisition schedule.
+///
+/// The recorder logs the total order in which lock acquisitions were granted
+/// at runtime; the ELSC replay scheduler (Section 5.2) enforces exactly this
+/// order in every replay of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockGrant {
+    /// Position in the global grant order (0-based, dense).
+    pub seq: u64,
+    /// The lock granted.
+    pub lock: LockId,
+    /// The thread the lock was granted to.
+    pub thread: crate::ids::ThreadId,
+    /// Index of the corresponding [`Event::LockAcquire`] in that thread's
+    /// event stream.
+    pub event_index: usize,
+    /// Virtual time of the grant in the original execution.
+    pub at: Time,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ThreadId;
+
+    #[test]
+    fn write_op_apply() {
+        assert_eq!(WriteOp::Set(7).apply(100), 7);
+        assert_eq!(WriteOp::Add(3).apply(100), 103);
+        assert_eq!(WriteOp::Add(-5).apply(3), -2);
+        assert_eq!(WriteOp::Add(1).apply(i64::MAX), i64::MIN); // wrapping
+    }
+
+    #[test]
+    fn event_classification() {
+        let acq = Event::LockAcquire {
+            lock: LockId::new(0),
+            site: CodeSiteId::new(0),
+        };
+        let rel = Event::LockRelease { lock: LockId::new(0) };
+        let rd = Event::Read {
+            obj: ObjectId::new(1),
+            value: 0,
+        };
+        assert!(acq.is_acquire() && !acq.is_release());
+        assert!(rel.is_release() && !rel.is_acquire());
+        assert!(rd.is_memory_access());
+        assert!(!acq.is_memory_access());
+    }
+
+    #[test]
+    fn event_lock_and_object_accessors() {
+        let acq = Event::LockAcquire {
+            lock: LockId::new(3),
+            site: CodeSiteId::new(0),
+        };
+        assert_eq!(acq.lock(), Some(LockId::new(3)));
+        assert_eq!(acq.object(), None);
+
+        let wr = Event::Write {
+            obj: ObjectId::new(9),
+            op: WriteOp::Set(1),
+            value: 1,
+        };
+        assert_eq!(wr.object(), Some(ObjectId::new(9)));
+        assert_eq!(wr.lock(), None);
+
+        let cw = Event::CondWait {
+            cond: CondId::new(0),
+            lock: LockId::new(2),
+        };
+        assert_eq!(cw.lock(), Some(LockId::new(2)));
+    }
+
+    #[test]
+    fn intrinsic_cost_only_for_compute_and_skip() {
+        assert_eq!(
+            Event::Compute {
+                cost: Time::from_nanos(10)
+            }
+            .intrinsic_cost(),
+            Time::from_nanos(10)
+        );
+        assert_eq!(
+            Event::SkipRegion {
+                site: CodeSiteId::new(0),
+                saved_cost: Time::from_nanos(4)
+            }
+            .intrinsic_cost(),
+            Time::from_nanos(4)
+        );
+        assert_eq!(
+            Event::LockRelease { lock: LockId::new(0) }.intrinsic_cost(),
+            Time::ZERO
+        );
+    }
+
+    #[test]
+    fn timed_event_and_grant_serde_roundtrip() {
+        let te = TimedEvent::new(
+            Time::from_nanos(42),
+            Event::BarrierWait {
+                barrier: BarrierId::new(1),
+            },
+        );
+        let json = serde_json::to_string(&te).unwrap();
+        let back: TimedEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, te);
+
+        let g = LockGrant {
+            seq: 0,
+            lock: LockId::new(1),
+            thread: ThreadId::new(2),
+            event_index: 5,
+            at: Time::from_nanos(100),
+        };
+        let json = serde_json::to_string(&g).unwrap();
+        let back: LockGrant = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,332 @@
+//! Identifier newtypes used throughout the PerfPlay trace model.
+//!
+//! Every entity that appears in a recorded execution — threads, locks, shared
+//! objects, source code sites — is referred to by a small copyable identifier.
+//! Newtypes keep the identifiers from being mixed up (a [`LockId`] can never be
+//! passed where an [`ObjectId`] is expected) and keep traces compact.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a thread participating in the recorded execution.
+///
+/// Thread ids are dense: a trace with `n` threads uses ids `0..n`.
+///
+/// ```
+/// use perfplay_trace::ThreadId;
+/// let t = ThreadId::new(3);
+/// assert_eq!(t.index(), 3);
+/// assert_eq!(t.to_string(), "T3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// Creates a thread id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the dense index of this thread.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u32> for ThreadId {
+    fn from(value: u32) -> Self {
+        ThreadId(value)
+    }
+}
+
+/// Identifier of an application-level lock (mutex) in the recorded program.
+///
+/// Auxiliary locks introduced by the ULCP transformation (the paper's `@L`
+/// locks) are *not* [`LockId`]s; they are represented by
+/// [`AuxLockId`](crate::AuxLockId) so that original and synthetic
+/// synchronization can never be confused.
+///
+/// ```
+/// use perfplay_trace::LockId;
+/// assert_eq!(LockId::new(7).to_string(), "L7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LockId(u32);
+
+impl LockId {
+    /// Creates a lock id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        LockId(index)
+    }
+
+    /// Returns the dense index of this lock.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u32> for LockId {
+    fn from(value: u32) -> Self {
+        LockId(value)
+    }
+}
+
+/// Identifier of an auxiliary lock introduced by the ULCP transformation.
+///
+/// The paper writes these with an `@L` prefix; RULE 3 assigns one to every
+/// topology node with an outgoing causal edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AuxLockId(u32);
+
+impl AuxLockId {
+    /// Creates an auxiliary lock id.
+    pub const fn new(index: u32) -> Self {
+        AuxLockId(index)
+    }
+
+    /// Returns the dense index of this auxiliary lock.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for AuxLockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@L{}", self.0)
+    }
+}
+
+/// Identifier of a shared memory object (a shared variable, field, or byte
+/// range that the paper's shadow memory tracks).
+///
+/// ```
+/// use perfplay_trace::ObjectId;
+/// assert_eq!(ObjectId::new(42).to_string(), "obj42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(u64);
+
+impl ObjectId {
+    /// Creates an object id.
+    pub const fn new(index: u64) -> Self {
+        ObjectId(index)
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(value: u64) -> Self {
+        ObjectId(value)
+    }
+}
+
+/// Identifier of a condition variable in the recorded program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CondId(u32);
+
+impl CondId {
+    /// Creates a condition-variable id.
+    pub const fn new(index: u32) -> Self {
+        CondId(index)
+    }
+
+    /// Returns the dense index of this condition variable.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CondId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cond{}", self.0)
+    }
+}
+
+/// Identifier of a barrier in the recorded program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BarrierId(u32);
+
+impl BarrierId {
+    /// Creates a barrier id.
+    pub const fn new(index: u32) -> Self {
+        BarrierId(index)
+    }
+
+    /// Returns the dense index of this barrier.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BarrierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "barrier{}", self.0)
+    }
+}
+
+/// Identifier of a source code site (the static location of a lock/unlock
+/// pair, i.e. the static critical section that dynamic critical sections are
+/// instances of).
+///
+/// Code sites are interned in a [`SiteTable`](crate::SiteTable); events and
+/// critical sections carry only the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CodeSiteId(u32);
+
+impl CodeSiteId {
+    /// Creates a code-site id from its dense index in the owning
+    /// [`SiteTable`](crate::SiteTable).
+    pub const fn new(index: u32) -> Self {
+        CodeSiteId(index)
+    }
+
+    /// Returns the dense index of this code site.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for CodeSiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// Identifier of a dynamic critical section within a trace.
+///
+/// Critical-section ids are assigned in trace order by
+/// [`extract_critical_sections`](crate::extract_critical_sections) and are
+/// unique within a single [`Trace`](crate::Trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SectionId(u32);
+
+impl SectionId {
+    /// Creates a section id.
+    pub const fn new(index: u32) -> Self {
+        SectionId(index)
+    }
+
+    /// Returns the dense index of this section.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CS{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_roundtrip() {
+        let t = ThreadId::new(5);
+        assert_eq!(t.index(), 5);
+        assert_eq!(t.raw(), 5);
+        assert_eq!(ThreadId::from(5), t);
+        assert_eq!(t.to_string(), "T5");
+    }
+
+    #[test]
+    fn lock_id_display_and_ordering() {
+        let a = LockId::new(1);
+        let b = LockId::new(2);
+        assert!(a < b);
+        assert_eq!(b.to_string(), "L2");
+        assert_eq!(LockId::from(1), a);
+    }
+
+    #[test]
+    fn aux_lock_display_uses_at_prefix() {
+        assert_eq!(AuxLockId::new(11).to_string(), "@L11");
+        assert_eq!(AuxLockId::new(11).index(), 11);
+    }
+
+    #[test]
+    fn object_id_roundtrip() {
+        let o = ObjectId::new(123);
+        assert_eq!(o.raw(), 123);
+        assert_eq!(ObjectId::from(123u64), o);
+        assert_eq!(o.to_string(), "obj123");
+    }
+
+    #[test]
+    fn site_and_section_ids() {
+        assert_eq!(CodeSiteId::new(2).index(), 2);
+        assert_eq!(CodeSiteId::new(2).to_string(), "site2");
+        assert_eq!(SectionId::new(9).to_string(), "CS9");
+        assert_eq!(SectionId::new(9).index(), 9);
+    }
+
+    #[test]
+    fn cond_and_barrier_ids() {
+        assert_eq!(CondId::new(1).to_string(), "cond1");
+        assert_eq!(CondId::new(1).index(), 1);
+        assert_eq!(BarrierId::new(3).to_string(), "barrier3");
+        assert_eq!(BarrierId::new(3).index(), 3);
+    }
+
+    #[test]
+    fn ids_serialize_as_plain_numbers() {
+        let json = serde_json::to_string(&ThreadId::new(4)).unwrap();
+        assert_eq!(json, "4");
+        let back: ThreadId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ThreadId::new(4));
+    }
+
+    #[test]
+    fn ids_are_hashable_in_maps() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(LockId::new(0), "global");
+        m.insert(LockId::new(1), "cache");
+        assert_eq!(m[&LockId::new(1)], "cache");
+    }
+}

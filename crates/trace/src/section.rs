@@ -1,0 +1,404 @@
+//! Dynamic critical sections and their extraction from a trace.
+//!
+//! A *critical section* is one dynamic execution of a lock/unlock pair. The
+//! ULCP analysis works on critical sections: their shared read/write sets (the
+//! paper's shadow-memory state `C.Srd` / `C.Swr`), the code site that produced
+//! them, and their position in the recorded timing order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, WriteOp};
+use crate::ids::{CodeSiteId, LockId, ObjectId, SectionId, ThreadId};
+use crate::time::Time;
+use crate::trace::Trace;
+
+/// One ordered shared-memory access performed inside a critical section.
+///
+/// The ordered access list (rather than only the read/write *sets*) is what
+/// the reversed-replay benign check needs: it re-executes the accesses of two
+/// sections in both orders and compares the resulting memory state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemAccess {
+    /// A read of the object.
+    Read(ObjectId),
+    /// A write applying the given operation to the object.
+    Write(ObjectId, WriteOp),
+}
+
+impl MemAccess {
+    /// The object touched by this access.
+    pub fn object(&self) -> ObjectId {
+        match self {
+            MemAccess::Read(o) | MemAccess::Write(o, _) => *o,
+        }
+    }
+
+    /// Returns true if the access is a write.
+    pub fn is_write(&self) -> bool {
+        matches!(self, MemAccess::Write(..))
+    }
+}
+
+/// A dynamic critical section extracted from a recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriticalSection {
+    /// Trace-wide identifier, assigned in ascending order of original entry
+    /// time (the paper's "timing index").
+    pub id: SectionId,
+    /// Thread that executed the section.
+    pub thread: ThreadId,
+    /// Application lock protecting the section.
+    pub lock: LockId,
+    /// Static code site of the lock/unlock pair.
+    pub site: CodeSiteId,
+    /// Index of the `LockAcquire` event in the thread's event stream.
+    pub acquire_index: usize,
+    /// Index of the matching `LockRelease` event.
+    pub release_index: usize,
+    /// Lock-acquisition completion time in the original execution.
+    pub enter_time: Time,
+    /// Lock-release time in the original execution.
+    pub exit_time: Time,
+    /// Shared objects read inside the section (`C.Srd`).
+    pub reads: BTreeSet<ObjectId>,
+    /// Shared objects written inside the section (`C.Swr`).
+    pub writes: BTreeSet<ObjectId>,
+    /// Ordered shared accesses inside the section.
+    pub accesses: Vec<MemAccess>,
+    /// Intrinsic (compute + skipped) cost of the section body.
+    pub body_cost: Time,
+    /// Lock nesting depth at the acquire (0 = outermost).
+    pub depth: usize,
+}
+
+impl CriticalSection {
+    /// Returns true if the section performs no shared-memory access at all
+    /// (line 1 of Algorithm 1: a null-lock candidate).
+    pub fn is_access_free(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// Returns true if the section only reads shared memory.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty() && !self.reads.is_empty()
+    }
+
+    /// Duration the section held the lock in the original execution.
+    pub fn held_time(&self) -> Time {
+        self.exit_time - self.enter_time
+    }
+
+    /// Returns true if the two sections' accesses conflict: they touch some
+    /// common object and at least one side writes it.
+    pub fn conflicts_with(&self, other: &CriticalSection) -> bool {
+        let rw = self.reads.intersection(&other.writes).next().is_some();
+        let wr = self.writes.intersection(&other.reads).next().is_some();
+        let ww = self.writes.intersection(&other.writes).next().is_some();
+        rw || wr || ww
+    }
+}
+
+/// Extracts every dynamic critical section from a trace.
+///
+/// Nested critical sections are all reported; a shared access performed while
+/// several locks are held is attributed to every open section, matching how
+/// the paper's shadow memory records "all shared reads/writes in the critical
+/// section".
+///
+/// The returned vector is sorted by original entry time (ties broken by thread
+/// id), and [`SectionId`]s are assigned in that order.
+pub fn extract_critical_sections(trace: &Trace) -> Vec<CriticalSection> {
+    struct Open {
+        lock: LockId,
+        site: CodeSiteId,
+        acquire_index: usize,
+        enter_time: Time,
+        reads: BTreeSet<ObjectId>,
+        writes: BTreeSet<ObjectId>,
+        accesses: Vec<MemAccess>,
+        body_cost: Time,
+        depth: usize,
+    }
+
+    let mut sections = Vec::new();
+    for tt in &trace.threads {
+        let mut open: Vec<Open> = Vec::new();
+        for (idx, te) in tt.events.iter().enumerate() {
+            match &te.event {
+                Event::LockAcquire { lock, site } => {
+                    open.push(Open {
+                        lock: *lock,
+                        site: *site,
+                        acquire_index: idx,
+                        enter_time: te.at,
+                        reads: BTreeSet::new(),
+                        writes: BTreeSet::new(),
+                        accesses: Vec::new(),
+                        body_cost: Time::ZERO,
+                        depth: open.len(),
+                    });
+                }
+                Event::LockRelease { lock } => {
+                    if let Some(pos) = open.iter().rposition(|o| o.lock == *lock) {
+                        let o = open.remove(pos);
+                        sections.push(CriticalSection {
+                            id: SectionId::new(0), // renumbered below
+                            thread: tt.thread,
+                            lock: o.lock,
+                            site: o.site,
+                            acquire_index: o.acquire_index,
+                            release_index: idx,
+                            enter_time: o.enter_time,
+                            exit_time: te.at,
+                            reads: o.reads,
+                            writes: o.writes,
+                            accesses: o.accesses,
+                            body_cost: o.body_cost,
+                            depth: o.depth,
+                        });
+                    }
+                }
+                Event::Read { obj, .. } => {
+                    for o in &mut open {
+                        o.reads.insert(*obj);
+                        o.accesses.push(MemAccess::Read(*obj));
+                    }
+                }
+                Event::Write { obj, op, .. } => {
+                    for o in &mut open {
+                        o.writes.insert(*obj);
+                        o.accesses.push(MemAccess::Write(*obj, *op));
+                    }
+                }
+                Event::Compute { cost } => {
+                    for o in &mut open {
+                        o.body_cost += *cost;
+                    }
+                }
+                Event::SkipRegion { saved_cost, .. } => {
+                    for o in &mut open {
+                        o.body_cost += *saved_cost;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    sections.sort_by_key(|s| (s.enter_time, s.thread, s.acquire_index));
+    for (i, s) in sections.iter_mut().enumerate() {
+        s.id = SectionId::new(i as u32);
+    }
+    sections
+}
+
+/// Groups critical sections by the lock protecting them, preserving the
+/// timing-index order within each group.
+pub fn sections_by_lock(sections: &[CriticalSection]) -> BTreeMap<LockId, Vec<&CriticalSection>> {
+    let mut map: BTreeMap<LockId, Vec<&CriticalSection>> = BTreeMap::new();
+    for s in sections {
+        map.entry(s.lock).or_default().push(s);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceMeta;
+
+    fn build_trace() -> Trace {
+        let mut trace = Trace::new(
+            TraceMeta {
+                program: "sections".into(),
+                num_threads: 2,
+                num_locks: 2,
+                num_objects: 2,
+                input: "unit".into(),
+            },
+            2,
+        );
+        // T0: lock L0 { read obj0; compute 5 } ; lock L0 { } (null)
+        {
+            let t0 = &mut trace.threads[0];
+            t0.push(
+                Time::from_nanos(1),
+                Event::LockAcquire {
+                    lock: LockId::new(0),
+                    site: CodeSiteId::new(0),
+                },
+            );
+            t0.push(
+                Time::from_nanos(2),
+                Event::Read {
+                    obj: ObjectId::new(0),
+                    value: 0,
+                },
+            );
+            t0.push(
+                Time::from_nanos(7),
+                Event::Compute {
+                    cost: Time::from_nanos(5),
+                },
+            );
+            t0.push(Time::from_nanos(8), Event::LockRelease { lock: LockId::new(0) });
+            t0.push(
+                Time::from_nanos(9),
+                Event::LockAcquire {
+                    lock: LockId::new(0),
+                    site: CodeSiteId::new(1),
+                },
+            );
+            t0.push(Time::from_nanos(10), Event::LockRelease { lock: LockId::new(0) });
+        }
+        // T1: lock L0 { lock L1 { write obj1 } write obj0 }
+        {
+            let t1 = &mut trace.threads[1];
+            t1.push(
+                Time::from_nanos(3),
+                Event::LockAcquire {
+                    lock: LockId::new(0),
+                    site: CodeSiteId::new(2),
+                },
+            );
+            t1.push(
+                Time::from_nanos(4),
+                Event::LockAcquire {
+                    lock: LockId::new(1),
+                    site: CodeSiteId::new(3),
+                },
+            );
+            t1.push(
+                Time::from_nanos(5),
+                Event::Write {
+                    obj: ObjectId::new(1),
+                    op: WriteOp::Set(2),
+                    value: 2,
+                },
+            );
+            t1.push(Time::from_nanos(6), Event::LockRelease { lock: LockId::new(1) });
+            t1.push(
+                Time::from_nanos(7),
+                Event::Write {
+                    obj: ObjectId::new(0),
+                    op: WriteOp::Add(1),
+                    value: 1,
+                },
+            );
+            t1.push(Time::from_nanos(8), Event::LockRelease { lock: LockId::new(0) });
+        }
+        trace.total_time = Time::from_nanos(10);
+        trace
+    }
+
+    #[test]
+    fn extraction_finds_all_sections() {
+        let trace = build_trace();
+        let sections = extract_critical_sections(&trace);
+        assert_eq!(sections.len(), 4);
+        // Sorted by entry time: T0@1, T1@3 (outer), T1@4 (inner), T0@9.
+        assert_eq!(sections[0].thread, ThreadId::new(0));
+        assert_eq!(sections[1].thread, ThreadId::new(1));
+        assert_eq!(sections[1].lock, LockId::new(0));
+        assert_eq!(sections[2].lock, LockId::new(1));
+        assert_eq!(sections[3].site, CodeSiteId::new(1));
+        // Ids follow the sort order.
+        for (i, s) in sections.iter().enumerate() {
+            assert_eq!(s.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn read_write_sets_and_nesting() {
+        let trace = build_trace();
+        let sections = extract_critical_sections(&trace);
+        let outer = &sections[1];
+        let inner = &sections[2];
+        // The inner write to obj1 is attributed to both the inner and outer
+        // sections; the outer also writes obj0.
+        assert!(outer.writes.contains(&ObjectId::new(1)));
+        assert!(outer.writes.contains(&ObjectId::new(0)));
+        assert_eq!(inner.writes.len(), 1);
+        assert!(inner.writes.contains(&ObjectId::new(1)));
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.accesses.len(), 2);
+        assert_eq!(inner.accesses.len(), 1);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let trace = build_trace();
+        let sections = extract_critical_sections(&trace);
+        let t0_first = &sections[0];
+        let null = &sections[3];
+        assert!(t0_first.is_read_only());
+        assert!(!t0_first.is_access_free());
+        assert!(null.is_access_free());
+        assert!(!null.is_read_only());
+        assert_eq!(t0_first.body_cost, Time::from_nanos(5));
+        assert_eq!(t0_first.held_time(), Time::from_nanos(7));
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let trace = build_trace();
+        let sections = extract_critical_sections(&trace);
+        let t0_read = &sections[0]; // reads obj0
+        let t1_outer = &sections[1]; // writes obj0, obj1
+        let t1_inner = &sections[2]; // writes obj1
+        let t0_null = &sections[3];
+        assert!(t0_read.conflicts_with(t1_outer));
+        assert!(t1_outer.conflicts_with(t0_read));
+        assert!(!t0_read.conflicts_with(t1_inner));
+        assert!(!t0_null.conflicts_with(t1_outer));
+        assert!(t1_inner.conflicts_with(t1_outer));
+    }
+
+    #[test]
+    fn sections_by_lock_groups_in_timing_order() {
+        let trace = build_trace();
+        let sections = extract_critical_sections(&trace);
+        let by_lock = sections_by_lock(&sections);
+        assert_eq!(by_lock.len(), 2);
+        let l0 = &by_lock[&LockId::new(0)];
+        assert_eq!(l0.len(), 3);
+        assert!(l0[0].enter_time <= l0[1].enter_time && l0[1].enter_time <= l0[2].enter_time);
+        assert_eq!(by_lock[&LockId::new(1)].len(), 1);
+    }
+
+    #[test]
+    fn mem_access_helpers() {
+        let r = MemAccess::Read(ObjectId::new(4));
+        let w = MemAccess::Write(ObjectId::new(5), WriteOp::Add(2));
+        assert_eq!(r.object(), ObjectId::new(4));
+        assert_eq!(w.object(), ObjectId::new(5));
+        assert!(!r.is_write());
+        assert!(w.is_write());
+    }
+
+    #[test]
+    fn skip_region_cost_counts_toward_body_cost() {
+        let mut trace = Trace::new(TraceMeta::default(), 1);
+        let t0 = &mut trace.threads[0];
+        t0.push(
+            Time::from_nanos(1),
+            Event::LockAcquire {
+                lock: LockId::new(0),
+                site: CodeSiteId::new(0),
+            },
+        );
+        t0.push(
+            Time::from_nanos(5),
+            Event::SkipRegion {
+                site: CodeSiteId::new(7),
+                saved_cost: Time::from_nanos(4),
+            },
+        );
+        t0.push(Time::from_nanos(6), Event::LockRelease { lock: LockId::new(0) });
+        let sections = extract_critical_sections(&trace);
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].body_cost, Time::from_nanos(4));
+    }
+}

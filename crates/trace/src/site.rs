@@ -1,0 +1,257 @@
+//! Code sites and code regions.
+//!
+//! PerfPlay attributes every dynamic critical section to the *static* code
+//! site (lock/unlock pair in the source) that produced it, and groups ULCPs by
+//! *code region* — a set of code sites — when fusing and accumulating their
+//! performance impact (Section 4.1, Algorithm 2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::CodeSiteId;
+
+/// A static source location of a lock/unlock pair.
+///
+/// For the synthetic workloads in this reproduction the `function` and `line`
+/// fields model the positions the paper reports (e.g. `fil0fil.cc:5473`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CodeSite {
+    /// File or module the critical section lives in.
+    pub file: String,
+    /// Function name containing the critical section.
+    pub function: String,
+    /// Line of the lock operation.
+    pub line: u32,
+}
+
+impl CodeSite {
+    /// Creates a code site description.
+    pub fn new(file: impl Into<String>, function: impl Into<String>, line: u32) -> Self {
+        CodeSite {
+            file: file.into(),
+            function: function.into(),
+            line,
+        }
+    }
+}
+
+impl fmt::Display for CodeSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.file, self.function, self.line)
+    }
+}
+
+/// Interning table mapping [`CodeSiteId`]s to their [`CodeSite`] descriptions.
+///
+/// Traces carry only ids; the table travels with the [`Trace`](crate::Trace).
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteTable {
+    sites: Vec<CodeSite>,
+}
+
+impl SiteTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a code site, returning its id. Identical sites share one id.
+    pub fn intern(&mut self, site: CodeSite) -> CodeSiteId {
+        if let Some(pos) = self.sites.iter().position(|s| *s == site) {
+            return CodeSiteId::new(pos as u32);
+        }
+        self.sites.push(site);
+        CodeSiteId::new((self.sites.len() - 1) as u32)
+    }
+
+    /// Looks up the description for an id.
+    pub fn get(&self, id: CodeSiteId) -> Option<&CodeSite> {
+        self.sites.get(id.index())
+    }
+
+    /// Returns the number of interned sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Returns true if no site has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Iterates over `(id, site)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (CodeSiteId, &CodeSite)> {
+        self.sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (CodeSiteId::new(i as u32), s))
+    }
+
+    /// Merges another table into this one, returning the id remapping for the
+    /// other table's ids (`other_id -> new_id`).
+    pub fn merge(&mut self, other: &SiteTable) -> Vec<CodeSiteId> {
+        other.sites.iter().map(|s| self.intern(s.clone())).collect()
+    }
+}
+
+/// A code region: a non-empty set of code sites treated as one source-level
+/// unit for ULCP fusion.
+///
+/// The paper's Algorithm 2 uses two operators on code regions: `⊓` (do two
+/// regions share code?) and `⊔` (the conflated region). They map to
+/// [`CodeRegion::overlaps`] and [`CodeRegion::merge`].
+///
+/// ```
+/// use perfplay_trace::{CodeRegion, CodeSiteId};
+/// let a = CodeRegion::single(CodeSiteId::new(1));
+/// let b = CodeRegion::single(CodeSiteId::new(2));
+/// assert!(!a.overlaps(&b));
+/// let ab = a.merge(&b);
+/// assert!(ab.overlaps(&a) && ab.overlaps(&b));
+/// assert_eq!(ab.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CodeRegion {
+    sites: BTreeSet<CodeSiteId>,
+}
+
+impl CodeRegion {
+    /// Creates a region containing a single code site.
+    pub fn single(site: CodeSiteId) -> Self {
+        let mut sites = BTreeSet::new();
+        sites.insert(site);
+        CodeRegion { sites }
+    }
+
+    /// Creates a region from an iterator of sites.
+    ///
+    /// Returns `None` if the iterator is empty (regions are never empty).
+    pub fn from_sites<I: IntoIterator<Item = CodeSiteId>>(iter: I) -> Option<Self> {
+        let sites: BTreeSet<_> = iter.into_iter().collect();
+        if sites.is_empty() {
+            None
+        } else {
+            Some(CodeRegion { sites })
+        }
+    }
+
+    /// The paper's `⊓` operator: do the two regions involve shared code?
+    pub fn overlaps(&self, other: &CodeRegion) -> bool {
+        self.sites.intersection(&other.sites).next().is_some()
+    }
+
+    /// The paper's `⊔` operator: the conflated region of both.
+    pub fn merge(&self, other: &CodeRegion) -> CodeRegion {
+        CodeRegion {
+            sites: self.sites.union(&other.sites).copied().collect(),
+        }
+    }
+
+    /// Returns true if the region contains the given site.
+    pub fn contains(&self, site: CodeSiteId) -> bool {
+        self.sites.contains(&site)
+    }
+
+    /// Number of code sites in the region.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Regions are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Iterates over the sites in the region.
+    pub fn iter(&self) -> impl Iterator<Item = CodeSiteId> + '_ {
+        self.sites.iter().copied()
+    }
+}
+
+impl fmt::Display for CodeRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.sites.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_table_interns_and_dedupes() {
+        let mut t = SiteTable::new();
+        assert!(t.is_empty());
+        let a = t.intern(CodeSite::new("fil0fil.cc", "fil_flush", 5473));
+        let b = t.intern(CodeSite::new("fil0fil.cc", "fil_flush_file_spaces", 5609));
+        let a2 = t.intern(CodeSite::new("fil0fil.cc", "fil_flush", 5473));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).unwrap().line, 5473);
+        assert_eq!(t.get(CodeSiteId::new(99)), None);
+    }
+
+    #[test]
+    fn site_table_iter_and_merge() {
+        let mut t1 = SiteTable::new();
+        let _x = t1.intern(CodeSite::new("a.c", "f", 1));
+        let mut t2 = SiteTable::new();
+        let y = t2.intern(CodeSite::new("b.c", "g", 2));
+        let z = t2.intern(CodeSite::new("a.c", "f", 1));
+        let remap = t1.merge(&t2);
+        assert_eq!(remap.len(), 2);
+        // b.c:g:2 is new, a.c:f:1 dedupes onto the existing entry.
+        assert_eq!(t1.len(), 2);
+        assert_eq!(t1.get(remap[y.index()]).unwrap().function, "g");
+        assert_eq!(remap[z.index()].index(), 0);
+        assert_eq!(t1.iter().count(), 2);
+    }
+
+    #[test]
+    fn code_site_display() {
+        let s = CodeSite::new("mf.c", "consumer", 2109);
+        assert_eq!(s.to_string(), "mf.c:consumer:2109");
+    }
+
+    #[test]
+    fn region_overlap_and_merge() {
+        let a = CodeRegion::single(CodeSiteId::new(0));
+        let b = CodeRegion::single(CodeSiteId::new(1));
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&a));
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(CodeSiteId::new(0)));
+        assert!(m.contains(CodeSiteId::new(1)));
+        assert!(m.overlaps(&a));
+        assert_eq!(m.to_string(), "{site0,site1}");
+    }
+
+    #[test]
+    fn region_from_sites_rejects_empty() {
+        assert!(CodeRegion::from_sites(std::iter::empty()).is_none());
+        let r = CodeRegion::from_sites([CodeSiteId::new(3), CodeSiteId::new(3)]).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![CodeSiteId::new(3)]);
+    }
+
+    #[test]
+    fn region_merge_is_commutative_and_idempotent() {
+        let a = CodeRegion::from_sites([CodeSiteId::new(0), CodeSiteId::new(2)]).unwrap();
+        let b = CodeRegion::from_sites([CodeSiteId::new(2), CodeSiteId::new(5)]).unwrap();
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&a), a);
+        assert!(a.overlaps(&b));
+    }
+}

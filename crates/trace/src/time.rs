@@ -1,0 +1,261 @@
+//! Virtual time used by the recorder, simulator and replayer.
+//!
+//! All performance quantities in this reproduction are expressed in *virtual
+//! nanoseconds*. The discrete-event simulator advances a virtual clock
+//! deterministically, so replayed times are exactly reproducible; wall-clock
+//! time is never consulted by the analysis.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in, or span of, virtual time measured in nanoseconds.
+///
+/// `Time` is deliberately a single scalar type used for both instants and
+/// durations (mirroring how the paper manipulates `Time1`, `Time2`, `Time3`
+/// and their differences); arithmetic saturates rather than wrapping so that
+/// malformed traces degrade gracefully instead of panicking.
+///
+/// ```
+/// use perfplay_trace::Time;
+/// let a = Time::from_micros(2);
+/// let b = Time::from_nanos(500);
+/// assert_eq!((a + b).as_nanos(), 2_500);
+/// assert_eq!((b - a), Time::ZERO); // saturating
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero instant / empty duration.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time; used as "infinity" by schedulers.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Time(nanos)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Time(micros * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Time(millis * 1_000_000)
+    }
+
+    /// Returns the value in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value in (truncated) microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the value in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the value as floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns true if this is the zero time.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction; returns [`Time::ZERO`] instead of underflowing.
+    pub const fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, other: Time) -> Time {
+        Time(self.0.saturating_add(other.0))
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, other: Time) -> Time {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two times.
+    pub fn min(self, other: Time) -> Time {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns this time scaled by a floating-point factor (rounded to the
+    /// nearest nanosecond). Useful for input-size scaling of workloads.
+    pub fn scale(self, factor: f64) -> Time {
+        Time((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+
+    /// Returns `self / other` as a ratio, or 0.0 when `other` is zero.
+    pub fn ratio(self, other: Time) -> f64 {
+        if other.is_zero() {
+            0.0
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    fn div(self, rhs: u64) -> Time {
+        if rhs == 0 {
+            Time::ZERO
+        } else {
+            Time(self.0 / rhs)
+        }
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |acc, t| acc + t)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Time::from_nanos(5).as_nanos(), 5);
+        assert_eq!(Time::from_micros(2).as_nanos(), 2_000);
+        assert_eq!(Time::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(Time::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Time::from_millis(3).as_millis(), 3);
+        assert!(Time::ZERO.is_zero());
+        assert!(!Time::from_nanos(1).is_zero());
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let small = Time::from_nanos(1);
+        let big = Time::from_nanos(10);
+        assert_eq!(small - big, Time::ZERO);
+        assert_eq!(big - small, Time::from_nanos(9));
+        assert_eq!(Time::MAX + big, Time::MAX);
+        assert_eq!(Time::MAX * 2, Time::MAX);
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign() {
+        let mut t = Time::from_nanos(10);
+        t += Time::from_nanos(5);
+        assert_eq!(t.as_nanos(), 15);
+        t -= Time::from_nanos(20);
+        assert_eq!(t, Time::ZERO);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(Time::from_nanos(100) / 0, Time::ZERO);
+        assert_eq!(Time::from_nanos(100) / 4, Time::from_nanos(25));
+    }
+
+    #[test]
+    fn min_max_and_sum() {
+        let a = Time::from_nanos(3);
+        let b = Time::from_nanos(7);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let total: Time = vec![a, b, Time::from_nanos(10)].into_iter().sum();
+        assert_eq!(total.as_nanos(), 20);
+    }
+
+    #[test]
+    fn scale_and_ratio() {
+        let t = Time::from_nanos(1_000);
+        assert_eq!(t.scale(1.5).as_nanos(), 1_500);
+        assert_eq!(t.scale(0.0), Time::ZERO);
+        assert!((Time::from_nanos(500).ratio(t) - 0.5).abs() < 1e-12);
+        assert_eq!(t.ratio(Time::ZERO), 0.0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Time::from_nanos(15).to_string(), "15ns");
+        assert_eq!(Time::from_nanos(1_500).to_string(), "1.500us");
+        assert_eq!(Time::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(Time::from_millis(1_500).to_string(), "1.500s");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Time::from_micros(7);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Time = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

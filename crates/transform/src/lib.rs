@@ -1,0 +1,34 @@
+//! # perfplay-transform
+//!
+//! ULCP trace transformation (Section 3 of the PerfPlay paper): turns a
+//! recorded trace plus its ULCP analysis into a **ULCP-free trace** whose
+//! synchronization keeps only the causal dependencies of true lock
+//! contention.
+//!
+//! The stages are:
+//!
+//! 1. [`Topology`] — the causal-order topology of RULE 1 (nodes are critical
+//!    sections, edges are TLCPs found by the detector's sequential search);
+//! 2. [`Transformer::transform`] — applies RULE 2 (partial-order
+//!    preservation), RULE 3 (auxiliary-lock locksets) and RULE 4
+//!    (lockset-intersection mutual exclusion), strips null-locks and
+//!    standalone nodes, and reports benign pairs as potential data races
+//!    (Theorem 1);
+//! 3. [`dynamic_lockset`] — the dynamic locking strategy of Figure 9, used by
+//!    the replayer to prune locks of already-finished source nodes and keep
+//!    lockset maintenance overhead low (Table 3).
+//!
+//! The output, [`TransformedTrace`], is what `perfplay-replay` replays to
+//! measure the performance the program would have had without ULCPs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod plan;
+mod topology;
+
+pub use plan::{
+    dynamic_lockset, NodeSync, OrderConstraint, RaceWarning, TransformConfig, TransformStats,
+    TransformedTrace, Transformer,
+};
+pub use topology::Topology;

@@ -1,0 +1,333 @@
+//! Models of the paper's case-study bugs (Section 6.6) and of their fixes.
+//!
+//! * **#BUG 1** — the OpenLDAP spin-wait of Figure 4: worker threads
+//!   repeatedly take `dbmp->mutex` only to read `dbmfp->ref`, burning CPU
+//!   until a slow critical thread finally drops the reference. The fix the
+//!   paper applies replaces the spin with a barrier.
+//! * **#BUG 2** — the pbzip2 join of Figure 18: during the end stage every
+//!   consumer repeatedly takes `mu` and the nested `muDone` just to read
+//!   `fifo->empty` and `producerDone`, producing nested read-read ULCPs. The
+//!   fix moves the responsibility to the producer (signal/wait), modelled
+//!   here with a barrier hand-off.
+//! * **MySQL #68573** — the query-cache `try_lock` of Figures 17/28: every
+//!   SELECT holds `structure_guard_mutex` while it sleeps on a 50 ms timed
+//!   wait, so concurrent SELECTs serialize on a lock nobody needs.
+
+use perfplay_program::{Program, ProgramBuilder};
+use perfplay_trace::Time;
+
+use crate::profile::WorkloadConfig;
+
+/// #BUG 1: the OpenLDAP `dbmfp->ref` spin-wait (Figure 4).
+///
+/// `threads - 1` workers spin on the shared reference count under
+/// `dbmp->mutex`; the last thread performs the real work (scaled by the input
+/// size) before releasing its reference.
+pub fn bug1_openldap_spinwait(config: &WorkloadConfig) -> Program {
+    let mut b = ProgramBuilder::new("openldap-bug1");
+    b.input(config.input.label());
+    let mutex = b.lock("dbmp->mutex");
+    let refcount = b.shared("dbmfp->ref", 0);
+    let spin_site = b.site("mp/mp_fopen.c", "wait_for_ref", 642);
+    let release_site = b.site("mp/mp_fopen.c", "release_ref", 690);
+
+    let work = Time::from_micros((60.0 * config.input.scale()).round().max(1.0) as u64);
+    let waiters = config.threads.saturating_sub(1).max(1);
+    for i in 0..waiters {
+        b.thread(format!("waiter{i}"), |t| {
+            t.spin_wait_shared(mutex, spin_site, refcount, 1, Time::from_nanos(250), 20_000);
+            t.compute_us(2);
+        });
+    }
+    b.thread("critical-thread", |t| {
+        t.compute(work);
+        t.locked(mutex, release_site, |cs| {
+            cs.write_set(refcount, 1);
+        });
+    });
+    b.build()
+}
+
+/// The fix for #BUG 1: the threads synchronize through a barrier instead of
+/// spinning on the reference count.
+pub fn bug1_fixed_barrier(config: &WorkloadConfig) -> Program {
+    let mut b = ProgramBuilder::new("openldap-bug1-fixed");
+    b.input(config.input.label());
+    let barrier = b.barrier("ref_barrier", config.threads.max(2));
+    let work = Time::from_micros((60.0 * config.input.scale()).round().max(1.0) as u64);
+    let waiters = config.threads.saturating_sub(1).max(1);
+    for i in 0..waiters {
+        b.thread(format!("waiter{i}"), |t| {
+            t.barrier(barrier);
+            t.compute_us(2);
+        });
+    }
+    b.thread("critical-thread", |t| {
+        t.compute(work);
+        t.barrier(barrier);
+    });
+    b.build()
+}
+
+/// #BUG 2: the pbzip2 producer/consumer join (Figure 18).
+///
+/// Consumers compress their share of blocks, then enter the end stage where
+/// each loop iteration takes `mu` and the nested `muDone` just to check
+/// `fifo->empty` and `producerDone`.
+pub fn bug2_pbzip2_join(config: &WorkloadConfig) -> Program {
+    let mut b = ProgramBuilder::new("pbzip2-bug2");
+    b.input(config.input.label());
+    let mu = b.lock("mu");
+    let mu_done = b.lock("muDone");
+    let fifo_count = b.shared("fifo->count", 0);
+    let fifo_empty = b.shared("fifo->empty", 0);
+    let producer_done = b.shared("producerDone", 0);
+    let consume_site = b.site("pbzip2.cpp", "consumer_dequeue", 2109);
+    let join_site = b.site("pbzip2.cpp", "consumer_join_check", 2122);
+    let done_site = b.site("pbzip2.cpp", "syncGetProducerDone", 534);
+    let produce_site = b.site("pbzip2.cpp", "producer_enqueue", 1850);
+    let finish_site = b.site("pbzip2.cpp", "producer_finish", 1920);
+
+    let blocks = (24.0 * config.input.scale()).round().max(2.0) as u32;
+    let consumers = config.threads.saturating_sub(1).max(1);
+    let blocks_per_consumer = (blocks / consumers as u32).max(1);
+
+    for i in 0..consumers {
+        b.thread(format!("consumer{i}"), |t| {
+            // Normal consumption phase.
+            t.loop_n(blocks_per_consumer, |l| {
+                l.locked(mu, consume_site, |cs| {
+                    let got = cs.read_into(fifo_count);
+                    cs.write_add(fifo_count, -1);
+                    let _ = got;
+                });
+                l.compute_us(3); // compress the block
+            });
+            // End stage: poll the two flags under nested locks until the
+            // producer is done — the read-read ULCP of the paper.
+            t.while_cond(
+                perfplay_program::Cond::ne(
+                    perfplay_program::ValueSource::Shared(producer_done),
+                    1,
+                ),
+                20_000,
+                |poll| {
+                    poll.locked(mu, join_site, |cs| {
+                        cs.read(fifo_empty);
+                        cs.locked(mu_done, done_site, |inner| {
+                            inner.read(producer_done);
+                        });
+                    });
+                    poll.compute_ns(300);
+                },
+            );
+        });
+    }
+    b.thread("producer", |t| {
+        t.loop_n(blocks, |l| {
+            l.locked(mu, produce_site, |cs| {
+                cs.write_add(fifo_count, 1);
+            });
+            l.compute_us(1); // read the next block from disk
+        });
+        t.locked(mu_done, finish_site, |cs| {
+            cs.write_set(producer_done, 1);
+        });
+        t.locked(mu, finish_site, |cs| {
+            cs.write_set(fifo_empty, 1);
+        });
+    });
+    b.build()
+}
+
+/// The fix for #BUG 2: the producer takes responsibility for announcing the
+/// end of the stream, and consumers exit through a single synchronization
+/// point instead of polling the flags under two locks.
+pub fn bug2_fixed_signal(config: &WorkloadConfig) -> Program {
+    let mut b = ProgramBuilder::new("pbzip2-bug2-fixed");
+    b.input(config.input.label());
+    let mu = b.lock("mu");
+    let join = b.barrier("join", config.threads.max(2));
+    let fifo_count = b.shared("fifo->count", 0);
+    let consume_site = b.site("pbzip2.cpp", "consumer_dequeue", 2109);
+    let produce_site = b.site("pbzip2.cpp", "producer_enqueue", 1850);
+
+    let blocks = (24.0 * config.input.scale()).round().max(2.0) as u32;
+    let consumers = config.threads.saturating_sub(1).max(1);
+    let blocks_per_consumer = (blocks / consumers as u32).max(1);
+
+    for i in 0..consumers {
+        b.thread(format!("consumer{i}"), |t| {
+            t.loop_n(blocks_per_consumer, |l| {
+                l.locked(mu, consume_site, |cs| {
+                    let got = cs.read_into(fifo_count);
+                    cs.write_add(fifo_count, -1);
+                    let _ = got;
+                });
+                l.compute_us(3);
+            });
+            t.barrier(join);
+        });
+    }
+    b.thread("producer", |t| {
+        t.loop_n(blocks, |l| {
+            l.locked(mu, produce_site, |cs| {
+                cs.write_add(fifo_count, 1);
+            });
+            l.compute_us(1);
+        });
+        t.barrier(join);
+    });
+    b.build()
+}
+
+/// MySQL bug #68573: the query-cache `try_lock` holds `structure_guard_mutex`
+/// across a timed wait, so concurrent SELECT statements serialize on the
+/// cache lock and the intended 50 ms timeout stretches with the number of
+/// threads.
+pub fn mysql_68573_query_cache(config: &WorkloadConfig) -> Program {
+    let mut b = ProgramBuilder::new("mysql-68573");
+    b.input(config.input.label());
+    let guard = b.lock("structure_guard_mutex");
+    let cache_status = b.shared("COND_cache_status_changed", 0);
+    let try_lock_site = b.site("sql_cache.cc", "Query_cache::try_lock", 1155);
+    let select_site = b.site("sql_cache.cc", "send_result_to_client", 1210);
+    let query_table = b.shared("query_cache_table", 3);
+
+    let queries = (12.0 * config.input.scale()).round().max(1.0) as u32;
+    // The paper's 50 ms timeout, scaled down by three orders of magnitude to
+    // keep virtual runtimes small; the serialization shape is unchanged.
+    let timeout_slice = Time::from_micros(5);
+
+    for i in 0..config.threads {
+        b.thread(format!("select{i}"), |t| {
+            t.loop_n(queries, |l| {
+                // try_lock: wait on the status change with the guard held.
+                l.locked(guard, try_lock_site, |cs| {
+                    cs.read(cache_status);
+                    cs.compute(timeout_slice);
+                });
+                // Execute the statement without using the query cache.
+                l.locked(guard, select_site, |cs| {
+                    cs.read(query_table);
+                    cs.compute_us(1);
+                });
+                l.compute_us(4);
+            });
+        });
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::InputSize;
+    use perfplay_detect::{Detector, UlcpKind};
+    use perfplay_record::Recorder;
+    use perfplay_sim::SimConfig;
+    use perfplay_trace::Trace;
+
+    fn record(program: &Program) -> Trace {
+        Recorder::new(SimConfig::default())
+            .record(program)
+            .unwrap()
+            .trace
+    }
+
+    fn config(threads: usize) -> WorkloadConfig {
+        WorkloadConfig::new(threads, InputSize::SimMedium)
+    }
+
+    #[test]
+    fn bug1_produces_read_read_ulcps_and_spin_waste() {
+        let program = bug1_openldap_spinwait(&config(4));
+        let recording = Recorder::new(SimConfig::default()).record(&program).unwrap();
+        let analysis = Detector::default().analyze(&recording.trace);
+        assert!(analysis.breakdown.read_read > 10);
+        // The spinning waiters burn CPU while the critical thread works.
+        assert!(recording.timing.total_spin() > perfplay_trace::Time::from_micros(10));
+    }
+
+    #[test]
+    fn bug1_fix_removes_the_ulcps() {
+        let buggy = record(&bug1_openldap_spinwait(&config(4)));
+        let fixed = record(&bug1_fixed_barrier(&config(4)));
+        let buggy_ulcps = Detector::default().analyze(&buggy).breakdown.total_ulcps();
+        let fixed_ulcps = Detector::default().analyze(&fixed).breakdown.total_ulcps();
+        assert!(buggy_ulcps > 0);
+        assert_eq!(fixed_ulcps, 0);
+        assert!(fixed.num_acquisitions() < buggy.num_acquisitions());
+    }
+
+    #[test]
+    fn bug2_produces_nested_read_read_ulcps() {
+        let program = bug2_pbzip2_join(&config(4));
+        let trace = record(&program);
+        let analysis = Detector::default().analyze(&trace);
+        assert!(analysis.breakdown.read_read > 0);
+        // Nested sections exist: some critical section has depth > 0.
+        assert!(analysis.sections.iter().any(|s| s.depth > 0));
+        // And the producer's writes make some pairs truly conflict.
+        assert!(analysis.breakdown.tlcp_edges > 0);
+    }
+
+    #[test]
+    fn bug2_fix_reduces_lock_acquisitions_and_ulcps() {
+        let buggy = record(&bug2_pbzip2_join(&config(4)));
+        let fixed = record(&bug2_fixed_signal(&config(4)));
+        assert!(fixed.num_acquisitions() < buggy.num_acquisitions());
+        let buggy_rr = Detector::default().analyze(&buggy).breakdown.read_read;
+        let fixed_rr = Detector::default().analyze(&fixed).breakdown.read_read;
+        assert!(fixed_rr < buggy_rr);
+    }
+
+    #[test]
+    fn mysql_68573_serializes_selects_on_the_guard_mutex() {
+        let program = mysql_68573_query_cache(&config(4));
+        let recording = Recorder::new(SimConfig::default()).record(&program).unwrap();
+        let analysis = Detector::default().analyze(&recording.trace);
+        // The timed wait under the guard shows up as read-read ULCPs.
+        assert!(analysis.breakdown.read_read > 0);
+        assert!(analysis
+            .ulcps
+            .iter()
+            .any(|u| u.kind == UlcpKind::ReadRead));
+        // Every SELECT thread spends most of its life waiting for the guard.
+        let waiting: Vec<_> = recording
+            .timing
+            .per_thread
+            .iter()
+            .filter(|t| t.lock_wait > perfplay_trace::Time::from_micros(5))
+            .collect();
+        assert!(!waiting.is_empty());
+    }
+
+    #[test]
+    fn case_programs_scale_with_input_size() {
+        let small = record(&bug2_pbzip2_join(&WorkloadConfig::new(
+            3,
+            InputSize::SimSmall,
+        )));
+        let large = record(&bug2_pbzip2_join(&WorkloadConfig::new(
+            3,
+            InputSize::SimLarge,
+        )));
+        assert!(large.num_acquisitions() > small.num_acquisitions());
+        assert!(large.total_time > small.total_time);
+    }
+
+    #[test]
+    fn all_case_programs_validate() {
+        let c = config(3);
+        for program in [
+            bug1_openldap_spinwait(&c),
+            bug1_fixed_barrier(&c),
+            bug2_pbzip2_join(&c),
+            bug2_fixed_signal(&c),
+            mysql_68573_query_cache(&c),
+        ] {
+            assert!(program.validate().is_ok(), "{} must validate", program.name);
+        }
+    }
+}

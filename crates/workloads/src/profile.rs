@@ -1,0 +1,378 @@
+//! Generic machinery for building synthetic application models.
+//!
+//! Every application in the paper's evaluation (Table 1) exhibits a different
+//! *mix* of critical-section behaviours: how many sections are read-only,
+//! write disjoint objects, turn out empty (null-locks), conflict benignly, or
+//! truly conflict. A [`Profile`] captures that mix together with the coarse
+//! shape of the program (locks, code sites, iteration counts, section and gap
+//! costs); [`build_program`] expands it into a concrete `perfplay-program`
+//! for a given thread count and input size.
+//!
+//! The absolute dynamic counts are scaled down roughly an order of magnitude
+//! from the paper's Table 1 so the whole evaluation runs in seconds; the
+//! *relative* mix per application and the ordering across applications are
+//! preserved, which is what the reproduced tables and figures depend on.
+
+use perfplay_program::{Cond, Program, ProgramBuilder, ValueSource};
+use perfplay_trace::Time;
+
+/// Input size of a workload, mirroring PARSEC's `simsmall` / `simmedium` /
+/// `simlarge` convention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InputSize {
+    /// Small input (half the baseline work).
+    SimSmall,
+    /// Medium input (the baseline).
+    SimMedium,
+    /// Large input (double the baseline work).
+    SimLarge,
+    /// Explicit scale factor relative to the baseline.
+    Custom(f64),
+}
+
+impl InputSize {
+    /// The work-scaling factor this input size applies to iteration counts.
+    pub fn scale(self) -> f64 {
+        match self {
+            InputSize::SimSmall => 0.5,
+            InputSize::SimMedium => 1.0,
+            InputSize::SimLarge => 2.0,
+            InputSize::Custom(f) => f.max(0.0),
+        }
+    }
+
+    /// Name used in trace metadata and reports.
+    pub fn label(self) -> String {
+        match self {
+            InputSize::SimSmall => "simsmall".into(),
+            InputSize::SimMedium => "simmedium".into(),
+            InputSize::SimLarge => "simlarge".into(),
+            InputSize::Custom(f) => format!("custom-x{f:.2}"),
+        }
+    }
+}
+
+/// How a workload is instantiated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Input size.
+    pub input: InputSize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            threads: 2,
+            input: InputSize::SimLarge,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Convenience constructor.
+    pub fn new(threads: usize, input: InputSize) -> Self {
+        WorkloadConfig { threads, input }
+    }
+}
+
+/// Relative frequency of each critical-section behaviour in a profile.
+/// Weights need not sum to anything particular; they are used round-robin
+/// proportionally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SectionMix {
+    /// Read-only critical sections (read-read ULCP fodder).
+    pub read_read: u32,
+    /// Sections writing thread-private shared objects under a shared lock
+    /// (disjoint-write ULCPs).
+    pub disjoint_write: u32,
+    /// Sections whose guarded update never fires (null-locks).
+    pub null_lock: u32,
+    /// Sections performing redundant same-value stores (benign ULCPs).
+    pub benign: u32,
+    /// Sections with genuine read-modify-write conflicts (TLCPs).
+    pub conflict: u32,
+}
+
+impl SectionMix {
+    fn total(&self) -> u32 {
+        self.read_read + self.disjoint_write + self.null_lock + self.benign + self.conflict
+    }
+}
+
+/// The static description of one synthetic application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Application name (used for the program and trace metadata).
+    pub name: &'static str,
+    /// Number of distinct application locks.
+    pub locks: usize,
+    /// Baseline critical sections per thread (scaled by the input size).
+    pub sections_per_thread: u32,
+    /// Behaviour mix.
+    pub mix: SectionMix,
+    /// Cost of a critical-section body.
+    pub cs_cost: Time,
+    /// Cost of the computation between critical sections.
+    pub gap_cost: Time,
+    /// Number of unlocked shared reads folded into each gap (gives the
+    /// memory-order-enforcing replay scheme something to serialize).
+    pub unlocked_reads: u32,
+}
+
+impl Profile {
+    /// Expected dynamic lock acquisitions for a configuration (before
+    /// conflict-free applications that never lock).
+    pub fn expected_acquisitions(&self, config: &WorkloadConfig) -> usize {
+        let per_thread = (self.sections_per_thread as f64 * config.input.scale()).round() as usize;
+        per_thread * config.threads
+    }
+}
+
+/// Expands a profile into a runnable program.
+pub fn build_program(profile: &Profile, config: &WorkloadConfig) -> Program {
+    let mut b = ProgramBuilder::new(profile.name);
+    b.input(config.input.label());
+
+    let locks: Vec<_> = (0..profile.locks.max(1))
+        .map(|i| b.lock(format!("{}_lock{i}", profile.name)))
+        .collect();
+
+    // Shared state: a read-mostly table, a contended counter, per-thread
+    // slots for disjoint writes, a redundant status flag, and a scratch
+    // object read outside critical sections.
+    let table = b.shared("table", 42);
+    let counter = b.shared("counter", 0);
+    let status = b.shared("status_flag", 1);
+    let scratch = b.shared("scratch", 7);
+    let slots: Vec<_> = (0..config.threads.max(1))
+        .map(|i| b.shared(format!("slot{i}"), 0))
+        .collect();
+
+    // One code site per (lock, behaviour) pair keeps fusion interesting while
+    // staying faithful to "many dynamic ULCPs per static site".
+    let site_of = |b: &mut ProgramBuilder, lock_index: usize, kind: &str, line: u32| {
+        b.site(
+            format!("{}.c", profile.name),
+            format!("{kind}_l{lock_index}"),
+            line,
+        )
+    };
+    let mut rr_sites = Vec::new();
+    let mut dw_sites = Vec::new();
+    let mut nl_sites = Vec::new();
+    let mut bn_sites = Vec::new();
+    let mut cf_sites = Vec::new();
+    for li in 0..profile.locks.max(1) {
+        rr_sites.push(site_of(&mut b, li, "read_table", 100 + li as u32));
+        dw_sites.push(site_of(&mut b, li, "update_slot", 200 + li as u32));
+        nl_sites.push(site_of(&mut b, li, "maybe_update", 300 + li as u32));
+        bn_sites.push(site_of(&mut b, li, "set_status", 400 + li as u32));
+        cf_sites.push(site_of(&mut b, li, "bump_counter", 500 + li as u32));
+    }
+
+    let per_thread = ((profile.sections_per_thread as f64) * config.input.scale())
+        .round()
+        .max(1.0) as u32;
+    let mix_total = profile.mix.total().max(1);
+    let cs_cost = profile.cs_cost;
+    let gap_cost = profile.gap_cost;
+
+    for thread_index in 0..config.threads {
+        let slot = slots[thread_index];
+        let mix = profile.mix;
+        let num_locks = locks.len();
+        let locks = locks.clone();
+        let rr_sites = rr_sites.clone();
+        let dw_sites = dw_sites.clone();
+        let nl_sites = nl_sites.clone();
+        let bn_sites = bn_sites.clone();
+        let cf_sites = cf_sites.clone();
+        let unlocked_reads = profile.unlocked_reads;
+        b.thread(format!("{}-worker{}", profile.name, thread_index), |t| {
+            // A local flag that is always false drives the null-lock branch.
+            let guard = t.local();
+            t.set_local(guard, 0);
+            for i in 0..per_thread {
+                // Pick the behaviour for this iteration proportionally to the
+                // mix. All threads walk the locks in the same order, the way
+                // real applications contend on the same hot lock at the same
+                // program phase.
+                let slot_in_mix = (i * 7 + thread_index as u32 * 3) % mix_total;
+                let lock_index = (i as usize) % num_locks;
+                let lock = locks[lock_index];
+
+                if slot_in_mix < mix.read_read {
+                    t.locked(lock, rr_sites[lock_index], |cs| {
+                        cs.read(table);
+                        cs.compute(cs_cost);
+                    });
+                } else if slot_in_mix < mix.read_read + mix.disjoint_write {
+                    t.locked(lock, dw_sites[lock_index], |cs| {
+                        cs.write_add(slot, 1);
+                        cs.compute(cs_cost);
+                    });
+                } else if slot_in_mix < mix.read_read + mix.disjoint_write + mix.null_lock {
+                    t.locked(lock, nl_sites[lock_index], |cs| {
+                        cs.if_then(Cond::eq(ValueSource::Local(guard), 1), |then| {
+                            then.write_add(counter, 1);
+                        });
+                        cs.compute(cs_cost);
+                    });
+                } else if slot_in_mix
+                    < mix.read_read + mix.disjoint_write + mix.null_lock + mix.benign
+                {
+                    t.locked(lock, bn_sites[lock_index], |cs| {
+                        cs.write_set(status, 1);
+                        cs.compute(cs_cost);
+                    });
+                } else {
+                    t.locked(lock, cf_sites[lock_index], |cs| {
+                        let observed = cs.read_into(counter);
+                        cs.write_add(counter, 1);
+                        cs.if_then(Cond::ge(ValueSource::Local(observed), i64::MAX), |then| {
+                            then.compute_ns(1);
+                        });
+                        cs.compute(cs_cost);
+                    });
+                }
+
+                // Gap: thread-local work plus a few unlocked shared reads.
+                t.compute(gap_cost);
+                for _ in 0..unlocked_reads {
+                    t.read(scratch);
+                }
+            }
+        });
+    }
+    b.build()
+}
+
+/// A lock-free profile expansion used by applications that essentially do not
+/// synchronize (blackscholes, swaptions in the paper): pure data-parallel
+/// computation with a handful of token lock acquisitions.
+pub fn build_lock_free_program(
+    name: &'static str,
+    config: &WorkloadConfig,
+    token_sections: u32,
+    work: Time,
+) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    b.input(config.input.label());
+    let lock = b.lock(format!("{name}_init_lock"));
+    let data = b.shared("input_data", 1);
+    let site = b.site(format!("{name}.c"), "init", 10);
+    let scaled = ((work.as_nanos() as f64) * config.input.scale()).round() as u64;
+    for thread_index in 0..config.threads {
+        b.thread(format!("{name}-worker{thread_index}"), |t| {
+            for _ in 0..token_sections {
+                t.locked(lock, site, |cs| {
+                    cs.read(data);
+                });
+            }
+            t.compute(Time::from_nanos(scaled));
+        });
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfplay_detect::Detector;
+    use perfplay_record::Recorder;
+    use perfplay_sim::SimConfig;
+
+    fn sample_profile() -> Profile {
+        Profile {
+            name: "sample",
+            locks: 2,
+            sections_per_thread: 26,
+            mix: SectionMix {
+                read_read: 5,
+                disjoint_write: 3,
+                null_lock: 1,
+                benign: 3,
+                conflict: 1,
+            },
+            cs_cost: Time::from_nanos(300),
+            gap_cost: Time::from_nanos(500),
+            unlocked_reads: 2,
+        }
+    }
+
+    #[test]
+    fn input_size_scaling() {
+        assert_eq!(InputSize::SimSmall.scale(), 0.5);
+        assert_eq!(InputSize::SimMedium.scale(), 1.0);
+        assert_eq!(InputSize::SimLarge.scale(), 2.0);
+        assert_eq!(InputSize::Custom(3.5).scale(), 3.5);
+        assert_eq!(InputSize::Custom(-1.0).scale(), 0.0);
+        assert_eq!(InputSize::SimLarge.label(), "simlarge");
+        assert!(InputSize::Custom(2.0).label().contains("2.00"));
+    }
+
+    #[test]
+    fn build_program_validates_and_scales_with_input() {
+        let profile = sample_profile();
+        let small = build_program(&profile, &WorkloadConfig::new(2, InputSize::SimSmall));
+        let large = build_program(&profile, &WorkloadConfig::new(2, InputSize::SimLarge));
+        assert!(small.validate().is_ok());
+        assert!(large.validate().is_ok());
+        assert!(large.stats().static_critical_sections > small.stats().static_critical_sections);
+        assert_eq!(small.num_threads(), 2);
+    }
+
+    #[test]
+    fn expected_acquisitions_matches_recorded_trace() {
+        let profile = sample_profile();
+        let config = WorkloadConfig::new(2, InputSize::SimMedium);
+        let program = build_program(&profile, &config);
+        let recording = Recorder::new(SimConfig::default()).record(&program).unwrap();
+        assert_eq!(
+            recording.trace.num_acquisitions(),
+            profile.expected_acquisitions(&config)
+        );
+    }
+
+    #[test]
+    fn mix_produces_all_four_ulcp_categories_and_tlcps() {
+        let profile = sample_profile();
+        let config = WorkloadConfig::new(2, InputSize::SimMedium);
+        let program = build_program(&profile, &config);
+        let trace = Recorder::new(SimConfig::default())
+            .record(&program)
+            .unwrap()
+            .trace;
+        let analysis = Detector::default().analyze(&trace);
+        assert!(analysis.breakdown.read_read > 0);
+        assert!(analysis.breakdown.disjoint_write > 0);
+        assert!(analysis.breakdown.null_lock > 0);
+        assert!(analysis.breakdown.benign > 0);
+        assert!(analysis.breakdown.tlcp_edges > 0);
+    }
+
+    #[test]
+    fn lock_free_program_has_minimal_synchronization() {
+        let config = WorkloadConfig::new(4, InputSize::SimMedium);
+        let program =
+            build_lock_free_program("blackscholes_like", &config, 0, Time::from_micros(50));
+        assert!(program.validate().is_ok());
+        let trace = Recorder::new(SimConfig::default())
+            .record(&program)
+            .unwrap()
+            .trace;
+        assert_eq!(trace.num_acquisitions(), 0);
+        let analysis = Detector::default().analyze(&trace);
+        assert_eq!(analysis.breakdown.total_ulcps(), 0);
+    }
+
+    #[test]
+    fn more_threads_mean_more_acquisitions() {
+        let profile = sample_profile();
+        let two = profile.expected_acquisitions(&WorkloadConfig::new(2, InputSize::SimMedium));
+        let eight = profile.expected_acquisitions(&WorkloadConfig::new(8, InputSize::SimMedium));
+        assert_eq!(eight, two * 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! Case study MySQL #68573 (paper Figure 17): the query-cache `try_lock`
+//! holds `structure_guard_mutex` across a timed wait, so concurrent SELECT
+//! statements serialize and the intended timeout silently stretches.
+//!
+//! ```text
+//! cargo run --example mysql_query_cache
+//! ```
+
+use perfplay::workloads::cases;
+use perfplay::workloads::{InputSize, WorkloadConfig};
+use perfplay::PerfPlay;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let perfplay = PerfPlay::new();
+
+    println!("MySQL #68573 — query cache lock serializing SELECT statements");
+    println!("{:>8} {:>14} {:>14} {:>12}", "threads", "total time", "if fixed", "degradation");
+    for threads in [2usize, 4, 8] {
+        let config = WorkloadConfig::new(threads, InputSize::SimMedium);
+        let analysis = perfplay.analyze_program(&cases::mysql_68573_query_cache(&config))?;
+        println!(
+            "{:>8} {:>14} {:>14} {:>11.2}%",
+            threads,
+            analysis.report.impact.original_time.to_string(),
+            analysis.report.impact.ulcp_free_time.to_string(),
+            100.0 * analysis.report.normalized_degradation(),
+        );
+    }
+
+    let config = WorkloadConfig::new(4, InputSize::SimMedium);
+    let analysis = perfplay.analyze_program(&cases::mysql_68573_query_cache(&config))?;
+    println!();
+    println!("{}", analysis.report.render(&analysis.trace));
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Case study #BUG 1 (paper Section 6.6, Figure 4): the OpenLDAP
+//! `dbmfp->ref` spin-wait.
+//!
+//! Worker threads repeatedly take `dbmp->mutex` only to read the reference
+//! count, wasting CPU until the slow critical thread releases its reference.
+//! The example runs PerfPlay on the buggy model and on the barrier-based fix
+//! and compares the two reports — the same experiment Figure 19 sweeps.
+//!
+//! ```text
+//! cargo run --example openldap_spinwait
+//! ```
+
+use perfplay::workloads::cases;
+use perfplay::workloads::{InputSize, WorkloadConfig};
+use perfplay::PerfPlay;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let perfplay = PerfPlay::new();
+
+    for threads in [2usize, 4, 8] {
+        let config = WorkloadConfig::new(threads, InputSize::SimMedium);
+
+        let buggy = perfplay.analyze_program(&cases::bug1_openldap_spinwait(&config))?;
+        let fixed = perfplay.analyze_program(&cases::bug1_fixed_barrier(&config))?;
+
+        println!("=== {threads} threads ===");
+        println!(
+            "buggy: {} ULCPs ({} read-read), CPU waste/thread {:.2}%, degradation {:.2}%",
+            buggy.report.breakdown.total_ulcps(),
+            buggy.report.breakdown.read_read,
+            100.0 * buggy.report.normalized_waste_per_thread(),
+            100.0 * buggy.report.normalized_degradation(),
+        );
+        println!(
+            "fixed: {} ULCPs, total time {} (buggy: {})",
+            fixed.report.breakdown.total_ulcps(),
+            fixed.report.impact.original_time,
+            buggy.report.impact.original_time,
+        );
+        if let Some(best) = buggy.report.top_recommendation() {
+            println!(
+                "PerfPlay recommendation: fix the spin-wait region first (P = {:.1}%)",
+                best.opportunity * 100.0
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: write a small lock program, run the full PerfPlay pipeline on
+//! it, and print the performance-debugging report.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use perfplay::prelude::*;
+use perfplay::PerfPlay;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small cache-like program: four workers repeatedly look up a shared
+    // table under one big lock (read-read ULCPs), and occasionally insert
+    // into it (true contention).
+    let mut builder = ProgramBuilder::new("quickstart-cache");
+    let cache_lock = builder.lock("cache_mutex");
+    let table = builder.shared("cache_table", 0);
+    let hits = builder.shared("hit_counter", 0);
+    let lookup_site = builder.site("cache.c", "cache_lookup", 120);
+    let insert_site = builder.site("cache.c", "cache_insert", 185);
+
+    for worker in 0..4 {
+        builder.thread(format!("worker-{worker}"), |t| {
+            for round in 0..20u32 {
+                // Mostly lookups...
+                t.locked(cache_lock, lookup_site, |cs| {
+                    cs.read(table);
+                    cs.compute_ns(400);
+                });
+                // ...with an insert every fifth round.
+                if round % 5 == 0 {
+                    t.locked(cache_lock, insert_site, |cs| {
+                        let seen = cs.read_into(hits);
+                        cs.write_add(hits, 1);
+                        let _ = seen;
+                    });
+                }
+                t.compute_ns(600);
+            }
+        });
+    }
+    let program = builder.build();
+
+    // Record → identify → transform → replay → report.
+    let analysis = PerfPlay::new().analyze_program(&program)?;
+
+    println!("{}", analysis.report.render(&analysis.trace));
+    println!(
+        "original replay: {}   ULCP-free replay: {}",
+        analysis.report.impact.original_time, analysis.report.impact.ulcp_free_time
+    );
+    if let Some(best) = analysis.report.top_recommendation() {
+        println!(
+            "fixing the top code region would recover {:.1}% of the total ULCP opportunity",
+            best.opportunity * 100.0
+        );
+    }
+    Ok(())
+}

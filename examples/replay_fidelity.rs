@@ -1,0 +1,41 @@
+//! Replay-fidelity demo (paper Section 6.2, Figure 13): record one PARSEC
+//! model and replay it ten times under each scheduling scheme, showing that
+//! ELSC is both stable and faithful while ORIG-S is unstable and MEM-S /
+//! SYNC-S add overhead.
+//!
+//! ```text
+//! cargo run --example replay_fidelity
+//! ```
+
+use perfplay::prelude::*;
+use perfplay::workloads::{App, InputSize, WorkloadConfig};
+use perfplay::PerfPlay;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = App::Bodytrack.build(&WorkloadConfig::new(2, InputSize::SimLarge));
+    let recording = Recorder::new(SimConfig::default()).record(&program)?;
+    let perfplay = PerfPlay::new();
+
+    println!("bodytrack (simlarge, 2 threads), 10 replays per scheme");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "scheme", "mean", "min", "max", "spread", "precision"
+    );
+    for kind in ScheduleKind::ALL {
+        let report = perfplay.fidelity(&recording.trace, kind, 10)?;
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>9.2}% {:>9.2}%",
+            kind.label(),
+            report.mean().to_string(),
+            report.min().to_string(),
+            report.max().to_string(),
+            100.0 * report.spread(),
+            100.0 * report.precision_error(),
+        );
+    }
+    println!(
+        "recorded execution time: {}",
+        recording.trace.total_time
+    );
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Workspace umbrella crate.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! directories have a Cargo package to attach to. It re-exports the main
+//! entry point crate for convenience.
+
+pub use perfplay;
