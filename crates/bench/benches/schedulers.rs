@@ -12,17 +12,21 @@ fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("replay_schedulers");
     group.sample_size(20);
     for kind in ScheduleKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
-            b.iter(|| {
-                let schedule = match kind {
-                    ScheduleKind::OrigS => ReplaySchedule::orig(7),
-                    ScheduleKind::ElscS => ReplaySchedule::elsc(),
-                    ScheduleKind::SyncS => ReplaySchedule::sync(),
-                    ScheduleKind::MemS => ReplaySchedule::mem(),
-                };
-                replayer.replay(&trace, schedule).unwrap().total_time
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let schedule = match kind {
+                        ScheduleKind::OrigS => ReplaySchedule::orig(7),
+                        ScheduleKind::ElscS => ReplaySchedule::elsc(),
+                        ScheduleKind::SyncS => ReplaySchedule::sync(),
+                        ScheduleKind::MemS => ReplaySchedule::mem(),
+                    };
+                    replayer.replay(&trace, schedule).unwrap().total_time
+                })
+            },
+        );
     }
     group.finish();
 }

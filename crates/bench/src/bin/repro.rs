@@ -1,332 +1,284 @@
-//! `repro` — regenerates every table and figure of the PerfPlay paper's
-//! evaluation (Section 6) from the synthetic workload models.
+//! `repro` — reproduces the headline numbers of this repository and emits
+//! machine-readable benchmark artifacts.
 //!
-//! Usage:
-//!
-//! ```text
-//! cargo run -p perfplay-bench --release --bin repro -- <experiment> [--no-reversed-replay]
-//! ```
-//!
-//! where `<experiment>` is one of `table1`, `fig2`, `fig13`, `fig14`,
-//! `table2`, `table3`, `fig15`, `fig16`, `fig19`, or `all`.
-//!
-//! Absolute numbers are virtual-time measurements on the simulator and are
-//! not expected to match the paper's wall-clock numbers; the *shapes* (who
-//! wins, category mixes, trends with thread count and input size) are what
-//! `EXPERIMENTS.md` compares.
+//! * `repro detect [--quick] [--out PATH]` runs the ULCP-detection scaling
+//!   comparison: the naive snapshot-cloning reference engine vs the optimized
+//!   snapshot-free engine (sequential and parallel) on a large synthetic
+//!   trace, verifies all three produce bit-identical results, and writes
+//!   `BENCH_detect.json`.
+//! * `repro pipeline [--quick]` prints one Table-1-style row per application
+//!   model: ULCP breakdown by category plus the original vs ULCP-free replay
+//!   times.
 
-use perfplay::prelude::*;
-use perfplay::workloads::cases;
-use perfplay::workloads::{App, InputSize, WorkloadConfig};
-use perfplay::{PerfPlay, PerfPlayConfig};
-use perfplay_bench::{analyze_app, ms, pct, record_app};
+use std::time::Instant;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let experiment = args.first().map(String::as_str).unwrap_or("all");
-    let no_reversed_replay = args.iter().any(|a| a == "--no-reversed-replay");
+use perfplay::prelude::{Detector, DetectorConfig};
+use perfplay::workloads::{App, InputSize};
+use perfplay_bench::{analyze_app, detect_bench_config, detect_trace, ms, pct, DetectWorkload};
+use perfplay_detect::{reference_analyze, UlcpAnalysis};
+use serde::Serialize;
 
-    match experiment {
-        "table1" => table1(no_reversed_replay),
-        "fig2" => fig2(),
-        "fig13" => fig13(),
-        "fig14" => fig14(),
-        "table2" => table2(),
-        "table3" => table3(),
-        "fig15" => fig15(),
-        "fig16" => fig16(),
-        "fig19" => fig19(),
-        "all" => {
-            table1(no_reversed_replay);
-            fig2();
-            fig13();
-            fig14();
-            table2();
-            table3();
-            fig15();
-            fig16();
-            fig19();
+#[derive(Debug, Serialize)]
+struct WorkloadReport {
+    threads: usize,
+    sections_per_thread: u32,
+    locks: usize,
+    objects: usize,
+    total_sections: usize,
+    trace_events: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct BreakdownReport {
+    lock_acquisitions: usize,
+    null_lock: usize,
+    read_read: usize,
+    disjoint_write: usize,
+    benign: usize,
+    tlcp_edges: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct DetectReport {
+    workload: WorkloadReport,
+    record_ms: f64,
+    naive_ms: f64,
+    optimized_seq_ms: f64,
+    optimized_par_ms: f64,
+    speedup_seq: f64,
+    speedup_par: f64,
+    results_identical: bool,
+    breakdown: BreakdownReport,
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Times `f` over `runs` runs, dropping each result before the next run.
+/// Returns the digest of the (determinism-checked) result and the median
+/// wall-clock — the naive engine's allocator-heavy profile makes single
+/// samples swing by 2-3x, so one sample is not a number worth publishing.
+fn measure(label: &str, runs: usize, f: impl Fn() -> UlcpAnalysis) -> (ResultDigest, f64) {
+    let mut times = Vec::with_capacity(runs);
+    let mut first_digest: Option<ResultDigest> = None;
+    for run in 0..runs.max(1) {
+        let (analysis, ms) = time_ms(&f);
+        eprintln!("{label} run {}/{}: {ms:.0}ms", run + 1, runs.max(1));
+        times.push(ms);
+        let d = digest(&analysis);
+        match &first_digest {
+            None => first_digest = Some(d),
+            Some(expected) => assert_eq!(expected, &d, "{label} is nondeterministic"),
         }
-        other => {
-            eprintln!("unknown experiment `{other}`");
-            eprintln!("expected: table1 fig2 fig13 fig14 table2 table3 fig15 fig16 fig19 all");
-            std::process::exit(2);
-        }
+    }
+    times.sort_by(f64::total_cmp);
+    let median = times[times.len() / 2];
+    (first_digest.expect("at least one run"), median)
+}
+
+/// Compact content digest of an analysis: the exact breakdown and pair/edge
+/// counts, plus an FNV-1a hash over every (first, second, lock, kind) tuple.
+/// Comparing digests lets each engine be timed — and its multi-hundred-MB
+/// result freed — before the next engine runs, so all three see the same
+/// resident heap.
+#[derive(Debug, PartialEq)]
+struct ResultDigest {
+    breakdown: perfplay::prelude::UlcpBreakdown,
+    ulcps: usize,
+    edges: usize,
+    content_hash: u64,
+}
+
+fn digest(a: &UlcpAnalysis) -> ResultDigest {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    let mut mix = |word: u64| {
+        hash ^= word;
+        hash = hash.wrapping_mul(0x100000001b3);
+    };
+    for u in &a.ulcps {
+        mix(u.first.index() as u64);
+        mix(u.second.index() as u64);
+        mix(u64::from(u.lock.raw()));
+        mix(u.kind as u64);
+    }
+    for e in &a.edges {
+        mix(e.from.index() as u64);
+        mix(e.to.index() as u64);
+        mix(u64::from(e.lock.raw()));
+    }
+    ResultDigest {
+        breakdown: a.breakdown,
+        ulcps: a.ulcps.len(),
+        edges: a.edges.len(),
+        content_hash: hash,
     }
 }
 
-/// Table 1: breakdown of ULCPs in real-world programs and PARSEC (2 threads).
-fn table1(no_reversed_replay: bool) {
-    println!("== Table 1: breakdown of ULCPs (2 threads, simmedium) ==");
-    if no_reversed_replay {
-        println!("   [ablation: reversed-replay benign detection disabled]");
-    }
+fn run_detect(quick: bool, out: &str) {
+    let workload = if quick {
+        DetectWorkload {
+            threads: 8,
+            sections_per_thread: 100,
+            locks: 8,
+            objects: 64,
+        }
+    } else {
+        DetectWorkload {
+            threads: 64,
+            sections_per_thread: 1600,
+            locks: 64,
+            objects: 2048,
+        }
+    };
+    eprintln!(
+        "recording synthetic workload: {} threads x {} sections ({} total)...",
+        workload.threads,
+        workload.sections_per_thread,
+        workload.total_sections()
+    );
+    let (trace, record_ms) = time_ms(|| detect_trace(workload));
+    eprintln!("recorded {} events in {record_ms:.0}ms", trace.num_events());
+
+    let config = detect_bench_config();
+    let runs = if quick { 1 } else { 3 };
+    // Each engine is timed with only the trace (and small digests) resident:
+    // every result — hundreds of MB of pairs on the full workload — is
+    // reduced to a digest and freed before the next timed run.
+    let (naive_digest, naive_ms) = measure("naive reference", runs, || {
+        reference_analyze(&trace, config)
+    });
+    let (seq_digest, optimized_seq_ms) = measure("optimized sequential", runs, || {
+        Detector::new(config).analyze(&trace)
+    });
+    let par_config = DetectorConfig {
+        parallel: true,
+        ..config
+    };
+    let (par_digest, optimized_par_ms) = measure("optimized parallel", runs, || {
+        Detector::new(par_config).analyze(&trace)
+    });
+    let breakdown = seq_digest.breakdown;
+
+    let results_identical = naive_digest == seq_digest && seq_digest == par_digest;
+
+    let report = DetectReport {
+        workload: WorkloadReport {
+            threads: workload.threads,
+            sections_per_thread: workload.sections_per_thread,
+            locks: workload.locks,
+            objects: workload.objects,
+            total_sections: workload.total_sections(),
+            trace_events: trace.num_events(),
+        },
+        record_ms,
+        naive_ms,
+        optimized_seq_ms,
+        optimized_par_ms,
+        speedup_seq: naive_ms / optimized_seq_ms,
+        speedup_par: naive_ms / optimized_par_ms,
+        results_identical,
+        breakdown: BreakdownReport {
+            lock_acquisitions: breakdown.lock_acquisitions,
+            null_lock: breakdown.null_lock,
+            read_read: breakdown.read_read,
+            disjoint_write: breakdown.disjoint_write,
+            benign: breakdown.benign,
+            tlcp_edges: breakdown.tlcp_edges,
+        },
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(out, format!("{json}\n")).expect("write benchmark artifact");
+    println!("{json}");
+    // Assert only after the artifact is on disk, so a divergence leaves a
+    // machine-readable record (results_identical: false) instead of nothing.
+    assert!(
+        results_identical,
+        "optimized engines diverged from the naive reference:\nnaive: {naive_digest:?}\nseq:   {seq_digest:?}\npar:   {par_digest:?}"
+    );
+    eprintln!(
+        "speedup: {:.1}x sequential, {:.1}x parallel -> {out}",
+        report.speedup_seq, report.speedup_par
+    );
+}
+
+/// Prints one row per application model: the per-category ULCP counts and
+/// the replayed original vs ULCP-free times (the shape of the paper's
+/// Table 1 / Figure 14 data).
+fn run_pipeline(quick: bool) {
+    let (threads, input) = if quick {
+        (2, InputSize::SimSmall)
+    } else {
+        (4, InputSize::SimMedium)
+    };
     println!(
-        "{:<16} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7}",
-        "application", "LOC", "size", "#locks", "NL", "RR", "DW", "Benign"
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>12} {:>12} {:>8}",
+        "app", "locks", "NL", "RR", "DW", "Benign", "TLCP", "orig(ms)", "free(ms)", "waste"
     );
     for app in App::ALL {
-        let trace = record_app(app, 2, InputSize::SimMedium);
-        let detector = Detector::new(DetectorConfig {
-            use_reversed_replay: !no_reversed_replay,
-            max_scan_per_thread: None,
-        });
-        let b = detector.analyze(&trace).breakdown;
+        let analysis = analyze_app(app, threads, input);
+        let b = &analysis.report.breakdown;
         println!(
-            "{:<16} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7}",
+            "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>12} {:>12} {:>8}",
             app.name(),
-            app.loc(),
-            app.code_size(),
             b.lock_acquisitions,
             b.null_lock,
             b.read_read,
             b.disjoint_write,
-            b.benign
+            b.benign,
+            b.tlcp_edges,
+            ms(analysis.report.impact.original_time),
+            ms(analysis.report.impact.ulcp_free_time),
+            pct(analysis.report.normalized_degradation()),
         );
     }
-    println!();
 }
 
-/// Figure 2: number of ULCPs with increasing thread count.
-fn fig2() {
-    println!("== Figure 2: #ULCPs vs thread count (simsmall) ==");
-    println!("{:<12} {:>4} {:>10}", "application", "thr", "#ULCPs");
-    for app in [App::OpenLdap, App::Pbzip2, App::Bodytrack] {
-        for threads in [2usize, 4, 8, 16, 32] {
-            let trace = record_app(app, threads, InputSize::SimSmall);
-            let b = Detector::default().analyze(&trace).breakdown;
-            println!("{:<12} {:>4} {:>10}", app.name(), threads, b.total_ulcps());
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command: Option<String> = None;
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match iter.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("--out requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                std::process::exit(2);
+            }
+            cmd => {
+                if let Some(previous) = &command {
+                    eprintln!("unexpected extra command `{cmd}` after `{previous}`");
+                    std::process::exit(2);
+                }
+                command = Some(cmd.to_string());
+            }
         }
     }
-    println!();
-}
-
-/// Figure 13: performance fidelity of MEM-S / SYNC-S / ELSC-S / ORIG-S.
-fn fig13() {
-    println!("== Figure 13: replay fidelity across schedules (PARSEC, simlarge, 2 threads, 10 replays) ==");
-    println!(
-        "{:<15} {:>8} {:>10} {:>10} {:>10} {:>10}",
-        "application", "scheme", "mean(ms)", "min(ms)", "max(ms)", "recorded"
-    );
-    let perfplay = PerfPlay::new();
-    for app in App::PARSEC {
-        let trace = record_app(app, 2, InputSize::SimLarge);
-        for kind in ScheduleKind::ALL {
-            let report = perfplay
-                .fidelity(&trace, kind, 10)
-                .expect("fidelity replays succeed");
-            println!(
-                "{:<15} {:>8} {:>10} {:>10} {:>10} {:>10}",
-                app.name(),
-                kind.label(),
-                ms(report.mean()),
-                ms(report.min()),
-                ms(report.max()),
-                ms(report.recorded)
-            );
+    match command.as_deref() {
+        Some("detect") | None => {
+            run_detect(quick, out.as_deref().unwrap_or("BENCH_detect.json"));
+        }
+        Some("pipeline") => {
+            if out.is_some() {
+                eprintln!("--out is not supported by `pipeline` (it prints to stdout)");
+                std::process::exit(2);
+            }
+            run_pipeline(quick);
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`; available: detect, pipeline");
+            std::process::exit(2);
         }
     }
-    println!();
-}
-
-/// Figure 14: normalized execution time with and without ULCPs.
-fn fig14() {
-    println!("== Figure 14: normalized performance impact of ULCPs (2 threads, simlarge) ==");
-    println!(
-        "{:<16} {:>14} {:>16} {:>12}",
-        "application", "degradation", "waste/thread", "normal"
-    );
-    let mut sum_deg = 0.0;
-    let mut sum_waste = 0.0;
-    let mut count = 0.0;
-    for app in App::ALL {
-        let analysis = analyze_app(app, 2, InputSize::SimLarge);
-        let deg = analysis.report.normalized_degradation();
-        let waste = analysis.report.normalized_waste_per_thread();
-        sum_deg += deg;
-        sum_waste += waste;
-        count += 1.0;
-        println!(
-            "{:<16} {:>14} {:>16} {:>12}",
-            app.name(),
-            pct(deg),
-            pct(waste),
-            pct(1.0 - deg)
-        );
-    }
-    println!(
-        "{:<16} {:>14} {:>16}",
-        "average",
-        pct(sum_deg / count),
-        pct(sum_waste / count)
-    );
-    println!();
-}
-
-/// Table 2: grouped ULCP code regions and the most beneficial one's share.
-fn table2() {
-    println!("== Table 2: grouped ULCP code regions and top opportunity (2 threads, simlarge) ==");
-    println!(
-        "{:<16} {:>15} {:>10}",
-        "application", "#grouped ULCPs", "ULCP1.P"
-    );
-    for app in App::TABLE2 {
-        let analysis = analyze_app(app, 2, InputSize::SimLarge);
-        println!(
-            "{:<16} {:>15} {:>10}",
-            app.name(),
-            analysis.report.grouped_ulcps(),
-            pct(analysis.report.top_opportunity())
-        );
-    }
-    println!();
-}
-
-/// Table 3: lockset overhead with and without the dynamic locking strategy.
-fn table3() {
-    println!("== Table 3: lockset overhead without / with the dynamic locking strategy (PARSEC, 2 threads, simlarge) ==");
-    println!(
-        "{:<16} {:>10} {:>10}",
-        "application", "w/o DLS", "w/ DLS"
-    );
-    for app in App::PARSEC {
-        let trace = record_app(app, 2, InputSize::SimLarge);
-        let analysis = Detector::default().analyze(&trace);
-        let transformed = Transformer::default().transform(&trace, &analysis);
-        let without = UlcpFreeReplayer::default()
-            .with_dls(false)
-            .replay(&transformed)
-            .expect("replay succeeds");
-        let with = UlcpFreeReplayer::default()
-            .replay(&transformed)
-            .expect("replay succeeds");
-        println!(
-            "{:<16} {:>10} {:>10}",
-            app.name(),
-            pct(without.lockset_overhead_fraction()),
-            pct(with.lockset_overhead_fraction())
-        );
-    }
-    println!();
-}
-
-fn sensitivity_row(app: App, threads: usize, input: InputSize) -> (f64, f64) {
-    let analysis = analyze_app(app, threads, input);
-    (
-        analysis.report.normalized_degradation(),
-        analysis.report.normalized_waste_per_thread(),
-    )
-}
-
-/// Figure 15: ULCP impact with the increasing number of threads.
-fn fig15() {
-    println!("== Figure 15: ULCP impact vs thread count (simlarge) ==");
-    println!(
-        "{:<15} {:>4} {:>14} {:>16}",
-        "application", "thr", "perf loss", "waste/thread"
-    );
-    for app in [App::Canneal, App::Bodytrack, App::Fluidanimate] {
-        for threads in [2usize, 4, 6, 8] {
-            let (deg, waste) = sensitivity_row(app, threads, InputSize::SimLarge);
-            println!(
-                "{:<15} {:>4} {:>14} {:>16}",
-                app.name(),
-                threads,
-                pct(deg),
-                pct(waste)
-            );
-        }
-    }
-    println!();
-}
-
-/// Figure 16: ULCP impact with varying input size.
-fn fig16() {
-    println!("== Figure 16: ULCP impact vs input size (2 threads) ==");
-    println!(
-        "{:<15} {:>10} {:>14} {:>16}",
-        "application", "input", "perf loss", "waste/thread"
-    );
-    for app in [App::Canneal, App::Bodytrack, App::Fluidanimate] {
-        for input in [InputSize::SimSmall, InputSize::SimMedium, InputSize::SimLarge] {
-            let (deg, waste) = sensitivity_row(app, 2, input);
-            println!(
-                "{:<15} {:>10} {:>14} {:>16}",
-                app.name(),
-                input.label(),
-                pct(deg),
-                pct(waste)
-            );
-        }
-    }
-    println!();
-}
-
-/// Figure 19: sensitivity of the two exploited case-study bugs.
-fn fig19() {
-    println!("== Figure 19: case studies #BUG 1 (openldap) and #BUG 2 (pbzip2) ==");
-    let perfplay = PerfPlay::with_config(PerfPlayConfig::default());
-
-    let analyze_case = |program: &perfplay::prelude::Program| {
-        perfplay
-            .analyze_program(program)
-            .expect("case programs analyze")
-    };
-
-    println!("-- (a) varying thread count (input: 1000 entries / 64M file) --");
-    println!(
-        "{:<8} {:>4} {:>14} {:>16}",
-        "bug", "thr", "perf loss", "waste/thread"
-    );
-    for threads in [2usize, 4, 6, 8] {
-        let config = WorkloadConfig::new(threads, InputSize::SimMedium);
-        let bug1 = analyze_case(&cases::bug1_openldap_spinwait(&config));
-        let bug2 = analyze_case(&cases::bug2_pbzip2_join(&config));
-        println!(
-            "{:<8} {:>4} {:>14} {:>16}",
-            "BUG1",
-            threads,
-            pct(bug1.report.normalized_degradation()),
-            pct(bug1.report.normalized_waste_per_thread())
-        );
-        println!(
-            "{:<8} {:>4} {:>14} {:>16}",
-            "BUG2",
-            threads,
-            pct(bug2.report.normalized_degradation()),
-            pct(bug2.report.normalized_waste_per_thread())
-        );
-    }
-
-    println!("-- (b) varying input size (4 threads) --");
-    println!(
-        "{:<8} {:>12} {:>14} {:>16}",
-        "bug", "input", "perf loss", "waste/thread"
-    );
-    let inputs = [
-        ("500/32M", 0.5),
-        ("1000/64M", 1.0),
-        ("1500/128M", 1.5),
-        ("2000/256M", 2.0),
-    ];
-    for (label, scale) in inputs {
-        let config = WorkloadConfig::new(4, InputSize::Custom(scale));
-        let bug1 = analyze_case(&cases::bug1_openldap_spinwait(&config));
-        let bug2 = analyze_case(&cases::bug2_pbzip2_join(&config));
-        println!(
-            "{:<8} {:>12} {:>14} {:>16}",
-            "BUG1",
-            label,
-            pct(bug1.report.normalized_degradation()),
-            pct(bug1.report.normalized_waste_per_thread())
-        );
-        println!(
-            "{:<8} {:>12} {:>14} {:>16}",
-            "BUG2",
-            label,
-            pct(bug2.report.normalized_degradation()),
-            pct(bug2.report.normalized_waste_per_thread())
-        );
-    }
-    println!();
 }

@@ -34,3 +34,53 @@ pub fn pct(x: f64) -> String {
 pub fn ms(t: perfplay_trace::Time) -> String {
     format!("{:.3}", t.as_nanos() as f64 / 1e6)
 }
+
+/// Shape of a synthetic detector workload (see [`detect_trace`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DetectWorkload {
+    /// Worker threads in the generated program.
+    pub threads: usize,
+    /// Critical sections each thread executes.
+    pub sections_per_thread: u32,
+    /// Distinct application locks.
+    pub locks: usize,
+    /// Distinct shared objects (drives the naive engine's snapshot width).
+    pub objects: usize,
+}
+
+impl DetectWorkload {
+    /// Total dynamic critical sections the workload produces.
+    pub fn total_sections(&self) -> usize {
+        self.threads * self.sections_per_thread as usize
+    }
+}
+
+/// Records the synthetic trace used by the `detect_scaling` bench and the
+/// `repro` binary: a seeded random lock program mixing reads, disjoint
+/// writes, benign writes and read-modify-write conflicts.
+pub fn detect_trace(workload: DetectWorkload) -> Trace {
+    use perfplay::workloads::{random_workload, GeneratorConfig};
+    let program = random_workload(
+        42,
+        &GeneratorConfig {
+            threads: workload.threads,
+            locks: workload.locks,
+            objects: workload.objects,
+            sections_per_thread: workload.sections_per_thread,
+        },
+    );
+    Recorder::new(SimConfig::default())
+        .record(&program)
+        .expect("synthetic workloads always record")
+        .trace
+}
+
+/// The detector configuration the scaling comparison runs under: reversed
+/// replay on, and the per-thread sequential search capped so the pairing
+/// work grows linearly (not quadratically) with the section count.
+pub fn detect_bench_config() -> perfplay::prelude::DetectorConfig {
+    perfplay::prelude::DetectorConfig {
+        max_scan_per_thread: Some(4),
+        ..perfplay::prelude::DetectorConfig::default()
+    }
+}

@@ -2,10 +2,10 @@
 
 use std::collections::BTreeMap;
 
-use perfplay_trace::{CriticalSection, MemAccess, ObjectId};
+use perfplay_trace::{CriticalSection, Footprint, MemAccess, ObjectId};
 
 use crate::kinds::{PairClass, UlcpKind};
-use crate::shadow::MemorySnapshot;
+use crate::shadow::StartState;
 
 /// Classifies a pair of critical sections protected by the same lock using
 /// the read/write-set intersections of Algorithm 1.
@@ -14,6 +14,9 @@ use crate::shadow::MemorySnapshot;
 /// reported as [`PairClass::Tlcp`] here and must be refined by
 /// [`refine_conflicting_pair`] (the reversed-replay check) to separate benign
 /// ULCPs from true contention.
+///
+/// Every set test is a [`Footprint`] intersection, so disjoint pairs are
+/// usually rejected by a single summary-word AND.
 pub fn classify_by_sets(c1: &CriticalSection, c2: &CriticalSection) -> PairClass {
     // Line 1: either section performs no shared access at all.
     if c1.is_access_free() || c2.is_access_free() {
@@ -24,10 +27,10 @@ pub fn classify_by_sets(c1: &CriticalSection, c2: &CriticalSection) -> PairClass
         return PairClass::Ulcp(UlcpKind::ReadRead);
     }
     // Line 5: all read/write and write/write intersections are empty.
-    let rd_wr = c1.reads.intersection(&c2.writes).next().is_some();
-    let wr_rd = c1.writes.intersection(&c2.reads).next().is_some();
-    let wr_wr = c1.writes.intersection(&c2.writes).next().is_some();
-    if !rd_wr && !wr_rd && !wr_wr {
+    if !c1.reads.intersects(&c2.writes)
+        && !c1.writes.intersects(&c2.reads)
+        && !c1.writes.intersects(&c2.writes)
+    {
         return PairClass::Ulcp(UlcpKind::DisjointWrite);
     }
     PairClass::Tlcp
@@ -40,20 +43,20 @@ pub fn classify_by_sets(c1: &CriticalSection, c2: &CriticalSection) -> PairClass
 struct PairOutcome {
     reads_first_section: Vec<i64>,
     reads_second_section: Vec<i64>,
-    final_memory: BTreeMap<ObjectId, i64>,
+    final_memory: Vec<i64>,
 }
 
 fn execute_accesses(
     accesses: &[MemAccess],
-    memory: &mut MemorySnapshot,
+    memory: &mut BTreeMap<ObjectId, i64>,
     reads: &mut Vec<i64>,
 ) {
     for access in accesses {
         match access {
-            MemAccess::Read(obj) => reads.push(memory.get(*obj)),
+            MemAccess::Read(obj) => reads.push(memory.get(obj).copied().unwrap_or(0)),
             MemAccess::Write(obj, op) => {
-                let new = op.apply(memory.get(*obj));
-                memory.set(*obj, new);
+                let slot = memory.entry(*obj).or_insert(0);
+                *slot = op.apply(*slot);
             }
         }
     }
@@ -62,7 +65,7 @@ fn execute_accesses(
 fn run_order(
     a: &CriticalSection,
     b: &CriticalSection,
-    start: &MemorySnapshot,
+    start: &BTreeMap<ObjectId, i64>,
     footprint: &[ObjectId],
 ) -> PairOutcome {
     let mut memory = start.clone();
@@ -73,7 +76,10 @@ fn run_order(
     PairOutcome {
         reads_first_section: reads_a,
         reads_second_section: reads_b,
-        final_memory: memory.project(footprint.iter().copied()),
+        final_memory: footprint
+            .iter()
+            .map(|obj| memory.get(obj).copied().unwrap_or(0))
+            .collect(),
     }
 }
 
@@ -84,24 +90,24 @@ fn run_order(
 /// If both orders produce the same final memory *and* each section observes
 /// the same read values in both orders, the conflict is false and the pair is
 /// a benign ULCP; otherwise it is a true lock contention pair.
-pub fn refine_conflicting_pair(
+///
+/// Only the values of the pair's combined footprint are fetched from
+/// `state_before` — with a lazy [`StateBefore`](crate::StateBefore) view that
+/// is O(F log E) for a footprint of F objects, instead of materializing the
+/// whole shadow memory.
+pub fn refine_conflicting_pair<S: StartState>(
     c1: &CriticalSection,
     c2: &CriticalSection,
-    state_before: &MemorySnapshot,
+    state_before: &S,
 ) -> PairClass {
-    let footprint: Vec<ObjectId> = c1
-        .reads
+    let footprint = Footprint::union_of(&[&c1.reads, &c1.writes, &c2.reads, &c2.writes]);
+    let start: BTreeMap<ObjectId, i64> = footprint
         .iter()
-        .chain(c1.writes.iter())
-        .chain(c2.reads.iter())
-        .chain(c2.writes.iter())
-        .copied()
-        .collect::<std::collections::BTreeSet<_>>()
-        .into_iter()
+        .map(|&obj| (obj, state_before.value(obj)))
         .collect();
 
-    let forward = run_order(c1, c2, state_before, &footprint);
-    let reversed = run_order(c2, c1, state_before, &footprint);
+    let forward = run_order(c1, c2, &start, &footprint);
+    let reversed = run_order(c2, c1, &start, &footprint);
 
     let same_memory = forward.final_memory == reversed.final_memory;
     // In the reversed order the roles swap: c1 runs second, c2 runs first.
@@ -121,10 +127,10 @@ pub fn refine_conflicting_pair(
 /// When `use_reversed_replay` is false (the ablation mode), every conflicting
 /// pair is conservatively reported as a TLCP, exactly as Algorithm 1 alone
 /// would.
-pub fn classify_pair(
+pub fn classify_pair<S: StartState>(
     c1: &CriticalSection,
     c2: &CriticalSection,
-    state_before: &MemorySnapshot,
+    state_before: &S,
     use_reversed_replay: bool,
 ) -> PairClass {
     match classify_by_sets(c1, c2) {
@@ -136,28 +142,21 @@ pub fn classify_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use perfplay_trace::{
-        CodeSiteId, LockId, SectionId, ThreadId, Time, WriteOp,
-    };
-    use std::collections::BTreeSet;
+    use crate::shadow::MemorySnapshot;
+    use perfplay_trace::{CodeSiteId, LockId, SectionId, ThreadId, Time, WriteOp};
 
-    fn section(
-        id: u32,
-        thread: u32,
-        reads: &[u64],
-        writes: &[(u64, WriteOp)],
-    ) -> CriticalSection {
+    fn section(id: u32, thread: u32, reads: &[u64], writes: &[(u64, WriteOp)]) -> CriticalSection {
         let mut accesses = Vec::new();
-        let mut read_set = BTreeSet::new();
-        let mut write_set = BTreeSet::new();
+        let mut read_objs = Vec::new();
+        let mut write_objs = Vec::new();
         for &r in reads {
             let obj = ObjectId::new(r);
-            read_set.insert(obj);
+            read_objs.push(obj);
             accesses.push(MemAccess::Read(obj));
         }
         for &(w, op) in writes {
             let obj = ObjectId::new(w);
-            write_set.insert(obj);
+            write_objs.push(obj);
             accesses.push(MemAccess::Write(obj, op));
         }
         CriticalSection {
@@ -169,8 +168,8 @@ mod tests {
             release_index: 1,
             enter_time: Time::from_nanos(u64::from(id) * 10),
             exit_time: Time::from_nanos(u64::from(id) * 10 + 5),
-            reads: read_set,
-            writes: write_set,
+            reads: Footprint::from_unsorted(read_objs),
+            writes: Footprint::from_unsorted(write_objs),
             accesses,
             body_cost: Time::from_nanos(5),
             depth: 0,
@@ -199,7 +198,10 @@ mod tests {
     fn read_read_when_neither_writes() {
         let a = section(0, 0, &[1, 2], &[]);
         let b = section(1, 1, &[2, 3], &[]);
-        assert_eq!(classify_by_sets(&a, &b), PairClass::Ulcp(UlcpKind::ReadRead));
+        assert_eq!(
+            classify_by_sets(&a, &b),
+            PairClass::Ulcp(UlcpKind::ReadRead)
+        );
     }
 
     #[test]
@@ -270,7 +272,10 @@ mod tests {
     fn reversed_replay_ablation_treats_conflicts_as_tlcp() {
         let a = section(0, 0, &[], &[(1, WriteOp::Set(7))]);
         let b = section(1, 1, &[], &[(1, WriteOp::Set(7))]);
-        assert_eq!(classify_pair(&a, &b, &empty_state(), false), PairClass::Tlcp);
+        assert_eq!(
+            classify_pair(&a, &b, &empty_state(), false),
+            PairClass::Tlcp
+        );
     }
 
     #[test]

@@ -26,9 +26,11 @@
 mod classify;
 mod kinds;
 mod pairing;
+mod reference;
 mod shadow;
 
 pub use classify::{classify_by_sets, classify_pair, refine_conflicting_pair};
 pub use kinds::{PairClass, UlcpKind};
 pub use pairing::{CausalEdge, Detector, DetectorConfig, Ulcp, UlcpAnalysis, UlcpBreakdown};
-pub use shadow::MemorySnapshot;
+pub use reference::reference_analyze;
+pub use shadow::{LastWriteIndex, MemorySnapshot, StartState, StateBefore};

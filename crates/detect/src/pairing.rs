@@ -6,18 +6,27 @@
 //! non-conflicting pairs encountered on the way are ULCPs, and the first true
 //! contention found per thread ends the search and yields the causal edge
 //! RULE 1 keeps in the ULCP-free topology.
+//!
+//! The engine is *snapshot-free*: instead of cloning a full shadow-memory
+//! snapshot per critical section (O(sections x objects) memory), one
+//! [`LastWriteIndex`] is built per trace and the reversed-replay benign check
+//! fetches the footprint values it needs lazily in O(log E) each. Locks are
+//! independent, so [`DetectorConfig::parallel`] fans the per-lock searches
+//! out across OS threads; per-lock results are merged back in ascending lock
+//! order, keeping the output bit-identical to the sequential path.
 
 use std::collections::BTreeMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use perfplay_trace::{
-    extract_critical_sections, sections_by_lock, CriticalSection, Event, LockId, ObjectId,
-    SectionId, Trace,
+    extract_critical_sections, sections_by_lock, CriticalSection, LockId, SectionId, Trace,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::classify::classify_pair;
 use crate::kinds::{PairClass, UlcpKind};
-use crate::shadow::MemorySnapshot;
+use crate::shadow::LastWriteIndex;
 
 /// One unnecessary lock contention pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,13 +86,24 @@ impl UlcpBreakdown {
         }
     }
 
-    fn add(&mut self, kind: UlcpKind) {
+    pub(crate) fn add(&mut self, kind: UlcpKind) {
         match kind {
             UlcpKind::NullLock => self.null_lock += 1,
             UlcpKind::ReadRead => self.read_read += 1,
             UlcpKind::DisjointWrite => self.disjoint_write += 1,
             UlcpKind::Benign => self.benign += 1,
         }
+    }
+
+    /// Accumulates another breakdown's pair counts into this one.
+    /// `lock_acquisitions` is a whole-trace property, not a per-lock count,
+    /// and is deliberately not summed.
+    pub(crate) fn merge_pair_counts(&mut self, other: &UlcpBreakdown) {
+        self.null_lock += other.null_lock;
+        self.read_read += other.read_read;
+        self.disjoint_write += other.disjoint_write;
+        self.benign += other.benign;
+        self.tlcp_edges += other.tlcp_edges;
     }
 }
 
@@ -94,10 +114,19 @@ pub struct DetectorConfig {
     /// (Section 3.1). Disabling this is the ablation the bench harness
     /// exposes: every conflict becomes a TLCP.
     pub use_reversed_replay: bool,
-    /// Optional cap on how many later sections are examined per
-    /// (section, other-thread) pair before the search gives up. `None`
+    /// Optional cap on how many candidate pairs are *classified* per
+    /// (section, other-thread) search before the search gives up. `None`
     /// scans until the first TLCP as the paper describes.
+    ///
+    /// The cap counts classifications actually performed: a TLCP discovered
+    /// by the cap-th classification is still recorded (the search would have
+    /// stopped there anyway); only candidates *beyond* the cap go unseen.
     pub max_scan_per_thread: Option<usize>,
+    /// Fan the independent per-lock searches out across OS threads. Results
+    /// are merged deterministically (ascending lock order, original search
+    /// order within each lock), so output is bit-identical to the
+    /// sequential path.
+    pub parallel: bool,
 }
 
 impl Default for DetectorConfig {
@@ -105,6 +134,7 @@ impl Default for DetectorConfig {
         DetectorConfig {
             use_reversed_replay: true,
             max_scan_per_thread: None,
+            parallel: false,
         }
     }
 }
@@ -138,6 +168,14 @@ impl UlcpAnalysis {
     }
 }
 
+/// ULCPs, causal edges and counts found under a single lock.
+#[derive(Debug, Clone, Default)]
+struct LockOutcome {
+    ulcps: Vec<Ulcp>,
+    edges: Vec<CausalEdge>,
+    breakdown: UlcpBreakdown,
+}
+
 /// PerfPlay's ULCP identification stage.
 #[derive(Debug, Clone, Default)]
 pub struct Detector {
@@ -153,8 +191,27 @@ impl Detector {
     /// Identifies all ULCPs and causal edges in a recorded trace.
     pub fn analyze(&self, trace: &Trace) -> UlcpAnalysis {
         let sections = extract_critical_sections(trace);
-        let snapshots = per_section_snapshots(trace, &sections);
+        // The index only feeds the reversed-replay benign check; in the
+        // ablation mode (`use_reversed_replay: false`) no state is ever
+        // consulted, so skip the O(E log E) build entirely.
+        let index = if self.config.use_reversed_replay {
+            LastWriteIndex::build(trace)
+        } else {
+            LastWriteIndex::default()
+        };
         let by_lock = sections_by_lock(&sections);
+        let locks: Vec<(LockId, Vec<&CriticalSection>)> = by_lock.into_iter().collect();
+
+        let outcomes = if self.config.parallel && locks.len() > 1 {
+            self.analyze_locks_parallel(&locks, &index)
+        } else {
+            locks
+                .iter()
+                .map(|(lock, lock_sections)| {
+                    analyze_lock(*lock, lock_sections, &index, self.config)
+                })
+                .collect()
+        };
 
         let mut ulcps = Vec::new();
         let mut edges = Vec::new();
@@ -162,55 +219,13 @@ impl Detector {
             lock_acquisitions: trace.num_acquisitions(),
             ..UlcpBreakdown::default()
         };
-
-        for (lock, lock_sections) in &by_lock {
-            // Per-thread lists, preserving timing order.
-            let mut per_thread: BTreeMap<_, Vec<&CriticalSection>> = BTreeMap::new();
-            for s in lock_sections {
-                per_thread.entry(s.thread).or_default().push(s);
-            }
-            for current in lock_sections {
-                for (other_thread, others) in &per_thread {
-                    if *other_thread == current.thread {
-                        continue;
-                    }
-                    let mut scanned = 0usize;
-                    for candidate in others.iter().filter(|s| s.id > current.id) {
-                        if let Some(cap) = self.config.max_scan_per_thread {
-                            if scanned >= cap {
-                                break;
-                            }
-                        }
-                        scanned += 1;
-                        let class = classify_pair(
-                            current,
-                            candidate,
-                            &snapshots[current.id.index()],
-                            self.config.use_reversed_replay,
-                        );
-                        match class {
-                            PairClass::Tlcp => {
-                                edges.push(CausalEdge {
-                                    from: current.id,
-                                    to: candidate.id,
-                                    lock: *lock,
-                                });
-                                breakdown.tlcp_edges += 1;
-                                break;
-                            }
-                            PairClass::Ulcp(kind) => {
-                                breakdown.add(kind);
-                                ulcps.push(Ulcp {
-                                    first: current.id,
-                                    second: candidate.id,
-                                    lock: *lock,
-                                    kind,
-                                });
-                            }
-                        }
-                    }
-                }
-            }
+        // Ascending lock order (BTreeMap order preserved in `locks`); within
+        // a lock the search order itself is deterministic, so the merged
+        // output matches the sequential path exactly.
+        for outcome in outcomes {
+            ulcps.extend(outcome.ulcps);
+            edges.extend(outcome.edges);
+            breakdown.merge_pair_counts(&outcome.breakdown);
         }
 
         UlcpAnalysis {
@@ -220,38 +235,113 @@ impl Detector {
             breakdown,
         }
     }
+
+    /// Fans the per-lock searches out over a shared work queue of lock
+    /// indices. Per-lock cost is wildly skewed on real workloads (one guard
+    /// mutex often dominates), so workers pop the next lock instead of being
+    /// handed a fixed chunk — a hot lock occupies one worker while the rest
+    /// drain the remainder. Each index is processed exactly once, so sorting
+    /// the collected `(index, outcome)` pairs restores the deterministic
+    /// ascending-lock order.
+    fn analyze_locks_parallel(
+        &self,
+        locks: &[(LockId, Vec<&CriticalSection>)],
+        index: &LastWriteIndex,
+    ) -> Vec<LockOutcome> {
+        let workers = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(locks.len());
+        let next = AtomicUsize::new(0);
+        let config = self.config;
+        let mut collected: Vec<(usize, LockOutcome)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some((lock, lock_sections)) = locks.get(i) else {
+                                break;
+                            };
+                            local.push((i, analyze_lock(*lock, lock_sections, index, config)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("detector worker never panics"))
+                .collect()
+        });
+        collected.sort_unstable_by_key(|entry| entry.0);
+        collected.into_iter().map(|(_, outcome)| outcome).collect()
+    }
 }
 
-/// Computes, for every critical section, the shared-memory snapshot just
-/// before its entry, in one sweep over the trace.
-fn per_section_snapshots(trace: &Trace, sections: &[CriticalSection]) -> Vec<MemorySnapshot> {
-    // Gather all memory events sorted by time.
-    let mut mem_events: Vec<(perfplay_trace::Time, &Event)> = trace
-        .iter_events()
-        .filter(|(_, _, te)| te.event.is_memory_access())
-        .map(|(_, _, te)| (te.at, &te.event))
-        .collect();
-    mem_events.sort_by_key(|(at, _)| *at);
-
-    let mut running: BTreeMap<ObjectId, i64> = BTreeMap::new();
-    let mut snapshots = Vec::with_capacity(sections.len());
-    let mut cursor = 0usize;
-    for section in sections {
-        while cursor < mem_events.len() && mem_events[cursor].0 < section.enter_time {
-            match mem_events[cursor].1 {
-                Event::Write { obj, value, .. } => {
-                    running.insert(*obj, *value);
-                }
-                Event::Read { obj, value } => {
-                    running.entry(*obj).or_insert(*value);
-                }
-                _ => {}
-            }
-            cursor += 1;
-        }
-        snapshots.push(MemorySnapshot::from_values(running.clone()));
+/// Runs the sequential-search pairing for one lock's critical sections.
+fn analyze_lock(
+    lock: LockId,
+    lock_sections: &[&CriticalSection],
+    index: &LastWriteIndex,
+    config: DetectorConfig,
+) -> LockOutcome {
+    let mut outcome = LockOutcome::default();
+    // Per-thread lists, preserving timing order.
+    let mut per_thread: BTreeMap<_, Vec<&CriticalSection>> = BTreeMap::new();
+    for s in lock_sections {
+        per_thread.entry(s.thread).or_default().push(s);
     }
-    snapshots
+    for current in lock_sections {
+        let state_before = index.state_before(current.enter_time);
+        for (other_thread, others) in &per_thread {
+            if *other_thread == current.thread {
+                continue;
+            }
+            // `scanned` counts classifications performed; the cap stops the
+            // search *before* classifying candidate `cap + 1`, never after a
+            // classification whose result is still pending — so a TLCP found
+            // exactly at the cap is recorded, not dropped. The counter stays
+            // explicit (not `enumerate`) because "classifications performed"
+            // is the unit the cap is defined in.
+            let mut scanned = 0usize;
+            #[allow(clippy::explicit_counter_loop)]
+            for candidate in others.iter().filter(|s| s.id > current.id) {
+                if config.max_scan_per_thread.is_some_and(|cap| scanned >= cap) {
+                    break;
+                }
+                let class = classify_pair(
+                    current,
+                    candidate,
+                    &state_before,
+                    config.use_reversed_replay,
+                );
+                scanned += 1;
+                match class {
+                    PairClass::Tlcp => {
+                        outcome.edges.push(CausalEdge {
+                            from: current.id,
+                            to: candidate.id,
+                            lock,
+                        });
+                        outcome.breakdown.tlcp_edges += 1;
+                        break;
+                    }
+                    PairClass::Ulcp(kind) => {
+                        outcome.breakdown.add(kind);
+                        outcome.ulcps.push(Ulcp {
+                            first: current.id,
+                            second: candidate.id,
+                            lock,
+                            kind,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    outcome
 }
 
 #[cfg(test)]
@@ -293,10 +383,7 @@ mod tests {
         assert!(analysis.breakdown.read_read > 0);
         assert_eq!(analysis.breakdown.tlcp_edges, 0);
         assert_eq!(analysis.breakdown.null_lock, 0);
-        assert_eq!(
-            analysis.breakdown.total_ulcps(),
-            analysis.ulcps.len()
-        );
+        assert_eq!(analysis.breakdown.total_ulcps(), analysis.ulcps.len());
         // All pairs are cross-thread and ordered by id.
         for u in &analysis.ulcps {
             assert!(u.first < u.second);
@@ -319,9 +406,12 @@ mod tests {
                         let v = cs.read_into(x);
                         cs.write_set(x, 1);
                         // Use the local so the read is meaningful.
-                        cs.if_then(perfplay_program::Cond::eq(
-                            perfplay_program::ValueSource::Local(v), 99,
-                        ), |then| { then.compute_ns(1); });
+                        cs.if_then(
+                            perfplay_program::Cond::eq(perfplay_program::ValueSource::Local(v), 99),
+                            |then| {
+                                then.compute_ns(1);
+                            },
+                        );
                     });
                 });
             }
@@ -402,7 +492,7 @@ mod tests {
 
         let without_rr = Detector::new(DetectorConfig {
             use_reversed_replay: false,
-            max_scan_per_thread: None,
+            ..DetectorConfig::default()
         })
         .analyze(&trace);
         assert_eq!(without_rr.breakdown.benign, 0);
@@ -448,9 +538,17 @@ mod tests {
             .find(|s| s.thread == perfplay_trace::ThreadId::new(0))
             .unwrap()
             .id;
-        let ulcps_from_t0: Vec<_> = analysis.ulcps.iter().filter(|u| u.first == t0_first).collect();
+        let ulcps_from_t0: Vec<_> = analysis
+            .ulcps
+            .iter()
+            .filter(|u| u.first == t0_first)
+            .collect();
         assert_eq!(ulcps_from_t0.len(), 1);
-        let edges_from_t0: Vec<_> = analysis.edges.iter().filter(|e| e.from == t0_first).collect();
+        let edges_from_t0: Vec<_> = analysis
+            .edges
+            .iter()
+            .filter(|e| e.from == t0_first)
+            .collect();
         assert_eq!(edges_from_t0.len(), 1);
     }
 
@@ -478,11 +576,162 @@ mod tests {
         let trace = record(build);
         let unlimited = Detector::default().analyze(&trace);
         let capped = Detector::new(DetectorConfig {
-            use_reversed_replay: true,
             max_scan_per_thread: Some(2),
+            ..DetectorConfig::default()
         })
         .analyze(&trace);
         assert!(capped.breakdown.total_ulcps() < unlimited.breakdown.total_ulcps());
+    }
+
+    #[test]
+    fn scan_cap_still_records_tlcp_found_at_the_cap_boundary() {
+        // Thread 1's sections (after thread 0's): [read-only, writer, ...].
+        // With cap = 2 the second classification is the conflicting pair —
+        // the cap must not swallow that edge (the historical off-by-one
+        // risk), while cap = 1 stops before ever seeing the writer.
+        let build = |b: &mut ProgramBuilder| {
+            let lock = b.lock("m");
+            let x = b.shared("x", 0);
+            let site = b.site("capedge.c", "f", 1);
+            b.thread("t0", |t| {
+                t.locked(lock, site, |cs| {
+                    cs.read(x);
+                });
+                t.compute_us(100);
+            });
+            b.thread("t1", |t| {
+                t.compute_us(10);
+                t.locked(lock, site, |cs| {
+                    cs.read(x);
+                });
+                t.locked(lock, site, |cs| {
+                    cs.write_add(x, 1);
+                    cs.read(x);
+                });
+                t.locked(lock, site, |cs| {
+                    cs.read(x);
+                });
+            });
+        };
+        let trace = record(build);
+
+        let at_cap = Detector::new(DetectorConfig {
+            max_scan_per_thread: Some(2),
+            ..DetectorConfig::default()
+        })
+        .analyze(&trace);
+        let t0_first = at_cap
+            .sections
+            .iter()
+            .find(|s| s.thread == perfplay_trace::ThreadId::new(0))
+            .unwrap()
+            .id;
+        assert_eq!(
+            at_cap.edges.iter().filter(|e| e.from == t0_first).count(),
+            1,
+            "TLCP classified exactly at the cap must be recorded"
+        );
+        assert_eq!(
+            at_cap.ulcps.iter().filter(|u| u.first == t0_first).count(),
+            1
+        );
+
+        let below_cap = Detector::new(DetectorConfig {
+            max_scan_per_thread: Some(1),
+            ..DetectorConfig::default()
+        })
+        .analyze(&trace);
+        assert_eq!(
+            below_cap
+                .edges
+                .iter()
+                .filter(|e| e.from == t0_first)
+                .count(),
+            0,
+            "cap = 1 stops the search before the writer is ever classified"
+        );
+        assert_eq!(
+            below_cap
+                .ulcps
+                .iter()
+                .filter(|u| u.first == t0_first)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn parallel_analysis_is_bit_identical_to_sequential() {
+        let trace = record(|b| {
+            let locks: Vec<_> = (0..4).map(|i| b.lock(format!("l{i}"))).collect();
+            let objs: Vec<_> = (0..4).map(|i| b.shared(format!("o{i}"), 0)).collect();
+            let site = b.site("par.c", "worker", 1);
+            for i in 0..3 {
+                let locks = locks.clone();
+                let objs = objs.clone();
+                b.thread(format!("t{i}"), |t| {
+                    for k in 0..4 {
+                        t.locked(locks[k], site, |cs| {
+                            if k % 2 == 0 {
+                                cs.read(objs[k]);
+                            } else {
+                                cs.write_add(objs[k], 1);
+                            }
+                            cs.compute_ns(30);
+                        });
+                        t.compute_ns(20);
+                    }
+                });
+            }
+        });
+        let sequential = Detector::default().analyze(&trace);
+        let parallel = Detector::new(DetectorConfig {
+            parallel: true,
+            ..DetectorConfig::default()
+        })
+        .analyze(&trace);
+        assert_eq!(sequential.breakdown, parallel.breakdown);
+        assert_eq!(sequential.ulcps, parallel.ulcps);
+        assert_eq!(sequential.edges, parallel.edges);
+        assert_eq!(sequential.sections, parallel.sections);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_a_skewed_hot_lock() {
+        // One guard mutex takes almost every section (the common real-world
+        // shape); the work-queue fan-out must still merge deterministically.
+        let trace = record(|b| {
+            let hot = b.lock("guard");
+            let cold = b.lock("side");
+            let x = b.shared("x", 0);
+            let y = b.shared("y", 0);
+            let site = b.site("skew.c", "worker", 1);
+            for i in 0..3 {
+                b.thread(format!("t{i}"), |t| {
+                    t.loop_n(8, |l| {
+                        l.locked(hot, site, |cs| {
+                            cs.read(x);
+                            if i == 0 {
+                                cs.write_add(x, 1);
+                            }
+                        });
+                        l.compute_ns(15);
+                    });
+                    t.locked(cold, site, |cs| {
+                        cs.read(y);
+                    });
+                });
+            }
+        });
+        let sequential = Detector::default().analyze(&trace);
+        let parallel = Detector::new(DetectorConfig {
+            parallel: true,
+            ..DetectorConfig::default()
+        })
+        .analyze(&trace);
+        assert_eq!(sequential.breakdown, parallel.breakdown);
+        assert_eq!(sequential.ulcps, parallel.ulcps);
+        assert_eq!(sequential.edges, parallel.edges);
     }
 
     #[test]

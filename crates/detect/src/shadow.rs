@@ -6,10 +6,143 @@
 //! needs — the value every shared object held at an arbitrary point of the
 //! recorded execution, so a pair of critical sections can be re-executed in
 //! both orders from the correct starting state.
+//!
+//! The detector used to materialize one full [`MemorySnapshot`] clone per
+//! critical section (O(sections x objects) memory churn). The
+//! [`LastWriteIndex`] replaces that: one O(E log E) sweep builds, per object,
+//! the time-ordered log of its writes plus its first observed read, and any
+//! "value just before virtual time `t`" query is then an O(log E) binary
+//! search. [`StateBefore`] wraps the index as a lazy starting-state view, so
+//! the reversed-replay check fetches exactly the footprint values it touches
+//! and nothing else.
 
 use std::collections::BTreeMap;
 
 use perfplay_trace::{Event, ObjectId, Time, Trace};
+
+/// A value source usable as the starting memory state of a reversed replay.
+///
+/// Implemented by the eager [`MemorySnapshot`] (tests, ad-hoc states) and by
+/// the lazy [`StateBefore`] view over a [`LastWriteIndex`] (the detector's
+/// hot path).
+pub trait StartState {
+    /// The value the object held in this state (zero when untracked).
+    fn value(&self, obj: ObjectId) -> i64;
+}
+
+/// The recorded history of one shared object, in the stable global order
+/// (time, then thread, then event index) the eager snapshot sweep used — so
+/// equal-timestamp ties resolve identically to the historical
+/// implementation.
+#[derive(Debug, Clone, Default)]
+struct ObjectHistory {
+    /// `(completion time, resulting value)` of every write.
+    writes: Vec<(Time, i64)>,
+    /// The first read ever observed, which supplies the initial value for
+    /// objects read before any write.
+    first_read: Option<(Time, i64)>,
+    /// The first observation of any kind, used as a last-resort fallback
+    /// when reconstructing full snapshots.
+    first_observation: (Time, i64),
+}
+
+/// Per-object history of one recorded execution, indexed for point lookups.
+#[derive(Debug, Clone, Default)]
+pub struct LastWriteIndex {
+    objects: BTreeMap<ObjectId, ObjectHistory>,
+}
+
+impl LastWriteIndex {
+    /// Builds the index in one sweep over the trace's memory events — a
+    /// single map probe per event.
+    pub fn build(trace: &Trace) -> Self {
+        // Stable sort by completion time; ties keep `iter_events` order
+        // (thread-major, then event index), matching the order in which a
+        // chronological replay of the trace would apply them.
+        let mut mem_events: Vec<(Time, &Event)> = trace
+            .iter_events()
+            .filter(|(_, _, te)| te.event.is_memory_access())
+            .map(|(_, _, te)| (te.at, &te.event))
+            .collect();
+        mem_events.sort_by_key(|(at, _)| *at);
+
+        let mut index = LastWriteIndex::default();
+        for (at, event) in mem_events {
+            let (obj, value, is_write) = match event {
+                Event::Write { obj, value, .. } => (*obj, *value, true),
+                Event::Read { obj, value } => (*obj, *value, false),
+                _ => continue,
+            };
+            let history = index.objects.entry(obj).or_insert_with(|| ObjectHistory {
+                writes: Vec::new(),
+                first_read: None,
+                first_observation: (at, value),
+            });
+            if is_write {
+                history.writes.push((at, value));
+            } else if history.first_read.is_none() {
+                history.first_read = Some((at, value));
+            }
+        }
+        index
+    }
+
+    /// The value `obj` held just before virtual time `at`, as a chronological
+    /// replay of the trace would have it: the last write completing strictly
+    /// before `at`, else the first read before `at` (reads observe the
+    /// initial value until the first write), else `None`.
+    pub fn value_before(&self, obj: ObjectId, at: Time) -> Option<i64> {
+        let history = self.objects.get(&obj)?;
+        let idx = history.writes.partition_point(|&(t, _)| t < at);
+        if idx > 0 {
+            return Some(history.writes[idx - 1].1);
+        }
+        match history.first_read {
+            Some((t, v)) if t < at => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Like [`value_before`](Self::value_before), but falling back to the
+    /// first value the object is *ever* observed with (even later than `at`)
+    /// — the best available guess for objects the trace has not touched yet.
+    pub fn value_before_or_observed(&self, obj: ObjectId, at: Time) -> Option<i64> {
+        self.value_before(obj, at)
+            .or_else(|| self.objects.get(&obj).map(|h| h.first_observation.1))
+    }
+
+    /// Materializes the full [`MemorySnapshot`] just before `at`, covering
+    /// every object the trace ever observes.
+    pub fn snapshot_before(&self, at: Time) -> MemorySnapshot {
+        let values = self
+            .objects
+            .keys()
+            .filter_map(|&obj| self.value_before_or_observed(obj, at).map(|v| (obj, v)))
+            .collect();
+        MemorySnapshot { values }
+    }
+
+    /// A lazy starting-state view "just before `at`" over this index.
+    pub fn state_before(&self, at: Time) -> StateBefore<'_> {
+        StateBefore { index: self, at }
+    }
+}
+
+/// Lazy view of shared memory just before a point in virtual time.
+///
+/// Cheap to construct (two words); every [`StartState::value`] call is an
+/// O(log E) probe into the backing [`LastWriteIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct StateBefore<'a> {
+    index: &'a LastWriteIndex,
+    at: Time,
+}
+
+impl StartState for StateBefore<'_> {
+    fn value(&self, obj: ObjectId) -> i64 {
+        self.index.value_before(obj, self.at).unwrap_or(0)
+    }
+}
 
 /// A snapshot of shared-memory values at some virtual time of the original
 /// execution.
@@ -23,53 +156,17 @@ impl MemorySnapshot {
     /// time `at` in the recorded execution.
     ///
     /// Values come from the last write before `at`; objects not yet written
-    /// take the value observed by any read before `at` (reads see the initial
-    /// value until the first write), falling back to the first value the
-    /// object is ever observed with, and finally to zero for objects the
+    /// take the value observed by the first read before `at` (reads see the
+    /// initial value until the first write), falling back to the first value
+    /// the object is ever observed with, and finally to zero for objects the
     /// trace never touches.
+    ///
+    /// This is a convenience wrapper building a throwaway [`LastWriteIndex`];
+    /// callers reconstructing state at many points should build the index
+    /// once and use [`LastWriteIndex::snapshot_before`] or
+    /// [`LastWriteIndex::state_before`] instead.
     pub fn before(trace: &Trace, at: Time) -> Self {
-        let mut last_write: BTreeMap<ObjectId, (Time, i64)> = BTreeMap::new();
-        let mut earliest_observation: BTreeMap<ObjectId, (Time, i64)> = BTreeMap::new();
-        let mut pre_read: BTreeMap<ObjectId, i64> = BTreeMap::new();
-
-        for (_, _, te) in trace.iter_events() {
-            match &te.event {
-                Event::Write { obj, value, .. } => {
-                    if te.at < at {
-                        let entry = last_write.entry(*obj).or_insert((te.at, *value));
-                        if te.at >= entry.0 {
-                            *entry = (te.at, *value);
-                        }
-                    }
-                    let first = earliest_observation.entry(*obj).or_insert((te.at, *value));
-                    if te.at < first.0 {
-                        *first = (te.at, *value);
-                    }
-                }
-                Event::Read { obj, value } => {
-                    if te.at < at && !last_write.contains_key(obj) {
-                        pre_read.entry(*obj).or_insert(*value);
-                    }
-                    let first = earliest_observation.entry(*obj).or_insert((te.at, *value));
-                    if te.at < first.0 {
-                        *first = (te.at, *value);
-                    }
-                }
-                _ => {}
-            }
-        }
-
-        let mut values = BTreeMap::new();
-        for (obj, (_, v)) in &earliest_observation {
-            values.insert(*obj, *v);
-        }
-        for (obj, v) in &pre_read {
-            values.insert(*obj, *v);
-        }
-        for (obj, (_, v)) in &last_write {
-            values.insert(*obj, *v);
-        }
-        MemorySnapshot { values }
+        LastWriteIndex::build(trace).snapshot_before(at)
     }
 
     /// Creates a snapshot from explicit values (used in tests and by the
@@ -109,6 +206,12 @@ impl MemorySnapshot {
     }
 }
 
+impl StartState for MemorySnapshot {
+    fn value(&self, obj: ObjectId) -> i64 {
+        self.get(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,7 +247,12 @@ mod tests {
                 value: 12,
             },
         );
-        t.push(Time::from_nanos(6), Event::LockRelease { lock: LockId::new(0) });
+        t.push(
+            Time::from_nanos(6),
+            Event::LockRelease {
+                lock: LockId::new(0),
+            },
+        );
         trace.total_time = Time::from_nanos(6);
         trace
     }
@@ -177,7 +285,9 @@ mod tests {
     #[test]
     fn project_and_mutate() {
         let mut snap = MemorySnapshot::from_values(
-            [(ObjectId::new(0), 3), (ObjectId::new(1), 4)].into_iter().collect(),
+            [(ObjectId::new(0), 3), (ObjectId::new(1), 4)]
+                .into_iter()
+                .collect(),
         );
         assert_eq!(snap.len(), 2);
         assert!(!snap.is_empty());
@@ -185,5 +295,60 @@ mod tests {
         let projected = snap.project([ObjectId::new(0), ObjectId::new(9)]);
         assert_eq!(projected[&ObjectId::new(0)], 7);
         assert_eq!(projected[&ObjectId::new(9)], 0);
+    }
+
+    #[test]
+    fn index_point_lookups_match_eager_snapshots() {
+        let trace = trace_with_history();
+        let index = LastWriteIndex::build(&trace);
+        for at_ns in 0..8 {
+            let at = Time::from_nanos(at_ns);
+            let eager = index.snapshot_before(at);
+            for raw in 0..3u64 {
+                let obj = ObjectId::new(raw);
+                assert_eq!(
+                    index.value_before_or_observed(obj, at).unwrap_or(0),
+                    eager.get(obj),
+                    "object {raw} before t={at_ns}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_before_uses_replay_semantics_without_future_fallback() {
+        let trace = trace_with_history();
+        let index = LastWriteIndex::build(&trace);
+        let state = index.state_before(Time::from_nanos(5));
+        // obj0: last write before t=5 is 9.
+        assert_eq!(state.value(ObjectId::new(0)), 9);
+        // obj1's only write is at t=5 (not strictly before): unknown -> 0.
+        assert_eq!(state.value(ObjectId::new(1)), 0);
+    }
+
+    #[test]
+    fn equal_timestamp_writes_resolve_in_thread_major_order() {
+        let mut trace = Trace::new(TraceMeta::default(), 2);
+        let obj = ObjectId::new(7);
+        trace.threads[0].push(
+            Time::from_nanos(4),
+            Event::Write {
+                obj,
+                op: WriteOp::Set(1),
+                value: 1,
+            },
+        );
+        trace.threads[1].push(
+            Time::from_nanos(4),
+            Event::Write {
+                obj,
+                op: WriteOp::Set(2),
+                value: 2,
+            },
+        );
+        let index = LastWriteIndex::build(&trace);
+        // The stable sort keeps thread 1's write last among the t=4 ties.
+        assert_eq!(index.value_before(obj, Time::from_nanos(5)), Some(2));
+        assert_eq!(index.value_before(obj, Time::from_nanos(4)), None);
     }
 }

@@ -99,12 +99,21 @@ impl ProgramBuilder {
     }
 
     /// Interns a code site (file, function, line) and returns its id.
-    pub fn site(&mut self, file: impl Into<String>, function: impl Into<String>, line: u32) -> CodeSiteId {
+    pub fn site(
+        &mut self,
+        file: impl Into<String>,
+        function: impl Into<String>,
+        line: u32,
+    ) -> CodeSiteId {
         self.sites.intern(CodeSite::new(file, function, line))
     }
 
     /// Adds a thread whose body is described by the closure.
-    pub fn thread(&mut self, name: impl Into<String>, f: impl FnOnce(&mut BodyBuilder)) -> &mut Self {
+    pub fn thread(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut BodyBuilder),
+    ) -> &mut Self {
         let mut body = BodyBuilder::new();
         f(&mut body);
         self.threads.push(ThreadSpec {
@@ -197,7 +206,12 @@ impl BodyBuilder {
     }
 
     /// A critical section protected by `lock`, attributed to `site`.
-    pub fn locked(&mut self, lock: LockId, site: CodeSiteId, f: impl FnOnce(&mut BodyBuilder)) -> &mut Self {
+    pub fn locked(
+        &mut self,
+        lock: LockId,
+        site: CodeSiteId,
+        f: impl FnOnce(&mut BodyBuilder),
+    ) -> &mut Self {
         let mut body = self.child();
         f(&mut body);
         self.next_local = body.next_local;
@@ -443,7 +457,9 @@ mod tests {
         });
         let p = b.build();
         match &p.threads[0].body[0] {
-            Stmt::While { body, max_iters, .. } => {
+            Stmt::While {
+                body, max_iters, ..
+            } => {
                 assert_eq!(*max_iters, 50);
                 assert!(matches!(body[0], Stmt::Lock { .. }));
             }

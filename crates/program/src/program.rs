@@ -221,13 +221,15 @@ impl Program {
                     return Err(ProgramError::UnknownSite(*site));
                 }
             }
-            Stmt::Read { obj, .. } | Stmt::Write { obj, .. } => {
-                if obj.raw() as usize >= self.objects.len() {
-                    return Err(ProgramError::UnknownObject(*obj));
-                }
+            Stmt::Read { obj, .. } | Stmt::Write { obj, .. }
+                if obj.raw() as usize >= self.objects.len() =>
+            {
+                return Err(ProgramError::UnknownObject(*obj));
             }
             Stmt::If { cond, .. } => self.check_value_source(cond.lhs)?,
-            Stmt::While { cond, max_iters, .. } => {
+            Stmt::While {
+                cond, max_iters, ..
+            } => {
                 self.check_value_source(cond.lhs)?;
                 if *max_iters == 0 {
                     return Err(ProgramError::ZeroBoundWhile);
@@ -241,20 +243,14 @@ impl Program {
                     return Err(ProgramError::UnknownLock(*lock));
                 }
             }
-            Stmt::CondSignal { cond, .. } => {
-                if cond.index() >= self.conds.len() {
-                    return Err(ProgramError::UnknownCond(*cond));
-                }
+            Stmt::CondSignal { cond, .. } if cond.index() >= self.conds.len() => {
+                return Err(ProgramError::UnknownCond(*cond));
             }
-            Stmt::Barrier { barrier } => {
-                if barrier.index() >= self.barriers.len() {
-                    return Err(ProgramError::UnknownBarrier(*barrier));
-                }
+            Stmt::Barrier { barrier } if barrier.index() >= self.barriers.len() => {
+                return Err(ProgramError::UnknownBarrier(*barrier));
             }
-            Stmt::SkipRegion { site, .. } => {
-                if self.sites.get(*site).is_none() {
-                    return Err(ProgramError::UnknownSite(*site));
-                }
+            Stmt::SkipRegion { site, .. } if self.sites.get(*site).is_none() => {
+                return Err(ProgramError::UnknownSite(*site));
             }
             _ => {}
         }

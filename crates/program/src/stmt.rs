@@ -88,22 +88,38 @@ pub struct Cond {
 impl Cond {
     /// Condition `source == value`.
     pub fn eq(lhs: ValueSource, rhs: i64) -> Self {
-        Cond { lhs, op: CmpOp::Eq, rhs }
+        Cond {
+            lhs,
+            op: CmpOp::Eq,
+            rhs,
+        }
     }
 
     /// Condition `source != value`.
     pub fn ne(lhs: ValueSource, rhs: i64) -> Self {
-        Cond { lhs, op: CmpOp::Ne, rhs }
+        Cond {
+            lhs,
+            op: CmpOp::Ne,
+            rhs,
+        }
     }
 
     /// Condition `source < value`.
     pub fn lt(lhs: ValueSource, rhs: i64) -> Self {
-        Cond { lhs, op: CmpOp::Lt, rhs }
+        Cond {
+            lhs,
+            op: CmpOp::Lt,
+            rhs,
+        }
     }
 
     /// Condition `source >= value`.
     pub fn ge(lhs: ValueSource, rhs: i64) -> Self {
-        Cond { lhs, op: CmpOp::Ge, rhs }
+        Cond {
+            lhs,
+            op: CmpOp::Ge,
+            rhs,
+        }
     }
 }
 

@@ -25,7 +25,6 @@ mod recorder;
 mod wallclock;
 
 pub use recorder::{
-    checkpoints, selective_compress, CheckpointLocation, RecordedExecution, Recorder,
-    RecordingMode,
+    checkpoints, selective_compress, CheckpointLocation, RecordedExecution, Recorder, RecordingMode,
 };
 pub use wallclock::{RecGuard, RecMutex, RecShared, RecWorker, WallClockRecorder};

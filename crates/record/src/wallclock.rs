@@ -121,7 +121,10 @@ impl WallClockRecorder {
 
     /// Interns a code site.
     pub fn site(&self, file: &str, function: &str, line: u32) -> CodeSiteId {
-        self.state.sites.lock().intern(CodeSite::new(file, function, line))
+        self.state
+            .sites
+            .lock()
+            .intern(CodeSite::new(file, function, line))
     }
 
     /// Spawns `num_threads` real threads running `body` and collects the

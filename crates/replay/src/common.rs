@@ -83,7 +83,10 @@ pub(crate) fn build_sync_deps(trace: &Trace) -> SyncDeps {
     for (ti, tt) in trace.threads.iter().enumerate() {
         for (ei, te) in tt.events.iter().enumerate() {
             if let Event::CondSignal { cond, .. } = te.event {
-                signals.entry(cond.index() as u32).or_default().push((te.at, (ti, ei)));
+                signals
+                    .entry(cond.index() as u32)
+                    .or_default()
+                    .push((te.at, (ti, ei)));
             }
         }
     }
@@ -97,9 +100,9 @@ pub(crate) fn build_sync_deps(trace: &Trace) -> SyncDeps {
     for (ti, tt) in trace.threads.iter().enumerate() {
         for (ei, te) in tt.events.iter().enumerate() {
             if let Event::CondWait { cond, lock } = te.event {
-                let reacquire = tt.events[ei + 1..].iter().position(|later| {
-                    matches!(later.event, Event::LockAcquire { lock: l, .. } if l == lock)
-                });
+                let reacquire = tt.events[ei + 1..].iter().position(
+                    |later| matches!(later.event, Event::LockAcquire { lock: l, .. } if l == lock),
+                );
                 let Some(offset) = reacquire else { continue };
                 let reacquire_index = ei + 1 + offset;
                 if let Some(list) = signals.get(&(cond.index() as u32)) {

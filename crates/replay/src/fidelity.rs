@@ -139,7 +139,10 @@ mod tests {
         let orig = measure_fidelity(&replayer, &trace, ScheduleKind::OrigS, 8).unwrap();
         let elsc = measure_fidelity(&replayer, &trace, ScheduleKind::ElscS, 8).unwrap();
         assert!(orig.spread() > 0.0, "ORIG-S should vary across replays");
-        assert!(elsc.precision_error() < 0.02, "ELSC-S should match the recording");
+        assert!(
+            elsc.precision_error() < 0.02,
+            "ELSC-S should match the recording"
+        );
         assert!(elsc.precision_error() <= orig.precision_error() + 0.02);
     }
 

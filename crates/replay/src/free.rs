@@ -227,7 +227,10 @@ impl<'a> Engine<'a> {
         let clock = self.threads[ti].clock;
         let event = events[idx].event.clone();
         match event {
-            Event::Compute { cost } | Event::SkipRegion { saved_cost: cost, .. } => {
+            Event::Compute { cost }
+            | Event::SkipRegion {
+                saved_cost: cost, ..
+            } => {
                 self.threads[ti].timing.busy += cost;
                 self.complete(ti, idx, clock + cost);
                 Outcome::Completed
@@ -332,10 +335,7 @@ impl<'a> Engine<'a> {
             Time::ZERO
         };
         let op_cost = self.config.lockset_op_cost * lockset.len() as u64;
-        let start = clock
-            .max(dep_time)
-            .max(order_time)
-            .max(lockset_free_time);
+        let start = clock.max(dep_time).max(order_time).max(lockset_free_time);
         let completion = start + self.config.lock_acquire_cost + op_cost + dls_cost;
 
         let requested = self.threads[ti].request_time.unwrap_or(clock);
@@ -393,7 +393,9 @@ mod tests {
     use perfplay_sim::SimConfig;
     use perfplay_transform::Transformer;
 
-    fn pipeline(build: impl FnOnce(&mut ProgramBuilder)) -> (perfplay_trace::Trace, TransformedTrace) {
+    fn pipeline(
+        build: impl FnOnce(&mut ProgramBuilder),
+    ) -> (perfplay_trace::Trace, TransformedTrace) {
         let mut b = ProgramBuilder::new("free-replay-test");
         build(&mut b);
         let trace = Recorder::new(SimConfig::default())

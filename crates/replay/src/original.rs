@@ -10,9 +10,9 @@
 
 use std::collections::BTreeMap;
 
+use perfplay_trace::{Event, LockId, ThreadId, Time, Trace};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use perfplay_trace::{Event, LockId, ThreadId, Time, Trace};
 
 use crate::common::{build_sync_deps, EventRef, ReplayConfig, SyncDeps};
 use crate::result::{ReplayError, ReplayResult, ThreadReplayTiming};
@@ -308,7 +308,10 @@ impl<'a> Engine<'a> {
         let clock = self.threads[ti].clock;
         let event = events[idx].event.clone();
         match event {
-            Event::Compute { cost } | Event::SkipRegion { saved_cost: cost, .. } => {
+            Event::Compute { cost }
+            | Event::SkipRegion {
+                saved_cost: cost, ..
+            } => {
                 self.threads[ti].timing.busy += cost;
                 self.complete(ti, idx, clock + cost);
                 Outcome::Completed
@@ -415,8 +418,7 @@ impl<'a> Engine<'a> {
                     if pos != self.sync_next && self.sync_bypass != Some(ti) {
                         return Outcome::Blocked;
                     }
-                    admission_time =
-                        self.sync_last_completion + self.config.sync_turn_overhead;
+                    admission_time = self.sync_last_completion + self.config.sync_turn_overhead;
                     sync_pos = Some(pos);
                 }
             }

@@ -207,7 +207,10 @@ mod tests {
         let gains: Vec<UlcpGain> = analysis
             .ulcps
             .iter()
-            .map(|u| UlcpGain { ulcp: *u, gain_ns: 100 })
+            .map(|u| UlcpGain {
+                ulcp: *u,
+                gain_ns: 100,
+            })
             .collect();
         let groups = fuse_ulcps(&analysis, &gains);
         assert_eq!(groups.len(), 1);
@@ -242,7 +245,10 @@ mod tests {
         let gains: Vec<UlcpGain> = analysis
             .ulcps
             .iter()
-            .map(|u| UlcpGain { ulcp: *u, gain_ns: 10 })
+            .map(|u| UlcpGain {
+                ulcp: *u,
+                gain_ns: 10,
+            })
             .collect();
         let groups = fuse_ulcps(&analysis, &gains);
         assert_eq!(groups.len(), 2);
@@ -288,7 +294,10 @@ mod tests {
         let gains: Vec<UlcpGain> = analysis
             .ulcps
             .iter()
-            .map(|u| UlcpGain { ulcp: *u, gain_ns: -500 })
+            .map(|u| UlcpGain {
+                ulcp: *u,
+                gain_ns: -500,
+            })
             .collect();
         let groups = fuse_ulcps(&analysis, &gains);
         assert_eq!(groups[0].gain_ns, 0);

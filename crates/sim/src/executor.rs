@@ -59,7 +59,9 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::InvalidProgram(e) => write!(f, "invalid program: {e}"),
-            SimError::Deadlock { blocked } => write!(f, "deadlock: {} thread(s) blocked", blocked.len()),
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} thread(s) blocked", blocked.len())
+            }
             SimError::StepLimitExceeded { limit } => write!(f, "step limit of {limit} exceeded"),
             SimError::RecursiveLock { thread, lock } => {
                 write!(f, "{thread} recursively acquired {lock}")
@@ -131,10 +133,22 @@ enum Status {
 
 #[derive(Debug)]
 enum Frame<'p> {
-    Seq { stmts: &'p [Stmt], idx: usize },
-    LoopCtl { body: &'p [Stmt], remaining: u32 },
-    WhileCtl { cond: Cond, body: &'p [Stmt], remaining: u32 },
-    SectionEnd { lock: LockId },
+    Seq {
+        stmts: &'p [Stmt],
+        idx: usize,
+    },
+    LoopCtl {
+        body: &'p [Stmt],
+        remaining: u32,
+    },
+    WhileCtl {
+        cond: Cond,
+        body: &'p [Stmt],
+        remaining: u32,
+    },
+    SectionEnd {
+        lock: LockId,
+    },
     SpinEnd,
 }
 
@@ -383,7 +397,10 @@ impl<'p> Run<'p> {
                 self.threads[wi].timing.lock_wait += start.saturating_sub(requested_at);
                 self.complete_acquire(wi, lock, site, start);
                 self.threads[wi].frames.push(Frame::SectionEnd { lock });
-                self.threads[wi].frames.push(Frame::Seq { stmts: body, idx: 0 });
+                self.threads[wi].frames.push(Frame::Seq {
+                    stmts: body,
+                    idx: 0,
+                });
                 self.threads[wi].status = Status::Ready;
             }
             Pending::Reacquire {
@@ -426,13 +443,21 @@ impl<'p> Run<'p> {
             Stmt::Lock { lock, site, body } => {
                 let id = self.threads[ti].id;
                 if self.threads[ti].held.iter().any(|(l, _)| l == lock) {
-                    return Err(SimError::RecursiveLock { thread: id, lock: *lock });
+                    return Err(SimError::RecursiveLock {
+                        thread: id,
+                        lock: *lock,
+                    });
                 }
                 let now = self.threads[ti].clock;
                 if self.locks.acquire_or_wait(*lock, id, now) {
                     self.complete_acquire(ti, *lock, *site, now);
-                    self.threads[ti].frames.push(Frame::SectionEnd { lock: *lock });
-                    self.threads[ti].frames.push(Frame::Seq { stmts: body, idx: 0 });
+                    self.threads[ti]
+                        .frames
+                        .push(Frame::SectionEnd { lock: *lock });
+                    self.threads[ti].frames.push(Frame::Seq {
+                        stmts: body,
+                        idx: 0,
+                    });
                 } else {
                     self.threads[ti].status = Status::BlockedOnLock;
                     self.threads[ti].pending = Some(Pending::Lock {
@@ -456,7 +481,14 @@ impl<'p> Run<'p> {
                 let current = self.memory.get(obj).copied().unwrap_or(0);
                 let value = op.apply(current);
                 self.memory.insert(*obj, value);
-                self.emit(ti, Event::Write { obj: *obj, op: *op, value });
+                self.emit(
+                    ti,
+                    Event::Write {
+                        obj: *obj,
+                        op: *op,
+                        value,
+                    },
+                );
             }
             Stmt::SetLocal { local, value } => {
                 self.threads[ti].locals.insert(*local, *value);
@@ -472,7 +504,10 @@ impl<'p> Run<'p> {
                     else_branch
                 };
                 if !taken.is_empty() {
-                    self.threads[ti].frames.push(Frame::Seq { stmts: taken, idx: 0 });
+                    self.threads[ti].frames.push(Frame::Seq {
+                        stmts: taken,
+                        idx: 0,
+                    });
                 }
             }
             Stmt::Loop { count, body } => {
@@ -498,9 +533,18 @@ impl<'p> Run<'p> {
                 let id = self.threads[ti].id;
                 let Some(&(_, site)) = self.threads[ti].held.iter().rev().find(|(l, _)| l == lock)
                 else {
-                    return Err(SimError::CondWaitWithoutLock { thread: id, lock: *lock });
+                    return Err(SimError::CondWaitWithoutLock {
+                        thread: id,
+                        lock: *lock,
+                    });
                 };
-                self.emit(ti, Event::CondWait { cond: *cond, lock: *lock });
+                self.emit(
+                    ti,
+                    Event::CondWait {
+                        cond: *cond,
+                        lock: *lock,
+                    },
+                );
                 // Release the lock, as pthread_cond_wait does.
                 self.do_release(ti, *lock);
                 let now = self.threads[ti].clock;
@@ -623,13 +667,19 @@ impl<'p> Run<'p> {
         match action {
             Action::Exec(stmt) => self.exec_stmt(ti, stmt)?,
             Action::StartLoopIter(body) => {
-                self.threads[ti].frames.push(Frame::Seq { stmts: body, idx: 0 });
+                self.threads[ti].frames.push(Frame::Seq {
+                    stmts: body,
+                    idx: 0,
+                });
             }
             Action::EvalWhile { cond, body } => {
                 if self.eval_cond(ti, cond) {
                     self.threads[ti].spin_depth += 1;
                     self.threads[ti].frames.push(Frame::SpinEnd);
-                    self.threads[ti].frames.push(Frame::Seq { stmts: body, idx: 0 });
+                    self.threads[ti].frames.push(Frame::Seq {
+                        stmts: body,
+                        idx: 0,
+                    });
                 } else {
                     // Condition no longer holds: abandon the loop.
                     self.threads[ti].frames.pop();

@@ -218,7 +218,9 @@ mod tests {
             lock: LockId::new(0),
             site: CodeSiteId::new(0),
         };
-        let rel = Event::LockRelease { lock: LockId::new(0) };
+        let rel = Event::LockRelease {
+            lock: LockId::new(0),
+        };
         let rd = Event::Read {
             obj: ObjectId::new(1),
             value: 0,
@@ -271,7 +273,10 @@ mod tests {
             Time::from_nanos(4)
         );
         assert_eq!(
-            Event::LockRelease { lock: LockId::new(0) }.intrinsic_cost(),
+            Event::LockRelease {
+                lock: LockId::new(0)
+            }
+            .intrinsic_cost(),
             Time::ZERO
         );
     }

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 mod event;
+mod footprint;
 mod ids;
 mod section;
 mod site;
@@ -53,9 +54,8 @@ mod time;
 mod trace;
 
 pub use event::{Event, LockGrant, TimedEvent, WriteOp};
-pub use ids::{
-    AuxLockId, BarrierId, CodeSiteId, CondId, LockId, ObjectId, SectionId, ThreadId,
-};
+pub use footprint::Footprint;
+pub use ids::{AuxLockId, BarrierId, CodeSiteId, CondId, LockId, ObjectId, SectionId, ThreadId};
 pub use section::{extract_critical_sections, sections_by_lock, CriticalSection, MemAccess};
 pub use site::{CodeRegion, CodeSite, SiteTable};
 pub use stats::TraceStats;

@@ -5,11 +5,12 @@
 //! paper's shadow-memory state `C.Srd` / `C.Swr`), the code site that produced
 //! them, and their position in the recorded timing order.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
 use crate::event::{Event, WriteOp};
+use crate::footprint::Footprint;
 use crate::ids::{CodeSiteId, LockId, ObjectId, SectionId, ThreadId};
 use crate::time::Time;
 use crate::trace::Trace;
@@ -62,9 +63,9 @@ pub struct CriticalSection {
     /// Lock-release time in the original execution.
     pub exit_time: Time,
     /// Shared objects read inside the section (`C.Srd`).
-    pub reads: BTreeSet<ObjectId>,
+    pub reads: Footprint,
     /// Shared objects written inside the section (`C.Swr`).
-    pub writes: BTreeSet<ObjectId>,
+    pub writes: Footprint,
     /// Ordered shared accesses inside the section.
     pub accesses: Vec<MemAccess>,
     /// Intrinsic (compute + skipped) cost of the section body.
@@ -92,11 +93,13 @@ impl CriticalSection {
 
     /// Returns true if the two sections' accesses conflict: they touch some
     /// common object and at least one side writes it.
+    ///
+    /// Each test is a footprint intersection — a one-word summary AND that
+    /// rejects the common disjoint case before any list walk.
     pub fn conflicts_with(&self, other: &CriticalSection) -> bool {
-        let rw = self.reads.intersection(&other.writes).next().is_some();
-        let wr = self.writes.intersection(&other.reads).next().is_some();
-        let ww = self.writes.intersection(&other.writes).next().is_some();
-        rw || wr || ww
+        self.reads.intersects(&other.writes)
+            || self.writes.intersects(&other.reads)
+            || self.writes.intersects(&other.writes)
     }
 }
 
@@ -115,8 +118,10 @@ pub fn extract_critical_sections(trace: &Trace) -> Vec<CriticalSection> {
         site: CodeSiteId,
         acquire_index: usize,
         enter_time: Time,
-        reads: BTreeSet<ObjectId>,
-        writes: BTreeSet<ObjectId>,
+        // Raw (possibly duplicated) access lists; interned into sorted
+        // `Footprint`s once, when the section closes.
+        reads: Vec<ObjectId>,
+        writes: Vec<ObjectId>,
         accesses: Vec<MemAccess>,
         body_cost: Time,
         depth: usize,
@@ -133,8 +138,8 @@ pub fn extract_critical_sections(trace: &Trace) -> Vec<CriticalSection> {
                         site: *site,
                         acquire_index: idx,
                         enter_time: te.at,
-                        reads: BTreeSet::new(),
-                        writes: BTreeSet::new(),
+                        reads: Vec::new(),
+                        writes: Vec::new(),
                         accesses: Vec::new(),
                         body_cost: Time::ZERO,
                         depth: open.len(),
@@ -152,8 +157,8 @@ pub fn extract_critical_sections(trace: &Trace) -> Vec<CriticalSection> {
                             release_index: idx,
                             enter_time: o.enter_time,
                             exit_time: te.at,
-                            reads: o.reads,
-                            writes: o.writes,
+                            reads: Footprint::from_unsorted(o.reads),
+                            writes: Footprint::from_unsorted(o.writes),
                             accesses: o.accesses,
                             body_cost: o.body_cost,
                             depth: o.depth,
@@ -162,13 +167,13 @@ pub fn extract_critical_sections(trace: &Trace) -> Vec<CriticalSection> {
                 }
                 Event::Read { obj, .. } => {
                     for o in &mut open {
-                        o.reads.insert(*obj);
+                        o.reads.push(*obj);
                         o.accesses.push(MemAccess::Read(*obj));
                     }
                 }
                 Event::Write { obj, op, .. } => {
                     for o in &mut open {
-                        o.writes.insert(*obj);
+                        o.writes.push(*obj);
                         o.accesses.push(MemAccess::Write(*obj, *op));
                     }
                 }
@@ -242,7 +247,12 @@ mod tests {
                     cost: Time::from_nanos(5),
                 },
             );
-            t0.push(Time::from_nanos(8), Event::LockRelease { lock: LockId::new(0) });
+            t0.push(
+                Time::from_nanos(8),
+                Event::LockRelease {
+                    lock: LockId::new(0),
+                },
+            );
             t0.push(
                 Time::from_nanos(9),
                 Event::LockAcquire {
@@ -250,7 +260,12 @@ mod tests {
                     site: CodeSiteId::new(1),
                 },
             );
-            t0.push(Time::from_nanos(10), Event::LockRelease { lock: LockId::new(0) });
+            t0.push(
+                Time::from_nanos(10),
+                Event::LockRelease {
+                    lock: LockId::new(0),
+                },
+            );
         }
         // T1: lock L0 { lock L1 { write obj1 } write obj0 }
         {
@@ -277,7 +292,12 @@ mod tests {
                     value: 2,
                 },
             );
-            t1.push(Time::from_nanos(6), Event::LockRelease { lock: LockId::new(1) });
+            t1.push(
+                Time::from_nanos(6),
+                Event::LockRelease {
+                    lock: LockId::new(1),
+                },
+            );
             t1.push(
                 Time::from_nanos(7),
                 Event::Write {
@@ -286,7 +306,12 @@ mod tests {
                     value: 1,
                 },
             );
-            t1.push(Time::from_nanos(8), Event::LockRelease { lock: LockId::new(0) });
+            t1.push(
+                Time::from_nanos(8),
+                Event::LockRelease {
+                    lock: LockId::new(0),
+                },
+            );
         }
         trace.total_time = Time::from_nanos(10);
         trace
@@ -317,10 +342,10 @@ mod tests {
         let inner = &sections[2];
         // The inner write to obj1 is attributed to both the inner and outer
         // sections; the outer also writes obj0.
-        assert!(outer.writes.contains(&ObjectId::new(1)));
-        assert!(outer.writes.contains(&ObjectId::new(0)));
+        assert!(outer.writes.contains(ObjectId::new(1)));
+        assert!(outer.writes.contains(ObjectId::new(0)));
         assert_eq!(inner.writes.len(), 1);
-        assert!(inner.writes.contains(&ObjectId::new(1)));
+        assert!(inner.writes.contains(ObjectId::new(1)));
         assert_eq!(outer.depth, 0);
         assert_eq!(inner.depth, 1);
         assert_eq!(outer.accesses.len(), 2);
@@ -396,7 +421,12 @@ mod tests {
                 saved_cost: Time::from_nanos(4),
             },
         );
-        t0.push(Time::from_nanos(6), Event::LockRelease { lock: LockId::new(0) });
+        t0.push(
+            Time::from_nanos(6),
+            Event::LockRelease {
+                lock: LockId::new(0),
+            },
+        );
         let sections = extract_critical_sections(&trace);
         assert_eq!(sections.len(), 1);
         assert_eq!(sections[0].body_cost, Time::from_nanos(4));

@@ -97,7 +97,12 @@ mod tests {
                     value: 0,
                 },
             );
-            t0.push(Time::from_nanos(6), Event::LockRelease { lock: LockId::new(0) });
+            t0.push(
+                Time::from_nanos(6),
+                Event::LockRelease {
+                    lock: LockId::new(0),
+                },
+            );
         }
         {
             let t1 = &mut trace.threads[1];
@@ -116,7 +121,12 @@ mod tests {
                     value: 1,
                 },
             );
-            t1.push(Time::from_nanos(3), Event::LockRelease { lock: LockId::new(0) });
+            t1.push(
+                Time::from_nanos(3),
+                Event::LockRelease {
+                    lock: LockId::new(0),
+                },
+            );
         }
         trace.total_time = Time::from_nanos(6);
 

@@ -156,11 +156,7 @@ impl Mul<u64> for Time {
 impl Div<u64> for Time {
     type Output = Time;
     fn div(self, rhs: u64) -> Time {
-        if rhs == 0 {
-            Time::ZERO
-        } else {
-            Time(self.0 / rhs)
-        }
+        self.0.checked_div(rhs).map_or(Time::ZERO, Time)
     }
 }
 

@@ -110,8 +110,14 @@ impl std::fmt::Display for TraceError {
             TraceError::UnbalancedLocking { thread, lock } => {
                 write!(f, "unbalanced locking of {lock} on thread {thread}")
             }
-            TraceError::NonMonotonicTime { thread, event_index } => {
-                write!(f, "non-monotonic timestamp at event {event_index} of {thread}")
+            TraceError::NonMonotonicTime {
+                thread,
+                event_index,
+            } => {
+                write!(
+                    f,
+                    "non-monotonic timestamp at event {event_index} of {thread}"
+                )
             }
             TraceError::InconsistentSchedule { seq } => {
                 write!(f, "lock schedule entry {seq} does not match an acquisition")
@@ -182,7 +188,9 @@ impl Trace {
 
     /// Returns an event by thread and index, if present.
     pub fn event(&self, thread: ThreadId, index: usize) -> Option<&TimedEvent> {
-        self.threads.get(thread.index()).and_then(|t| t.events.get(index))
+        self.threads
+            .get(thread.index())
+            .and_then(|t| t.events.get(index))
     }
 
     /// Iterates over `(thread, index, event)` for every event in the trace.
@@ -219,19 +227,17 @@ impl Trace {
                 last = te.at;
                 match &te.event {
                     Event::LockAcquire { lock, .. } => held.push(*lock),
-                    Event::LockRelease { lock } => {
-                        match held.iter().rposition(|l| l == lock) {
-                            Some(pos) => {
-                                held.remove(pos);
-                            }
-                            None => {
-                                return Err(TraceError::UnbalancedLocking {
-                                    thread: t.thread,
-                                    lock: *lock,
-                                })
-                            }
+                    Event::LockRelease { lock } => match held.iter().rposition(|l| l == lock) {
+                        Some(pos) => {
+                            held.remove(pos);
                         }
-                    }
+                        None => {
+                            return Err(TraceError::UnbalancedLocking {
+                                thread: t.thread,
+                                lock: *lock,
+                            })
+                        }
+                    },
                     _ => {}
                 }
             }
@@ -269,7 +275,9 @@ mod tests {
     }
 
     fn release(lock: u32) -> Event {
-        Event::LockRelease { lock: LockId::new(lock) }
+        Event::LockRelease {
+            lock: LockId::new(lock),
+        }
     }
 
     fn simple_trace() -> Trace {
@@ -284,11 +292,19 @@ mod tests {
             2,
         );
         let t0 = &mut trace.threads[0];
-        t0.push(Time::from_nanos(10), Event::Compute { cost: Time::from_nanos(10) });
+        t0.push(
+            Time::from_nanos(10),
+            Event::Compute {
+                cost: Time::from_nanos(10),
+            },
+        );
         t0.push(Time::from_nanos(11), acquire(0));
         t0.push(
             Time::from_nanos(12),
-            Event::Read { obj: ObjectId::new(0), value: 0 },
+            Event::Read {
+                obj: ObjectId::new(0),
+                value: 0,
+            },
         );
         t0.push(Time::from_nanos(13), release(0));
         t0.push(Time::from_nanos(13), Event::ThreadExit);

@@ -355,7 +355,11 @@ mod tests {
         let topo = Topology::from_analysis(&analysis);
         for node in &tt.plan {
             if topo.out_degree(node.section) > 0 {
-                assert!(node.aux_lock.is_some(), "node {:?} should own a lock", node.section);
+                assert!(
+                    node.aux_lock.is_some(),
+                    "node {:?} should own a lock",
+                    node.section
+                );
                 assert!(node.lockset.contains(&node.aux_lock.unwrap()));
             } else {
                 assert!(node.aux_lock.is_none());
@@ -367,7 +371,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(tt.num_aux_locks, tt.plan.iter().filter(|n| n.aux_lock.is_some()).count());
+        assert_eq!(
+            tt.num_aux_locks,
+            tt.plan.iter().filter(|n| n.aux_lock.is_some()).count()
+        );
     }
 
     #[test]
@@ -479,11 +486,11 @@ mod tests {
     fn dynamic_lockset_drops_finished_sources() {
         let (tt, _) = transformed(figure7_workload);
         // Find a node with at least one source that owns an auxiliary lock.
-        let Some(node) = tt
-            .plan
-            .iter()
-            .find(|n| n.sources.iter().any(|s| tt.plan[s.index()].aux_lock.is_some()))
-        else {
+        let Some(node) = tt.plan.iter().find(|n| {
+            n.sources
+                .iter()
+                .any(|s| tt.plan[s.index()].aux_lock.is_some())
+        }) else {
             panic!("expected at least one node with a locked source");
         };
         let full = dynamic_lockset(node, &tt.plan, &BTreeSet::new());

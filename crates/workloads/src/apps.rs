@@ -273,7 +273,12 @@ mod tests {
     #[test]
     fn lock_free_apps_show_no_ulcps() {
         let config = WorkloadConfig::new(2, InputSize::SimSmall);
-        for app in [App::Blackscholes, App::Canneal, App::Streamcluster, App::Swaptions] {
+        for app in [
+            App::Blackscholes,
+            App::Canneal,
+            App::Streamcluster,
+            App::Swaptions,
+        ] {
             let trace = Recorder::new(SimConfig::default())
                 .record(&app.build(&config))
                 .unwrap()
@@ -290,7 +295,13 @@ mod tests {
     #[test]
     fn read_heavy_apps_are_dominated_by_read_read_ulcps() {
         let config = WorkloadConfig::new(2, InputSize::SimSmall);
-        for app in [App::OpenLdap, App::Mysql, App::Bodytrack, App::Fluidanimate, App::Vips] {
+        for app in [
+            App::OpenLdap,
+            App::Mysql,
+            App::Bodytrack,
+            App::Fluidanimate,
+            App::Vips,
+        ] {
             let trace = Recorder::new(SimConfig::default())
                 .record(&app.build(&config))
                 .unwrap()

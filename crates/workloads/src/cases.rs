@@ -106,10 +106,7 @@ pub fn bug2_pbzip2_join(config: &WorkloadConfig) -> Program {
             // End stage: poll the two flags under nested locks until the
             // producer is done — the read-read ULCP of the paper.
             t.while_cond(
-                perfplay_program::Cond::ne(
-                    perfplay_program::ValueSource::Shared(producer_done),
-                    1,
-                ),
+                perfplay_program::Cond::ne(perfplay_program::ValueSource::Shared(producer_done), 1),
                 20_000,
                 |poll| {
                     poll.locked(mu, join_site, |cs| {
@@ -242,7 +239,9 @@ mod tests {
     #[test]
     fn bug1_produces_read_read_ulcps_and_spin_waste() {
         let program = bug1_openldap_spinwait(&config(4));
-        let recording = Recorder::new(SimConfig::default()).record(&program).unwrap();
+        let recording = Recorder::new(SimConfig::default())
+            .record(&program)
+            .unwrap();
         let analysis = Detector::default().analyze(&recording.trace);
         assert!(analysis.breakdown.read_read > 10);
         // The spinning waiters burn CPU while the critical thread works.
@@ -285,14 +284,13 @@ mod tests {
     #[test]
     fn mysql_68573_serializes_selects_on_the_guard_mutex() {
         let program = mysql_68573_query_cache(&config(4));
-        let recording = Recorder::new(SimConfig::default()).record(&program).unwrap();
+        let recording = Recorder::new(SimConfig::default())
+            .record(&program)
+            .unwrap();
         let analysis = Detector::default().analyze(&recording.trace);
         // The timed wait under the guard shows up as read-read ULCPs.
         assert!(analysis.breakdown.read_read > 0);
-        assert!(analysis
-            .ulcps
-            .iter()
-            .any(|u| u.kind == UlcpKind::ReadRead));
+        assert!(analysis.ulcps.iter().any(|u| u.kind == UlcpKind::ReadRead));
         // Every SELECT thread spends most of its life waiting for the guard.
         let waiting: Vec<_> = recording
             .timing

@@ -103,7 +103,9 @@ mod tests {
         for seed in 0..10 {
             let program = random_workload(seed, &GeneratorConfig::default());
             assert!(program.validate().is_ok(), "seed {seed}");
-            let recording = Recorder::new(SimConfig::default()).record(&program).unwrap();
+            let recording = Recorder::new(SimConfig::default())
+                .record(&program)
+                .unwrap();
             assert!(recording.trace.validate().is_ok(), "seed {seed}");
             let _ = Detector::default().analyze(&recording.trace);
         }

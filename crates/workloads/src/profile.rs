@@ -179,8 +179,7 @@ pub fn build_program(profile: &Profile, config: &WorkloadConfig) -> Program {
     let cs_cost = profile.cs_cost;
     let gap_cost = profile.gap_cost;
 
-    for thread_index in 0..config.threads {
-        let slot = slots[thread_index];
+    for (thread_index, &slot) in slots.iter().enumerate().take(config.threads) {
         let mix = profile.mix;
         let num_locks = locks.len();
         let locks = locks.clone();
@@ -329,7 +328,9 @@ mod tests {
         let profile = sample_profile();
         let config = WorkloadConfig::new(2, InputSize::SimMedium);
         let program = build_program(&profile, &config);
-        let recording = Recorder::new(SimConfig::default()).record(&program).unwrap();
+        let recording = Recorder::new(SimConfig::default())
+            .record(&program)
+            .unwrap();
         assert_eq!(
             recording.trace.num_acquisitions(),
             profile.expected_acquisitions(&config)

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let perfplay = PerfPlay::new();
 
     println!("MySQL #68573 — query cache lock serializing SELECT statements");
-    println!("{:>8} {:>14} {:>14} {:>12}", "threads", "total time", "if fixed", "degradation");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "threads", "total time", "if fixed", "degradation"
+    );
     for threads in [2usize, 4, 8] {
         let config = WorkloadConfig::new(threads, InputSize::SimMedium);
         let analysis = perfplay.analyze_program(&cases::mysql_68573_query_cache(&config))?;

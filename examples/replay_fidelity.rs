@@ -33,9 +33,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * report.precision_error(),
         );
     }
-    println!(
-        "recorded execution time: {}",
-        recording.trace.total_time
-    );
+    println!("recorded execution time: {}", recording.trace.total_time);
     Ok(())
 }

@@ -37,7 +37,12 @@ fn every_application_model_survives_the_full_pipeline() {
 #[test]
 fn lock_free_applications_report_no_opportunity() {
     let perfplay = PerfPlay::new();
-    for app in [App::Blackscholes, App::Swaptions, App::Canneal, App::Streamcluster] {
+    for app in [
+        App::Blackscholes,
+        App::Swaptions,
+        App::Canneal,
+        App::Streamcluster,
+    ] {
         let program = app.build(&WorkloadConfig::new(2, InputSize::SimMedium));
         let analysis = perfplay.analyze_program(&program).unwrap();
         assert_eq!(analysis.report.breakdown.total_ulcps(), 0, "{app}");

@@ -89,6 +89,33 @@ proptest! {
         prop_assert!((replayed - recorded).abs() / recorded.max(1.0) < 0.10);
     }
 
+    /// The optimized snapshot-free detector — sequential and parallel — is
+    /// bit-identical to the retained naive snapshot-cloning reference, for
+    /// the default configuration, the reversed-replay ablation, and a capped
+    /// sequential search.
+    #[test]
+    fn optimized_detector_matches_naive_reference(seed in 0u64..5_000, config in generator_config()) {
+        let program = random_workload(seed, &config);
+        let trace = Recorder::new(SimConfig::default()).record(&program).unwrap().trace;
+        for det_config in [
+            DetectorConfig::default(),
+            DetectorConfig { use_reversed_replay: false, ..DetectorConfig::default() },
+            DetectorConfig { max_scan_per_thread: Some(3), ..DetectorConfig::default() },
+        ] {
+            let reference = perfplay_detect::reference_analyze(&trace, det_config);
+            let sequential = Detector::new(det_config).analyze(&trace);
+            let parallel = Detector::new(DetectorConfig { parallel: true, ..det_config })
+                .analyze(&trace);
+            prop_assert_eq!(&reference.breakdown, &sequential.breakdown);
+            prop_assert_eq!(&reference.ulcps, &sequential.ulcps);
+            prop_assert_eq!(&reference.edges, &sequential.edges);
+            prop_assert_eq!(&sequential.breakdown, &parallel.breakdown);
+            prop_assert_eq!(&sequential.ulcps, &parallel.ulcps);
+            prop_assert_eq!(&sequential.edges, &parallel.edges);
+            prop_assert_eq!(&sequential.sections, &parallel.sections);
+        }
+    }
+
     /// The end-to-end pipeline never reports an ULCP-free execution that is
     /// meaningfully slower than the original, and its opportunity ranking is
     /// a valid distribution.

@@ -1,0 +1,29 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Exposes a [`ChaCha8Rng`] type with the `SeedableRng::seed_from_u64` /
+//! `RngCore` interface the workspace uses. The underlying stream is the
+//! vendored xoshiro256** generator, not the real ChaCha8 cipher — the
+//! workspace only relies on determinism per seed, which this provides.
+
+use rand::{RngCore, SeedableRng, SmallRng};
+
+/// Deterministic seedable generator, API-compatible with
+/// `rand_chacha::ChaCha8Rng` for the subset the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    inner: SmallRng,
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        ChaCha8Rng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
