@@ -1,0 +1,48 @@
+//! Criterion bench: replay cost vs thread count, naive scan-and-wake-all
+//! reference loop vs the unified indexed-ready-set engine, under ELSC-S
+//! (the paper's scheme) and SYNC-S (the heaviest deterministic admission).
+//!
+//! Set `PERFPLAY_BENCH_FAST=1` for a CI-sized smoke run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfplay::prelude::*;
+use perfplay_bench::{replay_trace, ReplayWorkload};
+use perfplay_replay::reference_replay_original;
+
+fn bench_replay_scaling(c: &mut Criterion) {
+    let fast = std::env::var_os("PERFPLAY_BENCH_FAST").is_some_and(|v| v != "0");
+    let thread_counts: &[usize] = if fast { &[8] } else { &[16, 64, 128] };
+
+    let config = ReplayConfig::default();
+    let replayer = Replayer::default();
+    let mut group = c.benchmark_group("replay_scaling");
+    group.sample_size(10);
+    for &threads in thread_counts {
+        let trace = replay_trace(ReplayWorkload::scaling(threads));
+        for (label, schedule) in [
+            ("elsc", ReplaySchedule::elsc()),
+            ("sync", ReplaySchedule::sync()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("reference_{label}"), threads),
+                &trace,
+                |b, t| {
+                    b.iter(|| {
+                        reference_replay_original(&config, t, schedule)
+                            .unwrap()
+                            .total_time
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("engine_{label}"), threads),
+                &trace,
+                |b, t| b.iter(|| replayer.replay(t, schedule).unwrap().total_time),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay_scaling);
+criterion_main!(benches);

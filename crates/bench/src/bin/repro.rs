@@ -6,17 +6,30 @@
 //!   snapshot-free engine (sequential and parallel) on a large synthetic
 //!   trace, verifies all three produce bit-identical results, and writes
 //!   `BENCH_detect.json`.
-//! * `repro pipeline [--quick]` prints one Table-1-style row per application
-//!   model: ULCP breakdown by category plus the original vs ULCP-free replay
-//!   times.
+//! * `repro replay [--quick] [--out PATH]` runs the replay scaling
+//!   comparison: the naive scan-and-wake-all reference loop vs the unified
+//!   indexed-ready-set engine on 64/128/256-thread synthetic workloads,
+//!   across all four schedule kinds plus the ULCP-free lockset replay,
+//!   verifies bit-identical results by content digest, and writes
+//!   `BENCH_replay.json`.
+//! * `repro pipeline [--quick] [--out PATH]` prints one Table-1-style row per
+//!   application model: ULCP breakdown by category plus the original vs
+//!   ULCP-free replay times. With `--out`, the rows are written as JSON
+//!   together with the `BENCH_replay.json` artifact (when present), so one
+//!   file carries the whole pipeline story.
 
 use std::time::Instant;
 
 use perfplay::prelude::{Detector, DetectorConfig};
+use perfplay::prelude::{ReplayConfig, ReplayResult, ReplaySchedule, Replayer, UlcpFreeReplayer};
 use perfplay::workloads::{App, InputSize};
-use perfplay_bench::{analyze_app, detect_bench_config, detect_trace, ms, pct, DetectWorkload};
+use perfplay_bench::{
+    analyze_app, detect_bench_config, detect_trace, ms, pct, replay_trace, DetectWorkload,
+    ReplayWorkload,
+};
 use perfplay_detect::{reference_analyze, UlcpAnalysis};
-use serde::Serialize;
+use perfplay_replay::{reference_replay_free, reference_replay_original};
+use serde::{Deserialize, Serialize};
 
 #[derive(Debug, Serialize)]
 struct WorkloadReport {
@@ -92,28 +105,37 @@ struct ResultDigest {
     content_hash: u64,
 }
 
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn mix(&mut self, word: u64) {
+        self.0 ^= word;
+        self.0 = self.0.wrapping_mul(0x100000001b3);
+    }
+}
+
 fn digest(a: &UlcpAnalysis) -> ResultDigest {
-    let mut hash: u64 = 0xcbf29ce484222325;
-    let mut mix = |word: u64| {
-        hash ^= word;
-        hash = hash.wrapping_mul(0x100000001b3);
-    };
+    let mut hash = Fnv::new();
     for u in &a.ulcps {
-        mix(u.first.index() as u64);
-        mix(u.second.index() as u64);
-        mix(u64::from(u.lock.raw()));
-        mix(u.kind as u64);
+        hash.mix(u.first.index() as u64);
+        hash.mix(u.second.index() as u64);
+        hash.mix(u64::from(u.lock.raw()));
+        hash.mix(u.kind as u64);
     }
     for e in &a.edges {
-        mix(e.from.index() as u64);
-        mix(e.to.index() as u64);
-        mix(u64::from(e.lock.raw()));
+        hash.mix(e.from.index() as u64);
+        hash.mix(e.to.index() as u64);
+        hash.mix(u64::from(e.lock.raw()));
     }
     ResultDigest {
         breakdown: a.breakdown,
         ulcps: a.ulcps.len(),
         edges: a.edges.len(),
-        content_hash: hash,
+        content_hash: hash.0,
     }
 }
 
@@ -204,10 +226,229 @@ fn run_detect(quick: bool, out: &str) {
     );
 }
 
+/// Content digest of one replay outcome: an FNV-1a hash over the makespan,
+/// every per-thread timing account, every per-event completion time, and
+/// the lockset counters. Equal digests mean bit-identical `ReplayResult`s.
+fn replay_digest(r: &ReplayResult) -> u64 {
+    let mut hash = Fnv::new();
+    hash.mix(r.total_time.as_nanos());
+    for t in &r.per_thread {
+        hash.mix(t.finish_time.as_nanos());
+        hash.mix(t.busy.as_nanos());
+        hash.mix(t.lock_wait.as_nanos());
+        hash.mix(t.sync_wait.as_nanos());
+    }
+    for times in &r.event_times {
+        for t in times {
+            hash.mix(t.as_nanos());
+        }
+    }
+    hash.mix(r.lockset_ops);
+    hash.mix(r.lockset_overhead.as_nanos());
+    hash.0
+}
+
+/// Times one replay engine over `runs` runs: determinism-checks the digest
+/// across runs and returns (digest, median ms).
+fn measure_replay(label: &str, runs: usize, f: impl Fn() -> ReplayResult) -> (u64, f64) {
+    let mut times = Vec::with_capacity(runs);
+    let mut first_digest: Option<u64> = None;
+    for run in 0..runs.max(1) {
+        let (result, ms) = time_ms(&f);
+        eprintln!("  {label} run {}/{}: {ms:.1}ms", run + 1, runs.max(1));
+        times.push(ms);
+        let d = replay_digest(&result);
+        match first_digest {
+            None => first_digest = Some(d),
+            Some(expected) => assert_eq!(expected, d, "{label} is nondeterministic"),
+        }
+    }
+    (first_digest.expect("at least one run"), median(&mut times))
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ReplaySchemeRow {
+    scheme: String,
+    reference_ms: f64,
+    engine_ms: f64,
+    speedup: f64,
+    identical: bool,
+    digest: String,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ReplayWorkloadReport {
+    threads: usize,
+    sections_per_thread: u32,
+    locks: usize,
+    objects: usize,
+    trace_events: usize,
+    record_ms: f64,
+    schemes: Vec<ReplaySchemeRow>,
+    median_speedup: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ReplayReport {
+    workloads: Vec<ReplayWorkloadReport>,
+    headline_threads: usize,
+    headline_median_speedup: f64,
+    all_identical: bool,
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    values[values.len() / 2]
+}
+
+fn run_replay_workload(threads: usize, runs: usize) -> ReplayWorkloadReport {
+    let workload = ReplayWorkload::scaling(threads);
+    eprintln!(
+        "recording replay workload: {} threads x {} sections ({} total), {} locks...",
+        workload.threads,
+        workload.sections_per_thread,
+        workload.total_sections(),
+        workload.locks
+    );
+    let (trace, record_ms) = time_ms(|| replay_trace(workload));
+    eprintln!("recorded {} events in {record_ms:.0}ms", trace.num_events());
+
+    let config = ReplayConfig::default();
+    let replayer = Replayer::default();
+    let mut schemes = Vec::new();
+    for schedule in [
+        ReplaySchedule::orig(7),
+        ReplaySchedule::elsc(),
+        ReplaySchedule::sync(),
+        ReplaySchedule::mem(),
+    ] {
+        let label = schedule.kind.label();
+        eprintln!("{label} @ {threads} threads:");
+        let (ref_digest, reference_ms) = measure_replay("reference", runs, || {
+            reference_replay_original(&config, &trace, schedule).expect("reference replays")
+        });
+        let (eng_digest, engine_ms) = measure_replay("engine   ", runs, || {
+            replayer.replay(&trace, schedule).expect("engine replays")
+        });
+        schemes.push(ReplaySchemeRow {
+            scheme: label.to_string(),
+            reference_ms,
+            engine_ms,
+            speedup: reference_ms / engine_ms,
+            identical: ref_digest == eng_digest,
+            digest: format!("{eng_digest:016x}"),
+        });
+    }
+
+    // The ULCP-free lockset replay rides the same engine: compare it too.
+    let analysis = Detector::new(detect_bench_config()).analyze(&trace);
+    let transformed = perfplay::prelude::Transformer::default().transform(&trace, &analysis);
+    eprintln!("ULCP-FREE @ {threads} threads:");
+    let (ref_digest, reference_ms) = measure_replay("reference", runs, || {
+        reference_replay_free(&config, true, &transformed).expect("reference replays")
+    });
+    let (eng_digest, engine_ms) = measure_replay("engine   ", runs, || {
+        UlcpFreeReplayer::new(config)
+            .replay(&transformed)
+            .expect("engine replays")
+    });
+    schemes.push(ReplaySchemeRow {
+        scheme: "ULCP-FREE".to_string(),
+        reference_ms,
+        engine_ms,
+        speedup: reference_ms / engine_ms,
+        identical: ref_digest == eng_digest,
+        digest: format!("{eng_digest:016x}"),
+    });
+
+    let mut speedups: Vec<f64> = schemes.iter().map(|s| s.speedup).collect();
+    ReplayWorkloadReport {
+        threads: workload.threads,
+        sections_per_thread: workload.sections_per_thread,
+        locks: workload.locks,
+        objects: workload.objects,
+        trace_events: trace.num_events(),
+        record_ms,
+        median_speedup: median(&mut speedups),
+        schemes,
+    }
+}
+
+/// Default artifact path shared by `repro replay` (writer) and
+/// `repro pipeline --out` (reader/embedder).
+const REPLAY_ARTIFACT: &str = "BENCH_replay.json";
+
+fn run_replay(quick: bool, out: &str) {
+    let (thread_counts, runs): (&[usize], usize) = if quick {
+        (&[8, 16], 1)
+    } else {
+        (&[64, 128, 256], 3)
+    };
+    let workloads: Vec<ReplayWorkloadReport> = thread_counts
+        .iter()
+        .map(|&t| run_replay_workload(t, runs))
+        .collect();
+    // The 128-thread shape is the acceptance benchmark this repo reports
+    // (ISSUE 2 / ROADMAP); fall back to the largest sweep member when the
+    // sweep does not include it (e.g. --quick).
+    let headline = workloads
+        .iter()
+        .find(|w| w.threads == 128)
+        .or_else(|| workloads.iter().max_by_key(|w| w.threads))
+        .expect("at least one workload");
+    let all_identical = workloads
+        .iter()
+        .all(|w| w.schemes.iter().all(|s| s.identical));
+    let report = ReplayReport {
+        headline_threads: headline.threads,
+        headline_median_speedup: headline.median_speedup,
+        all_identical,
+        workloads,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(out, format!("{json}\n")).expect("write benchmark artifact");
+    println!("{json}");
+    // Assert only after the artifact is on disk, so a divergence leaves a
+    // machine-readable record (identical: false) instead of nothing.
+    assert!(
+        report.all_identical,
+        "the unified engine diverged from the reference loop"
+    );
+    eprintln!(
+        "median speedup at {} threads: {:.1}x -> {out}",
+        report.headline_threads, report.headline_median_speedup
+    );
+}
+
+#[derive(Debug, Serialize)]
+struct PipelineRow {
+    app: String,
+    lock_acquisitions: usize,
+    null_lock: usize,
+    read_read: usize,
+    disjoint_write: usize,
+    benign: usize,
+    tlcp_edges: usize,
+    original_ms: f64,
+    ulcp_free_ms: f64,
+    normalized_degradation: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PipelineReport {
+    rows: Vec<PipelineRow>,
+    /// The replay scaling artifact (`BENCH_replay.json`), embedded when it
+    /// exists next to the working directory, so one file carries both the
+    /// per-app pipeline numbers and the engine comparison.
+    replay_bench: Option<ReplayReport>,
+}
+
 /// Prints one row per application model: the per-category ULCP counts and
 /// the replayed original vs ULCP-free times (the shape of the paper's
-/// Table 1 / Figure 14 data).
-fn run_pipeline(quick: bool) {
+/// Table 1 / Figure 14 data). With `--out`, also writes the rows as JSON,
+/// embedding the replay artifact (`--replay-artifact`, default
+/// `BENCH_replay.json`) when present.
+fn run_pipeline(quick: bool, out: Option<&str>, replay_artifact: &str) {
     let (threads, input) = if quick {
         (2, InputSize::SimSmall)
     } else {
@@ -217,6 +458,7 @@ fn run_pipeline(quick: bool) {
         "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>12} {:>12} {:>8}",
         "app", "locks", "NL", "RR", "DW", "Benign", "TLCP", "orig(ms)", "free(ms)", "waste"
     );
+    let mut rows = Vec::new();
     for app in App::ALL {
         let analysis = analyze_app(app, threads, input);
         let b = &analysis.report.breakdown;
@@ -233,7 +475,42 @@ fn run_pipeline(quick: bool) {
             ms(analysis.report.impact.ulcp_free_time),
             pct(analysis.report.normalized_degradation()),
         );
+        rows.push(PipelineRow {
+            app: app.name().to_string(),
+            lock_acquisitions: b.lock_acquisitions,
+            null_lock: b.null_lock,
+            read_read: b.read_read,
+            disjoint_write: b.disjoint_write,
+            benign: b.benign,
+            tlcp_edges: b.tlcp_edges,
+            original_ms: analysis.report.impact.original_time.as_nanos() as f64 / 1e6,
+            ulcp_free_ms: analysis.report.impact.ulcp_free_time.as_nanos() as f64 / 1e6,
+            normalized_degradation: analysis.report.normalized_degradation(),
+        });
     }
+    let Some(out) = out else { return };
+    let replay_bench = match std::fs::read_to_string(replay_artifact) {
+        Err(_) => {
+            eprintln!(
+                "note: {replay_artifact} not found (run `repro replay` first); writing rows only"
+            );
+            None
+        }
+        Ok(s) => match serde_json::from_str::<ReplayReport>(&s) {
+            Ok(report) => Some(report),
+            Err(e) => {
+                eprintln!(
+                    "warning: {replay_artifact} exists but does not parse ({e:?}); \
+                     regenerate it with `repro replay`; writing rows only"
+                );
+                None
+            }
+        },
+    };
+    let report = PipelineReport { rows, replay_bench };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(out, format!("{json}\n")).expect("write pipeline artifact");
+    eprintln!("pipeline rows -> {out}");
 }
 
 fn main() {
@@ -241,6 +518,7 @@ fn main() {
     let mut command: Option<String> = None;
     let mut quick = false;
     let mut out: Option<String> = None;
+    let mut replay_artifact: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -249,6 +527,13 @@ fn main() {
                 Some(path) => out = Some(path.clone()),
                 None => {
                     eprintln!("--out requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--replay-artifact" => match iter.next() {
+                Some(path) => replay_artifact = Some(path.clone()),
+                None => {
+                    eprintln!("--replay-artifact requires a path argument");
                     std::process::exit(2);
                 }
             },
@@ -269,15 +554,18 @@ fn main() {
         Some("detect") | None => {
             run_detect(quick, out.as_deref().unwrap_or("BENCH_detect.json"));
         }
+        Some("replay") => {
+            run_replay(quick, out.as_deref().unwrap_or(REPLAY_ARTIFACT));
+        }
         Some("pipeline") => {
-            if out.is_some() {
-                eprintln!("--out is not supported by `pipeline` (it prints to stdout)");
-                std::process::exit(2);
-            }
-            run_pipeline(quick);
+            run_pipeline(
+                quick,
+                out.as_deref(),
+                replay_artifact.as_deref().unwrap_or(REPLAY_ARTIFACT),
+            );
         }
         Some(other) => {
-            eprintln!("unknown command `{other}`; available: detect, pipeline");
+            eprintln!("unknown command `{other}`; available: detect, replay, pipeline");
             std::process::exit(2);
         }
     }

@@ -84,3 +84,57 @@ pub fn detect_bench_config() -> perfplay::prelude::DetectorConfig {
         ..perfplay::prelude::DetectorConfig::default()
     }
 }
+
+/// Shape of a synthetic replay workload (see [`replay_trace`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayWorkload {
+    /// Worker threads in the generated program (the scaling axis: the naive
+    /// reference loop pays O(threads) per step and wakes every blocked
+    /// thread on any progress).
+    pub threads: usize,
+    /// Critical sections each thread executes.
+    pub sections_per_thread: u32,
+    /// Distinct application locks (fewer locks = heavier contention = more
+    /// blocked threads per step for the reference loop to re-scan).
+    pub locks: usize,
+    /// Distinct shared objects.
+    pub objects: usize,
+}
+
+impl ReplayWorkload {
+    /// The standard thread-scaling shape used by `replay_scaling` and the
+    /// `repro replay` command: contention grows with the thread count.
+    pub fn scaling(threads: usize) -> Self {
+        ReplayWorkload {
+            threads,
+            sections_per_thread: 20,
+            locks: (threads / 8).max(2),
+            objects: 256,
+        }
+    }
+
+    /// Total dynamic critical sections the workload produces.
+    pub fn total_sections(&self) -> usize {
+        self.threads * self.sections_per_thread as usize
+    }
+}
+
+/// Records the synthetic trace used by the `replay_scaling` bench and the
+/// `repro replay` command: a seeded random lock program whose per-lock
+/// contention scales with the thread count.
+pub fn replay_trace(workload: ReplayWorkload) -> Trace {
+    use perfplay::workloads::{random_workload, GeneratorConfig};
+    let program = random_workload(
+        7,
+        &GeneratorConfig {
+            threads: workload.threads,
+            locks: workload.locks,
+            objects: workload.objects,
+            sections_per_thread: workload.sections_per_thread,
+        },
+    );
+    Recorder::new(SimConfig::default())
+        .record(&program)
+        .expect("synthetic workloads always record")
+        .trace
+}

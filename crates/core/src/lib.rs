@@ -330,7 +330,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e: PerfPlayError = ReplayError::StepLimitExceeded { limit: 1 }.into();
+        let e: PerfPlayError = ReplayError::StepLimitExceeded {
+            limit: 1,
+            cursors: Vec::new(),
+        }
+        .into();
         assert!(e.to_string().contains("replay failed"));
     }
 }

@@ -1,0 +1,451 @@
+//! The shared event-driven scheduler core both replayers run on.
+//!
+//! The naive loops in [`reference`](crate::reference) pay `O(T)` per step to
+//! scan every thread for the next runnable one, and wake *every* blocked
+//! thread after *any* progress — `O(T^2)` scheduler work per lock grant under
+//! contention. This module replaces both with one engine:
+//!
+//! * a **clock-keyed ready set** (`BinaryHeap` over `(clock, thread)`, ties
+//!   broken by thread id) makes picking the next runnable thread `O(log T)`
+//!   and reproduces the reference's deterministic `min_by_key` order exactly;
+//! * **targeted wake lists** ([`WaitChannel`]) wake only the threads whose
+//!   blocking condition may actually have changed: waiters of a released
+//!   lock, the next thread in a recorded grant order, members of a completed
+//!   barrier group, watchers of a condition-variable signal.
+//!
+//! The schedule-specific *admission rules* — who may take a lock, and when —
+//! live in a [`ReplayPolicy`]: `OriginalOrder` (the four `ScheduleKind`
+//! schemes) and `UlcpFree` (RULE 2/3/4 lockset semantics with the dynamic
+//! locking strategy). Everything else — thread table, event cursors, cost
+//! application, condvar/barrier dependency resolution, the step loop — is
+//! shared here.
+//!
+//! # Equivalence with the reference loops
+//!
+//! The engine is bit-identical to the reference because (a) blocked attempts
+//! are *pure* — they mutate nothing, so the reference's extra retries are
+//! no-ops, (b) wake channels are *complete* — whenever a blocked thread's
+//! condition may have changed it is notified on a registered channel or woken
+//! directly, and (c) both pick the minimum `(clock, thread-id)` runnable
+//! thread. Spurious wake-ups are allowed (the thread re-blocks, harmlessly);
+//! missed wake-ups are not. The property suite replays random traces through
+//! both paths and asserts equal [`ReplayResult`]s.
+//!
+//! One caveat: `max_steps` counts *productive* scheduler decisions here
+//! (ready-heap pops), while the reference loops also burn iterations on the
+//! blocked retries their wake-all strategy causes. Successful replays and
+//! `Stuck` errors are bit-identical across both paths; a replay that hits
+//! the step limit does so at a different logical point in each (with the
+//! default 100M-step limit this is unreachable for real traces).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use perfplay_trace::{AuxLockId, Event, LockId, SectionId, Time, Trace};
+
+use crate::common::{build_sync_deps, EventRef, ReplayConfig, SyncDeps};
+use crate::result::{ReplayError, ReplayResult, ThreadCursor, ThreadReplayTiming};
+
+/// Scheduling state of one replayed thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Present in the ready heap, will be stepped.
+    Ready,
+    /// Waiting for a wake channel notification or a direct wake.
+    Blocked,
+    /// Played every event of its stream.
+    Finished,
+}
+
+/// Per-thread replay state shared by all policies.
+#[derive(Debug)]
+pub(crate) struct ThreadState {
+    /// Index of the next unplayed event.
+    pub idx: usize,
+    /// The thread's virtual clock (completion time of its last event).
+    pub clock: Time,
+    /// Scheduling status.
+    pub status: Status,
+    /// Timing account reported in the result.
+    pub timing: ThreadReplayTiming,
+    /// Virtual time at which the pending acquisition was first requested.
+    pub request_time: Option<Time>,
+    /// Invalidates stale wake-channel registrations from earlier episodes.
+    wait_epoch: u64,
+}
+
+/// What a blocked thread is waiting for.
+///
+/// Channels are notification *hints*: a notification may wake a thread that
+/// still cannot progress (it simply re-blocks), but a thread whose blocking
+/// condition changed must always be reachable through a registered channel
+/// or a direct [`EngineCore::wake`] — the engine's equivalence with the
+/// reference loops rests on that completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum WaitChannel {
+    /// An application lock was released (or its grant order advanced).
+    Lock(LockId),
+    /// An auxiliary (lockset) lock was released.
+    AuxLock(AuxLockId),
+    /// A critical section finished (RULE 2 predecessors, DLS prunes).
+    SectionDone(SectionId),
+}
+
+/// Outcome of attempting one thread's next event.
+pub(crate) enum Step {
+    /// The event completed; the thread stays in the ready set.
+    Completed,
+    /// The thread cannot progress; it leaves the ready set until woken.
+    Blocked,
+    /// The thread has no events left.
+    Finished,
+}
+
+/// The state shared by every policy: thread table, event cursors, ready
+/// heap, wake lists, and the cross-thread condvar/barrier dependencies.
+pub(crate) struct EngineCore<'a> {
+    pub config: ReplayConfig,
+    pub trace: &'a Trace,
+    pub deps: SyncDeps,
+    pub threads: Vec<ThreadState>,
+    pub event_times: Vec<Vec<Time>>,
+    /// Min-heap over `(clock, thread id)` of `Ready` threads. Each ready
+    /// thread appears exactly once; a thread's clock only changes while it
+    /// is popped, so entries never go stale.
+    ready: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Blocked threads by wake channel, tagged with the registration epoch.
+    waiters: BTreeMap<WaitChannel, Vec<(usize, u64)>>,
+    /// Reverse index of `deps.wake_deps`: completion of the keyed event
+    /// wakes the listed threads (condvar waiters re-acquiring their lock).
+    dep_watchers: BTreeMap<EventRef, Vec<usize>>,
+    /// Barrier crossings: group id per arrival event, member list per group.
+    barrier_group_ids: BTreeMap<EventRef, usize>,
+    barrier_groups: Vec<Vec<EventRef>>,
+    barrier_arrivals: BTreeMap<EventRef, Time>,
+}
+
+impl<'a> EngineCore<'a> {
+    fn new(config: &ReplayConfig, trace: &'a Trace) -> Self {
+        let deps = build_sync_deps(trace);
+        let mut dep_watchers: BTreeMap<EventRef, Vec<usize>> = BTreeMap::new();
+        for (waiter, dep) in &deps.wake_deps {
+            dep_watchers.entry(*dep).or_default().push(waiter.0);
+        }
+        // Deduplicate barrier groups (every member maps to the same vector)
+        // into an id-indexed table so group iteration needs no allocation.
+        let mut barrier_group_ids: BTreeMap<EventRef, usize> = BTreeMap::new();
+        let mut barrier_groups: Vec<Vec<EventRef>> = Vec::new();
+        let mut rep_to_id: BTreeMap<EventRef, usize> = BTreeMap::new();
+        for (member, group) in &deps.barrier_groups {
+            let rep = group[0];
+            let id = *rep_to_id.entry(rep).or_insert_with(|| {
+                barrier_groups.push(group.clone());
+                barrier_groups.len() - 1
+            });
+            barrier_group_ids.insert(*member, id);
+        }
+        let mut ready = BinaryHeap::with_capacity(trace.num_threads());
+        for ti in 0..trace.num_threads() {
+            ready.push(Reverse((Time::ZERO, ti)));
+        }
+        EngineCore {
+            config: *config,
+            trace,
+            deps,
+            threads: trace
+                .threads
+                .iter()
+                .map(|_| ThreadState {
+                    idx: 0,
+                    clock: Time::ZERO,
+                    status: Status::Ready,
+                    timing: ThreadReplayTiming::default(),
+                    request_time: None,
+                    wait_epoch: 0,
+                })
+                .collect(),
+            event_times: trace
+                .threads
+                .iter()
+                .map(|t| vec![Time::ZERO; t.events.len()])
+                .collect(),
+            ready,
+            waiters: BTreeMap::new(),
+            dep_watchers,
+            barrier_group_ids,
+            barrier_groups,
+            barrier_arrivals: BTreeMap::new(),
+        }
+    }
+
+    /// Marks an event complete: records its time, advances the cursor, and
+    /// wakes any condvar waiter whose recorded dependency this event was.
+    pub fn complete(&mut self, ti: usize, idx: usize, completion: Time) {
+        self.event_times[ti][idx] = completion;
+        let t = &mut self.threads[ti];
+        t.clock = completion;
+        t.idx = idx + 1;
+        t.request_time = None;
+        if let Some(watchers) = self.dep_watchers.remove(&(ti, idx)) {
+            for w in watchers {
+                self.wake(w);
+            }
+        }
+    }
+
+    /// Moves a blocked thread back into the ready heap. No-op for threads
+    /// that are already ready or finished, so spurious wakes are harmless.
+    pub fn wake(&mut self, ti: usize) {
+        let t = &mut self.threads[ti];
+        if t.status == Status::Blocked {
+            t.status = Status::Ready;
+            self.ready.push(Reverse((t.clock, ti)));
+        }
+    }
+
+    /// Registers the (about-to-block) thread on the given wake channels.
+    /// A registration-free block is allowed when some other mechanism
+    /// (dep watchers, barrier completion, a policy's direct wake) is
+    /// guaranteed to deliver the wake.
+    pub fn block_on(&mut self, ti: usize, channels: impl IntoIterator<Item = WaitChannel>) {
+        let t = &mut self.threads[ti];
+        t.wait_epoch += 1;
+        let epoch = t.wait_epoch;
+        for ch in channels {
+            let list = self.waiters.entry(ch).or_default();
+            // A spuriously woken thread that re-blocks on the same channel
+            // leaves a stale (older-epoch) entry behind; refreshing a
+            // trailing entry in place keeps repeated wake/re-block cycles
+            // (e.g. the SYNC-S turn owner waiting out a held lock) from
+            // growing the list.
+            match list.last_mut() {
+                Some((last, e)) if *last == ti => *e = epoch,
+                _ => list.push((ti, epoch)),
+            }
+        }
+    }
+
+    /// Wakes every thread whose current blocking episode registered on the
+    /// channel. Stale registrations (older epochs) are dropped.
+    pub fn notify(&mut self, channel: WaitChannel) {
+        let Some(list) = self.waiters.remove(&channel) else {
+            return;
+        };
+        for (ti, epoch) in list {
+            if self.threads[ti].wait_epoch == epoch {
+                self.wake(ti);
+            }
+        }
+    }
+
+    /// Checks the recorded condvar partial order for an acquisition.
+    /// Returns the dependency's completion time, or `None` when the
+    /// dependency has not completed yet (the dep watcher will wake us; the
+    /// caller must return [`Step::Blocked`] without registering channels).
+    pub fn wake_dep_time(&self, ti: usize, idx: usize) -> Result<Time, ()> {
+        match self.deps.wake_deps.get(&(ti, idx)) {
+            Some(&(dti, dei)) => {
+                if self.threads[dti].idx <= dei {
+                    Err(())
+                } else {
+                    Ok(self.event_times[dti][dei])
+                }
+            }
+            None => Ok(Time::ZERO),
+        }
+    }
+
+    /// Barrier arrival: blocks until the whole recorded crossing has
+    /// arrived; the final arriver wakes the other members directly.
+    fn barrier_wait(&mut self, ti: usize, idx: usize) -> Step {
+        let clock = self.threads[ti].clock;
+        self.barrier_arrivals.entry((ti, idx)).or_insert(clock);
+        let Some(&gid) = self.barrier_group_ids.get(&(ti, idx)) else {
+            self.complete(ti, idx, clock + self.config.barrier_release_cost);
+            return Step::Completed;
+        };
+        let len = self.barrier_groups[gid].len();
+        let mut arrived = 0usize;
+        let mut latest = Time::ZERO;
+        for k in 0..len {
+            let member = self.barrier_groups[gid][k];
+            if let Some(&at) = self.barrier_arrivals.get(&member) {
+                arrived += 1;
+                latest = latest.max(at);
+            }
+        }
+        if arrived < len {
+            // Woken directly by the final arriver; no channel registration.
+            self.block_on(ti, []);
+            return Step::Blocked;
+        }
+        let release = latest.max(clock) + self.config.barrier_release_cost;
+        self.threads[ti].timing.sync_wait += release - clock;
+        self.complete(ti, idx, release);
+        for k in 0..len {
+            let member = self.barrier_groups[gid][k].0;
+            if member != ti {
+                self.wake(member);
+            }
+        }
+        Step::Completed
+    }
+
+    fn cursors(&self, only_unfinished: bool) -> Vec<ThreadCursor> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !only_unfinished || t.status != Status::Finished)
+            .map(|(i, t)| ThreadCursor {
+                thread: self.trace.threads[i].thread,
+                next_event: t.idx,
+                total_events: self.trace.threads[i].events.len(),
+            })
+            .collect()
+    }
+}
+
+/// The schedule-specific part of a replayer: lock admission (and, for MEM-S,
+/// memory-access ordering). Everything a policy does besides blocking /
+/// granting goes through the [`EngineCore`] it is handed.
+pub(crate) trait ReplayPolicy {
+    /// Handles a `Read` / `Write` event. The default charges the plain
+    /// memory-access cost; MEM-S overrides it to enforce the recorded
+    /// global access order.
+    fn on_memory(&mut self, core: &mut EngineCore, ti: usize, idx: usize) -> Step {
+        let clock = core.threads[ti].clock;
+        let cost = core.config.mem_access_cost;
+        core.threads[ti].timing.busy += cost;
+        core.complete(ti, idx, clock + cost);
+        Step::Completed
+    }
+
+    /// Handles a `LockAcquire` event: admission, availability, cost.
+    fn on_acquire(&mut self, core: &mut EngineCore, ti: usize, idx: usize, lock: LockId) -> Step;
+
+    /// Handles a `LockRelease` event and notifies the released waiters.
+    fn on_release(&mut self, core: &mut EngineCore, ti: usize, idx: usize, lock: LockId) -> Step;
+
+    /// Called when the ready set empties while unfinished threads remain;
+    /// may designate one blocked thread to wake (the SYNC-S admission
+    /// bypass). Returning `None` makes the replay report [`ReplayError::Stuck`].
+    fn rescue(&mut self, _core: &EngineCore) -> Option<usize> {
+        None
+    }
+
+    /// Lockset accounting for the final [`ReplayResult`].
+    fn lockset_totals(&self) -> (u64, Time) {
+        (0, Time::ZERO)
+    }
+}
+
+/// The unified replay engine: the shared core driven by one policy.
+pub(crate) struct Engine<'a, P: ReplayPolicy> {
+    core: EngineCore<'a>,
+    policy: P,
+}
+
+impl<'a, P: ReplayPolicy> Engine<'a, P> {
+    pub fn new(config: &ReplayConfig, trace: &'a Trace, policy: P) -> Self {
+        Engine {
+            core: EngineCore::new(config, trace),
+            policy,
+        }
+    }
+
+    /// Runs the replay to completion.
+    pub fn run(mut self) -> Result<ReplayResult, ReplayError> {
+        let mut steps: u64 = 0;
+        loop {
+            let Some(Reverse((_, ti))) = self.core.ready.pop() else {
+                if self
+                    .core
+                    .threads
+                    .iter()
+                    .all(|t| t.status == Status::Finished)
+                {
+                    break;
+                }
+                if let Some(candidate) = self.policy.rescue(&self.core) {
+                    self.core.wake(candidate);
+                    continue;
+                }
+                return Err(ReplayError::Stuck {
+                    cursors: self.core.cursors(true),
+                });
+            };
+            debug_assert_eq!(self.core.threads[ti].status, Status::Ready);
+            steps += 1;
+            if steps > self.core.config.max_steps {
+                return Err(ReplayError::StepLimitExceeded {
+                    limit: self.core.config.max_steps,
+                    cursors: self.core.cursors(false),
+                });
+            }
+            match self.step(ti) {
+                Step::Completed => {
+                    let clock = self.core.threads[ti].clock;
+                    self.core.ready.push(Reverse((clock, ti)));
+                }
+                Step::Blocked => self.core.threads[ti].status = Status::Blocked,
+                Step::Finished => {
+                    let t = &mut self.core.threads[ti];
+                    t.status = Status::Finished;
+                    t.timing.finish_time = t.clock;
+                }
+            }
+        }
+        let total_time = self
+            .core
+            .threads
+            .iter()
+            .map(|t| t.timing.finish_time)
+            .max()
+            .unwrap_or(Time::ZERO);
+        let (lockset_ops, lockset_overhead) = self.policy.lockset_totals();
+        Ok(ReplayResult {
+            total_time,
+            per_thread: self.core.threads.iter().map(|t| t.timing).collect(),
+            event_times: self.core.event_times,
+            lockset_ops,
+            lockset_overhead,
+        })
+    }
+
+    /// Attempts the thread's next event. Dispatches on a *borrowed* event —
+    /// payloads are copied out as scalars, so stepping allocates nothing.
+    fn step(&mut self, ti: usize) -> Step {
+        let core = &mut self.core;
+        let trace = core.trace;
+        let events = &trace.threads[ti].events;
+        let idx = core.threads[ti].idx;
+        if idx >= events.len() {
+            return Step::Finished;
+        }
+        let clock = core.threads[ti].clock;
+        match events[idx].event {
+            Event::Compute { cost }
+            | Event::SkipRegion {
+                saved_cost: cost, ..
+            } => {
+                core.threads[ti].timing.busy += cost;
+                core.complete(ti, idx, clock + cost);
+                Step::Completed
+            }
+            Event::Read { .. } | Event::Write { .. } => self.policy.on_memory(core, ti, idx),
+            Event::LockAcquire { lock, .. } => self.policy.on_acquire(core, ti, idx, lock),
+            Event::LockRelease { lock } => self.policy.on_release(core, ti, idx, lock),
+            Event::CondWait { .. } | Event::Checkpoint { .. } | Event::ThreadExit => {
+                core.complete(ti, idx, clock);
+                Step::Completed
+            }
+            Event::CondSignal { .. } => {
+                let cost = core.config.cond_signal_cost;
+                core.threads[ti].timing.busy += cost;
+                core.complete(ti, idx, clock + cost);
+                Step::Completed
+            }
+            Event::BarrierWait { .. } => core.barrier_wait(ti, idx),
+        }
+    }
+}

@@ -12,14 +12,22 @@
 //! * with the dynamic locking strategy (DLS) enabled, auxiliary locks of
 //!   already-finished source sections are skipped, which is what keeps the
 //!   lockset maintenance overhead at the level Table 3 reports.
+//!
+//! The loop itself lives in the shared [`engine`](crate::engine); this module
+//! supplies the [`UlcpFree`] policy. Its wake channels: a section exit
+//! notifies the waiters of every auxiliary lock it releases
+//! ([`WaitChannel::AuxLock`]) and the waiters of its own completion
+//! ([`WaitChannel::SectionDone`] — RULE 2 successors, and DLS waiters whose
+//! lockset may have just shrunk).
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use perfplay_trace::{AuxLockId, Event, SectionId, ThreadId, Time};
+use perfplay_trace::{AuxLockId, LockId, SectionId, Time};
 use perfplay_transform::{dynamic_lockset, TransformedTrace};
 
-use crate::common::{build_section_index, build_sync_deps, ReplayConfig, SectionIndex, SyncDeps};
-use crate::result::{ReplayError, ReplayResult, ThreadReplayTiming};
+use crate::common::{build_section_index, ReplayConfig, SectionIndex};
+use crate::engine::{Engine, EngineCore, ReplayPolicy, Step, WaitChannel};
+use crate::result::{ReplayError, ReplayResult};
 
 /// Replays transformed (ULCP-free) traces.
 #[derive(Debug, Clone)]
@@ -35,46 +43,6 @@ impl Default for UlcpFreeReplayer {
             use_dls: true,
         }
     }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Status {
-    Ready,
-    Blocked,
-    Finished,
-}
-
-enum Outcome {
-    Completed,
-    Blocked,
-    Finished,
-}
-
-struct ThreadState {
-    idx: usize,
-    clock: Time,
-    status: Status,
-    timing: ThreadReplayTiming,
-    request_time: Option<Time>,
-}
-
-struct Engine<'a> {
-    config: ReplayConfig,
-    use_dls: bool,
-    tt: &'a TransformedTrace,
-    deps: SyncDeps,
-    sections: SectionIndex,
-    constraints: BTreeMap<SectionId, Vec<SectionId>>,
-    threads: Vec<ThreadState>,
-    event_times: Vec<Vec<Time>>,
-    aux_holder: BTreeMap<AuxLockId, SectionId>,
-    aux_free_since: BTreeMap<AuxLockId, Time>,
-    section_locks: BTreeMap<SectionId, BTreeSet<AuxLockId>>,
-    finished: BTreeSet<SectionId>,
-    finish_times: BTreeMap<SectionId, Time>,
-    barrier_arrivals: BTreeMap<(usize, usize), Time>,
-    lockset_ops: u64,
-    lockset_overhead: Time,
 }
 
 impl UlcpFreeReplayer {
@@ -101,215 +69,86 @@ impl UlcpFreeReplayer {
     /// progress (which would indicate a transformation bug) or the step limit
     /// is exceeded.
     pub fn replay(&self, transformed: &TransformedTrace) -> Result<ReplayResult, ReplayError> {
-        Engine::new(&self.config, self.use_dls, transformed).run()
+        let policy = UlcpFree::new(self.use_dls, transformed);
+        Engine::new(&self.config, &transformed.original, policy).run()
     }
 }
 
-impl<'a> Engine<'a> {
-    fn new(config: &ReplayConfig, use_dls: bool, tt: &'a TransformedTrace) -> Self {
-        let deps = build_sync_deps(&tt.original);
+/// RULE 2/3/4 lockset admission over the transformation plan.
+pub(crate) struct UlcpFree<'a> {
+    tt: &'a TransformedTrace,
+    use_dls: bool,
+    sections: SectionIndex,
+    constraints: BTreeMap<SectionId, Vec<SectionId>>,
+    aux_holder: BTreeMap<AuxLockId, SectionId>,
+    aux_free_since: BTreeMap<AuxLockId, Time>,
+    section_locks: BTreeMap<SectionId, BTreeSet<AuxLockId>>,
+    finished: BTreeSet<SectionId>,
+    finish_times: BTreeMap<SectionId, Time>,
+    lockset_ops: u64,
+    lockset_overhead: Time,
+}
+
+impl<'a> UlcpFree<'a> {
+    pub(crate) fn new(use_dls: bool, tt: &'a TransformedTrace) -> Self {
         let sections = build_section_index(&tt.sections);
         let mut constraints: BTreeMap<SectionId, Vec<SectionId>> = BTreeMap::new();
         for c in &tt.order_constraints {
             constraints.entry(c.after).or_default().push(c.before);
         }
-        Engine {
-            config: *config,
-            use_dls,
+        UlcpFree {
             tt,
-            deps,
+            use_dls,
             sections,
             constraints,
-            threads: tt
-                .original
-                .threads
-                .iter()
-                .map(|_| ThreadState {
-                    idx: 0,
-                    clock: Time::ZERO,
-                    status: Status::Ready,
-                    timing: ThreadReplayTiming::default(),
-                    request_time: None,
-                })
-                .collect(),
-            event_times: tt
-                .original
-                .threads
-                .iter()
-                .map(|t| vec![Time::ZERO; t.events.len()])
-                .collect(),
             aux_holder: BTreeMap::new(),
             aux_free_since: BTreeMap::new(),
             section_locks: BTreeMap::new(),
             finished: BTreeSet::new(),
             finish_times: BTreeMap::new(),
-            barrier_arrivals: BTreeMap::new(),
             lockset_ops: 0,
             lockset_overhead: Time::ZERO,
         }
     }
+}
 
-    fn run(mut self) -> Result<ReplayResult, ReplayError> {
-        let mut steps: u64 = 0;
-        loop {
-            steps += 1;
-            if steps > self.config.max_steps {
-                return Err(ReplayError::StepLimitExceeded {
-                    limit: self.config.max_steps,
-                });
-            }
-            let next = self
-                .threads
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| t.status == Status::Ready)
-                .min_by_key(|(i, t)| (t.clock, *i))
-                .map(|(i, _)| i);
-            let Some(ti) = next else {
-                let blocked: Vec<ThreadId> = self
-                    .threads
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, t)| t.status != Status::Finished)
-                    .map(|(i, _)| ThreadId::new(i as u32))
-                    .collect();
-                if blocked.is_empty() {
-                    break;
-                }
-                return Err(ReplayError::Stuck { blocked });
-            };
-            match self.try_event(ti) {
-                Outcome::Completed => self.wake_all(),
-                Outcome::Blocked => self.threads[ti].status = Status::Blocked,
-                Outcome::Finished => {
-                    self.threads[ti].status = Status::Finished;
-                    self.threads[ti].timing.finish_time = self.threads[ti].clock;
-                    self.wake_all();
-                }
-            }
-        }
-        let total_time = self
-            .threads
-            .iter()
-            .map(|t| t.timing.finish_time)
-            .max()
-            .unwrap_or(Time::ZERO);
-        Ok(ReplayResult {
-            total_time,
-            per_thread: self.threads.iter().map(|t| t.timing).collect(),
-            event_times: self.event_times,
-            lockset_ops: self.lockset_ops,
-            lockset_overhead: self.lockset_overhead,
-        })
-    }
-
-    fn wake_all(&mut self) {
-        for t in &mut self.threads {
-            if t.status == Status::Blocked {
-                t.status = Status::Ready;
-            }
-        }
-    }
-
-    fn complete(&mut self, ti: usize, idx: usize, completion: Time) {
-        self.event_times[ti][idx] = completion;
-        self.threads[ti].clock = completion;
-        self.threads[ti].idx = idx + 1;
-        self.threads[ti].request_time = None;
-    }
-
-    fn try_event(&mut self, ti: usize) -> Outcome {
-        let idx = self.threads[ti].idx;
-        let events = &self.tt.original.threads[ti].events;
-        if idx >= events.len() {
-            return Outcome::Finished;
-        }
-        let clock = self.threads[ti].clock;
-        let event = events[idx].event.clone();
-        match event {
-            Event::Compute { cost }
-            | Event::SkipRegion {
-                saved_cost: cost, ..
-            } => {
-                self.threads[ti].timing.busy += cost;
-                self.complete(ti, idx, clock + cost);
-                Outcome::Completed
-            }
-            Event::Read { .. } | Event::Write { .. } => {
-                let cost = self.config.mem_access_cost;
-                self.threads[ti].timing.busy += cost;
-                self.complete(ti, idx, clock + cost);
-                Outcome::Completed
-            }
-            Event::LockAcquire { .. } => self.try_enter_section(ti, idx),
-            Event::LockRelease { .. } => self.exit_section(ti, idx),
-            Event::CondWait { .. } | Event::Checkpoint { .. } | Event::ThreadExit => {
-                self.complete(ti, idx, clock);
-                Outcome::Completed
-            }
-            Event::CondSignal { .. } => {
-                let cost = self.config.cond_signal_cost;
-                self.threads[ti].timing.busy += cost;
-                self.complete(ti, idx, clock + cost);
-                Outcome::Completed
-            }
-            Event::BarrierWait { .. } => {
-                self.barrier_arrivals.entry((ti, idx)).or_insert(clock);
-                let Some(group) = self.deps.barrier_groups.get(&(ti, idx)) else {
-                    self.complete(ti, idx, clock + self.config.barrier_release_cost);
-                    return Outcome::Completed;
-                };
-                let arrivals: Vec<Time> = group
-                    .iter()
-                    .filter_map(|r| self.barrier_arrivals.get(r).copied())
-                    .collect();
-                if arrivals.len() < group.len() {
-                    return Outcome::Blocked;
-                }
-                let release = arrivals.iter().copied().max().unwrap_or(clock)
-                    + self.config.barrier_release_cost;
-                self.threads[ti].timing.sync_wait += release - clock;
-                self.complete(ti, idx, release);
-                Outcome::Completed
-            }
-        }
-    }
-
-    fn try_enter_section(&mut self, ti: usize, idx: usize) -> Outcome {
-        let clock = self.threads[ti].clock;
+impl ReplayPolicy for UlcpFree<'_> {
+    fn on_acquire(&mut self, core: &mut EngineCore, ti: usize, idx: usize, _lock: LockId) -> Step {
+        let clock = core.threads[ti].clock;
         // The recorded partial order of condition-variable wake-ups still
         // applies in the ULCP-free replay.
-        let mut dep_time = Time::ZERO;
-        if let Some(dep) = self.deps.wake_deps.get(&(ti, idx)) {
-            let (dti, dei) = *dep;
-            if self.threads[dti].idx <= dei {
-                return Outcome::Blocked;
-            }
-            dep_time = self.event_times[dti][dei];
-        }
+        let Ok(dep_time) = core.wake_dep_time(ti, idx) else {
+            core.block_on(ti, []);
+            return Step::Blocked;
+        };
 
         let Some(&sid) = self.sections.by_acquire.get(&(ti, idx)) else {
-            self.complete(ti, idx, clock.max(dep_time));
-            return Outcome::Completed;
+            core.complete(ti, idx, clock.max(dep_time));
+            return Step::Completed;
         };
         let node = self.tt.node(sid);
 
         if node.strip_lock {
-            self.complete(ti, idx, clock.max(dep_time));
-            return Outcome::Completed;
+            core.complete(ti, idx, clock.max(dep_time));
+            return Step::Completed;
         }
 
-        if self.threads[ti].request_time.is_none() {
-            self.threads[ti].request_time = Some(clock);
+        if core.threads[ti].request_time.is_none() {
+            core.threads[ti].request_time = Some(clock);
         }
 
-        // RULE 2: ordered predecessors must have finished.
+        // RULE 2: ordered predecessors must have finished. Blocking on the
+        // first unfinished one is enough — its completion wakes us, and any
+        // remaining predecessor blocks the retry the same way.
         let mut order_time = Time::ZERO;
         if let Some(befores) = self.constraints.get(&sid) {
             for before in befores {
                 match self.finish_times.get(before) {
                     Some(t) => order_time = order_time.max(*t),
-                    None => return Outcome::Blocked,
+                    None => {
+                        core.block_on(ti, [WaitChannel::SectionDone(*before)]);
+                        return Step::Blocked;
+                    }
                 }
             }
         }
@@ -321,26 +160,44 @@ impl<'a> Engine<'a> {
             node.lockset.clone()
         };
         let mut lockset_free_time = Time::ZERO;
+        let mut any_held = false;
         for lock in &lockset {
             if self.aux_holder.contains_key(lock) {
-                return Outcome::Blocked;
+                any_held = true;
+            } else {
+                lockset_free_time = lockset_free_time
+                    .max(self.aux_free_since.get(lock).copied().unwrap_or(Time::ZERO));
             }
-            lockset_free_time =
-                lockset_free_time.max(self.aux_free_since.get(lock).copied().unwrap_or(Time::ZERO));
+        }
+        if any_held {
+            // Wake on any held lock's release — or, under DLS, on a source
+            // section finishing (which may prune the held lock from the
+            // lockset entirely).
+            let held = lockset
+                .iter()
+                .filter(|l| self.aux_holder.contains_key(l))
+                .map(|l| WaitChannel::AuxLock(*l));
+            let prunes = node
+                .sources
+                .iter()
+                .filter(|s| self.use_dls && !self.finished.contains(s))
+                .map(|s| WaitChannel::SectionDone(*s));
+            core.block_on(ti, held.chain(prunes));
+            return Step::Blocked;
         }
 
         let dls_cost = if self.use_dls {
-            self.config.dls_check_cost * node.sources.len() as u64
+            core.config.dls_check_cost * node.sources.len() as u64
         } else {
             Time::ZERO
         };
-        let op_cost = self.config.lockset_op_cost * lockset.len() as u64;
+        let op_cost = core.config.lockset_op_cost * lockset.len() as u64;
         let start = clock.max(dep_time).max(order_time).max(lockset_free_time);
-        let completion = start + self.config.lock_acquire_cost + op_cost + dls_cost;
+        let completion = start + core.config.lock_acquire_cost + op_cost + dls_cost;
 
-        let requested = self.threads[ti].request_time.unwrap_or(clock);
-        self.threads[ti].timing.lock_wait += start.saturating_sub(requested);
-        self.threads[ti].timing.busy += self.config.lock_acquire_cost + op_cost + dls_cost;
+        let requested = core.threads[ti].request_time.unwrap_or(clock);
+        core.threads[ti].timing.lock_wait += start.saturating_sub(requested);
+        core.threads[ti].timing.busy += core.config.lock_acquire_cost + op_cost + dls_cost;
         self.lockset_ops += lockset.len() as u64;
         self.lockset_overhead += op_cost + dls_cost;
 
@@ -348,37 +205,46 @@ impl<'a> Engine<'a> {
             self.aux_holder.insert(*lock, sid);
         }
         self.section_locks.insert(sid, lockset);
-        self.complete(ti, idx, completion);
-        Outcome::Completed
+        core.complete(ti, idx, completion);
+        Step::Completed
     }
 
-    fn exit_section(&mut self, ti: usize, idx: usize) -> Outcome {
-        let clock = self.threads[ti].clock;
+    fn on_release(&mut self, core: &mut EngineCore, ti: usize, idx: usize, _lock: LockId) -> Step {
+        let clock = core.threads[ti].clock;
         let Some(&sid) = self.sections.by_release.get(&(ti, idx)) else {
-            self.complete(ti, idx, clock);
-            return Outcome::Completed;
+            core.complete(ti, idx, clock);
+            return Step::Completed;
         };
         let node = self.tt.node(sid);
         if node.strip_lock {
             self.finished.insert(sid);
             self.finish_times.insert(sid, clock);
-            self.complete(ti, idx, clock);
-            return Outcome::Completed;
+            core.complete(ti, idx, clock);
+            core.notify(WaitChannel::SectionDone(sid));
+            return Step::Completed;
         }
         let held = self.section_locks.remove(&sid).unwrap_or_default();
-        let op_cost = self.config.lockset_op_cost * held.len() as u64;
-        let completion = clock + self.config.lock_release_cost + op_cost;
-        self.threads[ti].timing.busy += self.config.lock_release_cost + op_cost;
+        let op_cost = core.config.lockset_op_cost * held.len() as u64;
+        let completion = clock + core.config.lock_release_cost + op_cost;
+        core.threads[ti].timing.busy += core.config.lock_release_cost + op_cost;
         self.lockset_ops += held.len() as u64;
         self.lockset_overhead += op_cost;
-        for lock in held {
-            self.aux_holder.remove(&lock);
-            self.aux_free_since.insert(lock, completion);
+        for lock in &held {
+            self.aux_holder.remove(lock);
+            self.aux_free_since.insert(*lock, completion);
         }
         self.finished.insert(sid);
         self.finish_times.insert(sid, completion);
-        self.complete(ti, idx, completion);
-        Outcome::Completed
+        core.complete(ti, idx, completion);
+        for lock in &held {
+            core.notify(WaitChannel::AuxLock(*lock));
+        }
+        core.notify(WaitChannel::SectionDone(sid));
+        Step::Completed
+    }
+
+    fn lockset_totals(&self) -> (u64, Time) {
+        (self.lockset_ops, self.lockset_overhead)
     }
 }
 

@@ -14,15 +14,27 @@
 //! * [`measure_fidelity`] quantifies performance stability and precision
 //!   across repeated replays (Figure 13).
 //!
+//! Both replayers run on one shared event-driven scheduler core
+//! ([`engine`]): a clock-keyed ready heap plus targeted per-lock /
+//! per-condvar / per-barrier wake lists make each step `O(log T)` in the
+//! thread count, where the historical loops paid `O(T)` per step and woke
+//! every blocked thread on any progress. Those loops are retained as
+//! executable specifications — [`reference_replay_original`] and
+//! [`reference_replay_free`] — and the optimized engine is proven
+//! bit-identical to them by the property suite and the `replay_scaling`
+//! benchmark.
+//!
 //! [`TransformedTrace`]: perfplay_transform::TransformedTrace
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod common;
+mod engine;
 mod fidelity;
 mod free;
 mod original;
+mod reference;
 mod result;
 mod schedule;
 
@@ -30,5 +42,6 @@ pub use common::ReplayConfig;
 pub use fidelity::{measure_fidelity, FidelityReport};
 pub use free::UlcpFreeReplayer;
 pub use original::Replayer;
-pub use result::{ReplayError, ReplayResult, ThreadReplayTiming};
+pub use reference::{reference_replay_free, reference_replay_original};
+pub use result::{ReplayError, ReplayResult, ThreadCursor, ThreadReplayTiming};
 pub use schedule::{ReplaySchedule, ScheduleKind};

@@ -7,75 +7,36 @@
 //! rule, and condition-variable / barrier waits follow the recorded partial
 //! order. The result carries per-event completion times so that the report
 //! layer can evaluate the paper's Equation 1.
+//!
+//! The loop itself lives in the shared [`engine`](crate::engine); this module
+//! supplies the [`OriginalOrder`] policy — the admission rules of the four
+//! schemes — and targeted wake-ups replacing the reference loop's wake-all:
+//!
+//! * **ELSC-S / MEM-S**: the recorded grant order names exactly one eligible
+//!   next acquirer per lock, so a release wakes only that thread;
+//! * **SYNC-S**: the ticket order names the one thread whose turn arrived;
+//! * **ORIG-S**: all waiters of the released lock race; the ready heap's
+//!   `(clock, thread-id)` order picks the same winner the reference scan
+//!   would;
+//! * **MEM-S** memory ordering: completing access `k` wakes only the owner
+//!   of access `k + 1`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use perfplay_trace::{Event, LockId, ThreadId, Time, Trace};
+use perfplay_trace::{Event, LockId, Time, Trace};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::common::{build_sync_deps, EventRef, ReplayConfig, SyncDeps};
-use crate::result::{ReplayError, ReplayResult, ThreadReplayTiming};
+use crate::common::{EventRef, ReplayConfig};
+use crate::engine::{Engine, EngineCore, ReplayPolicy, Status, Step, WaitChannel};
+use crate::reference::{elsc_order_of, mem_order_of, sync_order_of};
+use crate::result::{ReplayError, ReplayResult};
 use crate::schedule::{ReplaySchedule, ScheduleKind};
 
 /// Replays original (untransformed) traces.
 #[derive(Debug, Clone, Default)]
 pub struct Replayer {
     config: ReplayConfig,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Status {
-    Ready,
-    Blocked,
-    Finished,
-}
-
-#[derive(Debug)]
-struct ThreadState {
-    idx: usize,
-    clock: Time,
-    status: Status,
-    timing: ThreadReplayTiming,
-    request_time: Option<Time>,
-    acquires_done: usize,
-}
-
-enum Outcome {
-    Completed,
-    Blocked,
-    Finished,
-}
-
-struct Engine<'a> {
-    config: ReplayConfig,
-    schedule: ReplaySchedule,
-    trace: &'a Trace,
-    deps: SyncDeps,
-    threads: Vec<ThreadState>,
-    event_times: Vec<Vec<Time>>,
-    // Lock state.
-    holder: BTreeMap<LockId, Option<usize>>,
-    last_holder: BTreeMap<LockId, usize>,
-    free_since: BTreeMap<LockId, Time>,
-    // ELSC: per-lock recorded grant order and progress.
-    elsc_order: BTreeMap<LockId, Vec<EventRef>>,
-    elsc_next: BTreeMap<LockId, usize>,
-    // SYNC-S: round-robin admission over (ordinal, thread) tickets.
-    sync_order: BTreeMap<(usize, usize), usize>,
-    sync_next: usize,
-    sync_completed: std::collections::BTreeSet<usize>,
-    sync_last_completion: Time,
-    /// Thread allowed to bypass SYNC-S admission once, used to break the
-    /// circular waits nested locks can create under a rigid ticket order.
-    sync_bypass: Option<usize>,
-    // MEM-S: global memory-access order.
-    mem_order: BTreeMap<EventRef, usize>,
-    mem_next: usize,
-    mem_last_completion: Time,
-    // Barrier arrivals.
-    barrier_arrivals: BTreeMap<EventRef, Time>,
-    rng: ChaCha8Rng,
 }
 
 impl Replayer {
@@ -96,305 +57,132 @@ impl Replayer {
         trace: &Trace,
         schedule: ReplaySchedule,
     ) -> Result<ReplayResult, ReplayError> {
-        Engine::new(&self.config, schedule, trace).run()
+        let policy = OriginalOrder::new(schedule, trace);
+        Engine::new(&self.config, trace, policy).run()
     }
 }
 
-impl<'a> Engine<'a> {
-    fn new(config: &ReplayConfig, schedule: ReplaySchedule, trace: &'a Trace) -> Self {
-        let deps = build_sync_deps(trace);
+/// Admission rules of the four original-trace schedules.
+pub(crate) struct OriginalOrder {
+    schedule: ReplaySchedule,
+    // Lock state.
+    holder: BTreeMap<LockId, usize>,
+    last_holder: BTreeMap<LockId, usize>,
+    free_since: BTreeMap<LockId, Time>,
+    // ELSC: per-lock recorded grant order and progress.
+    elsc_order: BTreeMap<LockId, Vec<EventRef>>,
+    elsc_next: BTreeMap<LockId, usize>,
+    // SYNC-S: round-robin admission over (ordinal, thread) tickets.
+    sync_order: BTreeMap<(usize, usize), usize>,
+    /// Ticket position -> thread holding it, for targeted turn wake-ups.
+    sync_owner: BTreeMap<usize, usize>,
+    sync_next: usize,
+    sync_completed: BTreeSet<usize>,
+    sync_last_completion: Time,
+    /// Thread allowed to bypass SYNC-S admission once, used to break the
+    /// circular waits nested locks can create under a rigid ticket order.
+    sync_bypass: Option<usize>,
+    // MEM-S: global memory-access order, position per event and owner
+    // thread per position.
+    mem_order: BTreeMap<EventRef, usize>,
+    mem_owner: Vec<usize>,
+    mem_next: usize,
+    mem_last_completion: Time,
+    /// Per-thread count of completed acquisitions (SYNC-S ticket ordinal).
+    acquires_done: Vec<usize>,
+    rng: ChaCha8Rng,
+}
 
-        // ELSC: project the recorded total grant order onto each lock.
-        let mut elsc_order: BTreeMap<LockId, Vec<EventRef>> = BTreeMap::new();
-        let mut schedule_entries = trace.lock_schedule.clone();
-        schedule_entries.sort_by_key(|g| g.seq);
-        for g in &schedule_entries {
-            elsc_order
-                .entry(g.lock)
-                .or_default()
-                .push((g.thread.index(), g.event_index));
-        }
-
-        // SYNC-S: deterministic round-robin ticket order over per-thread
-        // acquisition ordinals, derived from the input alone.
-        let mut sync_order = BTreeMap::new();
-        {
-            let acq_counts: Vec<usize> = trace
-                .threads
-                .iter()
-                .map(|t| t.acquisition_count())
-                .collect();
-            let max = acq_counts.iter().copied().max().unwrap_or(0);
-            let mut position = 0usize;
-            for ordinal in 0..max {
-                for (ti, count) in acq_counts.iter().enumerate() {
-                    if ordinal < *count {
-                        sync_order.insert((ordinal, ti), position);
-                        position += 1;
-                    }
-                }
-            }
-        }
-
-        // MEM-S: global order of all shared-memory accesses by recorded time.
-        let mut mem_events: Vec<(Time, EventRef)> = Vec::new();
-        for (ti, tt) in trace.threads.iter().enumerate() {
-            for (ei, te) in tt.events.iter().enumerate() {
-                if te.event.is_memory_access() {
-                    mem_events.push((te.at, (ti, ei)));
-                }
-            }
-        }
-        mem_events.sort_by_key(|(at, (ti, ei))| (*at, *ti, *ei));
-        let mem_order = mem_events
+impl OriginalOrder {
+    pub(crate) fn new(schedule: ReplaySchedule, trace: &Trace) -> Self {
+        let sync_order = sync_order_of(trace);
+        let sync_owner = sync_order
+            .iter()
+            .map(|(&(_, ti), &pos)| (pos, ti))
+            .collect();
+        let mem_refs = mem_order_of(trace);
+        let mem_owner: Vec<usize> = mem_refs.iter().map(|r| r.0).collect();
+        let mem_order = mem_refs
             .into_iter()
             .enumerate()
-            .map(|(pos, (_, r))| (r, pos))
+            .map(|(pos, r)| (r, pos))
             .collect();
-
-        Engine {
-            config: *config,
+        OriginalOrder {
             schedule,
-            trace,
-            deps,
-            threads: trace
-                .threads
-                .iter()
-                .map(|_| ThreadState {
-                    idx: 0,
-                    clock: Time::ZERO,
-                    status: Status::Ready,
-                    timing: ThreadReplayTiming::default(),
-                    request_time: None,
-                    acquires_done: 0,
-                })
-                .collect(),
-            event_times: trace
-                .threads
-                .iter()
-                .map(|t| vec![Time::ZERO; t.events.len()])
-                .collect(),
             holder: BTreeMap::new(),
             last_holder: BTreeMap::new(),
             free_since: BTreeMap::new(),
-            elsc_order,
+            elsc_order: elsc_order_of(trace),
             elsc_next: BTreeMap::new(),
             sync_order,
+            sync_owner,
             sync_next: 0,
-            sync_completed: std::collections::BTreeSet::new(),
+            sync_completed: BTreeSet::new(),
             sync_last_completion: Time::ZERO,
             sync_bypass: None,
             mem_order,
+            mem_owner,
             mem_next: 0,
             mem_last_completion: Time::ZERO,
-            barrier_arrivals: BTreeMap::new(),
+            acquires_done: vec![0; trace.num_threads()],
             rng: ChaCha8Rng::seed_from_u64(schedule.seed),
         }
     }
 
-    fn run(mut self) -> Result<ReplayResult, ReplayError> {
-        let mut steps: u64 = 0;
-        loop {
-            steps += 1;
-            if steps > self.config.max_steps {
-                return Err(ReplayError::StepLimitExceeded {
-                    limit: self.config.max_steps,
-                });
-            }
-            let next = self
-                .threads
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| t.status == Status::Ready)
-                .min_by_key(|(i, t)| (t.clock, *i))
-                .map(|(i, _)| i);
-            let Some(ti) = next else {
-                let blocked: Vec<ThreadId> = self
-                    .threads
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, t)| t.status != Status::Finished)
-                    .map(|(i, _)| ThreadId::new(i as u32))
-                    .collect();
-                if blocked.is_empty() {
-                    break;
-                }
-                // Under SYNC-S, nested locks can deadlock a rigid ticket
-                // order (the next-ticket thread waits for a lock whose holder
-                // waits for its own ticket). Let the blocked thread whose
-                // next acquire targets a *free* lock bypass admission once.
-                if self.schedule.kind == ScheduleKind::SyncS && self.sync_bypass.is_none() {
-                    if let Some(candidate) = self.find_sync_bypass_candidate() {
-                        self.sync_bypass = Some(candidate);
-                        self.threads[candidate].status = Status::Ready;
-                        continue;
-                    }
-                }
-                return Err(ReplayError::Stuck { blocked });
-            };
-            match self.try_event(ti) {
-                Outcome::Completed => self.wake_all(),
-                Outcome::Blocked => {
-                    self.threads[ti].status = Status::Blocked;
-                }
-                Outcome::Finished => {
-                    self.threads[ti].status = Status::Finished;
-                    self.threads[ti].timing.finish_time = self.threads[ti].clock;
-                    self.wake_all();
-                }
-            }
+    /// The thread the ELSC/MEM-S grant order expects next on this lock, if
+    /// the recorded order still has entries.
+    fn expected_acquirer(&self, lock: LockId) -> Option<usize> {
+        let order = self.elsc_order.get(&lock)?;
+        let next = self.elsc_next.get(&lock).copied().unwrap_or(0);
+        order.get(next).map(|&(ti, _)| ti)
+    }
+}
+
+impl ReplayPolicy for OriginalOrder {
+    fn on_memory(&mut self, core: &mut EngineCore, ti: usize, idx: usize) -> Step {
+        let clock = core.threads[ti].clock;
+        let cost = core.config.mem_access_cost;
+        if self.schedule.kind != ScheduleKind::MemS {
+            core.threads[ti].timing.busy += cost;
+            core.complete(ti, idx, clock + cost);
+            return Step::Completed;
         }
-        let total_time = self
-            .threads
-            .iter()
-            .map(|t| t.timing.finish_time)
-            .max()
-            .unwrap_or(Time::ZERO);
-        Ok(ReplayResult {
-            total_time,
-            per_thread: self.threads.iter().map(|t| t.timing).collect(),
-            event_times: self.event_times,
-            lockset_ops: 0,
-            lockset_overhead: Time::ZERO,
-        })
+        match self.mem_order.get(&(ti, idx)) {
+            Some(&pos) if pos != self.mem_next => {
+                // Woken when the order reaches this position: each completed
+                // access wakes the owner of the next one.
+                core.block_on(ti, []);
+                return Step::Blocked;
+            }
+            _ => {}
+        }
+        let cost = cost + core.config.mem_order_overhead;
+        let start = clock.max(self.mem_last_completion);
+        core.threads[ti].timing.sync_wait += start - clock;
+        core.threads[ti].timing.busy += cost;
+        let completion = start + cost;
+        self.mem_last_completion = completion;
+        self.mem_next += 1;
+        core.complete(ti, idx, completion);
+        if let Some(&owner) = self.mem_owner.get(self.mem_next) {
+            core.wake(owner);
+        }
+        Step::Completed
     }
 
-    fn wake_all(&mut self) {
-        for t in &mut self.threads {
-            if t.status == Status::Blocked {
-                t.status = Status::Ready;
-            }
-        }
-    }
-
-    /// Among blocked threads, finds one whose next event is a lock
-    /// acquisition of a currently-free lock (so only admission stops it).
-    fn find_sync_bypass_candidate(&self) -> Option<usize> {
-        self.threads
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.status == Status::Blocked)
-            .filter(|(ti, t)| {
-                let events = &self.trace.threads[*ti].events;
-                match events.get(t.idx).map(|te| &te.event) {
-                    Some(Event::LockAcquire { lock, .. }) => {
-                        !matches!(self.holder.get(lock), Some(Some(h)) if h != ti)
-                    }
-                    _ => false,
-                }
-            })
-            .min_by_key(|(ti, t)| {
-                self.sync_order
-                    .get(&(t.acquires_done, *ti))
-                    .copied()
-                    .unwrap_or(usize::MAX)
-            })
-            .map(|(ti, _)| ti)
-    }
-
-    fn complete(&mut self, ti: usize, idx: usize, completion: Time) {
-        self.event_times[ti][idx] = completion;
-        self.threads[ti].clock = completion;
-        self.threads[ti].idx = idx + 1;
-        self.threads[ti].request_time = None;
-    }
-
-    fn try_event(&mut self, ti: usize) -> Outcome {
-        let idx = self.threads[ti].idx;
-        let events = &self.trace.threads[ti].events;
-        if idx >= events.len() {
-            return Outcome::Finished;
-        }
-        let clock = self.threads[ti].clock;
-        let event = events[idx].event.clone();
-        match event {
-            Event::Compute { cost }
-            | Event::SkipRegion {
-                saved_cost: cost, ..
-            } => {
-                self.threads[ti].timing.busy += cost;
-                self.complete(ti, idx, clock + cost);
-                Outcome::Completed
-            }
-            Event::Read { .. } | Event::Write { .. } => {
-                let cost = self.config.mem_access_cost;
-                if self.schedule.kind == ScheduleKind::MemS {
-                    match self.mem_order.get(&(ti, idx)) {
-                        Some(&pos) if pos != self.mem_next => return Outcome::Blocked,
-                        _ => {}
-                    }
-                    let cost = cost + self.config.mem_order_overhead;
-                    let start = clock.max(self.mem_last_completion);
-                    self.threads[ti].timing.sync_wait += start - clock;
-                    self.threads[ti].timing.busy += cost;
-                    let completion = start + cost;
-                    self.mem_last_completion = completion;
-                    self.mem_next += 1;
-                    self.complete(ti, idx, completion);
-                } else {
-                    self.threads[ti].timing.busy += cost;
-                    self.complete(ti, idx, clock + cost);
-                }
-                Outcome::Completed
-            }
-            Event::LockAcquire { lock, .. } => self.try_acquire(ti, idx, lock),
-            Event::LockRelease { lock } => {
-                let cost = self.config.lock_release_cost;
-                let completion = clock + cost;
-                self.threads[ti].timing.busy += cost;
-                self.holder.insert(lock, None);
-                self.last_holder.insert(lock, ti);
-                self.free_since.insert(lock, completion);
-                self.complete(ti, idx, completion);
-                Outcome::Completed
-            }
-            Event::CondWait { .. } | Event::Checkpoint { .. } | Event::ThreadExit => {
-                self.complete(ti, idx, clock);
-                Outcome::Completed
-            }
-            Event::CondSignal { .. } => {
-                let cost = self.config.cond_signal_cost;
-                self.threads[ti].timing.busy += cost;
-                self.complete(ti, idx, clock + cost);
-                Outcome::Completed
-            }
-            Event::BarrierWait { .. } => {
-                self.barrier_arrivals.entry((ti, idx)).or_insert(clock);
-                let Some(group) = self.deps.barrier_groups.get(&(ti, idx)) else {
-                    self.complete(ti, idx, clock + self.config.barrier_release_cost);
-                    return Outcome::Completed;
-                };
-                let arrivals: Vec<Time> = group
-                    .iter()
-                    .filter_map(|r| self.barrier_arrivals.get(r).copied())
-                    .collect();
-                if arrivals.len() < group.len() {
-                    return Outcome::Blocked;
-                }
-                let release = arrivals.iter().copied().max().unwrap_or(clock)
-                    + self.config.barrier_release_cost;
-                self.threads[ti].timing.sync_wait += release - clock;
-                self.complete(ti, idx, release);
-                Outcome::Completed
-            }
-        }
-    }
-
-    fn try_acquire(&mut self, ti: usize, idx: usize, lock: LockId) -> Outcome {
-        let clock = self.threads[ti].clock;
-        if self.threads[ti].request_time.is_none() {
-            self.threads[ti].request_time = Some(clock);
+    fn on_acquire(&mut self, core: &mut EngineCore, ti: usize, idx: usize, lock: LockId) -> Step {
+        let clock = core.threads[ti].clock;
+        let first_attempt = core.threads[ti].request_time.is_none();
+        if first_attempt {
+            core.threads[ti].request_time = Some(clock);
         }
 
-        // Recorded partial order for condition-variable wake-ups.
-        let mut dep_time = Time::ZERO;
-        if let Some(dep) = self.deps.wake_deps.get(&(ti, idx)) {
-            let (dti, dei) = *dep;
-            if self.threads[dti].idx <= dei {
-                return Outcome::Blocked;
-            }
-            dep_time = self.event_times[dti][dei];
-        }
+        // Recorded partial order for condition-variable wake-ups. When the
+        // dependency is unmet the dep watcher delivers the wake.
+        let Ok(dep_time) = core.wake_dep_time(ti, idx) else {
+            core.block_on(ti, []);
+            return Step::Blocked;
+        };
 
         // Schedule admission. MEM-S enforces the recorded order of *all*
         // shared accesses, which subsumes the lock acquisitions themselves,
@@ -407,18 +195,28 @@ impl<'a> Engine<'a> {
                     let next = self.elsc_next.get(&lock).copied().unwrap_or(0);
                     if let Some(&expected) = order.get(next) {
                         if expected != (ti, idx) {
-                            return Outcome::Blocked;
+                            // Woken when our grant comes up: each release of
+                            // this lock wakes the then-expected acquirer
+                            // directly. The channel registration covers the
+                            // tail case where the recorded order runs out
+                            // before reaching us (hand-built or truncated
+                            // traces): the release that exhausts the order
+                            // notifies the channel instead.
+                            core.block_on(ti, [WaitChannel::Lock(lock)]);
+                            return Step::Blocked;
                         }
                     }
                 }
             }
             ScheduleKind::SyncS => {
-                let ticket = (self.threads[ti].acquires_done, ti);
+                let ticket = (self.acquires_done[ti], ti);
                 if let Some(&pos) = self.sync_order.get(&ticket) {
                     if pos != self.sync_next && self.sync_bypass != Some(ti) {
-                        return Outcome::Blocked;
+                        // Woken when the turn order reaches this ticket.
+                        core.block_on(ti, []);
+                        return Step::Blocked;
                     }
-                    admission_time = self.sync_last_completion + self.config.sync_turn_overhead;
+                    admission_time = self.sync_last_completion + core.config.sync_turn_overhead;
                     sync_pos = Some(pos);
                 }
             }
@@ -426,21 +224,25 @@ impl<'a> Engine<'a> {
         }
 
         // Lock availability.
-        if matches!(self.holder.get(&lock), Some(Some(h)) if *h != ti) {
-            if self.schedule.kind == ScheduleKind::OrigS && !self.schedule.jitter.is_zero() {
+        if matches!(self.holder.get(&lock), Some(h) if *h != ti) {
+            if self.schedule.kind == ScheduleKind::OrigS
+                && !self.schedule.jitter.is_zero()
+                && first_attempt
+            {
                 // OS scheduling noise: a blocked thread wakes up a little
-                // late, which perturbs who wins the next grant.
+                // late, which perturbs who wins the next grant. Drawn once
+                // per blocking episode so retries stay pure.
                 let jitter = self.rng.gen_range(0..=self.schedule.jitter.as_nanos());
-                self.threads[ti].clock = clock + Time::from_nanos(jitter);
+                core.threads[ti].clock = clock + Time::from_nanos(jitter);
             }
-            return Outcome::Blocked;
+            core.block_on(ti, [WaitChannel::Lock(lock)]);
+            return Step::Blocked;
         }
 
         let free_since = self.free_since.get(&lock).copied().unwrap_or(Time::ZERO);
         let start = clock.max(free_since).max(dep_time).max(admission_time);
         let handoff = match self.last_holder.get(&lock) {
-            Some(last) if *last != ti => self.config.lock_handoff_cost,
-            None => Time::ZERO,
+            Some(last) if *last != ti => core.config.lock_handoff_cost,
             _ => Time::ZERO,
         };
         let noise = if self.schedule.kind == ScheduleKind::OrigS && !self.schedule.jitter.is_zero()
@@ -449,13 +251,13 @@ impl<'a> Engine<'a> {
         } else {
             Time::ZERO
         };
-        let completion = start + self.config.lock_acquire_cost + handoff + noise;
+        let completion = start + core.config.lock_acquire_cost + handoff + noise;
 
-        let requested = self.threads[ti].request_time.unwrap_or(clock);
-        self.threads[ti].timing.lock_wait += start.saturating_sub(requested);
-        self.threads[ti].timing.busy += self.config.lock_acquire_cost;
+        let requested = core.threads[ti].request_time.unwrap_or(clock);
+        core.threads[ti].timing.lock_wait += start.saturating_sub(requested);
+        core.threads[ti].timing.busy += core.config.lock_acquire_cost;
 
-        self.holder.insert(lock, Some(ti));
+        self.holder.insert(lock, ti);
         self.last_holder.insert(lock, ti);
         match self.schedule.kind {
             ScheduleKind::ElscS | ScheduleKind::MemS => {
@@ -470,12 +272,84 @@ impl<'a> Engine<'a> {
                 }
                 self.sync_bypass = None;
                 self.sync_last_completion = completion;
+                // The turn advanced: wake the thread holding the new ticket.
+                if let Some(&owner) = self.sync_owner.get(&self.sync_next) {
+                    core.wake(owner);
+                }
             }
-            _ => {}
+            ScheduleKind::OrigS => {}
         }
-        self.threads[ti].acquires_done += 1;
-        self.complete(ti, idx, completion);
-        Outcome::Completed
+        self.acquires_done[ti] += 1;
+        core.complete(ti, idx, completion);
+        Step::Completed
+    }
+
+    fn on_release(&mut self, core: &mut EngineCore, ti: usize, idx: usize, lock: LockId) -> Step {
+        let clock = core.threads[ti].clock;
+        let cost = core.config.lock_release_cost;
+        let completion = clock + cost;
+        core.threads[ti].timing.busy += cost;
+        self.holder.remove(&lock);
+        self.last_holder.insert(lock, ti);
+        self.free_since.insert(lock, completion);
+        core.complete(ti, idx, completion);
+        // The lock is free: under the ordered schedules only the recorded /
+        // ticketed next acquirer can take it, so wake exactly that thread;
+        // under ORIG-S every waiter races and the ready heap arbitrates.
+        match self.schedule.kind {
+            ScheduleKind::ElscS | ScheduleKind::MemS => {
+                // While the recorded order has entries, only its expected
+                // next acquirer can pass admission — wake exactly that
+                // thread. Once the order is exhausted (or the lock never
+                // appeared in it), admission no longer constrains anyone, so
+                // fall back to waking every channel waiter.
+                match self.expected_acquirer(lock) {
+                    Some(owner) => core.wake(owner),
+                    None => core.notify(WaitChannel::Lock(lock)),
+                }
+            }
+            ScheduleKind::SyncS => {
+                if let Some(&owner) = self.sync_owner.get(&self.sync_next) {
+                    core.wake(owner);
+                }
+                core.notify(WaitChannel::Lock(lock));
+            }
+            ScheduleKind::OrigS => core.notify(WaitChannel::Lock(lock)),
+        }
+        Step::Completed
+    }
+
+    fn rescue(&mut self, core: &EngineCore) -> Option<usize> {
+        // Under SYNC-S, nested locks can deadlock a rigid ticket order (the
+        // next-ticket thread waits for a lock whose holder waits for its own
+        // ticket). Let the blocked thread whose next acquire targets a
+        // *free* lock bypass admission once.
+        if self.schedule.kind != ScheduleKind::SyncS || self.sync_bypass.is_some() {
+            return None;
+        }
+        let candidate = core
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Blocked)
+            .filter(|(ti, t)| {
+                let events = &core.trace.threads[*ti].events;
+                match events.get(t.idx).map(|te| &te.event) {
+                    Some(Event::LockAcquire { lock, .. }) => {
+                        !matches!(self.holder.get(lock), Some(h) if h != ti)
+                    }
+                    _ => false,
+                }
+            })
+            .min_by_key(|(ti, _)| {
+                self.sync_order
+                    .get(&(self.acquires_done[*ti], *ti))
+                    .copied()
+                    .unwrap_or(usize::MAX)
+            })
+            .map(|(ti, _)| ti)?;
+        self.sync_bypass = Some(candidate);
+        Some(candidate)
     }
 }
 

@@ -60,30 +60,96 @@ impl ReplayResult {
     }
 }
 
+/// Where one thread's replay cursor stood when an error was raised: the
+/// thread, the index of its next unplayed event, and how many events its
+/// stream holds in total. A cursor with `next_event == total_events` belongs
+/// to a thread that had already finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadCursor {
+    /// The thread the cursor describes.
+    pub thread: ThreadId,
+    /// Index of the next unplayed event in the thread's stream.
+    pub next_event: usize,
+    /// Total number of events in the thread's stream.
+    pub total_events: usize,
+}
+
+impl ThreadCursor {
+    /// True when the thread had played every event of its stream.
+    pub fn is_finished(&self) -> bool {
+        self.next_event >= self.total_events
+    }
+}
+
+impl std::fmt::Display for ThreadCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at event {}/{}",
+            self.thread, self.next_event, self.total_events
+        )
+    }
+}
+
 /// Errors produced by the replayers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReplayError {
     /// No runnable thread remains but some threads still have events;
-    /// indicates an inconsistent trace or schedule.
+    /// indicates an inconsistent trace or schedule. Carries the cursor of
+    /// every thread that still had unplayed events.
     Stuck {
-        /// Threads that still have unplayed events.
-        blocked: Vec<ThreadId>,
+        /// Cursor of each blocked (unfinished) thread.
+        cursors: Vec<ThreadCursor>,
     },
-    /// The replay exceeded the step limit.
+    /// The replay exceeded the step limit. Carries every thread's cursor so
+    /// the runaway point can be located.
     StepLimitExceeded {
         /// The configured limit.
         limit: u64,
+        /// Cursor of every thread at the moment the limit was hit.
+        cursors: Vec<ThreadCursor>,
     },
+}
+
+impl ReplayError {
+    /// Threads that still had unplayed events when the error was raised.
+    pub fn blocked_threads(&self) -> Vec<ThreadId> {
+        let cursors = match self {
+            ReplayError::Stuck { cursors } => cursors,
+            ReplayError::StepLimitExceeded { cursors, .. } => cursors,
+        };
+        cursors
+            .iter()
+            .filter(|c| !c.is_finished())
+            .map(|c| c.thread)
+            .collect()
+    }
+
+    /// The per-thread cursor positions attached to the error.
+    pub fn cursors(&self) -> &[ThreadCursor] {
+        match self {
+            ReplayError::Stuck { cursors } => cursors,
+            ReplayError::StepLimitExceeded { cursors, .. } => cursors,
+        }
+    }
 }
 
 impl std::fmt::Display for ReplayError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ReplayError::Stuck { blocked } => {
-                write!(f, "replay stuck with {} blocked thread(s)", blocked.len())
+            ReplayError::Stuck { cursors } => {
+                write!(f, "replay stuck with {} blocked thread(s)", cursors.len())?;
+                for c in cursors.iter().take(4) {
+                    write!(f, "; {c}")?;
+                }
+                Ok(())
             }
-            ReplayError::StepLimitExceeded { limit } => {
-                write!(f, "replay step limit of {limit} exceeded")
+            ReplayError::StepLimitExceeded { limit, cursors } => {
+                write!(f, "replay step limit of {limit} exceeded")?;
+                if let Some(c) = cursors.iter().find(|c| !c.is_finished()) {
+                    write!(f, "; first unfinished: {c}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -123,13 +189,60 @@ mod tests {
     }
 
     #[test]
-    fn error_display() {
+    fn error_display_names_threads_and_events() {
         let e = ReplayError::Stuck {
-            blocked: vec![ThreadId::new(0), ThreadId::new(1)],
+            cursors: vec![
+                ThreadCursor {
+                    thread: ThreadId::new(0),
+                    next_event: 3,
+                    total_events: 9,
+                },
+                ThreadCursor {
+                    thread: ThreadId::new(1),
+                    next_event: 0,
+                    total_events: 4,
+                },
+            ],
         };
         assert!(e.to_string().contains("2 blocked"));
-        assert!(ReplayError::StepLimitExceeded { limit: 9 }
-            .to_string()
-            .contains('9'));
+        assert!(e.to_string().contains("T0 at event 3/9"));
+        assert_eq!(
+            e.blocked_threads(),
+            vec![ThreadId::new(0), ThreadId::new(1)]
+        );
+
+        let e = ReplayError::StepLimitExceeded {
+            limit: 9,
+            cursors: vec![ThreadCursor {
+                thread: ThreadId::new(2),
+                next_event: 1,
+                total_events: 2,
+            }],
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains("T2 at event 1/2"));
+        assert_eq!(e.cursors().len(), 1);
+    }
+
+    #[test]
+    fn finished_threads_are_not_reported_blocked() {
+        let e = ReplayError::StepLimitExceeded {
+            limit: 1,
+            cursors: vec![
+                ThreadCursor {
+                    thread: ThreadId::new(0),
+                    next_event: 5,
+                    total_events: 5,
+                },
+                ThreadCursor {
+                    thread: ThreadId::new(1),
+                    next_event: 2,
+                    total_events: 5,
+                },
+            ],
+        };
+        assert_eq!(e.blocked_threads(), vec![ThreadId::new(1)]);
+        assert!(e.cursors()[0].is_finished());
+        assert!(!e.cursors()[1].is_finished());
     }
 }

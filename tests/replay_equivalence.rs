@@ -1,0 +1,86 @@
+//! Bit-identical equivalence of the unified replay engine against the
+//! retained naive reference loops, over randomly generated traces.
+//!
+//! The unified engine (`crates/replay/src/engine.rs`) replaces the
+//! reference's O(T)-per-step thread scan and wake-everyone strategy with a
+//! clock-keyed ready heap and targeted wake lists. These properties pin the
+//! refactor: for arbitrary generated programs, every schedule kind — ORIG-S
+//! (including its seeded scheduling noise), ELSC-S, SYNC-S and MEM-S — and
+//! the ULCP-free lockset replay (with and without the dynamic locking
+//! strategy) must produce exactly the same [`ReplayResult`]: total time,
+//! per-thread timing accounts, per-event completion times, lockset
+//! operation counts and overhead.
+//!
+//! [`ReplayResult`]: perfplay::prelude::ReplayResult
+
+use proptest::prelude::*;
+
+use perfplay::prelude::*;
+use perfplay::workloads::{random_workload, GeneratorConfig};
+use perfplay_replay::{reference_replay_free, reference_replay_original};
+
+fn generator_config() -> impl Strategy<Value = GeneratorConfig> {
+    (2usize..6, 1usize..4, 2usize..6, 4u32..14).prop_map(
+        |(threads, locks, objects, sections_per_thread)| GeneratorConfig {
+            threads,
+            locks,
+            objects,
+            sections_per_thread,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The unified engine is bit-identical to the reference loop for the
+    /// original-trace replay under all four schedule kinds.
+    #[test]
+    fn unified_engine_matches_reference_for_all_schedules(
+        seed in 0u64..5_000,
+        config in generator_config(),
+    ) {
+        let program = random_workload(seed, &config);
+        let trace = Recorder::new(SimConfig::default()).record(&program).unwrap().trace;
+        let replay_config = ReplayConfig::default();
+        let replayer = Replayer::default();
+        for schedule in [
+            ReplaySchedule::orig(seed.wrapping_mul(0x9e37) | 1),
+            ReplaySchedule::elsc(),
+            ReplaySchedule::sync(),
+            ReplaySchedule::mem(),
+        ] {
+            let reference = reference_replay_original(&replay_config, &trace, schedule);
+            let engine = replayer.replay(&trace, schedule);
+            prop_assert!(
+                reference == engine,
+                "engine diverged from reference under {:?} (seed {seed})",
+                schedule.kind
+            );
+        }
+    }
+
+    /// The unified engine is bit-identical to the reference loop for the
+    /// ULCP-free replay, with and without the dynamic locking strategy.
+    #[test]
+    fn unified_free_engine_matches_reference(
+        seed in 0u64..5_000,
+        config in generator_config(),
+    ) {
+        let program = random_workload(seed, &config);
+        let trace = Recorder::new(SimConfig::default()).record(&program).unwrap().trace;
+        let analysis = Detector::default().analyze(&trace);
+        let transformed = Transformer::default().transform(&trace, &analysis);
+        let replay_config = ReplayConfig::default();
+        for use_dls in [true, false] {
+            let reference = reference_replay_free(&replay_config, use_dls, &transformed);
+            let engine = UlcpFreeReplayer::new(replay_config)
+                .with_dls(use_dls)
+                .replay(&transformed);
+            prop_assert!(
+                reference == engine,
+                "free engine diverged from reference (dls={use_dls}, seed {seed})"
+            );
+        }
+    }
+}
