@@ -6,6 +6,12 @@
 //!   snapshot-free engine (sequential and parallel) on a large synthetic
 //!   trace, verifies all three produce bit-identical results, and writes
 //!   `BENCH_detect.json`.
+//! * `repro detect --stream [--quick] [--out PATH]` runs the streaming
+//!   ingestion comparison: the in-memory engine vs the chunk-by-chunk
+//!   `StreamingDetector` on a >=10M-event synthetic trace (CI-sized with
+//!   `--quick`), verifies bit-identical results plus the chunked-file
+//!   spill/re-ingest roundtrip, reports the peak resident state, and writes
+//!   `BENCH_stream.json`.
 //! * `repro replay [--quick] [--out PATH]` runs the replay scaling
 //!   comparison: the naive scan-and-wake-all reference loop vs the unified
 //!   indexed-ready-set engine on 64/128/256-thread synthetic workloads,
@@ -20,12 +26,12 @@
 
 use std::time::Instant;
 
-use perfplay::prelude::{Detector, DetectorConfig};
+use perfplay::prelude::{Detector, DetectorConfig, StreamingDetector, StreamingStats};
 use perfplay::prelude::{ReplayConfig, ReplayResult, ReplaySchedule, Replayer, UlcpFreeReplayer};
 use perfplay::workloads::{App, InputSize};
 use perfplay_bench::{
-    analyze_app, detect_bench_config, detect_trace, ms, pct, replay_trace, DetectWorkload,
-    ReplayWorkload,
+    analyze_app, detect_bench_config, detect_trace, ms, pct, replay_trace, stream_trace,
+    DetectWorkload, ReplayWorkload, StreamWorkload,
 };
 use perfplay_detect::{reference_analyze, UlcpAnalysis};
 use perfplay_replay::{reference_replay_free, reference_replay_original};
@@ -74,11 +80,11 @@ fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// Returns the digest of the (determinism-checked) result and the median
 /// wall-clock — the naive engine's allocator-heavy profile makes single
 /// samples swing by 2-3x, so one sample is not a number worth publishing.
-fn measure(label: &str, runs: usize, f: impl Fn() -> UlcpAnalysis) -> (ResultDigest, f64) {
+fn measure(label: &str, runs: usize, mut f: impl FnMut() -> UlcpAnalysis) -> (ResultDigest, f64) {
     let mut times = Vec::with_capacity(runs);
     let mut first_digest: Option<ResultDigest> = None;
     for run in 0..runs.max(1) {
-        let (analysis, ms) = time_ms(&f);
+        let (analysis, ms) = time_ms(&mut f);
         eprintln!("{label} run {}/{}: {ms:.0}ms", run + 1, runs.max(1));
         times.push(ms);
         let d = digest(&analysis);
@@ -223,6 +229,167 @@ fn run_detect(quick: bool, out: &str) {
     eprintln!(
         "speedup: {:.1}x sequential, {:.1}x parallel -> {out}",
         report.speedup_seq, report.speedup_par
+    );
+}
+
+#[derive(Debug, Serialize)]
+struct StreamWorkloadReport {
+    threads: usize,
+    locks: usize,
+    objects: usize,
+    target_events: u64,
+    trace_events: usize,
+    total_sections: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct FileRoundtripReport {
+    events: u64,
+    chunks: u64,
+    bytes: u64,
+    write_ms: f64,
+    stream_from_file_ms: f64,
+    identical_to_batch: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct StreamReport {
+    workload: StreamWorkloadReport,
+    chunk_events: usize,
+    record_ms: f64,
+    batch_ms: f64,
+    stream_ms: f64,
+    results_identical: bool,
+    /// Peak resident state of the streaming run; `peak_live_sections` /
+    /// `total_sections` is the boundedness headline.
+    streaming: StreamingStats,
+    peak_live_fraction: f64,
+    /// End-to-end spill + re-ingest through the chunked trace file, run on
+    /// a CI-sized slice (JSON parsing cost keeps it out of the 10M run).
+    file_roundtrip: FileRoundtripReport,
+    breakdown: BreakdownReport,
+}
+
+/// `repro detect --stream`: the streaming ingestion path. Records a
+/// synthetic workload (>=10M events unless `--quick`), analyzes it with the
+/// in-memory engine and the chunk-by-chunk [`StreamingDetector`], verifies
+/// the results are bit-identical, exercises the chunked-file spill/re-ingest
+/// roundtrip, and writes `BENCH_stream.json`.
+fn run_stream(quick: bool, out: &str) {
+    let workload = if quick {
+        StreamWorkload::quick()
+    } else {
+        StreamWorkload::ten_million()
+    };
+    let chunk_events = if quick { 4_096 } else { 262_144 };
+    eprintln!(
+        "recording streaming workload: {} threads, target {} events...",
+        workload.threads, workload.target_events
+    );
+    let (trace, record_ms) = time_ms(|| stream_trace(workload));
+    let trace_events = trace.num_events();
+    eprintln!("recorded {trace_events} events in {record_ms:.0}ms");
+    if !quick {
+        assert!(
+            trace_events >= 10_000_000,
+            "acceptance workload must exceed 10M events, got {trace_events}"
+        );
+    }
+
+    let config = detect_bench_config();
+    let runs = 1;
+    let (batch_digest, batch_ms) = measure("in-memory batch", runs, || {
+        Detector::new(config).analyze(&trace)
+    });
+    let mut stats = StreamingStats::default();
+    let (stream_digest, stream_ms) = measure("streaming      ", runs, || {
+        let streamed = StreamingDetector::new(config)
+            .analyze_trace(&trace, chunk_events)
+            .expect("in-memory chunk stream never fails");
+        stats = streamed.stats;
+        streamed.analysis
+    });
+    let results_identical = batch_digest == stream_digest;
+    let total_sections = stats.sections;
+
+    // File roundtrip on a CI-sized slice: spill to a chunked file, stream
+    // the detector from the file, compare against the batch engine.
+    let rt_workload = StreamWorkload::quick();
+    let rt_trace = if quick {
+        trace
+    } else {
+        stream_trace(rt_workload)
+    };
+    let rt_path =
+        std::env::temp_dir().join(format!("perfplay-stream-{}.jsonl", std::process::id()));
+    let (rt_summary, write_ms) = time_ms(|| {
+        perfplay::prelude::spill_trace(&rt_trace, &rt_path, 4_096).expect("spill succeeds")
+    });
+    let (rt_result, stream_from_file_ms) = time_ms(|| {
+        let mut reader =
+            perfplay::prelude::ChunkFileReader::open(&rt_path).expect("chunk file opens");
+        StreamingDetector::new(config)
+            .analyze(&mut reader)
+            .expect("file stream analyzes")
+    });
+    std::fs::remove_file(&rt_path).ok();
+    let rt_batch = digest(&Detector::new(config).analyze(&rt_trace));
+    let file_roundtrip = FileRoundtripReport {
+        events: rt_summary.events,
+        chunks: rt_summary.chunks,
+        bytes: rt_summary.bytes,
+        write_ms,
+        stream_from_file_ms,
+        identical_to_batch: digest(&rt_result.analysis) == rt_batch,
+    };
+
+    let breakdown = stream_digest.breakdown;
+    let report = StreamReport {
+        workload: StreamWorkloadReport {
+            threads: workload.threads,
+            locks: workload.locks,
+            objects: workload.objects,
+            target_events: workload.target_events,
+            trace_events,
+            total_sections,
+        },
+        chunk_events,
+        record_ms,
+        batch_ms,
+        stream_ms,
+        results_identical,
+        peak_live_fraction: stats.peak_live_sections as f64 / total_sections.max(1) as f64,
+        streaming: stats,
+        file_roundtrip,
+        breakdown: BreakdownReport {
+            lock_acquisitions: breakdown.lock_acquisitions,
+            null_lock: breakdown.null_lock,
+            read_read: breakdown.read_read,
+            disjoint_write: breakdown.disjoint_write,
+            benign: breakdown.benign,
+            tlcp_edges: breakdown.tlcp_edges,
+        },
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(out, format!("{json}\n")).expect("write benchmark artifact");
+    println!("{json}");
+    // Assert only after the artifact is on disk, so a divergence leaves a
+    // machine-readable record instead of nothing.
+    assert!(
+        report.results_identical,
+        "streaming detector diverged from the in-memory engine:\nbatch:  {batch_digest:?}\nstream: {stream_digest:?}"
+    );
+    assert!(
+        report.file_roundtrip.identical_to_batch,
+        "chunked-file roundtrip diverged from the in-memory engine"
+    );
+    eprintln!(
+        "streaming {} events: peak live sections {} / {} ({:.3}%), peak chunk {} events -> {out}",
+        trace_events,
+        report.streaming.peak_live_sections,
+        total_sections,
+        100.0 * report.peak_live_fraction,
+        report.streaming.peak_chunk_events,
     );
 }
 
@@ -517,12 +684,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command: Option<String> = None;
     let mut quick = false;
+    let mut stream = false;
     let mut out: Option<String> = None;
     let mut replay_artifact: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--stream" => stream = true,
             "--out" => match iter.next() {
                 Some(path) => out = Some(path.clone()),
                 None => {
@@ -551,6 +720,9 @@ fn main() {
         }
     }
     match command.as_deref() {
+        Some("detect") | None if stream => {
+            run_stream(quick, out.as_deref().unwrap_or("BENCH_stream.json"));
+        }
         Some("detect") | None => {
             run_detect(quick, out.as_deref().unwrap_or("BENCH_detect.json"));
         }

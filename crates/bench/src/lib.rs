@@ -85,6 +85,61 @@ pub fn detect_bench_config() -> perfplay::prelude::DetectorConfig {
     }
 }
 
+/// Shape of a synthetic streaming-ingestion workload (see [`stream_trace`]).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamWorkload {
+    /// Worker threads in the generated program.
+    pub threads: usize,
+    /// Distinct application locks.
+    pub locks: usize,
+    /// Distinct shared objects.
+    pub objects: usize,
+    /// Target number of recorded events (the streaming scale axis).
+    pub target_events: u64,
+}
+
+impl StreamWorkload {
+    /// The acceptance shape for the streaming detector: a >=10M-event trace
+    /// (ROADMAP: "target >10M-event traces").
+    pub fn ten_million() -> Self {
+        StreamWorkload {
+            threads: 16,
+            locks: 16,
+            objects: 2048,
+            // Aim past the mark so the recorded trace clears 10M even with
+            // the generator's ~15% shape tolerance.
+            target_events: 12_000_000,
+        }
+    }
+
+    /// A CI-sized shape exercising the same path in seconds.
+    pub fn quick() -> Self {
+        StreamWorkload {
+            threads: 8,
+            locks: 8,
+            objects: 64,
+            target_events: 40_000,
+        }
+    }
+}
+
+/// Records the synthetic trace used by the `stream_scaling` bench and the
+/// `repro detect --stream` command.
+pub fn stream_trace(workload: StreamWorkload) -> Trace {
+    use perfplay::workloads::{random_workload, GeneratorConfig};
+    let config = GeneratorConfig::for_event_target(
+        workload.threads,
+        workload.locks,
+        workload.objects,
+        workload.target_events,
+    );
+    let program = random_workload(42, &config);
+    Recorder::new(SimConfig::default())
+        .record(&program)
+        .expect("synthetic workloads always record")
+        .trace
+}
+
 /// Shape of a synthetic replay workload (see [`replay_trace`]).
 #[derive(Debug, Clone, Copy)]
 pub struct ReplayWorkload {

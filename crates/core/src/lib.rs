@@ -48,16 +48,20 @@ use perfplay_transform::{TransformConfig, TransformedTrace, Transformer};
 /// Convenience re-exports of the building-block crates.
 pub mod prelude {
     pub use perfplay_detect::{
-        Detector, DetectorConfig, Ulcp, UlcpAnalysis, UlcpBreakdown, UlcpKind,
+        Detector, DetectorConfig, StreamingAnalysis, StreamingDetector, StreamingStats, Ulcp,
+        UlcpAnalysis, UlcpBreakdown, UlcpKind,
     };
     pub use perfplay_program::{Program, ProgramBuilder};
-    pub use perfplay_record::{Recorder, RecordingMode, WallClockRecorder};
+    pub use perfplay_record::{
+        spill_trace, ChunkedWriter, Recorder, RecordingMode, WallClockRecorder,
+    };
     pub use perfplay_replay::{
         measure_fidelity, FidelityReport, ReplayConfig, ReplayResult, ReplaySchedule, Replayer,
         ScheduleKind, UlcpFreeReplayer,
     };
     pub use perfplay_report::{GroupedUlcp, PerfReport, Recommendation};
     pub use perfplay_sim::{ExecutionResult, Executor, SimConfig};
+    pub use perfplay_trace::{ChunkFileReader, EventSource, TraceChunk, TraceChunks};
     pub use perfplay_trace::{Time, Trace, TraceStats};
     pub use perfplay_transform::{TransformedTrace, Transformer};
 }

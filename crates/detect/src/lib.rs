@@ -19,6 +19,11 @@
 //! 4. [`Detector::analyze`] runs the sequential-search pairing over every
 //!    lock and produces the [`UlcpAnalysis`] (pairs, causal edges, and the
 //!    per-category [`UlcpBreakdown`] that reproduces a row of Table 1).
+//!
+//! For traces too large to hold in memory, [`StreamingDetector`] consumes a
+//! chunked event stream (`perfplay_trace::EventSource`) and produces the
+//! same [`UlcpAnalysis`] bit-for-bit while keeping only bounded incremental
+//! state resident.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,9 +33,11 @@ mod kinds;
 mod pairing;
 mod reference;
 mod shadow;
+mod streaming;
 
 pub use classify::{classify_by_sets, classify_pair, refine_conflicting_pair};
 pub use kinds::{PairClass, UlcpKind};
 pub use pairing::{CausalEdge, Detector, DetectorConfig, Ulcp, UlcpAnalysis, UlcpBreakdown};
 pub use reference::reference_analyze;
 pub use shadow::{LastWriteIndex, MemorySnapshot, StartState, StateBefore};
+pub use streaming::{StreamingAnalysis, StreamingDetector, StreamingStats};

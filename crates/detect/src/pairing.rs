@@ -305,9 +305,15 @@ fn analyze_lock(
             // exactly at the cap is recorded, not dropped. The counter stays
             // explicit (not `enumerate`) because "classifications performed"
             // is the unit the cap is defined in.
+            //
+            // Per-thread lists are in timing-index (id) order, so the later
+            // candidates start at a binary-searchable boundary; a linear
+            // `filter` re-scan here is O(list) per (section, thread) pair
+            // and dominated whole-trace analysis on few-lock workloads.
+            let start = others.partition_point(|s| s.id <= current.id);
             let mut scanned = 0usize;
             #[allow(clippy::explicit_counter_loop)]
-            for candidate in others.iter().filter(|s| s.id > current.id) {
+            for candidate in &others[start..] {
                 if config.max_scan_per_thread.is_some_and(|cap| scanned >= cap) {
                     break;
                 }

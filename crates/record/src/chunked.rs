@@ -1,0 +1,500 @@
+//! Chunked trace spilling: writing a recording to disk as time-windowed
+//! chunks while it happens.
+//!
+//! [`ChunkedWriter`] is the producing half of the streaming ingestion path:
+//! it accepts events thread by thread (in per-thread program order, the only
+//! order a recorder naturally has) and emits [`TraceChunk`]s to a JSON-lines
+//! file as soon as a time window is *complete* — i.e. once every still-active
+//! thread has progressed past the window, so no earlier event can arrive. The
+//! resulting file honours the chunk contract documented in
+//! `perfplay_trace::stream` and is consumed by
+//! [`ChunkFileReader`](perfplay_trace::ChunkFileReader) or reassembled with
+//! [`read_chunked_trace`](perfplay_trace::read_chunked_trace).
+//!
+//! The writer's resident state is the set of events of the currently
+//! incomplete window — bounded as long as threads make roughly comparable
+//! time progress, independent of total trace length.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::Path;
+
+use perfplay_trace::{
+    ChunkFileHeader, ChunkFileRecord, ChunkFileTrailer, Event, LockGrant, SiteTable, ThreadId,
+    ThreadSpan, Time, TimedEvent, Trace, TraceChunk, TraceMeta,
+};
+
+/// Summary of one finished chunked spill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkedWriteSummary {
+    /// Chunks written.
+    pub chunks: u64,
+    /// Events written.
+    pub events: u64,
+    /// Bytes written to the file.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct ThreadBuffer {
+    /// Index (in the thread's full stream) of `events.front()`.
+    base_index: usize,
+    events: VecDeque<TimedEvent>,
+    /// Timestamp of the latest pushed event.
+    latest: Option<Time>,
+    finished: bool,
+}
+
+/// Incremental writer of a chunked trace file.
+///
+/// Events must be pushed in per-thread program order (non-decreasing
+/// timestamps); grants in ascending grant time. Call
+/// [`finish`](Self::finish) to flush the final window and write the trailer
+/// — dropping the writer without finishing leaves a truncated file that the
+/// reader will reject.
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    out: W,
+    chunk_events: usize,
+    threads: Vec<ThreadBuffer>,
+    grants: VecDeque<LockGrant>,
+    buffered: usize,
+    seq: u64,
+    events_written: u64,
+    bytes_written: u64,
+    last_window_end: Option<Time>,
+}
+
+impl ChunkedWriter<std::io::BufWriter<std::fs::File>> {
+    /// Creates a chunked trace file at `path` and writes its header.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be created or the header cannot be written.
+    pub fn create(
+        path: impl AsRef<Path>,
+        meta: TraceMeta,
+        num_threads: usize,
+        sites: SiteTable,
+        chunk_events: usize,
+    ) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        ChunkedWriter::new(
+            std::io::BufWriter::new(file),
+            meta,
+            num_threads,
+            sites,
+            chunk_events,
+        )
+    }
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Wraps an arbitrary writer, emitting the header record immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn new(
+        out: W,
+        meta: TraceMeta,
+        num_threads: usize,
+        sites: SiteTable,
+        chunk_events: usize,
+    ) -> std::io::Result<Self> {
+        let mut writer = ChunkedWriter {
+            out,
+            chunk_events: chunk_events.max(1),
+            threads: (0..num_threads).map(|_| ThreadBuffer::default()).collect(),
+            grants: VecDeque::new(),
+            buffered: 0,
+            seq: 0,
+            events_written: 0,
+            bytes_written: 0,
+            last_window_end: None,
+        };
+        writer.write_record(&ChunkFileRecord::Header(ChunkFileHeader {
+            meta,
+            num_threads,
+            sites,
+        }))?;
+        Ok(writer)
+    }
+
+    fn write_record(&mut self, record: &ChunkFileRecord) -> std::io::Result<()> {
+        let json = serde_json::to_string(record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?;
+        self.bytes_written += json.len() as u64 + 1;
+        self.out.write_all(json.as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+
+    /// Appends one event of a thread. Timestamps must be non-decreasing per
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures from window flushes.
+    pub fn push_event(&mut self, thread: ThreadId, at: Time, event: Event) -> std::io::Result<()> {
+        let buffer = &mut self.threads[thread.index()];
+        assert!(
+            buffer.latest.is_none_or(|l| at >= l),
+            "non-monotonic push on {thread}: {at} after {:?}",
+            buffer.latest
+        );
+        assert!(!buffer.finished, "push after finish_thread on {thread}");
+        buffer.latest = Some(at);
+        buffer.events.push_back(TimedEvent::new(at, event));
+        self.buffered += 1;
+        if self.buffered >= self.chunk_events {
+            self.flush_complete_window()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a lock grant (ascending grant-time order).
+    pub fn push_grant(&mut self, grant: LockGrant) {
+        self.grants.push_back(grant);
+    }
+
+    /// Marks a thread as finished: it will push no more events and stops
+    /// constraining window completion.
+    pub fn finish_thread(&mut self, thread: ThreadId) {
+        self.threads[thread.index()].finished = true;
+    }
+
+    /// Flushes the largest window that can no longer receive events: every
+    /// unfinished thread has advanced past it. Returns without writing when
+    /// no such window exists yet.
+    fn flush_complete_window(&mut self) -> std::io::Result<()> {
+        // The window must end strictly before the slowest active thread's
+        // latest timestamp: that thread may still push more events *at* its
+        // latest time (ties are allowed), and ties must never straddle a
+        // chunk boundary.
+        let mut bound: Option<Time> = None;
+        for buffer in &self.threads {
+            if buffer.finished {
+                continue;
+            }
+            let Some(latest) = buffer.latest else {
+                return Ok(()); // an active thread has not started yet
+            };
+            bound = Some(bound.map_or(latest, |b: Time| b.min(latest)));
+        }
+        let window_end = match bound {
+            // All threads finished: flush everything that remains.
+            None => self
+                .threads
+                .iter()
+                .filter_map(|b| b.events.back().map(|e| e.at))
+                .max(),
+            Some(latest) => Some(Time::from_nanos(latest.as_nanos().saturating_sub(1))),
+        };
+        let Some(window_end) = window_end else {
+            return Ok(()); // nothing buffered at all
+        };
+        if self.last_window_end.is_some_and(|prev| window_end <= prev) {
+            return Ok(());
+        }
+        self.emit_window(window_end)
+    }
+
+    fn emit_window(&mut self, window_end: Time) -> std::io::Result<()> {
+        let mut spans = Vec::new();
+        for (ti, buffer) in self.threads.iter_mut().enumerate() {
+            let take = buffer
+                .events
+                .iter()
+                .take_while(|e| e.at <= window_end)
+                .count();
+            if take == 0 {
+                continue;
+            }
+            let events: Vec<TimedEvent> = buffer.events.drain(..take).collect();
+            let base_index = buffer.base_index;
+            buffer.base_index += take;
+            self.buffered -= take;
+            spans.push(ThreadSpan {
+                thread: ThreadId::new(ti as u32),
+                base_index,
+                events,
+            });
+        }
+        let mut grants = Vec::new();
+        while self.grants.front().is_some_and(|g| g.at <= window_end) {
+            grants.push(self.grants.pop_front().expect("front exists"));
+        }
+        if spans.is_empty() && grants.is_empty() {
+            return Ok(());
+        }
+        let chunk = TraceChunk {
+            seq: self.seq,
+            window_end,
+            spans,
+            grants,
+        };
+        self.seq += 1;
+        self.events_written += chunk.num_events() as u64;
+        self.last_window_end = Some(window_end);
+        self.write_record(&ChunkFileRecord::Chunk(chunk))
+    }
+
+    /// Flushes everything still buffered, writes the trailer and returns the
+    /// spill summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn finish(
+        mut self,
+        total_time: Time,
+        finish_times: Vec<Time>,
+    ) -> std::io::Result<ChunkedWriteSummary> {
+        for buffer in &mut self.threads {
+            buffer.finished = true;
+        }
+        if self.buffered > 0 || !self.grants.is_empty() {
+            let window_end = self
+                .threads
+                .iter()
+                .filter_map(|b| b.events.back().map(|e| e.at))
+                .max()
+                .unwrap_or(Time::MAX)
+                .max(self.grants.back().map(|g| g.at).unwrap_or(Time::ZERO));
+            self.emit_window(window_end)?;
+        }
+        let trailer = ChunkFileTrailer {
+            total_time,
+            finish_times,
+            chunks: self.seq,
+            events: self.events_written,
+        };
+        self.write_record(&ChunkFileRecord::Trailer(trailer))?;
+        self.out.flush()?;
+        Ok(ChunkedWriteSummary {
+            chunks: self.seq,
+            events: self.events_written,
+            bytes: self.bytes_written,
+        })
+    }
+}
+
+/// Spills a complete in-memory trace to `path` as a chunked trace file,
+/// streaming it through the windowing logic (events interleaved across
+/// threads in time order, so windows flush as they complete).
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn spill_trace(
+    trace: &Trace,
+    path: impl AsRef<Path>,
+    chunk_events: usize,
+) -> std::io::Result<ChunkedWriteSummary> {
+    let mut writer = ChunkedWriter::create(
+        path,
+        trace.meta.clone(),
+        trace.num_threads(),
+        trace.sites.clone(),
+        chunk_events,
+    )?;
+    // Threads with no events would otherwise block window completion
+    // forever (their next timestamp is unknowable), degrading the writer to
+    // one trace-sized window at finish().
+    for tt in &trace.threads {
+        if tt.events.is_empty() {
+            writer.finish_thread(tt.thread);
+        }
+    }
+    // Feed events in global time order (k-way merge over the per-thread
+    // streams) so complete windows flush incrementally instead of
+    // accumulating whole threads. Grants are interleaved at their own
+    // timestamps so each lands in the chunk whose window covers it, exactly
+    // like the in-memory `TraceChunks` adapter.
+    let mut cursors = vec![0usize; trace.num_threads()];
+    let mut grant_cursor = 0usize;
+    loop {
+        let mut next: Option<(Time, usize)> = None;
+        for (ti, tt) in trace.threads.iter().enumerate() {
+            if let Some(te) = tt.events.get(cursors[ti]) {
+                if next.is_none_or(|(t, _)| te.at < t) {
+                    next = Some((te.at, ti));
+                }
+            }
+        }
+        let Some((at, ti)) = next else { break };
+        while grant_cursor < trace.lock_schedule.len() && trace.lock_schedule[grant_cursor].at <= at
+        {
+            writer.push_grant(trace.lock_schedule[grant_cursor]);
+            grant_cursor += 1;
+        }
+        let te = &trace.threads[ti].events[cursors[ti]];
+        writer.push_event(trace.threads[ti].thread, te.at, te.event.clone())?;
+        cursors[ti] += 1;
+        if cursors[ti] == trace.threads[ti].events.len() {
+            writer.finish_thread(trace.threads[ti].thread);
+        }
+    }
+    for grant in &trace.lock_schedule[grant_cursor..] {
+        writer.push_grant(*grant);
+    }
+    writer.finish(
+        trace.total_time,
+        trace.threads.iter().map(|t| t.finish_time).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use perfplay_program::ProgramBuilder;
+    use perfplay_sim::SimConfig;
+    use perfplay_trace::{read_chunked_trace, ChunkFileReader, EventSource};
+
+    fn demo_trace() -> Trace {
+        let mut b = ProgramBuilder::new("chunked-demo");
+        let lock = b.lock("m");
+        let x = b.shared("x", 0);
+        let site = b.site("c.c", "work", 3);
+        for i in 0..3 {
+            b.thread(format!("t{i}"), |t| {
+                t.loop_n(5, |l| {
+                    l.compute_ns(100);
+                    l.locked(lock, site, |cs| {
+                        cs.write_add(x, 1);
+                    });
+                    l.compute_ns(60);
+                });
+            });
+        }
+        Recorder::new(SimConfig::default())
+            .record(&b.build())
+            .unwrap()
+            .trace
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("perfplay-chunked-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn spill_and_reassemble_roundtrips_the_trace() {
+        let trace = demo_trace();
+        let path = temp_path("roundtrip");
+        for chunk_events in [1, 7, 64, 100_000] {
+            let summary = spill_trace(&trace, &path, chunk_events).unwrap();
+            assert_eq!(summary.events as usize, trace.num_events());
+            assert!(summary.chunks >= 1);
+            assert!(summary.bytes > 0);
+            let back = read_chunked_trace(&path).unwrap();
+            assert_eq!(back, trace);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn incremental_spill_flushes_before_finish() {
+        let trace = demo_trace();
+        let path = temp_path("incremental");
+        // Tiny windows: chunks must be written while events are still being
+        // pushed, not hoarded until finish().
+        let summary = spill_trace(&trace, &path, 8).unwrap();
+        assert!(
+            summary.chunks > 3,
+            "expected multiple windows, got {}",
+            summary.chunks
+        );
+        let mut reader = ChunkFileReader::open(&path).unwrap();
+        let mut prev: Option<Time> = None;
+        while let Some(chunk) = reader.next_chunk().unwrap() {
+            if let Some(p) = prev {
+                assert!(chunk.window_end > p);
+            }
+            for span in &chunk.spans {
+                for te in &span.events {
+                    assert!(te.at <= chunk.window_end);
+                    if let Some(p) = prev {
+                        assert!(te.at > p, "tie straddled a window boundary");
+                    }
+                }
+            }
+            prev = Some(chunk.window_end);
+        }
+        assert_eq!(
+            reader.trailer().unwrap().events as usize,
+            trace.num_events()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn grants_land_in_their_own_windows() {
+        // Regression: grants used to be queued only after every event, so
+        // intermediate chunks carried none and the final chunk carried the
+        // whole schedule — diverging from the TraceChunks adapter.
+        let trace = demo_trace();
+        assert!(trace.lock_schedule.len() > 4);
+        let path = temp_path("grants");
+        let summary = spill_trace(&trace, &path, 16).unwrap();
+        assert!(summary.chunks > 2);
+        let mut reader = ChunkFileReader::open(&path).unwrap();
+        let mut chunks_with_grants = 0;
+        while let Some(chunk) = reader.next_chunk().unwrap() {
+            for g in &chunk.grants {
+                assert!(g.at <= chunk.window_end, "grant after its window");
+            }
+            if !chunk.grants.is_empty() {
+                chunks_with_grants += 1;
+            }
+        }
+        assert!(
+            chunks_with_grants > 1,
+            "grants must be spread across windows, not hoarded in the last"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_threads_do_not_block_window_flushing() {
+        // Regression: a thread with zero events kept `latest == None`
+        // forever, so no window could complete and the writer buffered the
+        // whole trace until finish().
+        let mut trace = demo_trace();
+        let idle = perfplay_trace::ThreadTrace::new(ThreadId::new(trace.num_threads() as u32));
+        trace.threads.push(idle);
+        trace.meta.num_threads += 1;
+        let path = temp_path("idlethread");
+        let summary = spill_trace(&trace, &path, 8).unwrap();
+        assert!(
+            summary.chunks > 3,
+            "windows must flush incrementally despite the idle thread, got {} chunks",
+            summary.chunks
+        );
+        let back = read_chunked_trace(&path).unwrap();
+        assert_eq!(back, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reader_rejects_truncated_files() {
+        let trace = demo_trace();
+        let path = temp_path("truncated");
+        spill_trace(&trace, &path, 16).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let truncated: Vec<&str> = content.lines().collect();
+        let without_trailer = truncated[..truncated.len() - 1].join("\n");
+        std::fs::write(&path, without_trailer).unwrap();
+        let mut reader = ChunkFileReader::open(&path).unwrap();
+        let result = loop {
+            match reader.next_chunk() {
+                Ok(Some(_)) => continue,
+                other => break other,
+            }
+        };
+        assert!(result.is_err(), "truncated file must not end cleanly");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -21,9 +21,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod chunked;
 mod recorder;
 mod wallclock;
 
+pub use chunked::{spill_trace, ChunkedWriteSummary, ChunkedWriter};
 pub use recorder::{
     checkpoints, selective_compress, CheckpointLocation, RecordedExecution, Recorder, RecordingMode,
 };

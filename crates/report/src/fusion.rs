@@ -53,7 +53,9 @@ impl GroupedUlcp {
             region_first: first,
             region_second: second,
             dynamic_pairs: self.dynamic_pairs + other.dynamic_pairs,
-            gain_ns: self.gain_ns + other.gain_ns,
+            // Saturate: on large fused traces the accumulated gain can
+            // exceed u64::MAX, which would panic in debug / wrap in release.
+            gain_ns: self.gain_ns.saturating_add(other.gain_ns),
         }
     }
 }
@@ -92,7 +94,10 @@ pub fn fuse_ulcps(analysis: &UlcpAnalysis, gains: &[UlcpGain]) -> Vec<GroupedUlc
             gain_ns: 0,
         });
         entry.dynamic_pairs += 1;
-        entry.gain_ns += gain.clamped();
+        // Saturating: the clamped gains are non-negative, so a saturating
+        // sum is order-independent — and overflow on huge traces degrades to
+        // "maximal opportunity" instead of a panic or a wrapped small gain.
+        entry.gain_ns = entry.gain_ns.saturating_add(gain.clamped());
     }
 
     // Fixpoint fusion over the seeded groups.
@@ -121,7 +126,9 @@ pub fn fuse_ulcps(analysis: &UlcpAnalysis, gains: &[UlcpGain]) -> Vec<GroupedUlc
 /// Ranks fused groups by relative optimization opportunity (Equation 2),
 /// highest first.
 pub fn rank_groups(groups: Vec<GroupedUlcp>) -> Vec<Recommendation> {
-    let total: u64 = groups.iter().map(|g| g.gain_ns).sum();
+    let total: u64 = groups
+        .iter()
+        .fold(0u64, |acc, g| acc.saturating_add(g.gain_ns));
     let mut recommendations: Vec<Recommendation> = groups
         .into_iter()
         .map(|group| {
@@ -133,11 +140,14 @@ pub fn rank_groups(groups: Vec<GroupedUlcp>) -> Vec<Recommendation> {
             Recommendation { group, opportunity }
         })
         .collect();
+    // Highest gain first; ties broken on both code regions so the
+    // recommendation order is a total order independent of input order.
     recommendations.sort_by(|a, b| {
         b.group
             .gain_ns
             .cmp(&a.group.gain_ns)
             .then_with(|| a.group.region_first.cmp(&b.group.region_first))
+            .then_with(|| a.group.region_second.cmp(&b.group.region_second))
     });
     recommendations
 }
@@ -270,6 +280,83 @@ mod tests {
     fn ranking_with_zero_total_gain_is_all_zero() {
         let ranked = rank_groups(vec![group(1, 2, 0), group(3, 4, 0)]);
         assert!(ranked.iter().all(|r| r.opportunity == 0.0));
+    }
+
+    #[test]
+    fn fusing_huge_gains_saturates_instead_of_overflowing() {
+        // Regression: `gain_ns + other.gain_ns` overflowed (debug panic /
+        // release wrap) once fused gains approached u64::MAX.
+        let a = group(1, 2, u64::MAX - 10);
+        let b = group(1, 2, 100);
+        let fused = a.fuse(&b);
+        assert_eq!(fused.gain_ns, u64::MAX);
+        assert_eq!(fused.dynamic_pairs, 2);
+
+        // rank_groups' total also saturates instead of panicking; the
+        // saturated totals make every opportunity a sane [0, 1] value.
+        let ranked = rank_groups(vec![group(1, 2, u64::MAX), group(3, 4, u64::MAX)]);
+        for r in &ranked {
+            assert!((0.0..=1.0).contains(&r.opportunity));
+        }
+    }
+
+    #[test]
+    fn accumulating_huge_clamped_gains_saturates() {
+        // Three i64::MAX gains exceed u64::MAX: the seed accumulation in
+        // fuse_ulcps must saturate, not overflow.
+        let mut b = ProgramBuilder::new("fusion-overflow");
+        let lock = b.lock("m");
+        let x = b.shared("x", 0);
+        let site = b.site("o.c", "reader", 1);
+        for i in 0..2 {
+            b.thread(format!("t{i}"), |t| {
+                t.loop_n(2, |l| {
+                    l.locked(lock, site, |cs| {
+                        cs.read(x);
+                    });
+                    l.compute_ns(50);
+                });
+            });
+        }
+        let trace = Recorder::new(SimConfig::default())
+            .record(&b.build())
+            .unwrap()
+            .trace;
+        let analysis = Detector::default().analyze(&trace);
+        assert!(analysis.ulcps.len() >= 3, "need >= 3 pairs to overflow");
+        let gains: Vec<UlcpGain> = analysis
+            .ulcps
+            .iter()
+            .map(|u| UlcpGain {
+                ulcp: *u,
+                gain_ns: i64::MAX,
+            })
+            .collect();
+        let groups = fuse_ulcps(&analysis, &gains);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].gain_ns, u64::MAX);
+    }
+
+    #[test]
+    fn ranking_breaks_gain_and_first_region_ties_on_second_region() {
+        // Same gain, same first region, different second regions: order
+        // must be fully deterministic (ascending region_second).
+        let ranked = rank_groups(vec![group(1, 4, 10), group(1, 2, 10), group(1, 3, 10)]);
+        let seconds: Vec<_> = ranked
+            .iter()
+            .map(|r| r.group.region_second.clone())
+            .collect();
+        assert_eq!(
+            seconds,
+            vec![
+                CodeRegion::single(CodeSiteId::new(2)),
+                CodeRegion::single(CodeSiteId::new(3)),
+                CodeRegion::single(CodeSiteId::new(4)),
+            ]
+        );
+        // And the reversed input produces the identical ranking.
+        let reversed = rank_groups(vec![group(1, 3, 10), group(1, 2, 10), group(1, 4, 10)]);
+        assert_eq!(ranked, reversed);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Property test: ULCP fusion (Algorithm 2) is independent of the order the
+//! per-pair gains arrive in.
+//!
+//! `fuse_ulcps` seeds its groups from a map keyed by code-site pair and
+//! accumulates clamped gains with saturating addition, so both the group
+//! contents and the fixpoint fusion order must be invariant under any
+//! permutation of the `gains` input — including the straight-vs-crosswise
+//! preference taken inside `GroupedUlcp::fuse`, which was previously only
+//! exercised on hand-built cases.
+
+use proptest::prelude::*;
+
+use perfplay_detect::Detector;
+use perfplay_record::Recorder;
+use perfplay_report::{fuse_ulcps, rank_groups, UlcpGain};
+use perfplay_sim::SimConfig;
+use perfplay_workloads::{random_workload, GeneratorConfig};
+
+/// Deterministic Fisher–Yates over a seeded xorshift, so each case's
+/// permutation is reproducible from the drawn seed.
+fn permute<T>(items: &mut [T], mut seed: u64) {
+    let mut next = || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+fn generator_config() -> impl Strategy<Value = GeneratorConfig> {
+    (2usize..5, 1usize..4, 2usize..6, 4u32..12).prop_map(
+        |(threads, locks, objects, sections_per_thread)| GeneratorConfig {
+            threads,
+            locks,
+            objects,
+            sections_per_thread,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fusion_is_invariant_under_permuted_gains(
+        seed in 0u64..5_000,
+        config in generator_config(),
+        shuffle_seed in 1u64..u64::MAX,
+        gain_scale in 1i64..1_000_000,
+    ) {
+        let program = random_workload(seed, &config);
+        let trace = Recorder::new(SimConfig::default())
+            .record(&program)
+            .unwrap()
+            .trace;
+        let analysis = Detector::default().analyze(&trace);
+        // Signed synthetic gains (including negatives, which clamp to zero)
+        // varying per pair, so permutation actually moves distinct values.
+        let gains: Vec<UlcpGain> = analysis
+            .ulcps
+            .iter()
+            .enumerate()
+            .map(|(i, u)| UlcpGain {
+                ulcp: *u,
+                gain_ns: (i as i64 % 7 - 2) * gain_scale,
+            })
+            .collect();
+
+        let baseline = fuse_ulcps(&analysis, &gains);
+        let mut shuffled = gains.clone();
+        permute(&mut shuffled, shuffle_seed);
+        let permuted = fuse_ulcps(&analysis, &shuffled);
+        prop_assert_eq!(&baseline, &permuted);
+
+        // Sanity: every dynamic pair is accounted for exactly once.
+        let total_pairs: usize = permuted.iter().map(|g| g.dynamic_pairs).sum();
+        prop_assert_eq!(total_pairs, analysis.ulcps.len());
+
+        // The downstream ranking is then also order-independent.
+        prop_assert_eq!(rank_groups(baseline), rank_groups(permuted));
+    }
+}

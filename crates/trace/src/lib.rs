@@ -50,6 +50,7 @@ mod ids;
 mod section;
 mod site;
 mod stats;
+mod stream;
 mod time;
 mod trace;
 
@@ -59,5 +60,9 @@ pub use ids::{AuxLockId, BarrierId, CodeSiteId, CondId, LockId, ObjectId, Sectio
 pub use section::{extract_critical_sections, sections_by_lock, CriticalSection, MemAccess};
 pub use site::{CodeRegion, CodeSite, SiteTable};
 pub use stats::TraceStats;
+pub use stream::{
+    read_chunked_trace, ChunkFileHeader, ChunkFileReader, ChunkFileRecord, ChunkFileTrailer,
+    EventSource, StreamError, ThreadSpan, TraceChunk, TraceChunks,
+};
 pub use time::Time;
 pub use trace::{ThreadTrace, Trace, TraceError, TraceMeta};

@@ -1,0 +1,597 @@
+//! Streaming trace ingestion: time-windowed event chunks.
+//!
+//! The detection pass of the paper (Algorithm 1) assumes the whole event log
+//! is resident. This module defines the abstraction that lifts that
+//! assumption: an [`EventSource`] hands out [`TraceChunk`]s — per-thread runs
+//! of events covering one window of original-execution time, plus the lock
+//! grants of that window — so a consumer can analyze a trace far larger than
+//! memory while holding only one window (and whatever incremental state it
+//! keeps) resident.
+//!
+//! The chunk contract, which every source must honour and consumers may rely
+//! on:
+//!
+//! 1. chunks arrive in ascending `window_end` order;
+//! 2. chunk `k` contains **every** event with `prev_window_end < at <=
+//!    window_end`, for every thread — equal-timestamp ties never straddle a
+//!    chunk boundary;
+//! 3. within a chunk, each thread's events are a contiguous run of that
+//!    thread's stream (the [`ThreadSpan::base_index`] makes the absolute
+//!    event indices recoverable), and spans are listed in ascending thread
+//!    order.
+//!
+//! The contract is only satisfiable because [`ThreadTrace`] timestamps are
+//! non-decreasing — the invariant [`ThreadTrace::push`] enforces.
+//!
+//! Two sources are provided: [`TraceChunks`], which adapts an in-memory
+//! [`Trace`] (the executable spec and the bridge for already-recorded
+//! traces), and [`ChunkFileReader`], which streams a chunked trace file
+//! (JSON-lines; one [`ChunkFileRecord`] per line) written by
+//! `perfplay-record`'s `ChunkedWriter`, so detection never needs the full
+//! log in memory at all.
+
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{LockGrant, TimedEvent};
+use crate::ids::ThreadId;
+use crate::site::SiteTable;
+use crate::time::Time;
+use crate::trace::{Trace, TraceError, TraceMeta};
+
+/// A contiguous run of one thread's events inside a [`TraceChunk`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadSpan {
+    /// Thread the events belong to.
+    pub thread: ThreadId,
+    /// Absolute index (into the thread's full event stream) of `events[0]`.
+    pub base_index: usize,
+    /// The events of this thread falling in the chunk's time window, in
+    /// program order.
+    pub events: Vec<TimedEvent>,
+}
+
+/// One time window of a recorded execution: every thread's events with
+/// `prev_window_end < at <= window_end`, plus the lock grants of the window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceChunk {
+    /// Dense chunk sequence number (0-based).
+    pub seq: u64,
+    /// Inclusive upper bound of the window; all events of later chunks are
+    /// strictly later than this.
+    pub window_end: Time,
+    /// Per-thread event runs, ascending thread order. Threads with no events
+    /// in the window are omitted.
+    pub spans: Vec<ThreadSpan>,
+    /// Lock grants whose timestamps fall inside the window.
+    pub grants: Vec<LockGrant>,
+}
+
+impl TraceChunk {
+    /// Total number of events carried by this chunk.
+    pub fn num_events(&self) -> usize {
+        self.spans.iter().map(|s| s.events.len()).sum()
+    }
+}
+
+/// Errors produced while producing or consuming an event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// An underlying I/O operation failed.
+    Io(String),
+    /// A line of a chunked trace file did not parse.
+    Parse {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// The stream violated the chunk contract (out-of-order windows,
+    /// non-contiguous spans, missing header, …).
+    Format(String),
+    /// The streamed events violated a trace invariant.
+    Trace(TraceError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "stream I/O error: {e}"),
+            StreamError::Parse { line, message } => {
+                write!(f, "chunk file line {line} does not parse: {message}")
+            }
+            StreamError::Format(msg) => write!(f, "malformed event stream: {msg}"),
+            StreamError::Trace(e) => write!(f, "streamed trace is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<TraceError> for StreamError {
+    fn from(e: TraceError) -> Self {
+        StreamError::Trace(e)
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e.to_string())
+    }
+}
+
+/// A producer of [`TraceChunk`]s honouring the chunk contract.
+pub trait EventSource {
+    /// Metadata of the recorded execution.
+    fn meta(&self) -> &TraceMeta;
+
+    /// Number of threads in the recorded execution (dense ids `0..n`).
+    fn num_threads(&self) -> usize;
+
+    /// Pulls the next chunk, or `Ok(None)` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Sources backed by files report I/O and parse failures.
+    fn next_chunk(&mut self) -> Result<Option<TraceChunk>, StreamError>;
+}
+
+/// [`EventSource`] adapter over an in-memory [`Trace`].
+///
+/// Windows are chosen so each chunk carries roughly `chunk_events` events
+/// (exactly honouring the chunk contract: a window always closes on a
+/// timestamp boundary, so dense windows may exceed the target).
+#[derive(Debug)]
+pub struct TraceChunks<'a> {
+    trace: &'a Trace,
+    chunk_events: usize,
+    cursors: Vec<usize>,
+    grant_cursor: usize,
+    seq: u64,
+}
+
+impl<'a> TraceChunks<'a> {
+    /// Creates a chunked view over `trace` targeting `chunk_events` events
+    /// per chunk (clamped to at least 1).
+    pub fn new(trace: &'a Trace, chunk_events: usize) -> Self {
+        TraceChunks {
+            trace,
+            chunk_events: chunk_events.max(1),
+            cursors: vec![0; trace.threads.len()],
+            grant_cursor: 0,
+            seq: 0,
+        }
+    }
+}
+
+impl EventSource for TraceChunks<'_> {
+    fn meta(&self) -> &TraceMeta {
+        &self.trace.meta
+    }
+
+    fn num_threads(&self) -> usize {
+        self.trace.threads.len()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<TraceChunk>, StreamError> {
+        let active: Vec<usize> = self
+            .trace
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| self.cursors[*i] < t.events.len())
+            .map(|(i, _)| i)
+            .collect();
+        if active.is_empty() {
+            // All events emitted; flush any stray grants in a final empty
+            // chunk so a reassembled trace is complete.
+            if self.grant_cursor < self.trace.lock_schedule.len() {
+                let grants = self.trace.lock_schedule[self.grant_cursor..].to_vec();
+                self.grant_cursor = self.trace.lock_schedule.len();
+                let chunk = TraceChunk {
+                    seq: self.seq,
+                    window_end: Time::MAX,
+                    spans: Vec::new(),
+                    grants,
+                };
+                self.seq += 1;
+                return Ok(Some(chunk));
+            }
+            return Ok(None);
+        }
+
+        // Aim the window so each active thread contributes about its share of
+        // the per-chunk budget: the boundary is the earliest of the threads'
+        // budget-th upcoming timestamps, which guarantees at least one
+        // thread's whole budget fits while every thread stays within the
+        // same time window.
+        let budget = (self.chunk_events / active.len()).max(1);
+        let mut window_end = Time::MAX;
+        for &i in &active {
+            let events = &self.trace.threads[i].events;
+            let probe = (self.cursors[i] + budget - 1).min(events.len() - 1);
+            window_end = window_end.min(events[probe].at);
+        }
+
+        let mut spans = Vec::new();
+        for &i in &active {
+            let events = &self.trace.threads[i].events;
+            let start = self.cursors[i];
+            let mut end = start;
+            while end < events.len() && events[end].at <= window_end {
+                end += 1;
+            }
+            self.cursors[i] = end;
+            if end > start {
+                spans.push(ThreadSpan {
+                    thread: self.trace.threads[i].thread,
+                    base_index: start,
+                    events: events[start..end].to_vec(),
+                });
+            }
+        }
+
+        let grant_start = self.grant_cursor;
+        while self.grant_cursor < self.trace.lock_schedule.len()
+            && self.trace.lock_schedule[self.grant_cursor].at <= window_end
+        {
+            self.grant_cursor += 1;
+        }
+        let grants = self.trace.lock_schedule[grant_start..self.grant_cursor].to_vec();
+
+        let chunk = TraceChunk {
+            seq: self.seq,
+            window_end,
+            spans,
+            grants,
+        };
+        self.seq += 1;
+        Ok(Some(chunk))
+    }
+}
+
+/// First record of a chunked trace file: everything a consumer needs before
+/// the first event arrives.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkFileHeader {
+    /// Execution metadata.
+    pub meta: TraceMeta,
+    /// Number of threads (dense ids `0..n`).
+    pub num_threads: usize,
+    /// Interned code sites of the recorded execution.
+    pub sites: SiteTable,
+}
+
+/// Last record of a chunked trace file: the whole-execution quantities that
+/// are only known once recording ends.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkFileTrailer {
+    /// Makespan of the original execution.
+    pub total_time: Time,
+    /// Per-thread finish times, indexed by thread id.
+    pub finish_times: Vec<Time>,
+    /// Number of chunk records written (for integrity checking).
+    pub chunks: u64,
+    /// Total events written across all chunks.
+    pub events: u64,
+}
+
+/// One line of a chunked trace file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChunkFileRecord {
+    /// File header; always the first line.
+    Header(ChunkFileHeader),
+    /// One time-window of events.
+    Chunk(TraceChunk),
+    /// File trailer; always the last line.
+    Trailer(ChunkFileTrailer),
+}
+
+/// Streaming reader of a chunked trace file (JSON-lines, one
+/// [`ChunkFileRecord`] per line).
+///
+/// Only one line is resident at a time; the file can be arbitrarily larger
+/// than memory.
+pub struct ChunkFileReader {
+    lines: std::io::Lines<BufReader<std::fs::File>>,
+    header: ChunkFileHeader,
+    trailer: Option<ChunkFileTrailer>,
+    line_no: usize,
+    chunks_seen: u64,
+    events_seen: u64,
+    done: bool,
+}
+
+impl std::fmt::Debug for ChunkFileReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkFileReader")
+            .field("header", &self.header)
+            .field("chunks_seen", &self.chunks_seen)
+            .field("events_seen", &self.events_seen)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChunkFileReader {
+    /// Opens a chunked trace file and reads its header.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be opened, the first line does not parse, or
+    /// it is not a [`ChunkFileRecord::Header`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StreamError> {
+        let file = std::fs::File::open(path)?;
+        let mut lines = BufReader::new(file).lines();
+        let first = lines
+            .next()
+            .ok_or_else(|| StreamError::Format("empty chunk file".into()))??;
+        let record: ChunkFileRecord =
+            serde_json::from_str(&first).map_err(|e| StreamError::Parse {
+                line: 1,
+                message: e.0,
+            })?;
+        let ChunkFileRecord::Header(header) = record else {
+            return Err(StreamError::Format(
+                "chunk file does not start with a header record".into(),
+            ));
+        };
+        Ok(ChunkFileReader {
+            lines,
+            header,
+            trailer: None,
+            line_no: 1,
+            chunks_seen: 0,
+            events_seen: 0,
+            done: false,
+        })
+    }
+
+    /// The interned code sites from the file header.
+    pub fn sites(&self) -> &SiteTable {
+        &self.header.sites
+    }
+
+    /// The file trailer; available once the stream has been fully consumed.
+    pub fn trailer(&self) -> Option<&ChunkFileTrailer> {
+        self.trailer.as_ref()
+    }
+}
+
+impl EventSource for ChunkFileReader {
+    fn meta(&self) -> &TraceMeta {
+        &self.header.meta
+    }
+
+    fn num_threads(&self) -> usize {
+        self.header.num_threads
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<TraceChunk>, StreamError> {
+        if self.done {
+            return Ok(None);
+        }
+        let Some(line) = self.lines.next() else {
+            return Err(StreamError::Format(
+                "chunk file ended without a trailer record".into(),
+            ));
+        };
+        let line = line?;
+        self.line_no += 1;
+        let record: ChunkFileRecord =
+            serde_json::from_str(&line).map_err(|e| StreamError::Parse {
+                line: self.line_no,
+                message: e.0,
+            })?;
+        match record {
+            ChunkFileRecord::Header(_) => Err(StreamError::Format(format!(
+                "unexpected second header at line {}",
+                self.line_no
+            ))),
+            ChunkFileRecord::Chunk(chunk) => {
+                self.chunks_seen += 1;
+                self.events_seen += chunk.num_events() as u64;
+                Ok(Some(chunk))
+            }
+            ChunkFileRecord::Trailer(trailer) => {
+                if trailer.chunks != self.chunks_seen || trailer.events != self.events_seen {
+                    return Err(StreamError::Format(format!(
+                        "trailer claims {} chunks / {} events but {} / {} were read",
+                        trailer.chunks, trailer.events, self.chunks_seen, self.events_seen
+                    )));
+                }
+                self.trailer = Some(trailer);
+                self.done = true;
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// Reads a chunked trace file back into a full in-memory [`Trace`].
+///
+/// This is the inverse of `perfplay-record`'s `ChunkedWriter`: useful for
+/// tests and for feeding chunk-recorded traces to consumers that have not
+/// been converted to streaming yet.
+///
+/// # Errors
+///
+/// Propagates reader errors and reports spans that are not contiguous.
+pub fn read_chunked_trace(path: impl AsRef<Path>) -> Result<Trace, StreamError> {
+    let mut reader = ChunkFileReader::open(path)?;
+    let mut trace = Trace::new(reader.meta().clone(), reader.num_threads());
+    trace.sites = reader.sites().clone();
+    while let Some(chunk) = reader.next_chunk()? {
+        for span in chunk.spans {
+            let Some(tt) = trace.threads.get_mut(span.thread.index()) else {
+                return Err(StreamError::Format(format!(
+                    "span for out-of-range thread {}",
+                    span.thread
+                )));
+            };
+            if span.base_index != tt.events.len() {
+                return Err(StreamError::Format(format!(
+                    "non-contiguous span for {}: base {} but {} events seen",
+                    span.thread,
+                    span.base_index,
+                    tt.events.len()
+                )));
+            }
+            for te in span.events {
+                tt.push(te.at, te.event);
+            }
+        }
+        trace.lock_schedule.extend(chunk.grants);
+    }
+    let trailer = reader
+        .trailer()
+        .ok_or_else(|| StreamError::Format("missing trailer".into()))?;
+    trace.total_time = trailer.total_time;
+    for (tt, finish) in trace.threads.iter_mut().zip(&trailer.finish_times) {
+        tt.finish_time = *finish;
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::ids::{CodeSiteId, LockId, ObjectId};
+
+    fn two_thread_trace() -> Trace {
+        let mut trace = Trace::new(TraceMeta::default(), 2);
+        for (ti, base) in [(0usize, 0u64), (1, 5)] {
+            let t = &mut trace.threads[ti];
+            t.push(
+                Time::from_nanos(base + 1),
+                Event::LockAcquire {
+                    lock: LockId::new(0),
+                    site: CodeSiteId::new(0),
+                },
+            );
+            t.push(
+                Time::from_nanos(base + 2),
+                Event::Read {
+                    obj: ObjectId::new(0),
+                    value: 0,
+                },
+            );
+            t.push(
+                Time::from_nanos(base + 3),
+                Event::LockRelease {
+                    lock: LockId::new(0),
+                },
+            );
+            t.push(Time::from_nanos(base + 4), Event::ThreadExit);
+        }
+        trace.lock_schedule = vec![
+            LockGrant {
+                seq: 0,
+                lock: LockId::new(0),
+                thread: ThreadId::new(0),
+                event_index: 0,
+                at: Time::from_nanos(1),
+            },
+            LockGrant {
+                seq: 1,
+                lock: LockId::new(0),
+                thread: ThreadId::new(1),
+                event_index: 0,
+                at: Time::from_nanos(6),
+            },
+        ];
+        trace.total_time = Time::from_nanos(9);
+        trace
+    }
+
+    fn collect_chunks(source: &mut impl EventSource) -> Vec<TraceChunk> {
+        let mut chunks = Vec::new();
+        while let Some(c) = source.next_chunk().unwrap() {
+            chunks.push(c);
+        }
+        chunks
+    }
+
+    #[test]
+    fn trace_chunks_cover_every_event_once_in_order() {
+        let trace = two_thread_trace();
+        for chunk_events in 1..=10 {
+            let mut source = TraceChunks::new(&trace, chunk_events);
+            let chunks = collect_chunks(&mut source);
+            // Contract 1: windows strictly ascend (ignoring the grant-flush
+            // tail chunk, which carries no events).
+            let mut prev: Option<Time> = None;
+            let mut total_events = 0;
+            let mut total_grants = 0;
+            for chunk in &chunks {
+                if let Some(p) = prev {
+                    assert!(chunk.window_end > p, "chunk_events={chunk_events}");
+                }
+                for span in &chunk.spans {
+                    for te in &span.events {
+                        assert!(te.at <= chunk.window_end);
+                        if let Some(p) = prev {
+                            assert!(te.at > p, "tie straddled a boundary");
+                        }
+                    }
+                    total_events += span.events.len();
+                }
+                total_grants += chunk.grants.len();
+                prev = Some(chunk.window_end);
+            }
+            assert_eq!(total_events, trace.num_events());
+            assert_eq!(total_grants, trace.lock_schedule.len());
+        }
+    }
+
+    #[test]
+    fn trace_chunks_spans_are_contiguous_per_thread() {
+        let trace = two_thread_trace();
+        let mut source = TraceChunks::new(&trace, 3);
+        let chunks = collect_chunks(&mut source);
+        let mut next_index = vec![0usize; trace.num_threads()];
+        for chunk in &chunks {
+            let mut prev_thread: Option<ThreadId> = None;
+            for span in &chunk.spans {
+                if let Some(p) = prev_thread {
+                    assert!(span.thread > p, "spans not in ascending thread order");
+                }
+                prev_thread = Some(span.thread);
+                assert_eq!(span.base_index, next_index[span.thread.index()]);
+                next_index[span.thread.index()] += span.events.len();
+            }
+        }
+        assert_eq!(next_index[0], trace.threads[0].len());
+        assert_eq!(next_index[1], trace.threads[1].len());
+    }
+
+    #[test]
+    fn empty_trace_produces_no_chunks() {
+        let trace = Trace::new(TraceMeta::default(), 2);
+        let mut source = TraceChunks::new(&trace, 4);
+        assert_eq!(source.next_chunk().unwrap(), None);
+    }
+
+    #[test]
+    fn chunk_records_roundtrip_through_serde() {
+        let trace = two_thread_trace();
+        let mut source = TraceChunks::new(&trace, 2);
+        let chunk = source.next_chunk().unwrap().unwrap();
+        let json = serde_json::to_string(&ChunkFileRecord::Chunk(chunk.clone())).unwrap();
+        let back: ChunkFileRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ChunkFileRecord::Chunk(chunk));
+    }
+
+    #[test]
+    fn stream_error_display_is_informative() {
+        let e = StreamError::Parse {
+            line: 7,
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e: StreamError = TraceError::MisnumberedThread { index: 2 }.into();
+        assert!(matches!(e, StreamError::Trace(_)));
+    }
+}

@@ -41,7 +41,21 @@ impl ThreadTrace {
     }
 
     /// Appends an event with the given completion time.
+    ///
+    /// Timestamps must be non-decreasing in program order — the streaming
+    /// chunk contract and every time-indexed consumer depend on it. A
+    /// violation panics in debug builds; in release builds the event is
+    /// still appended (and `finish_time` keeps the maximum seen), so the
+    /// offence remains detectable by [`Trace::validate`], which reports the
+    /// offending thread and event index.
     pub fn push(&mut self, at: Time, event: Event) {
+        debug_assert!(
+            self.events.last().is_none_or(|prev| at >= prev.at),
+            "non-monotonic push on {}: event {} at {at} is earlier than its predecessor at {}",
+            self.thread,
+            self.events.len(),
+            self.events.last().map(|p| p.at).unwrap_or(Time::ZERO),
+        );
         self.events.push(TimedEvent::new(at, event));
         self.finish_time = self.finish_time.max(at);
     }
@@ -419,6 +433,26 @@ mod tests {
             trace.validate(),
             Err(TraceError::MisnumberedThread { index: 1 })
         ));
+    }
+
+    // Release builds accept the out-of-order push; validate() is the
+    // backstop there (see validate_rejects_time_going_backwards).
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-monotonic push")]
+    fn push_rejects_time_going_backwards_in_debug() {
+        let mut tt = ThreadTrace::new(ThreadId::new(0));
+        tt.push(Time::from_nanos(10), Event::ThreadExit);
+        tt.push(Time::from_nanos(5), Event::ThreadExit);
+    }
+
+    #[test]
+    fn push_accepts_equal_timestamps() {
+        let mut tt = ThreadTrace::new(ThreadId::new(0));
+        tt.push(Time::from_nanos(10), Event::ThreadExit);
+        tt.push(Time::from_nanos(10), Event::ThreadExit);
+        assert_eq!(tt.len(), 2);
+        assert_eq!(tt.finish_time, Time::from_nanos(10));
     }
 
     #[test]

@@ -29,6 +29,33 @@ impl Default for GeneratorConfig {
     }
 }
 
+impl GeneratorConfig {
+    /// Average recorded events per generated critical section: acquire +
+    /// release + ~1.4 in-section accesses + the pacing compute + the 30%
+    /// outside read, plus the amortized thread exit. Calibrated against the
+    /// recorder (see `event_target_lands_near_the_mark`).
+    pub const EVENTS_PER_SECTION: f64 = 4.7;
+
+    /// Shapes a workload so recording it produces roughly `target_events`
+    /// events (within ~15%): the streaming-scale knob, used to build the
+    /// >=10M-event traces the streaming detector is benchmarked on.
+    pub fn for_event_target(
+        threads: usize,
+        locks: usize,
+        objects: usize,
+        target_events: u64,
+    ) -> Self {
+        let total_sections = (target_events as f64 / Self::EVENTS_PER_SECTION).ceil();
+        let sections_per_thread = (total_sections / threads.max(1) as f64).ceil() as u32;
+        GeneratorConfig {
+            threads: threads.max(1),
+            locks: locks.max(1),
+            objects: objects.max(1),
+            sections_per_thread: sections_per_thread.max(1),
+        }
+    }
+}
+
 /// Generates a random, structurally valid, deadlock-free lock program.
 ///
 /// The generated sections mix reads, disjoint writes, benign writes and
@@ -118,6 +145,20 @@ mod tests {
         assert_eq!(a, b);
         let c = random_workload(8, &GeneratorConfig::default());
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn event_target_lands_near_the_mark() {
+        let cfg = GeneratorConfig::for_event_target(4, 4, 32, 20_000);
+        let program = random_workload(3, &cfg);
+        let recording = Recorder::new(SimConfig::default())
+            .record(&program)
+            .unwrap();
+        let events = recording.trace.num_events() as f64;
+        assert!(
+            (events - 20_000.0).abs() / 20_000.0 < 0.15,
+            "target 20000, recorded {events}"
+        );
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Property tests: the streaming detector is bit-identical to both in-memory
+//! engines on arbitrary generated workloads, across arbitrary chunk sizes,
+//! and through the chunked-file spill/re-ingest roundtrip.
+
+use proptest::prelude::*;
+
+use perfplay::prelude::*;
+use perfplay::workloads::{random_workload, GeneratorConfig};
+use perfplay_detect::reference_analyze;
+use perfplay_trace::{read_chunked_trace, ChunkFileReader, Trace};
+
+fn generator_config() -> impl Strategy<Value = GeneratorConfig> {
+    (2usize..5, 1usize..4, 2usize..6, 4u32..14).prop_map(
+        |(threads, locks, objects, sections_per_thread)| GeneratorConfig {
+            threads,
+            locks,
+            objects,
+            sections_per_thread,
+        },
+    )
+}
+
+fn detector_configs() -> impl Strategy<Value = DetectorConfig> {
+    (0u32..2, 0usize..4).prop_map(|(ablate, cap)| DetectorConfig {
+        use_reversed_replay: ablate == 0,
+        max_scan_per_thread: if cap == 0 { None } else { Some(cap) },
+        parallel: false,
+    })
+}
+
+fn record(seed: u64, config: &GeneratorConfig) -> Trace {
+    let program = random_workload(seed, config);
+    Recorder::new(SimConfig::default())
+        .record(&program)
+        .unwrap()
+        .trace
+}
+
+fn assert_analyses_equal(
+    label: &str,
+    a: &UlcpAnalysis,
+    b: &UlcpAnalysis,
+) -> Result<(), TestCaseError> {
+    prop_assert!(a.sections == b.sections, "{label}: sections differ");
+    prop_assert!(a.ulcps == b.ulcps, "{label}: ulcps differ");
+    prop_assert!(a.edges == b.edges, "{label}: edges differ");
+    prop_assert!(a.breakdown == b.breakdown, "{label}: breakdown differs");
+    Ok(())
+}
+
+/// The report layer accepts the streaming analysis output unchanged: the
+/// whole downstream pipeline (transform, both replays, Equation 1, fusion,
+/// ranking) produces the identical report from either detector.
+#[test]
+fn report_pipeline_accepts_streaming_output_unchanged() {
+    let trace = record(
+        11,
+        &GeneratorConfig {
+            threads: 3,
+            locks: 2,
+            objects: 4,
+            sections_per_thread: 10,
+        },
+    );
+    let batch = Detector::default().analyze(&trace);
+    let streamed = StreamingDetector::default()
+        .analyze_trace(&trace, 64)
+        .unwrap()
+        .analysis;
+
+    let build_report = |analysis: &UlcpAnalysis| {
+        let transformed = Transformer::default().transform(&trace, analysis);
+        let original = Replayer::default()
+            .replay(&trace, ReplaySchedule::elsc())
+            .unwrap();
+        let free = UlcpFreeReplayer::default().replay(&transformed).unwrap();
+        PerfReport::build(&trace, analysis, &transformed, &original, &free)
+    };
+    let from_batch = build_report(&batch);
+    let from_stream = build_report(&streamed);
+    assert_eq!(from_batch.breakdown, from_stream.breakdown);
+    assert_eq!(from_batch.recommendations, from_stream.recommendations);
+    assert_eq!(from_batch.impact, from_stream.impact);
+    assert_eq!(from_batch.render(&trace), from_stream.render(&trace));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The streaming detector reproduces the in-memory engine (and, through
+    /// the existing equivalence, the naive snapshot-cloning reference)
+    /// bit-for-bit regardless of chunking.
+    #[test]
+    fn streaming_is_bit_identical_to_both_engines(
+        seed in 0u64..5_000,
+        gen in generator_config(),
+        config in detector_configs(),
+        chunk_events in 1usize..400,
+    ) {
+        let trace = record(seed, &gen);
+        let batch = Detector::new(config).analyze(&trace);
+        let naive = reference_analyze(&trace, config);
+        assert_analyses_equal("naive vs batch", &naive, &batch)?;
+
+        let streamed = StreamingDetector::new(config)
+            .analyze_trace(&trace, chunk_events)
+            .unwrap();
+        assert_analyses_equal("stream vs batch", &streamed.analysis, &batch)?;
+
+        // The resident-state accounting covers the whole stream.
+        prop_assert_eq!(streamed.stats.events, trace.num_events());
+        prop_assert_eq!(streamed.stats.sections, batch.sections.len());
+        prop_assert!(streamed.stats.peak_chunk_events <= trace.num_events());
+    }
+
+    /// Spilling to a chunked trace file and re-ingesting it — either
+    /// streamed directly into the detector or reassembled into a trace —
+    /// loses nothing.
+    #[test]
+    fn chunked_file_roundtrip_is_lossless(
+        seed in 0u64..5_000,
+        gen in generator_config(),
+        chunk_events in 1usize..200,
+    ) {
+        let trace = record(seed, &gen);
+        let path = std::env::temp_dir().join(format!(
+            "perfplay-eqv-{}-{}.jsonl",
+            std::process::id(),
+            seed,
+        ));
+        let summary = spill_trace(&trace, &path, chunk_events).unwrap();
+        prop_assert_eq!(summary.events as usize, trace.num_events());
+
+        // Reassembled trace is exactly the original.
+        let back = read_chunked_trace(&path).unwrap();
+        prop_assert_eq!(&back, &trace);
+
+        // Streaming the detector straight off the file matches the batch
+        // engine on the original trace.
+        let config = DetectorConfig {
+            max_scan_per_thread: Some(3),
+            ..DetectorConfig::default()
+        };
+        let batch = Detector::new(config).analyze(&trace);
+        let mut reader = ChunkFileReader::open(&path).unwrap();
+        let streamed = StreamingDetector::new(config).analyze(&mut reader).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_analyses_equal("file stream vs batch", &streamed.analysis, &batch)?;
+    }
+}
