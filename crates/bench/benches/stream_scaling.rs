@@ -1,15 +1,18 @@
-//! Criterion bench: streaming ingestion cost vs the in-memory detector, and
-//! the sensitivity of the streaming engine to chunk size.
+//! Criterion bench: streaming ingestion cost vs the in-memory detector, the
+//! sensitivity of the streaming engine to chunk size, and the cost of the
+//! aggregating sink relative to pair materialization.
 //!
 //! The streaming engine trades a constant per-event overhead (windowing, id
 //! assignment at chunk boundaries, pruned-history maintenance) for a
 //! resident-state bound that does not grow with the trace; this bench tracks
-//! that the overhead stays a small constant factor.
+//! that the overhead stays a small constant factor. The `aggregate` rows run
+//! the same stream into a `SiteAggregator` sink — per-pair work becomes a
+//! table fold instead of a `Vec` push, with O(code sites) output memory.
 //!
 //! Set `PERFPLAY_BENCH_FAST=1` for a CI-sized smoke run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use perfplay::prelude::{Detector, StreamingDetector};
+use perfplay::prelude::{BodyOverlapGain, Detector, SiteAggregator, StreamingDetector};
 use perfplay_bench::{detect_bench_config, stream_trace, StreamWorkload};
 
 fn bench_stream_scaling(c: &mut Criterion) {
@@ -68,6 +71,20 @@ fn bench_stream_scaling(c: &mut Criterion) {
                 },
             );
         }
+        group.bench_with_input(
+            BenchmarkId::new("aggregate_256k", &label),
+            &trace,
+            |b, t| {
+                b.iter(|| {
+                    StreamingDetector::new(config)
+                        .analyze_trace_with(t, 262_144, SiteAggregator::new(BodyOverlapGain))
+                        .expect("in-memory chunk stream never fails")
+                        .sink
+                        .finish()
+                        .len()
+                })
+            },
+        );
     }
     group.finish();
 }

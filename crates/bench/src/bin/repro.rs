@@ -12,6 +12,14 @@
 //!   `--quick`), verifies bit-identical results plus the chunked-file
 //!   spill/re-ingest roundtrip, reports the peak resident state, and writes
 //!   `BENCH_stream.json`.
+//! * `repro detect --aggregate [--quick] [--out PATH]` runs the sink
+//!   comparison on the same >=10M-event workload: the materializing
+//!   pair-list path (batch `CollectPairs` + per-pair fusion) vs the
+//!   streaming `SiteAggregator` path that folds each pair into a per-site
+//!   aggregate at emission time. It verifies the `UlcpBreakdown` and the
+//!   ranked report digests are identical, records the peak aggregate-table
+//!   size against the materialized pair count, and writes
+//!   `BENCH_aggregate.json`. Exits non-zero on any divergence.
 //! * `repro replay [--quick] [--out PATH]` runs the replay scaling
 //!   comparison: the naive scan-and-wake-all reference loop vs the unified
 //!   indexed-ready-set engine on 64/128/256-thread synthetic workloads,
@@ -26,14 +34,18 @@
 
 use std::time::Instant;
 
-use perfplay::prelude::{Detector, DetectorConfig, StreamingDetector, StreamingStats};
+use perfplay::prelude::{
+    fuse_aggregates, fuse_ulcp_gains, rank_groups, BodyOverlapGain, Detector, DetectorConfig,
+    GainSource, Recommendation, SectionCtx, SiteAggregator, StreamingDetector, StreamingStats,
+    UlcpGain,
+};
 use perfplay::prelude::{ReplayConfig, ReplayResult, ReplaySchedule, Replayer, UlcpFreeReplayer};
 use perfplay::workloads::{App, InputSize};
 use perfplay_bench::{
     analyze_app, detect_bench_config, detect_trace, ms, pct, replay_trace, stream_trace,
     DetectWorkload, ReplayWorkload, StreamWorkload,
 };
-use perfplay_detect::{reference_analyze, UlcpAnalysis};
+use perfplay_detect::{reference_analyze, LastWriteIndex, UlcpAnalysis};
 use perfplay_replay::{reference_replay_free, reference_replay_original};
 use serde::{Deserialize, Serialize};
 
@@ -57,6 +69,41 @@ struct BreakdownReport {
     tlcp_edges: usize,
 }
 
+impl From<&perfplay::prelude::UlcpBreakdown> for BreakdownReport {
+    fn from(b: &perfplay::prelude::UlcpBreakdown) -> Self {
+        BreakdownReport {
+            lock_acquisitions: b.lock_acquisitions,
+            null_lock: b.null_lock,
+            read_read: b.read_read,
+            disjoint_write: b.disjoint_write,
+            benign: b.benign,
+            tlcp_edges: b.tlcp_edges,
+        }
+    }
+}
+
+/// Peak resident detection state, reported under the same field names by
+/// every BENCH artifact (`detect`, `stream`, `aggregate`) so the memory
+/// trajectory is comparable across the engine generations: materialized
+/// pairs (or aggregate-table rows), live pairing-state sections, and
+/// retained shadow-memory history entries.
+#[derive(Debug, Clone, Copy, Serialize)]
+struct MemoryReport {
+    peak_live_pairs: usize,
+    peak_live_sections: usize,
+    peak_history_entries: usize,
+}
+
+impl MemoryReport {
+    fn from_streaming(stats: &StreamingStats) -> Self {
+        MemoryReport {
+            peak_live_pairs: stats.peak_live_pairs,
+            peak_live_sections: stats.peak_live_sections,
+            peak_history_entries: stats.peak_history_entries,
+        }
+    }
+}
+
 #[derive(Debug, Serialize)]
 struct DetectReport {
     workload: WorkloadReport,
@@ -67,6 +114,8 @@ struct DetectReport {
     speedup_seq: f64,
     speedup_par: f64,
     results_identical: bool,
+    /// Batch engines materialize everything, so the peaks are the totals.
+    memory: MemoryReport,
     breakdown: BreakdownReport,
 }
 
@@ -169,6 +218,9 @@ fn run_detect(quick: bool, out: &str) {
     );
     let (trace, record_ms) = time_ms(|| detect_trace(workload));
     eprintln!("recorded {} events in {record_ms:.0}ms", trace.num_events());
+    // Counted while only the trace is resident (the engines build and drop
+    // their own index internally; this probe is just for the memory report).
+    let history_entries = LastWriteIndex::build(&trace).num_entries();
 
     let config = detect_bench_config();
     let runs = if quick { 1 } else { 3 };
@@ -192,6 +244,11 @@ fn run_detect(quick: bool, out: &str) {
 
     let results_identical = naive_digest == seq_digest && seq_digest == par_digest;
 
+    let memory = MemoryReport {
+        peak_live_pairs: seq_digest.ulcps + seq_digest.edges,
+        peak_live_sections: workload.total_sections(),
+        peak_history_entries: history_entries,
+    };
     let report = DetectReport {
         workload: WorkloadReport {
             threads: workload.threads,
@@ -208,14 +265,8 @@ fn run_detect(quick: bool, out: &str) {
         speedup_seq: naive_ms / optimized_seq_ms,
         speedup_par: naive_ms / optimized_par_ms,
         results_identical,
-        breakdown: BreakdownReport {
-            lock_acquisitions: breakdown.lock_acquisitions,
-            null_lock: breakdown.null_lock,
-            read_read: breakdown.read_read,
-            disjoint_write: breakdown.disjoint_write,
-            benign: breakdown.benign,
-            tlcp_edges: breakdown.tlcp_edges,
-        },
+        memory,
+        breakdown: (&breakdown).into(),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(out, format!("{json}\n")).expect("write benchmark artifact");
@@ -263,6 +314,8 @@ struct StreamReport {
     /// Peak resident state of the streaming run; `peak_live_sections` /
     /// `total_sections` is the boundedness headline.
     streaming: StreamingStats,
+    /// The cross-artifact comparable view of the same peaks.
+    memory: MemoryReport,
     peak_live_fraction: f64,
     /// End-to-end spill + re-ingest through the chunked trace file, run on
     /// a CI-sized slice (JSON parsing cost keeps it out of the 10M run).
@@ -359,16 +412,10 @@ fn run_stream(quick: bool, out: &str) {
         stream_ms,
         results_identical,
         peak_live_fraction: stats.peak_live_sections as f64 / total_sections.max(1) as f64,
+        memory: MemoryReport::from_streaming(&stats),
         streaming: stats,
         file_roundtrip,
-        breakdown: BreakdownReport {
-            lock_acquisitions: breakdown.lock_acquisitions,
-            null_lock: breakdown.null_lock,
-            read_read: breakdown.read_read,
-            disjoint_write: breakdown.disjoint_write,
-            benign: breakdown.benign,
-            tlcp_edges: breakdown.tlcp_edges,
-        },
+        breakdown: (&breakdown).into(),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(out, format!("{json}\n")).expect("write benchmark artifact");
@@ -390,6 +437,179 @@ fn run_stream(quick: bool, out: &str) {
         total_sections,
         100.0 * report.peak_live_fraction,
         report.streaming.peak_chunk_events,
+    );
+}
+
+/// Content digest of a ranked recommendation list: an FNV-1a hash over every
+/// group's code regions, fused pair count, accumulated gain and opportunity
+/// bits. Equal digests mean the two report paths ranked identical groups.
+fn report_digest(recommendations: &[Recommendation]) -> u64 {
+    let mut hash = Fnv::new();
+    for rec in recommendations {
+        for site in rec.group.region_first.iter() {
+            hash.mix(u64::from(site.raw()));
+        }
+        for site in rec.group.region_second.iter() {
+            hash.mix(u64::from(site.raw()) | (1 << 32));
+        }
+        hash.mix(rec.group.dynamic_pairs as u64);
+        hash.mix(rec.group.gain_ns);
+        hash.mix(rec.opportunity.to_bits());
+    }
+    hash.0
+}
+
+#[derive(Debug, Serialize)]
+struct AggregateReport {
+    workload: StreamWorkloadReport,
+    chunk_events: usize,
+    record_ms: f64,
+    /// Materializing path: batch engine collecting every pair, then per-pair
+    /// fusion (`fuse_ulcps` over the full list).
+    pairs_ms: f64,
+    fuse_pairs_ms: f64,
+    /// Aggregating path: streaming engine folding pairs into the per-site
+    /// table at emission time, then seeding fusion from the table.
+    aggregate_ms: f64,
+    fuse_aggregate_ms: f64,
+    breakdown_identical: bool,
+    report_digest_identical: bool,
+    report_digest: String,
+    /// Materialized pairs the collecting path held resident.
+    materialized_pairs: usize,
+    /// Rows in the scan-time aggregate table (ULCP rows + edge rows).
+    aggregate_rows: usize,
+    /// `materialized_pairs / aggregate_rows`: how much output memory the
+    /// aggregating sink saves.
+    pair_reduction_factor: f64,
+    /// Fused code-region groups both report paths produced.
+    groups: usize,
+    /// Peak resident state of the aggregating streaming run.
+    memory: MemoryReport,
+    /// Peak resident state of the materializing batch run, for contrast.
+    memory_pairs: MemoryReport,
+    breakdown: BreakdownReport,
+}
+
+/// `repro detect --aggregate`: the sink comparison. Runs the materializing
+/// pair-list path (batch `CollectPairs`, per-pair fusion) and the streaming
+/// `SiteAggregator` path (pairs folded into per-site rows at emission time,
+/// fusion seeded from the table) on the same >=10M-event workload, verifies
+/// identical `UlcpBreakdown` and ranked-report digests, and writes
+/// `BENCH_aggregate.json` with the peak-memory comparison.
+fn run_aggregate(quick: bool, out: &str) {
+    let workload = if quick {
+        StreamWorkload::quick()
+    } else {
+        StreamWorkload::ten_million()
+    };
+    let chunk_events = if quick { 4_096 } else { 262_144 };
+    eprintln!(
+        "recording aggregation workload: {} threads, target {} events...",
+        workload.threads, workload.target_events
+    );
+    let (trace, record_ms) = time_ms(|| stream_trace(workload));
+    let trace_events = trace.num_events();
+    eprintln!("recorded {trace_events} events in {record_ms:.0}ms");
+    // Counted while only the trace is resident, not next to the pair list.
+    let history_entries = LastWriteIndex::build(&trace).num_entries();
+
+    let config = detect_bench_config();
+    let gain = BodyOverlapGain;
+
+    // Materializing path: every pair resident, then fused per pair. The
+    // gains stream through `fuse_ulcp_gains`, so no `Vec<UlcpGain>` is ever
+    // materialized next to the pair list.
+    let (analysis, pairs_ms) = time_ms(|| Detector::new(config).analyze(&trace));
+    eprintln!(
+        "pair path: {} pairs materialized in {pairs_ms:.0}ms",
+        analysis.ulcps.len()
+    );
+    let (pair_recommendations, fuse_pairs_ms) = time_ms(|| {
+        rank_groups(fuse_ulcp_gains(
+            &analysis,
+            analysis.ulcps.iter().map(|u| UlcpGain {
+                ulcp: *u,
+                gain_ns: gain.pair_gain_ns(
+                    u,
+                    &SectionCtx {
+                        first: analysis.section(u.first),
+                        second: analysis.section(u.second),
+                    },
+                ),
+            }),
+        ))
+    });
+    let pair_digest = report_digest(&pair_recommendations);
+    let materialized_pairs = analysis.ulcps.len() + analysis.edges.len();
+    let pair_breakdown = analysis.breakdown;
+    let memory_pairs = MemoryReport {
+        peak_live_pairs: materialized_pairs,
+        peak_live_sections: analysis.sections.len(),
+        peak_history_entries: history_entries,
+    };
+    drop(pair_recommendations);
+    drop(analysis);
+
+    // Aggregating path: the streaming engine folds each pair into the
+    // per-site table the moment it is classified; nothing pair-shaped
+    // survives the scan.
+    let (aggregated, aggregate_ms) = time_ms(|| {
+        StreamingDetector::new(config)
+            .analyze_trace_with(&trace, chunk_events, SiteAggregator::new(gain))
+            .expect("in-memory chunk stream never fails")
+    });
+    let aggregates = aggregated.sink.finish();
+    let (agg_recommendations, fuse_aggregate_ms) =
+        time_ms(|| rank_groups(fuse_aggregates(&aggregates)));
+    let agg_digest = report_digest(&agg_recommendations);
+
+    let breakdown_identical = pair_breakdown == aggregated.breakdown;
+    let report_digest_identical = pair_digest == agg_digest;
+    let aggregate_rows = aggregates.len();
+    let breakdown = aggregated.breakdown;
+    let report = AggregateReport {
+        workload: StreamWorkloadReport {
+            threads: workload.threads,
+            locks: workload.locks,
+            objects: workload.objects,
+            target_events: workload.target_events,
+            trace_events,
+            total_sections: aggregated.stats.sections,
+        },
+        chunk_events,
+        record_ms,
+        pairs_ms,
+        fuse_pairs_ms,
+        aggregate_ms,
+        fuse_aggregate_ms,
+        breakdown_identical,
+        report_digest_identical,
+        report_digest: format!("{agg_digest:016x}"),
+        materialized_pairs,
+        aggregate_rows,
+        pair_reduction_factor: materialized_pairs as f64 / aggregate_rows.max(1) as f64,
+        groups: agg_recommendations.len(),
+        memory: MemoryReport::from_streaming(&aggregated.stats),
+        memory_pairs,
+        breakdown: (&breakdown).into(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(out, format!("{json}\n")).expect("write benchmark artifact");
+    println!("{json}");
+    // Assert only after the artifact is on disk, so a divergence leaves a
+    // machine-readable record instead of nothing.
+    assert!(
+        report.breakdown_identical,
+        "aggregate path breakdown diverged from the pair path:\npairs: {pair_breakdown:?}\nagg:   {breakdown:?}"
+    );
+    assert!(
+        report.report_digest_identical,
+        "aggregate report digest {agg_digest:016x} diverged from pair-path digest {pair_digest:016x}"
+    );
+    eprintln!(
+        "aggregation over {} pairs: {} table rows ({:.0}x smaller), digests identical -> {out}",
+        report.materialized_pairs, report.aggregate_rows, report.pair_reduction_factor
     );
 }
 
@@ -685,6 +905,7 @@ fn main() {
     let mut command: Option<String> = None;
     let mut quick = false;
     let mut stream = false;
+    let mut aggregate = false;
     let mut out: Option<String> = None;
     let mut replay_artifact: Option<String> = None;
     let mut iter = args.iter();
@@ -692,6 +913,7 @@ fn main() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--stream" => stream = true,
+            "--aggregate" => aggregate = true,
             "--out" => match iter.next() {
                 Some(path) => out = Some(path.clone()),
                 None => {
@@ -720,6 +942,13 @@ fn main() {
         }
     }
     match command.as_deref() {
+        Some("detect") | None if stream && aggregate => {
+            eprintln!("--stream and --aggregate are mutually exclusive");
+            std::process::exit(2);
+        }
+        Some("detect") | None if aggregate => {
+            run_aggregate(quick, out.as_deref().unwrap_or("BENCH_aggregate.json"));
+        }
         Some("detect") | None if stream => {
             run_stream(quick, out.as_deref().unwrap_or("BENCH_stream.json"));
         }

@@ -48,8 +48,10 @@ use perfplay_transform::{TransformConfig, TransformedTrace, Transformer};
 /// Convenience re-exports of the building-block crates.
 pub mod prelude {
     pub use perfplay_detect::{
-        Detector, DetectorConfig, StreamingAnalysis, StreamingDetector, StreamingStats, Ulcp,
-        UlcpAnalysis, UlcpBreakdown, UlcpKind,
+        BodyOverlapGain, CollectPairs, Detector, DetectorConfig, GainSource, NoGain, SectionCtx,
+        SinkAnalysis, SiteAggregates, SiteAggregator, StreamingAnalysis, StreamingDetector,
+        StreamingSinkAnalysis, StreamingStats, Ulcp, UlcpAnalysis, UlcpBreakdown, UlcpKind,
+        UlcpSink,
     };
     pub use perfplay_program::{Program, ProgramBuilder};
     pub use perfplay_record::{
@@ -59,7 +61,10 @@ pub mod prelude {
         measure_fidelity, FidelityReport, ReplayConfig, ReplayResult, ReplaySchedule, Replayer,
         ScheduleKind, UlcpFreeReplayer,
     };
-    pub use perfplay_report::{GroupedUlcp, PerfReport, Recommendation};
+    pub use perfplay_report::{
+        fuse_aggregates, fuse_ulcp_gains, fuse_ulcps, rank_groups, GroupedUlcp, PerfReport,
+        Recommendation, ReplayGains, UlcpGain,
+    };
     pub use perfplay_sim::{ExecutionResult, Executor, SimConfig};
     pub use perfplay_trace::{ChunkFileReader, EventSource, TraceChunk, TraceChunks};
     pub use perfplay_trace::{Time, Trace, TraceStats};

@@ -24,6 +24,13 @@
 //! chunked event stream (`perfplay_trace::EventSource`) and produces the
 //! same [`UlcpAnalysis`] bit-for-bit while keeping only bounded incremental
 //! state resident.
+//!
+//! Every engine emits its classified pairs through a [`UlcpSink`]. The
+//! default [`CollectPairs`] sink materializes the historical pair list;
+//! [`SiteAggregator`] instead folds each pair into a per-(code-site,
+//! code-site, kind) aggregate at emission time, so dense traces (tens of
+//! millions of pairs) can be analyzed with output memory proportional to the
+//! number of *code sites*, which is what the report layer groups by anyway.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,11 +40,16 @@ mod kinds;
 mod pairing;
 mod reference;
 mod shadow;
+mod sink;
 mod streaming;
 
 pub use classify::{classify_by_sets, classify_pair, refine_conflicting_pair};
 pub use kinds::{PairClass, UlcpKind};
 pub use pairing::{CausalEdge, Detector, DetectorConfig, Ulcp, UlcpAnalysis, UlcpBreakdown};
-pub use reference::reference_analyze;
+pub use reference::{reference_analyze, reference_analyze_with};
 pub use shadow::{LastWriteIndex, MemorySnapshot, StartState, StateBefore};
-pub use streaming::{StreamingAnalysis, StreamingDetector, StreamingStats};
+pub use sink::{
+    BodyOverlapGain, CollectPairs, EdgeAggregate, GainSource, NoGain, SectionCtx, SinkAnalysis,
+    SiteAggregate, SiteAggregates, SiteAggregator, UlcpSink,
+};
+pub use streaming::{StreamingAnalysis, StreamingDetector, StreamingSinkAnalysis, StreamingStats};

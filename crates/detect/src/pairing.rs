@@ -27,6 +27,7 @@ use serde::{Deserialize, Serialize};
 use crate::classify::classify_pair;
 use crate::kinds::{PairClass, UlcpKind};
 use crate::shadow::LastWriteIndex;
+use crate::sink::{CollectPairs, SectionCtx, SinkAnalysis, UlcpSink};
 
 /// One unnecessary lock contention pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -168,14 +169,6 @@ impl UlcpAnalysis {
     }
 }
 
-/// ULCPs, causal edges and counts found under a single lock.
-#[derive(Debug, Clone, Default)]
-struct LockOutcome {
-    ulcps: Vec<Ulcp>,
-    edges: Vec<CausalEdge>,
-    breakdown: UlcpBreakdown,
-}
-
 /// PerfPlay's ULCP identification stage.
 #[derive(Debug, Clone, Default)]
 pub struct Detector {
@@ -188,8 +181,37 @@ impl Detector {
         Detector { config }
     }
 
-    /// Identifies all ULCPs and causal edges in a recorded trace.
+    /// Identifies all ULCPs and causal edges in a recorded trace,
+    /// materializing every pair. Equivalent to
+    /// [`analyze_with`](Self::analyze_with) into a
+    /// [`CollectPairs`](crate::CollectPairs) sink.
     pub fn analyze(&self, trace: &Trace) -> UlcpAnalysis {
+        let SinkAnalysis {
+            sections,
+            breakdown,
+            sink,
+        } = self.analyze_with(trace, CollectPairs::default());
+        UlcpAnalysis {
+            sections,
+            ulcps: sink.ulcps,
+            edges: sink.edges,
+            breakdown,
+        }
+    }
+
+    /// Identifies all ULCPs and causal edges in a recorded trace, emitting
+    /// every pair through the caller's sink.
+    ///
+    /// The sink must be `Send + Sync` because `DetectorConfig::parallel`
+    /// forks one shard per lock across worker threads; shards are absorbed
+    /// back in ascending lock order, so an order-preserving sink sees the
+    /// exact sequential emission order and the output is bit-identical to
+    /// the sequential path.
+    pub fn analyze_with<S: UlcpSink + Send + Sync>(
+        &self,
+        trace: &Trace,
+        mut sink: S,
+    ) -> SinkAnalysis<S> {
         let sections = extract_critical_sections(trace);
         // The index only feeds the reversed-replay benign check; in the
         // ablation mode (`use_reversed_replay: false`) no state is ever
@@ -202,37 +224,36 @@ impl Detector {
         let by_lock = sections_by_lock(&sections);
         let locks: Vec<(LockId, Vec<&CriticalSection>)> = by_lock.into_iter().collect();
 
-        let outcomes = if self.config.parallel && locks.len() > 1 {
-            self.analyze_locks_parallel(&locks, &index)
-        } else {
-            locks
-                .iter()
-                .map(|(lock, lock_sections)| {
-                    analyze_lock(*lock, lock_sections, &index, self.config)
-                })
-                .collect()
-        };
-
-        let mut ulcps = Vec::new();
-        let mut edges = Vec::new();
         let mut breakdown = UlcpBreakdown {
             lock_acquisitions: trace.num_acquisitions(),
             ..UlcpBreakdown::default()
         };
-        // Ascending lock order (BTreeMap order preserved in `locks`); within
-        // a lock the search order itself is deterministic, so the merged
-        // output matches the sequential path exactly.
-        for outcome in outcomes {
-            ulcps.extend(outcome.ulcps);
-            edges.extend(outcome.edges);
-            breakdown.merge_pair_counts(&outcome.breakdown);
+        if self.config.parallel && locks.len() > 1 {
+            // Ascending lock order (BTreeMap order preserved in `locks`);
+            // within a lock the search order itself is deterministic, so the
+            // absorbed output matches the sequential path exactly.
+            for (shard, shard_breakdown) in self.analyze_locks_parallel(&locks, &index, &sink) {
+                sink.absorb(shard);
+                breakdown.merge_pair_counts(&shard_breakdown);
+            }
+        } else {
+            for (lock, lock_sections) in &locks {
+                analyze_lock_into(
+                    *lock,
+                    lock_sections,
+                    &index,
+                    self.config,
+                    &mut sink,
+                    &mut breakdown,
+                );
+            }
         }
+        sink.seal(&sections);
 
-        UlcpAnalysis {
+        SinkAnalysis {
             sections,
-            ulcps,
-            edges,
             breakdown,
+            sink,
         }
     }
 
@@ -241,20 +262,21 @@ impl Detector {
     /// mutex often dominates), so workers pop the next lock instead of being
     /// handed a fixed chunk — a hot lock occupies one worker while the rest
     /// drain the remainder. Each index is processed exactly once, so sorting
-    /// the collected `(index, outcome)` pairs restores the deterministic
+    /// the collected `(index, shard)` pairs restores the deterministic
     /// ascending-lock order.
-    fn analyze_locks_parallel(
+    fn analyze_locks_parallel<S: UlcpSink + Send + Sync>(
         &self,
         locks: &[(LockId, Vec<&CriticalSection>)],
         index: &LastWriteIndex,
-    ) -> Vec<LockOutcome> {
+        sink: &S,
+    ) -> Vec<(S, UlcpBreakdown)> {
         let workers = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1)
             .min(locks.len());
         let next = AtomicUsize::new(0);
         let config = self.config;
-        let mut collected: Vec<(usize, LockOutcome)> = std::thread::scope(|scope| {
+        let mut collected: Vec<(usize, S, UlcpBreakdown)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
@@ -264,7 +286,17 @@ impl Detector {
                             let Some((lock, lock_sections)) = locks.get(i) else {
                                 break;
                             };
-                            local.push((i, analyze_lock(*lock, lock_sections, index, config)));
+                            let mut shard = sink.fork();
+                            let mut shard_breakdown = UlcpBreakdown::default();
+                            analyze_lock_into(
+                                *lock,
+                                lock_sections,
+                                index,
+                                config,
+                                &mut shard,
+                                &mut shard_breakdown,
+                            );
+                            local.push((i, shard, shard_breakdown));
                         }
                         local
                     })
@@ -276,18 +308,23 @@ impl Detector {
                 .collect()
         });
         collected.sort_unstable_by_key(|entry| entry.0);
-        collected.into_iter().map(|(_, outcome)| outcome).collect()
+        collected
+            .into_iter()
+            .map(|(_, shard, breakdown)| (shard, breakdown))
+            .collect()
     }
 }
 
-/// Runs the sequential-search pairing for one lock's critical sections.
-fn analyze_lock(
+/// Runs the sequential-search pairing for one lock's critical sections,
+/// emitting every classified pair into the sink.
+fn analyze_lock_into<S: UlcpSink>(
     lock: LockId,
     lock_sections: &[&CriticalSection],
     index: &LastWriteIndex,
     config: DetectorConfig,
-) -> LockOutcome {
-    let mut outcome = LockOutcome::default();
+    sink: &mut S,
+    breakdown: &mut UlcpBreakdown,
+) {
     // Per-thread lists, preserving timing order.
     let mut per_thread: BTreeMap<_, Vec<&CriticalSection>> = BTreeMap::new();
     for s in lock_sections {
@@ -324,30 +361,39 @@ fn analyze_lock(
                     config.use_reversed_replay,
                 );
                 scanned += 1;
+                let ctx = SectionCtx {
+                    first: current,
+                    second: candidate,
+                };
                 match class {
                     PairClass::Tlcp => {
-                        outcome.edges.push(CausalEdge {
-                            from: current.id,
-                            to: candidate.id,
-                            lock,
-                        });
-                        outcome.breakdown.tlcp_edges += 1;
+                        sink.emit_edge(
+                            CausalEdge {
+                                from: current.id,
+                                to: candidate.id,
+                                lock,
+                            },
+                            &ctx,
+                        );
+                        breakdown.tlcp_edges += 1;
                         break;
                     }
                     PairClass::Ulcp(kind) => {
-                        outcome.breakdown.add(kind);
-                        outcome.ulcps.push(Ulcp {
-                            first: current.id,
-                            second: candidate.id,
-                            lock,
-                            kind,
-                        });
+                        breakdown.add(kind);
+                        sink.emit(
+                            Ulcp {
+                                first: current.id,
+                                second: candidate.id,
+                                lock,
+                                kind,
+                            },
+                            &ctx,
+                        );
                     }
                 }
             }
         }
     }
-    outcome
 }
 
 #[cfg(test)]

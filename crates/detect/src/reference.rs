@@ -18,18 +18,38 @@ use perfplay_trace::{
 use crate::kinds::{PairClass, UlcpKind};
 use crate::pairing::{CausalEdge, DetectorConfig, Ulcp, UlcpAnalysis, UlcpBreakdown};
 use crate::shadow::MemorySnapshot;
+use crate::sink::{CollectPairs, SectionCtx, SinkAnalysis, UlcpSink};
 
 /// Runs ULCP identification with the naive snapshot-per-section strategy.
 ///
 /// Honors `use_reversed_replay` and `max_scan_per_thread` from the config;
 /// the `parallel` flag is ignored (the reference is always sequential).
 pub fn reference_analyze(trace: &Trace, config: DetectorConfig) -> UlcpAnalysis {
+    let SinkAnalysis {
+        sections,
+        breakdown,
+        sink,
+    } = reference_analyze_with(trace, config, CollectPairs::default());
+    UlcpAnalysis {
+        sections,
+        ulcps: sink.ulcps,
+        edges: sink.edges,
+        breakdown,
+    }
+}
+
+/// [`reference_analyze`] emitting through a caller-supplied sink — the
+/// executable specification of the sink emission contract the optimized
+/// engines must reproduce.
+pub fn reference_analyze_with<S: UlcpSink>(
+    trace: &Trace,
+    config: DetectorConfig,
+    mut sink: S,
+) -> SinkAnalysis<S> {
     let sections = extract_critical_sections(trace);
     let snapshots = per_section_snapshots(trace, &sections);
     let by_lock = sections_by_lock(&sections);
 
-    let mut ulcps = Vec::new();
-    let mut edges = Vec::new();
     let mut breakdown = UlcpBreakdown {
         lock_acquisitions: trace.num_acquisitions(),
         ..UlcpBreakdown::default()
@@ -59,36 +79,46 @@ pub fn reference_analyze(trace: &Trace, config: DetectorConfig) -> UlcpAnalysis 
                         config.use_reversed_replay,
                     );
                     scanned += 1;
+                    let ctx = SectionCtx {
+                        first: current,
+                        second: candidate,
+                    };
                     match class {
                         PairClass::Tlcp => {
-                            edges.push(CausalEdge {
-                                from: current.id,
-                                to: candidate.id,
-                                lock: *lock,
-                            });
+                            sink.emit_edge(
+                                CausalEdge {
+                                    from: current.id,
+                                    to: candidate.id,
+                                    lock: *lock,
+                                },
+                                &ctx,
+                            );
                             breakdown.tlcp_edges += 1;
                             break;
                         }
                         PairClass::Ulcp(kind) => {
                             breakdown.add(kind);
-                            ulcps.push(Ulcp {
-                                first: current.id,
-                                second: candidate.id,
-                                lock: *lock,
-                                kind,
-                            });
+                            sink.emit(
+                                Ulcp {
+                                    first: current.id,
+                                    second: candidate.id,
+                                    lock: *lock,
+                                    kind,
+                                },
+                                &ctx,
+                            );
                         }
                     }
                 }
             }
         }
     }
+    sink.seal(&sections);
 
-    UlcpAnalysis {
+    SinkAnalysis {
         sections,
-        ulcps,
-        edges,
         breakdown,
+        sink,
     }
 }
 

@@ -103,6 +103,16 @@ impl LastWriteIndex {
         }
     }
 
+    /// Number of retained history entries: one per recorded write plus one
+    /// per first-read anchor. The batch engines' counterpart of the
+    /// streaming detector's `peak_history_entries` accounting.
+    pub fn num_entries(&self) -> usize {
+        self.objects
+            .values()
+            .map(|h| h.writes.len() + usize::from(h.first_read.is_some()))
+            .sum()
+    }
+
     /// Like [`value_before`](Self::value_before), but falling back to the
     /// first value the object is *ever* observed with (even later than `at`)
     /// — the best available guess for objects the trace has not touched yet.

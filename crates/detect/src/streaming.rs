@@ -41,6 +41,7 @@ use crate::classify::classify_pair;
 use crate::kinds::PairClass;
 use crate::pairing::{CausalEdge, DetectorConfig, Ulcp, UlcpAnalysis, UlcpBreakdown};
 use crate::shadow::StartState;
+use crate::sink::{CollectPairs, SectionCtx, UlcpSink};
 
 /// Peak-resident-state accounting of one streaming run: the evidence that
 /// memory stayed bounded instead of growing with the event count.
@@ -59,6 +60,10 @@ pub struct StreamingStats {
     pub peak_live_sections: usize,
     /// Peak number of retained write-log entries in the pruned history.
     pub peak_history_entries: usize,
+    /// Peak number of entries the output sink held resident — individual
+    /// pairs for a collecting sink, aggregate-table rows for an aggregating
+    /// one. The field all BENCH artifacts report peak pair memory under.
+    pub peak_live_pairs: usize,
     /// Sections whose pairing state was retired before the stream ended.
     pub retired_before_end: usize,
 }
@@ -69,6 +74,21 @@ pub struct StreamingStats {
 pub struct StreamingAnalysis {
     /// The ULCP analysis.
     pub analysis: UlcpAnalysis,
+    /// Resident-state statistics of the run.
+    pub stats: StreamingStats,
+}
+
+/// The output of a streaming run into a caller-supplied sink: sections and
+/// breakdown (maintained by the engine), the sink, and the resident-state
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct StreamingSinkAnalysis<S> {
+    /// Every closed critical section, indexed by `SectionId::index`.
+    pub sections: Vec<CriticalSection>,
+    /// Per-category pair counts.
+    pub breakdown: UlcpBreakdown,
+    /// The sink, sealed in the canonical batch-engine order.
+    pub sink: S,
     /// Resident-state statistics of the run.
     pub stats: StreamingStats,
 }
@@ -227,7 +247,7 @@ pub struct StreamingDetector {
     config: DetectorConfig,
 }
 
-struct Engine {
+struct Engine<S: UlcpSink> {
     config: DetectorConfig,
     num_threads: usize,
     threads: Vec<ThreadState>,
@@ -236,8 +256,7 @@ struct Engine {
     closed: Vec<bool>,
     history: StreamingHistory,
     locks: BTreeMap<LockId, LockState>,
-    ulcps: Vec<Ulcp>,
-    edges: Vec<CausalEdge>,
+    sink: S,
     breakdown: UlcpBreakdown,
     stats: StreamingStats,
     prev_window_end: Option<Time>,
@@ -262,11 +281,36 @@ impl StreamingDetector {
     ///
     /// Propagates source errors and rejects streams that violate the chunk
     /// contract or per-thread timestamp monotonicity.
-    pub fn analyze<S: EventSource>(
+    pub fn analyze<Src: EventSource>(
         &self,
-        source: &mut S,
+        source: &mut Src,
     ) -> Result<StreamingAnalysis, StreamError> {
-        let mut engine = Engine::new(self.config, source.num_threads());
+        let result = self.analyze_with(source, CollectPairs::default())?;
+        Ok(StreamingAnalysis {
+            analysis: UlcpAnalysis {
+                sections: result.sections,
+                ulcps: result.sink.ulcps,
+                edges: result.sink.edges,
+                breakdown: result.breakdown,
+            },
+            stats: result.stats,
+        })
+    }
+
+    /// Consumes the source to exhaustion, emitting every classified pair
+    /// through the caller's sink. With an aggregating sink the resident
+    /// state — pairing cursors, pruned history *and* output — stays bounded
+    /// by the chunk size and the code-site count, never by the pair count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`analyze`](Self::analyze).
+    pub fn analyze_with<Src: EventSource, S: UlcpSink>(
+        &self,
+        source: &mut Src,
+        sink: S,
+    ) -> Result<StreamingSinkAnalysis<S>, StreamError> {
+        let mut engine = Engine::new(self.config, source.num_threads(), sink);
         while let Some(chunk) = source.next_chunk()? {
             engine.ingest(chunk)?;
         }
@@ -286,10 +330,25 @@ impl StreamingDetector {
     ) -> Result<StreamingAnalysis, StreamError> {
         self.analyze(&mut TraceChunks::new(trace, chunk_events))
     }
+
+    /// Convenience wrapper: [`analyze_with`](Self::analyze_with) over a
+    /// [`TraceChunks`] adapter with the given chunk size.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`analyze`](Self::analyze).
+    pub fn analyze_trace_with<S: UlcpSink>(
+        &self,
+        trace: &Trace,
+        chunk_events: usize,
+        sink: S,
+    ) -> Result<StreamingSinkAnalysis<S>, StreamError> {
+        self.analyze_with(&mut TraceChunks::new(trace, chunk_events), sink)
+    }
 }
 
-impl Engine {
-    fn new(config: DetectorConfig, num_threads: usize) -> Self {
+impl<S: UlcpSink> Engine<S> {
+    fn new(config: DetectorConfig, num_threads: usize, sink: S) -> Self {
         Engine {
             config,
             num_threads,
@@ -298,8 +357,7 @@ impl Engine {
             closed: Vec::new(),
             history: StreamingHistory::default(),
             locks: BTreeMap::new(),
-            ulcps: Vec::new(),
-            edges: Vec::new(),
+            sink,
             breakdown: UlcpBreakdown::default(),
             stats: StreamingStats::default(),
             prev_window_end: None,
@@ -502,6 +560,7 @@ impl Engine {
 
         self.stats.peak_live_sections = self.stats.peak_live_sections.max(self.live_sections);
         self.stats.peak_history_entries = self.stats.peak_history_entries.max(self.history.entries);
+        self.stats.peak_live_pairs = self.stats.peak_live_pairs.max(self.sink.resident_entries());
         self.prev_window_end = Some(chunk.window_end);
         Ok(())
     }
@@ -594,8 +653,7 @@ impl Engine {
             sections,
             history,
             locks,
-            ulcps,
-            edges,
+            sink: out,
             breakdown,
             stats,
             live_sections,
@@ -605,13 +663,12 @@ impl Engine {
         let num_threads = *num_threads;
         let sections: &[CriticalSection] = sections;
         let history: &StreamingHistory = history;
-        let mut sink = PairSink {
+        let mut sink = PairEmitter {
             config: *config,
             lock,
             sections,
             history,
-            ulcps,
-            edges,
+            out,
             breakdown,
         };
         let lock_state = locks.get_mut(&lock).expect("lock state exists");
@@ -786,7 +843,7 @@ impl Engine {
         self.history.prune(horizon);
     }
 
-    fn finish(mut self) -> Result<StreamingAnalysis, StreamError> {
+    fn finish(mut self) -> Result<StreamingSinkAnalysis<S>, StreamError> {
         self.ending = true;
         // Flush sections still awaiting delivery: their same-(lock, thread)
         // predecessors in the creation queues never closed, so those
@@ -811,30 +868,27 @@ impl Engine {
         }
         self.retire_and_prune(Time::MAX, true);
         self.stats.peak_live_sections = self.stats.peak_live_sections.max(self.live_sections);
+        self.stats.peak_live_pairs = self.stats.peak_live_pairs.max(self.sink.resident_entries());
 
         // Drop sections that never closed: the batch extractor only emits
-        // completed sections, so ids must be compacted to match.
+        // completed sections, so ids must be compacted to match (the sink's
+        // remap hook renumbers whatever pair ids it retained).
         if self.closed.iter().any(|c| !c) {
             self.compact_unclosed();
         }
 
-        // The batch engine emits pairs grouped by ascending lock, then by
+        // The batch engines emit pairs grouped by ascending lock, then by
         // the first section's timing index, then by the candidate thread,
-        // then by the candidate's timing index. Reproduce that order.
+        // then by the candidate's timing index; this engine emits in
+        // delivery order. Sealing lets order-preserving sinks reproduce the
+        // canonical order.
         let sections = std::mem::take(&mut self.sections);
-        self.ulcps.sort_unstable_by_key(|u| {
-            (u.lock, u.first, sections[u.second.index()].thread, u.second)
-        });
-        self.edges
-            .sort_unstable_by_key(|e| (e.lock, e.from, sections[e.to.index()].thread, e.to));
+        self.sink.seal(&sections);
 
-        Ok(StreamingAnalysis {
-            analysis: UlcpAnalysis {
-                sections,
-                ulcps: self.ulcps,
-                edges: self.edges,
-                breakdown: self.breakdown,
-            },
+        Ok(StreamingSinkAnalysis {
+            sections,
+            breakdown: self.breakdown,
+            sink: self.sink,
             stats: self.stats,
         })
     }
@@ -857,42 +911,38 @@ impl Engine {
         for s in &mut self.sections {
             s.id = remap[s.id.index()].expect("kept section has a mapping");
         }
-        for u in &mut self.ulcps {
-            u.first = remap[u.first.index()].expect("paired section closed");
-            u.second = remap[u.second.index()].expect("paired section closed");
-        }
-        for e in &mut self.edges {
-            e.from = remap[e.from.index()].expect("edge section closed");
-            e.to = remap[e.to.index()].expect("edge section closed");
-        }
+        self.sink.remap_sections(&remap);
         self.closed.retain(|&c| c);
     }
 }
 
-/// The classification context and result sinks of one delivery: borrows the
-/// immutable inputs (sections, pruned history) and the output vectors once,
-/// so each pair costs one `classify_pair` plus direct pushes.
-struct PairSink<'a> {
+/// The classification context of one delivery: borrows the immutable inputs
+/// (sections, pruned history) and the output sink once, so each pair costs
+/// one `classify_pair` plus one sink emission.
+struct PairEmitter<'a, S: UlcpSink> {
     config: DetectorConfig,
     lock: LockId,
     sections: &'a [CriticalSection],
     history: &'a StreamingHistory,
-    ulcps: &'a mut Vec<Ulcp>,
-    edges: &'a mut Vec<CausalEdge>,
+    out: &'a mut S,
     breakdown: &'a mut UlcpBreakdown,
 }
 
-impl PairSink<'_> {
+impl<S: UlcpSink> PairEmitter<'_, S> {
     /// Classifies one `(first, second)` pair exactly as the batch engine
-    /// does, records the outcome, and updates the search's cap/TLCP state.
+    /// does, emits the outcome, and updates the search's cap/TLCP state.
     fn classify(&mut self, first: SectionId, second: SectionId, search: &mut Search) {
         let state = StreamStateBefore {
             history: self.history,
             at: self.sections[first.index()].enter_time,
         };
+        let ctx = SectionCtx {
+            first: &self.sections[first.index()],
+            second: &self.sections[second.index()],
+        };
         let class = classify_pair(
-            &self.sections[first.index()],
-            &self.sections[second.index()],
+            ctx.first,
+            ctx.second,
             &state,
             self.config.use_reversed_replay,
         );
@@ -907,21 +957,27 @@ impl PairSink<'_> {
         match class {
             PairClass::Tlcp => {
                 search.done = true;
-                self.edges.push(CausalEdge {
-                    from: first,
-                    to: second,
-                    lock: self.lock,
-                });
+                self.out.emit_edge(
+                    CausalEdge {
+                        from: first,
+                        to: second,
+                        lock: self.lock,
+                    },
+                    &ctx,
+                );
                 self.breakdown.tlcp_edges += 1;
             }
             PairClass::Ulcp(kind) => {
                 self.breakdown.add(kind);
-                self.ulcps.push(Ulcp {
-                    first,
-                    second,
-                    lock: self.lock,
-                    kind,
-                });
+                self.out.emit(
+                    Ulcp {
+                        first,
+                        second,
+                        lock: self.lock,
+                        kind,
+                    },
+                    &ctx,
+                );
             }
         }
     }
@@ -1128,7 +1184,11 @@ mod tests {
         // Duplicate the first chunk: base indices no longer line up.
         let mut source = TraceChunks::new(&trace, 8);
         let first = source.next_chunk().unwrap().unwrap();
-        let mut engine = Engine::new(DetectorConfig::default(), trace.num_threads());
+        let mut engine = Engine::new(
+            DetectorConfig::default(),
+            trace.num_threads(),
+            CollectPairs::default(),
+        );
         engine.ingest(first.clone()).unwrap();
         let err = engine.ingest(first).unwrap_err();
         assert!(matches!(err, StreamError::Format(_)));

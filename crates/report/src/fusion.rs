@@ -7,7 +7,7 @@
 //! the report can point the programmer at the *code region* with the highest
 //! optimization opportunity.
 
-use perfplay_detect::UlcpAnalysis;
+use perfplay_detect::{SiteAggregates, UlcpAnalysis};
 use perfplay_trace::CodeRegion;
 use serde::{Deserialize, Serialize};
 
@@ -52,9 +52,10 @@ impl GroupedUlcp {
         GroupedUlcp {
             region_first: first,
             region_second: second,
-            dynamic_pairs: self.dynamic_pairs + other.dynamic_pairs,
-            // Saturate: on large fused traces the accumulated gain can
-            // exceed u64::MAX, which would panic in debug / wrap in release.
+            // Saturate both accumulators: on large fused traces the counts
+            // and gains can exceed the integer range, which would panic in
+            // debug / wrap in release.
+            dynamic_pairs: self.dynamic_pairs.saturating_add(other.dynamic_pairs),
             gain_ns: self.gain_ns.saturating_add(other.gain_ns),
         }
     }
@@ -75,6 +76,15 @@ pub struct Recommendation {
 /// Gains are clamped at zero before accumulation, matching the paper's use of
 /// the metric as an optimization opportunity.
 pub fn fuse_ulcps(analysis: &UlcpAnalysis, gains: &[UlcpGain]) -> Vec<GroupedUlcp> {
+    fuse_ulcp_gains(analysis, gains.iter().copied())
+}
+
+/// [`fuse_ulcps`] over a streamed gain sequence, so huge pair lists can be
+/// fused without ever materializing a `Vec<UlcpGain>` next to them.
+pub fn fuse_ulcp_gains(
+    analysis: &UlcpAnalysis,
+    gains: impl IntoIterator<Item = UlcpGain>,
+) -> Vec<GroupedUlcp> {
     // Seed one group per dynamic ULCP, keyed by its two code sites. Grouping
     // identical site pairs first keeps the fixpoint loop small.
     let mut seeds: std::collections::BTreeMap<(u32, u32), GroupedUlcp> =
@@ -87,21 +97,52 @@ pub fn fuse_ulcps(analysis: &UlcpAnalysis, gains: &[UlcpGain]) -> Vec<GroupedUlc
         } else {
             (second_site.raw(), first_site.raw())
         };
-        let entry = seeds.entry(key).or_insert_with(|| GroupedUlcp {
-            region_first: CodeRegion::single(perfplay_trace::CodeSiteId::new(key.0)),
-            region_second: CodeRegion::single(perfplay_trace::CodeSiteId::new(key.1)),
-            dynamic_pairs: 0,
-            gain_ns: 0,
-        });
-        entry.dynamic_pairs += 1;
+        let entry = seeds.entry(key).or_insert_with(|| seed_group(key));
+        entry.dynamic_pairs = entry.dynamic_pairs.saturating_add(1);
         // Saturating: the clamped gains are non-negative, so a saturating
         // sum is order-independent — and overflow on huge traces degrades to
         // "maximal opportunity" instead of a panic or a wrapped small gain.
         entry.gain_ns = entry.gain_ns.saturating_add(gain.clamped());
     }
+    fixpoint_fuse(seeds.into_values().collect())
+}
 
-    // Fixpoint fusion over the seeded groups.
-    let mut groups: Vec<GroupedUlcp> = seeds.into_values().collect();
+/// Builds the Algorithm 2 groups straight from scan-time
+/// [`SiteAggregates`] — the aggregating sink's rows *are* the fusion seeds
+/// (same unordered site-pair key, same saturating accumulation), so this
+/// skips the per-pair re-grouping pass entirely and produces the identical
+/// groups the pair-list path would.
+pub fn fuse_aggregates(aggregates: &SiteAggregates) -> Vec<GroupedUlcp> {
+    let mut seeds: std::collections::BTreeMap<(u32, u32), GroupedUlcp> =
+        std::collections::BTreeMap::new();
+    for row in &aggregates.ulcps {
+        // Rows are already site-normalized (`site_first <= site_second`);
+        // collapsing the per-kind rows of one site pair reproduces the
+        // pair-path seed because saturating addition is associative.
+        let key = (row.site_first.raw(), row.site_second.raw());
+        let entry = seeds.entry(key).or_insert_with(|| seed_group(key));
+        entry.dynamic_pairs = entry
+            .dynamic_pairs
+            .saturating_add(usize::try_from(row.dynamic_pairs).unwrap_or(usize::MAX));
+        entry.gain_ns = entry.gain_ns.saturating_add(row.gain_ns);
+    }
+    fixpoint_fuse(seeds.into_values().collect())
+}
+
+/// An empty seed group for one normalized site-pair key.
+fn seed_group(key: (u32, u32)) -> GroupedUlcp {
+    GroupedUlcp {
+        region_first: CodeRegion::single(perfplay_trace::CodeSiteId::new(key.0)),
+        region_second: CodeRegion::single(perfplay_trace::CodeSiteId::new(key.1)),
+        dynamic_pairs: 0,
+        gain_ns: 0,
+    }
+}
+
+/// Fixpoint fusion over seeded groups (Algorithm 2's outer loop). The seeds
+/// arrive in ascending site-pair key order from both seeding paths, so the
+/// fused output is identical whichever path produced them.
+fn fixpoint_fuse(mut groups: Vec<GroupedUlcp>) -> Vec<GroupedUlcp> {
     loop {
         let mut fused_any = false;
         let mut result: Vec<GroupedUlcp> = Vec::with_capacity(groups.len());

@@ -11,6 +11,11 @@
 //! * [`fuse_ulcps`] implements **Algorithm 2** (ULCP fusion and performance
 //!   accumulation per code region) and [`rank_groups`] applies **Equation 2**
 //!   to rank regions by relative optimization opportunity `P`.
+//!   [`fuse_aggregates`] seeds the same fusion from a scan-time
+//!   [`SiteAggregates`](perfplay_detect::SiteAggregates) table, so a
+//!   detection pass that never materialized its pairs reports the identical
+//!   groups; [`ReplayGains`] is the [`GainSource`](perfplay_detect::GainSource)
+//!   that makes such a pass accumulate the exact Equation 1 gains.
 //! * [`ImpactSplit`] separates the whole-program impact into performance
 //!   degradation `T_pd` and CPU resource waste `T_rw`, the two bands of
 //!   Figure 14.
@@ -24,6 +29,10 @@ mod fusion;
 mod metrics;
 mod report;
 
-pub use fusion::{fuse_ulcps, rank_groups, GroupedUlcp, Recommendation};
-pub use metrics::{segment_anchors, ulcp_gains, ImpactSplit, SegmentAnchors, UlcpGain};
+pub use fusion::{
+    fuse_aggregates, fuse_ulcp_gains, fuse_ulcps, rank_groups, GroupedUlcp, Recommendation,
+};
+pub use metrics::{
+    pair_gain_ns, segment_anchors, ulcp_gains, ImpactSplit, ReplayGains, SegmentAnchors, UlcpGain,
+};
 pub use report::PerfReport;

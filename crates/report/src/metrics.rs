@@ -10,7 +10,7 @@
 //!
 //! where `Δ` is "original minus ULCP-free".
 
-use perfplay_detect::{Ulcp, UlcpAnalysis};
+use perfplay_detect::{GainSource, SectionCtx, Ulcp, UlcpAnalysis};
 use perfplay_replay::ReplayResult;
 use perfplay_trace::{CriticalSection, Time, Trace};
 use serde::{Deserialize, Serialize};
@@ -89,6 +89,30 @@ impl UlcpGain {
     }
 }
 
+/// Evaluates Equation 1 for one pair of critical sections, given the replay
+/// of the original trace and the replay of the ULCP-free trace.
+pub fn pair_gain_ns(
+    trace: &Trace,
+    first: &CriticalSection,
+    second: &CriticalSection,
+    original: &ReplayResult,
+    ulcp_free: &ReplayResult,
+) -> i64 {
+    let anchors_a = segment_anchors(trace, first);
+    let anchors_b = segment_anchors(trace, second);
+
+    let (t1_orig, t2_orig) = anchor_times(&anchors_a, original);
+    let (_, t3_orig) = anchor_times(&anchors_b, original);
+    let (t1_free, t2_free) = anchor_times(&anchors_a, ulcp_free);
+    let (_, t3_free) = anchor_times(&anchors_b, ulcp_free);
+
+    let max_orig = t2_orig.max(t3_orig).as_nanos() as i64;
+    let max_free = t2_free.max(t3_free).as_nanos() as i64;
+    let delta_max = max_orig - max_free;
+    let delta_t1 = t1_orig.as_nanos() as i64 - t1_free.as_nanos() as i64;
+    delta_max - delta_t1
+}
+
 /// Evaluates Equation 1 for every ULCP, given the replay of the original
 /// trace and the replay of the ULCP-free trace.
 pub fn ulcp_gains(
@@ -100,27 +124,52 @@ pub fn ulcp_gains(
     analysis
         .ulcps
         .iter()
-        .map(|u| {
-            let a = analysis.section(u.first);
-            let b = analysis.section(u.second);
-            let anchors_a = segment_anchors(trace, a);
-            let anchors_b = segment_anchors(trace, b);
-
-            let (t1_orig, t2_orig) = anchor_times(&anchors_a, original);
-            let (_, t3_orig) = anchor_times(&anchors_b, original);
-            let (t1_free, t2_free) = anchor_times(&anchors_a, ulcp_free);
-            let (_, t3_free) = anchor_times(&anchors_b, ulcp_free);
-
-            let max_orig = t2_orig.max(t3_orig).as_nanos() as i64;
-            let max_free = t2_free.max(t3_free).as_nanos() as i64;
-            let delta_max = max_orig - max_free;
-            let delta_t1 = t1_orig.as_nanos() as i64 - t1_free.as_nanos() as i64;
-            UlcpGain {
-                ulcp: *u,
-                gain_ns: delta_max - delta_t1,
-            }
+        .map(|u| UlcpGain {
+            ulcp: *u,
+            gain_ns: pair_gain_ns(
+                trace,
+                analysis.section(u.first),
+                analysis.section(u.second),
+                original,
+                ulcp_free,
+            ),
         })
         .collect()
+}
+
+/// A [`GainSource`] evaluating Equation 1 at pair-emission time from the two
+/// replays — the bridge that lets an aggregating detection pass (a
+/// [`SiteAggregator`](perfplay_detect::SiteAggregator) sink) accumulate the
+/// exact per-pair gains the materializing pipeline computes, without a pair
+/// list ever existing.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayGains<'a> {
+    trace: &'a Trace,
+    original: &'a ReplayResult,
+    ulcp_free: &'a ReplayResult,
+}
+
+impl<'a> ReplayGains<'a> {
+    /// Wraps the original and ULCP-free replays of `trace`.
+    pub fn new(trace: &'a Trace, original: &'a ReplayResult, ulcp_free: &'a ReplayResult) -> Self {
+        ReplayGains {
+            trace,
+            original,
+            ulcp_free,
+        }
+    }
+}
+
+impl GainSource for ReplayGains<'_> {
+    fn pair_gain_ns(&self, _ulcp: &Ulcp, ctx: &SectionCtx<'_>) -> i64 {
+        pair_gain_ns(
+            self.trace,
+            ctx.first,
+            ctx.second,
+            self.original,
+            self.ulcp_free,
+        )
+    }
 }
 
 /// Splits the whole-program impact into the paper's two components:
@@ -151,8 +200,23 @@ pub struct ImpactSplit {
 impl ImpactSplit {
     /// Computes the split from the two replays and the per-ULCP gains.
     pub fn compute(original: &ReplayResult, ulcp_free: &ReplayResult, gains: &[UlcpGain]) -> Self {
+        // Saturating fold: equal to the saturating per-site accumulation an
+        // aggregating detection pass performs, so both report paths agree
+        // even when the summed gain overflows.
+        let total_gain = gains
+            .iter()
+            .fold(0u64, |acc, g| acc.saturating_add(g.clamped()));
+        Self::with_total_gain(original, ulcp_free, total_gain)
+    }
+
+    /// Computes the split from the two replays and a pre-accumulated total
+    /// gain (the aggregate-table path, where per-pair gains never exist).
+    pub fn with_total_gain(
+        original: &ReplayResult,
+        ulcp_free: &ReplayResult,
+        total_gain_ns: u64,
+    ) -> Self {
         let degradation = original.total_time - ulcp_free.total_time;
-        let total_gain: u64 = gains.iter().map(UlcpGain::clamped).sum();
         let resource_waste = original
             .total_lock_wait()
             .saturating_sub(ulcp_free.total_lock_wait());
@@ -161,7 +225,7 @@ impl ImpactSplit {
             ulcp_free_time: ulcp_free.total_time,
             degradation,
             resource_waste,
-            total_pair_gain: Time::from_nanos(total_gain),
+            total_pair_gain: Time::from_nanos(total_gain_ns),
         }
     }
 

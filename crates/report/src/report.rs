@@ -1,12 +1,12 @@
 //! The final performance-debugging report PerfPlay hands to the programmer.
 
-use perfplay_detect::{UlcpAnalysis, UlcpBreakdown};
+use perfplay_detect::{SiteAggregates, UlcpAnalysis, UlcpBreakdown};
 use perfplay_replay::ReplayResult;
 use perfplay_trace::{Trace, TraceStats};
 use perfplay_transform::{TransformStats, TransformedTrace};
 use serde::{Deserialize, Serialize};
 
-use crate::fusion::{fuse_ulcps, rank_groups, Recommendation};
+use crate::fusion::{fuse_aggregates, fuse_ulcps, rank_groups, Recommendation};
 use crate::metrics::{ulcp_gains, ImpactSplit};
 
 /// The complete output of one PerfPlay analysis: ULCP breakdown, whole-program
@@ -55,6 +55,47 @@ impl PerfReport {
             threads: trace.num_threads(),
             trace_stats: TraceStats::of(trace),
             breakdown: analysis.breakdown,
+            impact,
+            recommendations,
+            race_warnings: transformed.race_warnings.len(),
+            transform_stats: transformed.stats(),
+            lockset_overhead_fraction: ulcp_free_replay.lockset_overhead_fraction(),
+        }
+    }
+
+    /// Assembles the report from scan-time per-site aggregates instead of a
+    /// materialized pair list.
+    ///
+    /// This is the O(code sites) counterpart of [`build`](Self::build): the
+    /// detection pass ran with a
+    /// [`SiteAggregator`](perfplay_detect::SiteAggregator) sink, so per-pair
+    /// gains were folded into the aggregate rows at emission time and the
+    /// fusion seeds come straight from the table
+    /// ([`fuse_aggregates`](crate::fuse_aggregates)), skipping
+    /// [`fuse_ulcps`](crate::fuse_ulcps)' re-grouping over every dynamic
+    /// pair. When the aggregates were accumulated with
+    /// [`ReplayGains`](crate::ReplayGains), the resulting report is
+    /// identical to [`build`](Self::build)'s.
+    pub fn from_aggregates(
+        trace: &Trace,
+        breakdown: UlcpBreakdown,
+        aggregates: &SiteAggregates,
+        transformed: &TransformedTrace,
+        original_replay: &ReplayResult,
+        ulcp_free_replay: &ReplayResult,
+    ) -> Self {
+        let impact = ImpactSplit::with_total_gain(
+            original_replay,
+            ulcp_free_replay,
+            aggregates.total_gain_ns(),
+        );
+        let recommendations = rank_groups(fuse_aggregates(aggregates));
+        PerfReport {
+            program: trace.meta.program.clone(),
+            input: trace.meta.input.clone(),
+            threads: trace.num_threads(),
+            trace_stats: TraceStats::of(trace),
+            breakdown,
             impact,
             recommendations,
             race_warnings: transformed.race_warnings.len(),

@@ -5,7 +5,7 @@
 //! *code region* — a set of code sites — when fusing and accumulating their
 //! performance impact (Section 4.1, Algorithm 2).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -46,9 +46,43 @@ impl fmt::Display for CodeSite {
 /// Interning table mapping [`CodeSiteId`]s to their [`CodeSite`] descriptions.
 ///
 /// Traces carry only ids; the table travels with the [`Trace`](crate::Trace).
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Interning is O(1) amortized: a hash index over the site descriptions backs
+/// [`intern`](Self::intern), instead of the historical linear scan that made
+/// interning N distinct sites O(N²). The index is derived state — it is not
+/// serialized and two tables compare equal iff their site lists do — and is
+/// rebuilt lazily after deserialization.
+#[derive(Debug, Default, Clone)]
 pub struct SiteTable {
     sites: Vec<CodeSite>,
+    index: HashMap<CodeSite, u32>,
+}
+
+impl PartialEq for SiteTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.sites == other.sites
+    }
+}
+
+impl Eq for SiteTable {}
+
+// Manual serde impls: the hash index is derived state and stays out of the
+// wire format, which remains exactly the historical `{"sites": [...]}`.
+impl Serialize for SiteTable {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![("sites".to_string(), self.sites.to_value())])
+    }
+}
+
+impl Deserialize for SiteTable {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = serde::expect_object(v, "SiteTable")?;
+        let sites = Vec::<CodeSite>::from_value(serde::field(entries, "sites", "SiteTable")?)?;
+        Ok(SiteTable {
+            sites,
+            index: HashMap::new(),
+        })
+    }
 }
 
 impl SiteTable {
@@ -59,11 +93,23 @@ impl SiteTable {
 
     /// Interns a code site, returning its id. Identical sites share one id.
     pub fn intern(&mut self, site: CodeSite) -> CodeSiteId {
-        if let Some(pos) = self.sites.iter().position(|s| *s == site) {
-            return CodeSiteId::new(pos as u32);
+        // A deserialized table arrives without its derived index; rebuild it
+        // once before the first probe. Keyed on emptiness (not length) so a
+        // hand-crafted table carrying duplicate sites does not re-trigger
+        // the O(N) rebuild on every call; `or_insert` keeps the *first*
+        // occurrence, matching the historical linear scan.
+        if self.index.is_empty() && !self.sites.is_empty() {
+            for (i, s) in self.sites.iter().enumerate() {
+                self.index.entry(s.clone()).or_insert(i as u32);
+            }
         }
+        if let Some(&pos) = self.index.get(&site) {
+            return CodeSiteId::new(pos);
+        }
+        let id = self.sites.len() as u32;
+        self.index.insert(site.clone(), id);
         self.sites.push(site);
-        CodeSiteId::new((self.sites.len() - 1) as u32)
+        CodeSiteId::new(id)
     }
 
     /// Looks up the description for an id.
@@ -215,6 +261,61 @@ mod tests {
         assert_eq!(t1.get(remap[y.index()]).unwrap().function, "g");
         assert_eq!(remap[z.index()].index(), 0);
         assert_eq!(t1.iter().count(), 2);
+    }
+
+    #[test]
+    fn intern_is_o1_amortized_for_many_distinct_sites() {
+        // Regression: `intern` used to be a linear scan, making this loop
+        // O(N²) string comparisons (minutes for 50k sites in a debug build).
+        // With the hash index it completes instantly; a timeout here means
+        // the index regressed.
+        let mut t = SiteTable::new();
+        let n = 50_000u32;
+        for i in 0..n {
+            let id = t.intern(CodeSite::new("big.c", format!("f{i}"), i));
+            assert_eq!(id.index(), i as usize);
+        }
+        assert_eq!(t.len(), n as usize);
+        // Re-interning still dedupes onto the original ids.
+        assert_eq!(t.intern(CodeSite::new("big.c", "f17", 17)).index(), 17);
+        assert_eq!(t.intern(CodeSite::new("big.c", "f0", 0)).index(), 0);
+        assert_eq!(t.len(), n as usize);
+    }
+
+    #[test]
+    fn intern_dedupes_after_a_serde_roundtrip() {
+        // The hash index is derived state and not serialized; a deserialized
+        // table must rebuild it instead of forgetting its existing sites.
+        let mut t = SiteTable::new();
+        let a = t.intern(CodeSite::new("a.c", "f", 1));
+        let b = t.intern(CodeSite::new("b.c", "g", 2));
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: SiteTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.intern(CodeSite::new("a.c", "f", 1)), a);
+        assert_eq!(back.intern(CodeSite::new("b.c", "g", 2)), b);
+        assert_eq!(back.intern(CodeSite::new("c.c", "h", 3)).index(), 2);
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn intern_on_a_deserialized_table_with_duplicates_keeps_first_occurrence() {
+        // A table with duplicate entries can only arise from hand-crafted
+        // JSON (intern always dedupes), but the rebuilt index must still
+        // resolve to the first occurrence — what the historical linear scan
+        // returned — and must not re-trigger the O(N) rebuild per call.
+        let json = r#"{"sites":[
+            {"file":"a.c","function":"f","line":1},
+            {"file":"b.c","function":"g","line":2},
+            {"file":"a.c","function":"f","line":1}
+        ]}"#;
+        let mut table: SiteTable = serde_json::from_str(json).unwrap();
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.intern(CodeSite::new("a.c", "f", 1)).index(), 0);
+        assert_eq!(table.intern(CodeSite::new("b.c", "g", 2)).index(), 1);
+        let c = table.intern(CodeSite::new("c.c", "h", 3));
+        assert_eq!(c.index(), 3);
+        assert_eq!(table.intern(CodeSite::new("c.c", "h", 3)), c);
     }
 
     #[test]
