@@ -20,6 +20,10 @@
 //!   ranked report digests are identical, records the peak aggregate-table
 //!   size against the materialized pair count, and writes
 //!   `BENCH_aggregate.json`. Exits non-zero on any divergence.
+//! * `repro detect --stream --chunk-file PATH [--out PATH]` streams the
+//!   detector off an on-disk chunked trace file (`ChunkFileReader`), the
+//!   format `perfplay-record`'s `ChunkedWriter` spills — detection of traces
+//!   that never existed in memory.
 //! * `repro replay [--quick] [--out PATH]` runs the replay scaling
 //!   comparison: the naive scan-and-wake-all reference loop vs the unified
 //!   indexed-ready-set engine on 64/128/256-thread synthetic workloads,
@@ -27,23 +31,34 @@
 //!   verifies bit-identical results by content digest, and writes
 //!   `BENCH_replay.json`.
 //! * `repro pipeline [--quick] [--out PATH]` prints one Table-1-style row per
-//!   application model: ULCP breakdown by category plus the original vs
-//!   ULCP-free replay times. With `--out`, the rows are written as JSON
-//!   together with the `BENCH_replay.json` artifact (when present), so one
-//!   file carries the whole pipeline story.
+//!   application model, analyzed by the **single-pass** pipeline (one
+//!   detection pass per trace, no materialized pair list, all traces
+//!   concurrently through the batch driver). With `--out`, it additionally
+//!   runs the single-pass vs two-pass comparison on a large synthetic
+//!   workload — pinning identical breakdown + ranked-report digests, the
+//!   wall-clock win of eliminating the second detection pass, and the
+//!   O(code sites) peak-memory story — and writes `BENCH_pipeline.json`,
+//!   embedding the `BENCH_replay.json` artifact when present.
+//! * `repro batch [--quick] [--out PATH]` runs the multi-trace batch driver
+//!   over every application model (the paper's Table 1 sweep as one call):
+//!   N traces analyzed concurrently, their aggregate tables fused with the
+//!   order-independent saturating merge, one fused ranked report — verified
+//!   identical to sequential per-trace analysis + in-order merge, written as
+//!   `BENCH_batch.json`.
 
 use std::time::Instant;
 
 use perfplay::prelude::{
-    fuse_aggregates, fuse_ulcp_gains, rank_groups, BodyOverlapGain, Detector, DetectorConfig,
-    GainSource, Recommendation, SectionCtx, SiteAggregator, StreamingDetector, StreamingStats,
-    UlcpGain,
+    analyze_batch, analyze_batch_sequential, fuse_aggregates, fuse_ulcp_gains, rank_groups,
+    BatchAnalysis, BodyOverlapGain, ChunkFileReader, Detector, DetectorConfig, GainSource,
+    PerfReport, PipelineConfig, Recommendation, SectionCtx, SiteAggregator, StreamingDetector,
+    StreamingStats, Trace, Transformer, UlcpGain,
 };
 use perfplay::prelude::{ReplayConfig, ReplayResult, ReplaySchedule, Replayer, UlcpFreeReplayer};
 use perfplay::workloads::{App, InputSize};
 use perfplay_bench::{
-    analyze_app, detect_bench_config, detect_trace, ms, pct, replay_trace, stream_trace,
-    DetectWorkload, ReplayWorkload, StreamWorkload,
+    detect_bench_config, detect_trace, pct, record_app, replay_trace, stream_trace, DetectWorkload,
+    ReplayWorkload, StreamWorkload,
 };
 use perfplay_detect::{reference_analyze, LastWriteIndex, UlcpAnalysis};
 use perfplay_replay::{reference_replay_free, reference_replay_original};
@@ -327,8 +342,10 @@ struct StreamReport {
 /// synthetic workload (>=10M events unless `--quick`), analyzes it with the
 /// in-memory engine and the chunk-by-chunk [`StreamingDetector`], verifies
 /// the results are bit-identical, exercises the chunked-file spill/re-ingest
-/// roundtrip, and writes `BENCH_stream.json`.
-fn run_stream(quick: bool, out: &str) {
+/// roundtrip, and writes `BENCH_stream.json`. With `--spill PATH`, the
+/// roundtrip's chunked trace file is written to `PATH` and kept, ready for
+/// `repro detect --stream --chunk-file PATH`.
+fn run_stream(quick: bool, out: &str, spill: Option<&str>) {
     let workload = if quick {
         StreamWorkload::quick()
     } else {
@@ -373,8 +390,10 @@ fn run_stream(quick: bool, out: &str) {
     } else {
         stream_trace(rt_workload)
     };
-    let rt_path =
-        std::env::temp_dir().join(format!("perfplay-stream-{}.jsonl", std::process::id()));
+    let rt_path = match spill {
+        Some(path) => std::path::PathBuf::from(path),
+        None => std::env::temp_dir().join(format!("perfplay-stream-{}.jsonl", std::process::id())),
+    };
     let (rt_summary, write_ms) = time_ms(|| {
         perfplay::prelude::spill_trace(&rt_trace, &rt_path, 4_096).expect("spill succeeds")
     });
@@ -385,7 +404,11 @@ fn run_stream(quick: bool, out: &str) {
             .analyze(&mut reader)
             .expect("file stream analyzes")
     });
-    std::fs::remove_file(&rt_path).ok();
+    if spill.is_some() {
+        eprintln!("chunked trace file kept at {}", rt_path.display());
+    } else {
+        std::fs::remove_file(&rt_path).ok();
+    }
     let rt_batch = digest(&Detector::new(config).analyze(&rt_trace));
     let file_roundtrip = FileRoundtripReport {
         events: rt_summary.events,
@@ -821,61 +844,349 @@ struct PipelineRow {
     normalized_degradation: f64,
 }
 
-#[derive(Debug, Serialize)]
-struct PipelineReport {
-    rows: Vec<PipelineRow>,
-    /// The replay scaling artifact (`BENCH_replay.json`), embedded when it
-    /// exists next to the working directory, so one file carries both the
-    /// per-app pipeline numbers and the engine comparison.
-    replay_bench: Option<ReplayReport>,
-}
-
-/// Prints one row per application model: the per-category ULCP counts and
-/// the replayed original vs ULCP-free times (the shape of the paper's
-/// Table 1 / Figure 14 data). With `--out`, also writes the rows as JSON,
-/// embedding the replay artifact (`--replay-artifact`, default
-/// `BENCH_replay.json`) when present.
-fn run_pipeline(quick: bool, out: Option<&str>, replay_artifact: &str) {
-    let (threads, input) = if quick {
-        (2, InputSize::SimSmall)
-    } else {
-        (4, InputSize::SimMedium)
-    };
-    println!(
-        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>12} {:>12} {:>8}",
-        "app", "locks", "NL", "RR", "DW", "Benign", "TLCP", "orig(ms)", "free(ms)", "waste"
-    );
-    let mut rows = Vec::new();
-    for app in App::ALL {
-        let analysis = analyze_app(app, threads, input);
-        let b = &analysis.report.breakdown;
-        println!(
-            "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>12} {:>12} {:>8}",
-            app.name(),
-            b.lock_acquisitions,
-            b.null_lock,
-            b.read_read,
-            b.disjoint_write,
-            b.benign,
-            b.tlcp_edges,
-            ms(analysis.report.impact.original_time),
-            ms(analysis.report.impact.ulcp_free_time),
-            pct(analysis.report.normalized_degradation()),
-        );
-        rows.push(PipelineRow {
-            app: app.name().to_string(),
+impl PipelineRow {
+    fn from_report(app: &str, report: &PerfReport) -> Self {
+        let b = &report.breakdown;
+        PipelineRow {
+            app: app.to_string(),
             lock_acquisitions: b.lock_acquisitions,
             null_lock: b.null_lock,
             read_read: b.read_read,
             disjoint_write: b.disjoint_write,
             benign: b.benign,
             tlcp_edges: b.tlcp_edges,
-            original_ms: analysis.report.impact.original_time.as_nanos() as f64 / 1e6,
-            ulcp_free_ms: analysis.report.impact.ulcp_free_time.as_nanos() as f64 / 1e6,
-            normalized_degradation: analysis.report.normalized_degradation(),
-        });
+            original_ms: report.impact.original_time.as_nanos() as f64 / 1e6,
+            ulcp_free_ms: report.impact.ulcp_free_time.as_nanos() as f64 / 1e6,
+            normalized_degradation: report.normalized_degradation(),
+        }
     }
+}
+
+/// Summary of the multi-trace batch fusion embedded in the pipeline
+/// artifact: the fused Table 1 sweep across every application model.
+#[derive(Debug, Serialize)]
+struct BatchSummary {
+    traces: usize,
+    analyze_ms: f64,
+    fused_breakdown: BreakdownReport,
+    fused_aggregate_rows: usize,
+    fused_groups: usize,
+    top_opportunity: f64,
+    fused_report_digest: String,
+}
+
+impl BatchSummary {
+    fn new(batch: &BatchAnalysis, analyze_ms: f64) -> Self {
+        BatchSummary {
+            traces: batch.num_traces(),
+            analyze_ms,
+            fused_breakdown: (&batch.fused_breakdown).into(),
+            fused_aggregate_rows: batch.fused_aggregates.len(),
+            fused_groups: batch.recommendations.len(),
+            top_opportunity: batch.top_opportunity(),
+            fused_report_digest: format!("{:016x}", report_digest(&batch.recommendations)),
+        }
+    }
+}
+
+/// Per-stage wall-clock of the single-pass pipeline flow.
+#[derive(Debug, Serialize)]
+struct SinglePassTimings {
+    detect_plan_ms: f64,
+    transform_ms: f64,
+    replay_original_ms: f64,
+    replay_free_ms: f64,
+    report_ms: f64,
+    total_ms: f64,
+}
+
+/// Per-stage wall-clock of the historical two-pass flow: one materializing
+/// detection pass for transform + replays, a second aggregating pass for the
+/// O(code sites) report.
+#[derive(Debug, Serialize)]
+struct TwoPassTimings {
+    detect_pairs_ms: f64,
+    transform_ms: f64,
+    replay_original_ms: f64,
+    replay_free_ms: f64,
+    detect_aggregate_ms: f64,
+    report_ms: f64,
+    total_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PipelineComparison {
+    workload: StreamWorkloadReport,
+    record_ms: f64,
+    single_pass: SinglePassTimings,
+    two_pass: TwoPassTimings,
+    /// End-to-end wall-clock ratio (two-pass / single-pass).
+    wall_clock_speedup: f64,
+    /// Detection-only ratio: (pass 1 + pass 2) / plan pass.
+    detection_speedup: f64,
+    report_identical: bool,
+    breakdown_identical: bool,
+    report_digest_identical: bool,
+    report_digest: String,
+    /// Aggregate rows + retained edges + benign pairs the plan held — the
+    /// single-pass counterpart of `materialized_pairs`.
+    plan_resident_entries: usize,
+    materialized_pairs: usize,
+    pair_reduction_factor: f64,
+    /// Peak resident detection state of the single-pass flow.
+    memory: MemoryReport,
+    /// Peak resident detection state of the two-pass flow, for contrast.
+    memory_two_pass: MemoryReport,
+    breakdown: BreakdownReport,
+}
+
+/// Runs both pipeline flows end-to-end on one synthetic workload and pins
+/// their equivalence: identical `PerfReport`s (breakdown, impact, ranked
+/// recommendations) from one detection pass instead of two, with no pair
+/// vector resident at any point of the single-pass flow.
+fn pipeline_comparison(quick: bool) -> PipelineComparison {
+    let workload = if quick {
+        StreamWorkload::quick()
+    } else {
+        StreamWorkload::ten_million()
+    };
+    eprintln!(
+        "recording comparison workload: {} threads, target {} events...",
+        workload.threads, workload.target_events
+    );
+    let (trace, record_ms) = time_ms(|| stream_trace(workload));
+    eprintln!("recorded {} events in {record_ms:.0}ms", trace.num_events());
+    // Counted while only the trace is resident (both flows build and drop
+    // the index internally; this probe feeds the memory report).
+    let history_entries = LastWriteIndex::build(&trace).num_entries();
+
+    let config = detect_bench_config();
+    let replay_config = ReplayConfig::default();
+    let transformer = Transformer::default();
+    let gain = BodyOverlapGain;
+
+    // --- Two-pass flow: materialize pairs, transform, replay, re-detect
+    // into the aggregate table, report.
+    eprintln!("two-pass flow:");
+    let (analysis, detect_pairs_ms) = time_ms(|| Detector::new(config).analyze(&trace));
+    eprintln!("  detect (pairs): {detect_pairs_ms:.0}ms");
+    let materialized_pairs = analysis.ulcps.len() + analysis.edges.len();
+    let total_sections = analysis.sections.len();
+    let (transformed, tp_transform_ms) = time_ms(|| transformer.transform(&trace, &analysis));
+    eprintln!("  transform: {tp_transform_ms:.0}ms");
+    // The pair list has served its only two-pass purpose (transform); drop
+    // it before the replays so both flows replay under the same heap.
+    drop(analysis);
+    let (tp_original, tp_replay_original_ms) = time_ms(|| {
+        Replayer::new(replay_config)
+            .replay(&trace, ReplaySchedule::elsc())
+            .expect("original replay succeeds")
+    });
+    eprintln!("  replay original: {tp_replay_original_ms:.0}ms");
+    let (tp_free, tp_replay_free_ms) = time_ms(|| {
+        UlcpFreeReplayer::new(replay_config)
+            .replay(&transformed)
+            .expect("ULCP-free replay succeeds")
+    });
+    eprintln!("  replay ULCP-free: {tp_replay_free_ms:.0}ms");
+    let (aggregated, detect_aggregate_ms) =
+        time_ms(|| Detector::new(config).analyze_with(&trace, SiteAggregator::new(gain)));
+    eprintln!("  detect (aggregate, 2nd pass): {detect_aggregate_ms:.0}ms");
+    let two_breakdown = aggregated.breakdown;
+    let aggregates = aggregated.sink.finish();
+    let (two_report, tp_report_ms) = time_ms(|| {
+        PerfReport::from_aggregates(
+            &trace,
+            two_breakdown,
+            &aggregates,
+            &transformed,
+            &tp_original,
+            &tp_free,
+        )
+    });
+    drop((transformed, tp_original, tp_free, aggregates));
+    let two_total_ms = detect_pairs_ms
+        + tp_transform_ms
+        + tp_replay_original_ms
+        + tp_replay_free_ms
+        + detect_aggregate_ms
+        + tp_report_ms;
+
+    // --- Single-pass flow: one detection pass produces the plan that
+    // drives everything downstream.
+    eprintln!("single-pass flow:");
+    let (plan, detect_plan_ms) = time_ms(|| Detector::new(config).plan(&trace, gain));
+    eprintln!("  detect (plan): {detect_plan_ms:.0}ms");
+    let plan_resident_entries = plan.resident_entries();
+    let (transformed, sp_transform_ms) = time_ms(|| transformer.transform_from_plan(&trace, &plan));
+    eprintln!("  transform from plan: {sp_transform_ms:.0}ms");
+    let (sp_original, sp_replay_original_ms) = time_ms(|| {
+        Replayer::new(replay_config)
+            .replay(&trace, ReplaySchedule::elsc())
+            .expect("original replay succeeds")
+    });
+    eprintln!("  replay original: {sp_replay_original_ms:.0}ms");
+    let (sp_free, sp_replay_free_ms) = time_ms(|| {
+        UlcpFreeReplayer::new(replay_config)
+            .replay(&transformed)
+            .expect("ULCP-free replay succeeds")
+    });
+    eprintln!("  replay ULCP-free: {sp_replay_free_ms:.0}ms");
+    let (single_report, sp_report_ms) =
+        time_ms(|| PerfReport::from_plan(&trace, &plan, &transformed, &sp_original, &sp_free));
+    let single_total_ms =
+        detect_plan_ms + sp_transform_ms + sp_replay_original_ms + sp_replay_free_ms + sp_report_ms;
+
+    let single_digest = report_digest(&single_report.recommendations);
+    let two_digest = report_digest(&two_report.recommendations);
+    PipelineComparison {
+        workload: StreamWorkloadReport {
+            threads: workload.threads,
+            locks: workload.locks,
+            objects: workload.objects,
+            target_events: workload.target_events,
+            trace_events: trace.num_events(),
+            total_sections,
+        },
+        record_ms,
+        wall_clock_speedup: two_total_ms / single_total_ms,
+        detection_speedup: (detect_pairs_ms + detect_aggregate_ms) / detect_plan_ms,
+        single_pass: SinglePassTimings {
+            detect_plan_ms,
+            transform_ms: sp_transform_ms,
+            replay_original_ms: sp_replay_original_ms,
+            replay_free_ms: sp_replay_free_ms,
+            report_ms: sp_report_ms,
+            total_ms: single_total_ms,
+        },
+        two_pass: TwoPassTimings {
+            detect_pairs_ms,
+            transform_ms: tp_transform_ms,
+            replay_original_ms: tp_replay_original_ms,
+            replay_free_ms: tp_replay_free_ms,
+            detect_aggregate_ms,
+            report_ms: tp_report_ms,
+            total_ms: two_total_ms,
+        },
+        report_identical: single_report == two_report,
+        breakdown_identical: single_report.breakdown == two_breakdown,
+        report_digest_identical: single_digest == two_digest,
+        report_digest: format!("{single_digest:016x}"),
+        plan_resident_entries,
+        materialized_pairs,
+        pair_reduction_factor: materialized_pairs as f64 / plan_resident_entries.max(1) as f64,
+        memory: MemoryReport {
+            peak_live_pairs: plan_resident_entries,
+            peak_live_sections: total_sections,
+            peak_history_entries: history_entries,
+        },
+        memory_two_pass: MemoryReport {
+            peak_live_pairs: materialized_pairs,
+            peak_live_sections: total_sections,
+            peak_history_entries: history_entries,
+        },
+        breakdown: (&single_report.breakdown).into(),
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct PipelineReport {
+    rows: Vec<PipelineRow>,
+    /// The fused multi-trace batch result over the same app sweep.
+    batch: BatchSummary,
+    /// Single-pass vs two-pass equivalence + cost comparison.
+    comparison: PipelineComparison,
+    /// The replay scaling artifact (`BENCH_replay.json`), embedded when it
+    /// exists next to the working directory, so one file carries both the
+    /// per-app pipeline numbers and the engine comparison.
+    replay_bench: Option<ReplayReport>,
+}
+
+/// The recorded app sweep plus its batch analysis — one value, so every
+/// consumer reports the exact workload shape it was measured under.
+struct AppSweep {
+    threads: usize,
+    input: InputSize,
+    traces: Vec<Trace>,
+    rows: Vec<PipelineRow>,
+    batch: BatchAnalysis,
+    analyze_ms: f64,
+}
+
+/// Records every application model and analyzes the traces through the
+/// multi-trace batch driver: each trace's pipeline runs **one** detection
+/// pass (plan sink), and the per-trace aggregate tables fuse into one ranked
+/// sweep report.
+fn analyze_app_sweep(quick: bool) -> AppSweep {
+    let (threads, input) = if quick {
+        (2, InputSize::SimSmall)
+    } else {
+        (4, InputSize::SimMedium)
+    };
+    let traces: Vec<Trace> = App::ALL
+        .iter()
+        .map(|app| record_app(*app, threads, input))
+        .collect();
+    let (batch, analyze_ms) = time_ms(|| {
+        analyze_batch(&traces, &PipelineConfig::default()).expect("app models always analyze")
+    });
+    let rows: Vec<PipelineRow> = App::ALL
+        .iter()
+        .zip(&batch.per_trace)
+        .map(|(app, analysis)| PipelineRow::from_report(app.name(), &analysis.report))
+        .collect();
+    AppSweep {
+        threads,
+        input,
+        traces,
+        rows,
+        batch,
+        analyze_ms,
+    }
+}
+
+fn print_rows(rows: &[PipelineRow]) {
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>12} {:>12} {:>8}",
+        "app", "locks", "NL", "RR", "DW", "Benign", "TLCP", "orig(ms)", "free(ms)", "waste"
+    );
+    for row in rows {
+        println!(
+            "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>12.3} {:>12.3} {:>8}",
+            row.app,
+            row.lock_acquisitions,
+            row.null_lock,
+            row.read_read,
+            row.disjoint_write,
+            row.benign,
+            row.tlcp_edges,
+            row.original_ms,
+            row.ulcp_free_ms,
+            pct(row.normalized_degradation),
+        );
+    }
+}
+
+/// Prints one row per application model — analyzed single-pass through the
+/// batch driver — plus the fused sweep summary. With `--out`, additionally
+/// runs the single-pass vs two-pass comparison and writes
+/// `BENCH_pipeline.json`, embedding the replay artifact
+/// (`--replay-artifact`, default `BENCH_replay.json`) when present.
+fn run_pipeline(quick: bool, out: Option<&str>, replay_artifact: &str) {
+    let sweep = analyze_app_sweep(quick);
+    print_rows(&sweep.rows);
+    let analyze_ms = sweep.analyze_ms;
+    let summary = BatchSummary::new(&sweep.batch, analyze_ms);
+    eprintln!(
+        "fused sweep: {} traces -> {} groups, top opportunity {:.1}% ({analyze_ms:.0}ms, one detection pass per trace)",
+        summary.traces,
+        summary.fused_groups,
+        100.0 * summary.top_opportunity
+    );
+    let rows = sweep.rows;
     let Some(out) = out else { return };
+
+    let comparison = pipeline_comparison(quick);
     let replay_bench = match std::fs::read_to_string(replay_artifact) {
         Err(_) => {
             eprintln!(
@@ -894,10 +1205,151 @@ fn run_pipeline(quick: bool, out: Option<&str>, replay_artifact: &str) {
             }
         },
     };
-    let report = PipelineReport { rows, replay_bench };
+    let report = PipelineReport {
+        rows,
+        batch: summary,
+        comparison,
+        replay_bench,
+    };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(out, format!("{json}\n")).expect("write pipeline artifact");
-    eprintln!("pipeline rows -> {out}");
+    // Assert only after the artifact is on disk, so a divergence leaves a
+    // machine-readable record instead of nothing.
+    assert!(
+        report.comparison.report_identical
+            && report.comparison.breakdown_identical
+            && report.comparison.report_digest_identical,
+        "single-pass pipeline diverged from the two-pass flow"
+    );
+    eprintln!(
+        "single-pass vs two-pass: {:.2}x wall-clock, {:.2}x detection-only, \
+         {} plan entries vs {} pairs ({:.0}x smaller), reports identical -> {out}",
+        report.comparison.wall_clock_speedup,
+        report.comparison.detection_speedup,
+        report.comparison.plan_resident_entries,
+        report.comparison.materialized_pairs,
+        report.comparison.pair_reduction_factor,
+    );
+}
+
+#[derive(Debug, Serialize)]
+struct BatchReportArtifact {
+    threads: usize,
+    input: String,
+    rows: Vec<PipelineRow>,
+    fused: BatchSummary,
+    sequential_ms: f64,
+    identical_to_sequential: bool,
+    /// Largest single-trace plan footprint across the sweep — the batch
+    /// driver's peak detection output per worker.
+    max_plan_resident_entries: usize,
+}
+
+/// `repro batch`: the paper's Table 1 sweep as one call. Analyzes every
+/// application model concurrently through the single-pass batch driver,
+/// fuses the aggregate tables, and verifies the fused ranked report is
+/// identical to sequential per-trace analysis + in-order merge.
+fn run_batch(quick: bool, out: &str) {
+    let sweep = analyze_app_sweep(quick);
+    print_rows(&sweep.rows);
+
+    // The executable spec: sequential per-trace analysis, in-order merge.
+    let (sequential, sequential_ms) = time_ms(|| {
+        analyze_batch_sequential(&sweep.traces, &PipelineConfig::default())
+            .expect("app models always analyze")
+    });
+
+    let batch = &sweep.batch;
+    let identical_to_sequential = batch.fused_aggregates == sequential.fused_aggregates
+        && batch.fused_breakdown == sequential.fused_breakdown
+        && batch.recommendations == sequential.recommendations
+        && batch
+            .per_trace
+            .iter()
+            .zip(&sequential.per_trace)
+            .all(|(c, s)| c.report == s.report);
+
+    let fused = BatchSummary::new(batch, sweep.analyze_ms);
+    eprintln!(
+        "fused sweep: {} traces, {} aggregate rows, {} groups, digest {}",
+        fused.traces, fused.fused_aggregate_rows, fused.fused_groups, fused.fused_report_digest
+    );
+    let report = BatchReportArtifact {
+        threads: sweep.threads,
+        input: format!("{:?}", sweep.input),
+        rows: sweep.rows,
+        fused,
+        sequential_ms,
+        identical_to_sequential,
+        max_plan_resident_entries: batch
+            .per_trace
+            .iter()
+            .map(|a| a.plan.resident_entries())
+            .max()
+            .unwrap_or(0),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(out, format!("{json}\n")).expect("write batch artifact");
+    println!("{json}");
+    // Assert only after the artifact is on disk.
+    assert!(
+        report.identical_to_sequential,
+        "concurrent batch fusion diverged from sequential per-trace analysis + merge"
+    );
+    eprintln!(
+        "batch over {} traces identical to sequential + merge -> {out}",
+        report.rows.len()
+    );
+}
+
+#[derive(Debug, Serialize)]
+struct ChunkFileReport {
+    path: String,
+    analyze_ms: f64,
+    events: usize,
+    sections: usize,
+    streaming: StreamingStats,
+    memory: MemoryReport,
+    breakdown: BreakdownReport,
+}
+
+/// `repro detect --stream --chunk-file PATH`: streams the detector off an
+/// on-disk chunked trace file — the `ChunkedWriter` format — so traces
+/// spilled at record time are analyzed without ever materializing the event
+/// log. Exits non-zero with the structured `StreamError` on a malformed or
+/// truncated file.
+fn run_stream_file(path: &str, out: Option<&str>) {
+    let config = detect_bench_config();
+    let mut reader = match ChunkFileReader::open(path) {
+        Ok(reader) => reader,
+        Err(e) => {
+            eprintln!("cannot open chunk file {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (result, analyze_ms) = time_ms(|| StreamingDetector::new(config).analyze(&mut reader));
+    let streamed = match result {
+        Ok(streamed) => streamed,
+        Err(e) => {
+            eprintln!("streaming detection over {path} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = ChunkFileReport {
+        path: path.to_string(),
+        analyze_ms,
+        events: streamed.stats.events,
+        sections: streamed.stats.sections,
+        memory: MemoryReport::from_streaming(&streamed.stats),
+        streaming: streamed.stats,
+        breakdown: (&streamed.analysis.breakdown).into(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{json}");
+    if let Some(out) = out {
+        std::fs::write(out, format!("{json}\n")).expect("write chunk-file artifact");
+        eprintln!("chunk-file detection -> {out}");
+    }
 }
 
 fn main() {
@@ -908,6 +1360,8 @@ fn main() {
     let mut aggregate = false;
     let mut out: Option<String> = None;
     let mut replay_artifact: Option<String> = None;
+    let mut chunk_file: Option<String> = None;
+    let mut spill: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -918,6 +1372,20 @@ fn main() {
                 Some(path) => out = Some(path.clone()),
                 None => {
                     eprintln!("--out requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--chunk-file" => match iter.next() {
+                Some(path) => chunk_file = Some(path.clone()),
+                None => {
+                    eprintln!("--chunk-file requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--spill" => match iter.next() {
+                Some(path) => spill = Some(path.clone()),
+                None => {
+                    eprintln!("--spill requires a path argument");
                     std::process::exit(2);
                 }
             },
@@ -941,6 +1409,17 @@ fn main() {
             }
         }
     }
+    if chunk_file.is_some() && !stream {
+        eprintln!("--chunk-file requires --stream (it feeds the streaming detector)");
+        std::process::exit(2);
+    }
+    if spill.is_some() && (!stream || chunk_file.is_some()) {
+        eprintln!(
+            "--spill only applies to `detect --stream` without --chunk-file \
+             (it keeps the workload's spilled chunk file)"
+        );
+        std::process::exit(2);
+    }
     match command.as_deref() {
         Some("detect") | None if stream && aggregate => {
             eprintln!("--stream and --aggregate are mutually exclusive");
@@ -949,9 +1428,14 @@ fn main() {
         Some("detect") | None if aggregate => {
             run_aggregate(quick, out.as_deref().unwrap_or("BENCH_aggregate.json"));
         }
-        Some("detect") | None if stream => {
-            run_stream(quick, out.as_deref().unwrap_or("BENCH_stream.json"));
-        }
+        Some("detect") | None if stream => match chunk_file {
+            Some(path) => run_stream_file(&path, out.as_deref()),
+            None => run_stream(
+                quick,
+                out.as_deref().unwrap_or("BENCH_stream.json"),
+                spill.as_deref(),
+            ),
+        },
         Some("detect") | None => {
             run_detect(quick, out.as_deref().unwrap_or("BENCH_detect.json"));
         }
@@ -965,8 +1449,11 @@ fn main() {
                 replay_artifact.as_deref().unwrap_or(REPLAY_ARTIFACT),
             );
         }
+        Some("batch") => {
+            run_batch(quick, out.as_deref().unwrap_or("BENCH_batch.json"));
+        }
         Some(other) => {
-            eprintln!("unknown command `{other}`; available: detect, replay, pipeline");
+            eprintln!("unknown command `{other}`; available: detect, replay, pipeline, batch");
             std::process::exit(2);
         }
     }

@@ -48,10 +48,10 @@ use perfplay_transform::{TransformConfig, TransformedTrace, Transformer};
 /// Convenience re-exports of the building-block crates.
 pub mod prelude {
     pub use perfplay_detect::{
-        BodyOverlapGain, CollectPairs, Detector, DetectorConfig, GainSource, NoGain, SectionCtx,
-        SinkAnalysis, SiteAggregates, SiteAggregator, StreamingAnalysis, StreamingDetector,
-        StreamingSinkAnalysis, StreamingStats, Ulcp, UlcpAnalysis, UlcpBreakdown, UlcpKind,
-        UlcpSink,
+        BodyOverlapGain, CollectPairs, DetectionPlan, Detector, DetectorConfig, GainSource, NoGain,
+        PlanAggregator, SectionCtx, SinkAnalysis, SiteAggregates, SiteAggregator,
+        StreamingAnalysis, StreamingDetector, StreamingSinkAnalysis, StreamingStats, Ulcp,
+        UlcpAnalysis, UlcpBreakdown, UlcpKind, UlcpSink,
     };
     pub use perfplay_program::{Program, ProgramBuilder};
     pub use perfplay_record::{
@@ -62,13 +62,14 @@ pub mod prelude {
         ScheduleKind, UlcpFreeReplayer,
     };
     pub use perfplay_report::{
-        fuse_aggregates, fuse_ulcp_gains, fuse_ulcps, rank_groups, GroupedUlcp, PerfReport,
-        Recommendation, ReplayGains, UlcpGain,
+        analyze_batch, analyze_batch_sequential, analyze_plan, analyze_plan_with, fuse_aggregates,
+        fuse_ulcp_gains, fuse_ulcps, rank_groups, BatchAnalysis, GroupedUlcp, PerfReport,
+        PipelineConfig, PipelineError, PlanAnalysis, Recommendation, ReplayGains, UlcpGain,
     };
     pub use perfplay_sim::{ExecutionResult, Executor, SimConfig};
     pub use perfplay_trace::{ChunkFileReader, EventSource, TraceChunk, TraceChunks};
     pub use perfplay_trace::{Time, Trace, TraceStats};
-    pub use perfplay_transform::{TransformedTrace, Transformer};
+    pub use perfplay_transform::{TransformConfig, TransformedTrace, Transformer};
 }
 
 /// Re-export of the workload models used throughout the evaluation.
@@ -83,6 +84,8 @@ pub enum PerfPlayError {
     Record(SimError),
     /// One of the replays failed.
     Replay(ReplayError),
+    /// Chunked (streaming) trace ingestion failed.
+    Stream(perfplay_trace::StreamError),
 }
 
 impl std::fmt::Display for PerfPlayError {
@@ -90,6 +93,7 @@ impl std::fmt::Display for PerfPlayError {
         match self {
             PerfPlayError::Record(e) => write!(f, "recording failed: {e}"),
             PerfPlayError::Replay(e) => write!(f, "replay failed: {e}"),
+            PerfPlayError::Stream(e) => write!(f, "stream ingestion failed: {e}"),
         }
     }
 }
@@ -105,6 +109,15 @@ impl From<SimError> for PerfPlayError {
 impl From<ReplayError> for PerfPlayError {
     fn from(e: ReplayError) -> Self {
         PerfPlayError::Replay(e)
+    }
+}
+
+impl From<perfplay_report::PipelineError> for PerfPlayError {
+    fn from(e: perfplay_report::PipelineError) -> Self {
+        match e {
+            perfplay_report::PipelineError::Replay(e) => PerfPlayError::Replay(e),
+            perfplay_report::PipelineError::Stream(e) => PerfPlayError::Stream(e),
+        }
     }
 }
 
@@ -137,6 +150,23 @@ impl Default for PerfPlayConfig {
             transform: TransformConfig::default(),
             use_dls: true,
             original_schedule: ScheduleKind::ElscS,
+        }
+    }
+}
+
+impl PerfPlayConfig {
+    /// The analysis-stage slice of this configuration, as consumed by the
+    /// single-pass pipeline (`perfplay_report::analyze_plan`) and the
+    /// multi-trace batch driver. `chunk_events` selects streaming detection
+    /// when set.
+    pub fn pipeline(&self, chunk_events: Option<usize>) -> perfplay_report::PipelineConfig {
+        perfplay_report::PipelineConfig {
+            detector: self.detector,
+            replay: self.replay,
+            transform: self.transform,
+            use_dls: self.use_dls,
+            original_schedule: self.original_schedule,
+            chunk_events,
         }
     }
 }
@@ -209,12 +239,7 @@ impl PerfPlay {
         let ulcps = Detector::new(self.config.detector).analyze(trace);
         let transformed = Transformer::new(self.config.transform).transform(trace, &ulcps);
 
-        let schedule = match self.config.original_schedule {
-            ScheduleKind::OrigS => ReplaySchedule::orig(1),
-            ScheduleKind::ElscS => ReplaySchedule::elsc(),
-            ScheduleKind::SyncS => ReplaySchedule::sync(),
-            ScheduleKind::MemS => ReplaySchedule::mem(),
-        };
+        let schedule = ReplaySchedule::for_kind(self.config.original_schedule);
         let original_replay = Replayer::new(self.config.replay).replay(trace, schedule)?;
         let ulcp_free_replay = UlcpFreeReplayer::new(self.config.replay)
             .with_dls(self.config.use_dls)
@@ -236,6 +261,31 @@ impl PerfPlay {
             ulcp_free_replay,
             report,
         })
+    }
+
+    /// Runs the single-pass analysis pipeline on an already-recorded trace:
+    /// one detection pass through a
+    /// [`PlanAggregator`](perfplay_detect::PlanAggregator) sink whose
+    /// compact [`DetectionPlan`](perfplay_detect::DetectionPlan) drives the
+    /// transformation, both replays and the report — O(code sites) detection
+    /// output, no materialized pair list.
+    ///
+    /// The report ranks regions by the detection-time
+    /// [`BodyOverlapGain`](perfplay_detect::BodyOverlapGain) proxy;
+    /// [`analyze_trace`](Self::analyze_trace) remains the exact Equation 1
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfPlayError::Replay`] if either replay fails.
+    pub fn analyze_trace_single_pass(
+        &self,
+        trace: &Trace,
+    ) -> Result<perfplay_report::PlanAnalysis, PerfPlayError> {
+        Ok(perfplay_report::analyze_plan(
+            trace,
+            &self.config.pipeline(None),
+        )?)
     }
 
     /// Measures replay fidelity (stability and precision) of a trace under a
@@ -302,6 +352,26 @@ mod tests {
         let via_trace = perfplay.analyze_trace(&via_program.trace).unwrap();
         assert_eq!(via_program.report, via_trace.report);
         assert!(via_trace.recording_timing.is_none());
+    }
+
+    #[test]
+    fn single_pass_pipeline_matches_the_materializing_breakdown() {
+        let perfplay = PerfPlay::new();
+        let full = perfplay.analyze_program(&small_program()).unwrap();
+        let single = perfplay.analyze_trace_single_pass(&full.trace).unwrap();
+        // Same detection (breakdown), same replays (impact times), no pair
+        // list: the plan holds aggregate rows + edges + benign pairs only.
+        assert_eq!(single.report.breakdown, full.report.breakdown);
+        assert_eq!(
+            single.report.impact.original_time,
+            full.report.impact.original_time
+        );
+        assert_eq!(
+            single.report.impact.ulcp_free_time,
+            full.report.impact.ulcp_free_time
+        );
+        assert_eq!(single.report.transform_stats, full.report.transform_stats);
+        assert!(single.plan.resident_entries() < full.ulcps.ulcps.len());
     }
 
     #[test]

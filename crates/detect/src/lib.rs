@@ -31,6 +31,10 @@
 //! code-site, kind) aggregate at emission time, so dense traces (tens of
 //! millions of pairs) can be analyzed with output memory proportional to the
 //! number of *code sites*, which is what the report layer groups by anyway.
+//! [`PlanAggregator`] extends the aggregate with the causal edges and benign
+//! pairs — the only individual pairs any later pipeline stage needs — so one
+//! pass produces a [`DetectionPlan`] that drives transformation, replay and
+//! reporting without a pair list ever existing.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,6 +42,7 @@
 mod classify;
 mod kinds;
 mod pairing;
+mod plan;
 mod reference;
 mod shadow;
 mod sink;
@@ -46,6 +51,7 @@ mod streaming;
 pub use classify::{classify_by_sets, classify_pair, refine_conflicting_pair};
 pub use kinds::{PairClass, UlcpKind};
 pub use pairing::{CausalEdge, Detector, DetectorConfig, Ulcp, UlcpAnalysis, UlcpBreakdown};
+pub use plan::{DetectionPlan, PlanAggregator};
 pub use reference::{reference_analyze, reference_analyze_with};
 pub use shadow::{LastWriteIndex, MemorySnapshot, StartState, StateBefore};
 pub use sink::{

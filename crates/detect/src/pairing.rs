@@ -96,6 +96,15 @@ impl UlcpBreakdown {
         }
     }
 
+    /// Sums every field of another *whole-trace* breakdown into this one —
+    /// the fused Table 1 row of the multi-trace batch driver. Unlike the
+    /// per-lock shard merge, `lock_acquisitions` accumulates too: each input
+    /// is a complete trace's count.
+    pub fn merge_totals(&mut self, other: &UlcpBreakdown) {
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.merge_pair_counts(other);
+    }
+
     /// Accumulates another breakdown's pair counts into this one.
     /// `lock_acquisitions` is a whole-trace property, not a per-lock count,
     /// and is deliberately not summed.

@@ -290,6 +290,45 @@ impl SiteAggregates {
     pub fn is_empty(&self) -> bool {
         self.ulcps.is_empty() && self.edges.is_empty()
     }
+
+    /// Fuses another aggregate table into this one with saturating addition,
+    /// keeping ascending key order. Saturating add is commutative and
+    /// associative, so merging N tables yields the identical result in any
+    /// order — the property the multi-trace batch driver relies on to fuse
+    /// concurrently-analyzed traces deterministically.
+    pub fn merge(&mut self, other: &SiteAggregates) {
+        let mut ulcps: BTreeMap<(CodeSiteId, CodeSiteId, UlcpKind), PairCell> = BTreeMap::new();
+        for row in self.ulcps.iter().chain(&other.ulcps) {
+            let cell = ulcps
+                .entry((row.site_first, row.site_second, row.kind))
+                .or_default();
+            cell.pairs = cell.pairs.saturating_add(row.dynamic_pairs);
+            cell.gain_ns = cell.gain_ns.saturating_add(row.gain_ns);
+        }
+        let mut edges: BTreeMap<(CodeSiteId, CodeSiteId), u64> = BTreeMap::new();
+        for row in self.edges.iter().chain(&other.edges) {
+            let count = edges.entry((row.site_first, row.site_second)).or_default();
+            *count = count.saturating_add(row.edges);
+        }
+        self.ulcps = ulcps
+            .into_iter()
+            .map(|((site_first, site_second, kind), cell)| SiteAggregate {
+                site_first,
+                site_second,
+                kind,
+                dynamic_pairs: cell.pairs,
+                gain_ns: cell.gain_ns,
+            })
+            .collect();
+        self.edges = edges
+            .into_iter()
+            .map(|((site_first, site_second), edges)| EdgeAggregate {
+                site_first,
+                site_second,
+                edges,
+            })
+            .collect();
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]

@@ -105,6 +105,20 @@ impl ReplaySchedule {
         }
     }
 
+    /// The canonical schedule for an enforcement scheme: the deterministic
+    /// schemes with their fixed shapes, ORIG-S with noise seed 1. The one
+    /// mapping both pipeline orchestrators (`perfplay::PerfPlay` and the
+    /// single-pass `analyze_plan`) share, so a configured [`ScheduleKind`]
+    /// replays identically through either.
+    pub fn for_kind(kind: ScheduleKind) -> Self {
+        match kind {
+            ScheduleKind::OrigS => ReplaySchedule::orig(1),
+            ScheduleKind::ElscS => ReplaySchedule::elsc(),
+            ScheduleKind::SyncS => ReplaySchedule::sync(),
+            ScheduleKind::MemS => ReplaySchedule::mem(),
+        }
+    }
+
     /// Returns a copy with a different jitter magnitude.
     pub fn with_jitter(mut self, jitter: Time) -> Self {
         self.jitter = jitter;

@@ -21,12 +21,18 @@
 //!   Figure 14.
 //! * [`PerfReport`] bundles everything, renders a human-readable summary and
 //!   serializes to JSON.
+//! * [`analyze_plan`] runs the whole pipeline single-pass — one detection
+//!   pass whose compact [`DetectionPlan`](perfplay_detect::DetectionPlan)
+//!   output drives transform, both replays and the report — and
+//!   [`analyze_batch`] lifts it to N traces analyzed concurrently with one
+//!   fused ranked report (the paper's Table 1 sweep as a single call).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod fusion;
 mod metrics;
+mod pipeline;
 mod report;
 
 pub use fusion::{
@@ -34,5 +40,9 @@ pub use fusion::{
 };
 pub use metrics::{
     pair_gain_ns, segment_anchors, ulcp_gains, ImpactSplit, ReplayGains, SegmentAnchors, UlcpGain,
+};
+pub use pipeline::{
+    analyze_batch, analyze_batch_sequential, analyze_plan, analyze_plan_with, BatchAnalysis,
+    PipelineConfig, PipelineError, PlanAnalysis,
 };
 pub use report::PerfReport;

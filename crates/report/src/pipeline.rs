@@ -1,0 +1,417 @@
+//! The single-pass analysis pipeline and the multi-trace batch driver.
+//!
+//! [`analyze_plan`] runs the whole PerfPlay pipeline — identify → transform →
+//! replay twice → report — with **one** detection pass and O(code sites)
+//! detection output: the detector emits into a
+//! [`PlanAggregator`](perfplay_detect::PlanAggregator), whose
+//! [`DetectionPlan`] (edge table + benign pairs + per-site aggregate rows)
+//! is everything the transformation, the ULCP-free replay admission and the
+//! ranked report need. No pair vector exists at any point.
+//!
+//! [`analyze_batch`] is the paper's Table 1 sweep as one call: it analyzes N
+//! recorded traces concurrently — reusing the detector's fork/absorb
+//! work-queue discipline across traces — then fuses the per-trace aggregate
+//! tables with the order-independent saturating merge
+//! ([`SiteAggregates::merge`]) and emits one fused ranked report. Because
+//! the merge is commutative and associative, the fused output is identical
+//! to sequential per-trace analysis followed by an in-order merge.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use perfplay_detect::{
+    BodyOverlapGain, DetectionPlan, Detector, DetectorConfig, GainSource, PlanAggregator,
+    SiteAggregates, StreamingDetector, StreamingStats, UlcpBreakdown,
+};
+use perfplay_replay::{
+    ReplayConfig, ReplayError, ReplayResult, ReplaySchedule, Replayer, ScheduleKind,
+    UlcpFreeReplayer,
+};
+use perfplay_trace::{StreamError, Trace};
+use perfplay_transform::{TransformConfig, Transformer};
+
+use crate::fusion::{fuse_aggregates, rank_groups, Recommendation};
+use crate::report::PerfReport;
+
+/// Errors produced by the single-pass pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// One of the two replays failed.
+    Replay(ReplayError),
+    /// Chunked (streaming) detection failed.
+    Stream(StreamError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Replay(e) => write!(f, "pipeline replay failed: {e}"),
+            PipelineError::Stream(e) => write!(f, "pipeline stream ingestion failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ReplayError> for PipelineError {
+    fn from(e: ReplayError) -> Self {
+        PipelineError::Replay(e)
+    }
+}
+
+impl From<StreamError> for PipelineError {
+    fn from(e: StreamError) -> Self {
+        PipelineError::Stream(e)
+    }
+}
+
+/// Configuration of the single-pass pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// ULCP detector options (shared by the batch and streaming engines).
+    pub detector: DetectorConfig,
+    /// Cost model of both replays.
+    pub replay: ReplayConfig,
+    /// Trace transformation options.
+    pub transform: TransformConfig,
+    /// Whether the ULCP-free replay uses the dynamic locking strategy.
+    pub use_dls: bool,
+    /// Schedule of the original-trace replay (the paper uses ELSC).
+    pub original_schedule: ScheduleKind,
+    /// When set, detection streams the trace chunk-by-chunk with this chunk
+    /// size (bounded pairing state); when `None`, the batch engine runs
+    /// (honouring [`DetectorConfig::parallel`]).
+    pub chunk_events: Option<usize>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            detector: DetectorConfig::default(),
+            replay: ReplayConfig::default(),
+            transform: TransformConfig::default(),
+            use_dls: true,
+            original_schedule: ScheduleKind::ElscS,
+            chunk_events: None,
+        }
+    }
+}
+
+/// Everything one single-pass pipeline run produced. The transformed trace
+/// (which clones the original event log) is dropped as soon as the ULCP-free
+/// replay finishes; its statistics live on in `report.transform_stats`.
+#[derive(Debug, Clone)]
+pub struct PlanAnalysis {
+    /// The compact detection output that drove transform, replay and report.
+    pub plan: DetectionPlan,
+    /// Replay of the original trace.
+    pub original_replay: ReplayResult,
+    /// Replay of the ULCP-free trace.
+    pub ulcp_free_replay: ReplayResult,
+    /// The programmer-facing report, seeded from the plan's aggregate rows.
+    pub report: PerfReport,
+    /// Resident-state statistics of the detection pass when it streamed
+    /// (`chunk_events` set); `None` for batch detection.
+    pub streaming: Option<StreamingStats>,
+}
+
+/// Runs the single-pass pipeline with an explicit detection-time gain
+/// source.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if a replay fails or the chunked stream is
+/// malformed (the in-memory adapter never is).
+pub fn analyze_plan_with<G: GainSource + Clone + Send + Sync>(
+    trace: &Trace,
+    config: &PipelineConfig,
+    gain: G,
+) -> Result<PlanAnalysis, PipelineError> {
+    let (plan, streaming) = match config.chunk_events {
+        Some(chunk_events) => {
+            let streamed = StreamingDetector::new(config.detector).analyze_trace_with(
+                trace,
+                chunk_events,
+                PlanAggregator::new(gain),
+            )?;
+            let (plan, stats) = DetectionPlan::from_streaming(streamed);
+            (plan, Some(stats))
+        }
+        None => (Detector::new(config.detector).plan(trace, gain), None),
+    };
+
+    let transformed = Transformer::new(config.transform).transform_from_plan(trace, &plan);
+    let original_replay = Replayer::new(config.replay)
+        .replay(trace, ReplaySchedule::for_kind(config.original_schedule))?;
+    let ulcp_free_replay = UlcpFreeReplayer::new(config.replay)
+        .with_dls(config.use_dls)
+        .replay(&transformed)?;
+    let report = PerfReport::from_plan(
+        trace,
+        &plan,
+        &transformed,
+        &original_replay,
+        &ulcp_free_replay,
+    );
+    Ok(PlanAnalysis {
+        plan,
+        original_replay,
+        ulcp_free_replay,
+        report,
+        streaming,
+    })
+}
+
+/// Runs the single-pass pipeline with the default detection-time gain proxy
+/// ([`BodyOverlapGain`]).
+///
+/// # Errors
+///
+/// Same conditions as [`analyze_plan_with`].
+pub fn analyze_plan(trace: &Trace, config: &PipelineConfig) -> Result<PlanAnalysis, PipelineError> {
+    analyze_plan_with(trace, config, BodyOverlapGain)
+}
+
+/// The fused output of a multi-trace batch run.
+#[derive(Debug, Clone)]
+pub struct BatchAnalysis {
+    /// Per-trace single-pass analyses, in input order.
+    pub per_trace: Vec<PlanAnalysis>,
+    /// The fused aggregate table across all traces (saturating merge).
+    pub fused_aggregates: SiteAggregates,
+    /// Summed per-category breakdown across all traces (saturating by
+    /// construction of the per-trace counts; plain sums here).
+    pub fused_breakdown: UlcpBreakdown,
+    /// One ranked recommendation list seeded from the fused table — the
+    /// Table 1 sweep's "which code region matters most overall" answer.
+    pub recommendations: Vec<Recommendation>,
+}
+
+impl BatchAnalysis {
+    /// Number of traces analyzed.
+    pub fn num_traces(&self) -> usize {
+        self.per_trace.len()
+    }
+
+    /// Relative opportunity of the top fused group.
+    pub fn top_opportunity(&self) -> f64 {
+        self.recommendations
+            .first()
+            .map(|r| r.opportunity)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Analyzes N recorded traces and fuses their results into one ranked
+/// report, running the per-trace pipelines concurrently over a work queue
+/// (the same pop-the-next-unit discipline `DetectorConfig::parallel` uses
+/// across locks, lifted to whole traces). Results are re-ordered by input
+/// index and the aggregate merge is order-independent, so the output is
+/// bit-identical to analyzing the traces sequentially and merging in order —
+/// which [`analyze_batch_sequential`] does, as the executable spec.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing trace, if any.
+pub fn analyze_batch(
+    traces: &[Trace],
+    config: &PipelineConfig,
+) -> Result<BatchAnalysis, PipelineError> {
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(traces.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<PlanAnalysis, PipelineError>>>> =
+        Mutex::new((0..traces.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(trace) = traces.get(i) else {
+                    break;
+                };
+                let result = analyze_plan(trace, config);
+                slots.lock().expect("batch slots lock")[i] = Some(result);
+            });
+        }
+    });
+    let per_trace: Result<Vec<PlanAnalysis>, PipelineError> = slots
+        .into_inner()
+        .expect("batch slots lock")
+        .into_iter()
+        .map(|slot| slot.expect("every trace index was processed"))
+        .collect();
+    Ok(fuse_batch(per_trace?))
+}
+
+/// The sequential executable spec of [`analyze_batch`]: per-trace analysis
+/// in input order, aggregate merge in input order.
+///
+/// # Errors
+///
+/// Returns the error of the first failing trace.
+pub fn analyze_batch_sequential(
+    traces: &[Trace],
+    config: &PipelineConfig,
+) -> Result<BatchAnalysis, PipelineError> {
+    let per_trace: Result<Vec<PlanAnalysis>, PipelineError> =
+        traces.iter().map(|t| analyze_plan(t, config)).collect();
+    Ok(fuse_batch(per_trace?))
+}
+
+/// Fuses per-trace analyses: merged aggregate table, summed breakdown, one
+/// ranked recommendation list.
+fn fuse_batch(per_trace: Vec<PlanAnalysis>) -> BatchAnalysis {
+    let mut fused_aggregates = SiteAggregates::default();
+    let mut fused_breakdown = UlcpBreakdown::default();
+    for analysis in &per_trace {
+        fused_aggregates.merge(&analysis.plan.aggregates);
+        fused_breakdown.merge_totals(&analysis.plan.breakdown);
+    }
+    let recommendations = rank_groups(fuse_aggregates(&fused_aggregates));
+    BatchAnalysis {
+        per_trace,
+        fused_aggregates,
+        fused_breakdown,
+        recommendations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfplay_record::Recorder;
+    use perfplay_sim::SimConfig;
+    use perfplay_workloads::{random_workload, GeneratorConfig};
+
+    fn record(seed: u64) -> Trace {
+        let program = random_workload(
+            seed,
+            &GeneratorConfig {
+                threads: 3,
+                locks: 2,
+                objects: 4,
+                sections_per_thread: 8,
+            },
+        );
+        Recorder::new(SimConfig::default())
+            .record(&program)
+            .unwrap()
+            .trace
+    }
+
+    #[test]
+    fn single_pass_report_matches_two_pass_aggregate_report() {
+        use perfplay_detect::SiteAggregator;
+        let trace = record(11);
+        let config = PipelineConfig::default();
+        let single = analyze_plan(&trace, &config).unwrap();
+
+        // Two-pass flow: materialize the analysis for transform + replays,
+        // then a second detection pass folds the same gain proxy into the
+        // aggregate table.
+        let analysis = Detector::new(config.detector).analyze(&trace);
+        let transformed = Transformer::new(config.transform).transform(&trace, &analysis);
+        let original = Replayer::new(config.replay)
+            .replay(&trace, ReplaySchedule::elsc())
+            .unwrap();
+        let free = UlcpFreeReplayer::new(config.replay)
+            .with_dls(config.use_dls)
+            .replay(&transformed)
+            .unwrap();
+        let aggregated = Detector::new(config.detector)
+            .analyze_with(&trace, SiteAggregator::new(BodyOverlapGain));
+        let two_pass = PerfReport::from_aggregates(
+            &trace,
+            aggregated.breakdown,
+            &aggregated.sink.finish(),
+            &transformed,
+            &original,
+            &free,
+        );
+
+        assert_eq!(single.report, two_pass);
+        assert_eq!(single.original_replay, original);
+        assert_eq!(single.ulcp_free_replay, free);
+    }
+
+    #[test]
+    fn streaming_pipeline_matches_batch_pipeline() {
+        let trace = record(5);
+        let batch = analyze_plan(&trace, &PipelineConfig::default()).unwrap();
+        let streamed = analyze_plan(
+            &trace,
+            &PipelineConfig {
+                chunk_events: Some(13),
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(streamed.plan, batch.plan);
+        assert_eq!(streamed.report, batch.report);
+        assert!(streamed.streaming.is_some());
+        assert!(batch.streaming.is_none());
+    }
+
+    #[test]
+    fn concurrent_batch_equals_sequential_batch_plus_merge() {
+        let traces: Vec<Trace> = (0..5).map(|i| record(100 + i)).collect();
+        let config = PipelineConfig::default();
+        let concurrent = analyze_batch(&traces, &config).unwrap();
+        let sequential = analyze_batch_sequential(&traces, &config).unwrap();
+
+        assert_eq!(concurrent.num_traces(), traces.len());
+        assert_eq!(concurrent.fused_aggregates, sequential.fused_aggregates);
+        assert_eq!(concurrent.fused_breakdown, sequential.fused_breakdown);
+        assert_eq!(concurrent.recommendations, sequential.recommendations);
+        for (c, s) in concurrent.per_trace.iter().zip(&sequential.per_trace) {
+            assert_eq!(c.plan, s.plan);
+            assert_eq!(c.report, s.report);
+        }
+        // The fused table is exactly the in-order merge of the per-trace
+        // tables.
+        let mut merged = SiteAggregates::default();
+        for a in &sequential.per_trace {
+            merged.merge(&a.plan.aggregates);
+        }
+        assert_eq!(merged, concurrent.fused_aggregates);
+        // Fused totals are the sums of the per-trace totals (no saturation
+        // at this scale).
+        let pair_sum: u64 = sequential
+            .per_trace
+            .iter()
+            .map(|a| a.plan.aggregates.total_pairs())
+            .sum();
+        assert_eq!(concurrent.fused_aggregates.total_pairs(), pair_sum);
+        assert_eq!(
+            concurrent.fused_breakdown.lock_acquisitions,
+            sequential
+                .per_trace
+                .iter()
+                .map(|a| a.plan.breakdown.lock_acquisitions)
+                .sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn batch_results_follow_input_order() {
+        let traces: Vec<Trace> = (0..3).map(|i| record(40 + i)).collect();
+        let batch = analyze_batch(&traces, &PipelineConfig::default()).unwrap();
+        assert_eq!(batch.per_trace.len(), 3);
+        for (analysis, trace) in batch.per_trace.iter().zip(&traces) {
+            assert_eq!(analysis.report.program, trace.meta.program);
+            assert!(analysis.report.impact.original_time >= analysis.report.impact.ulcp_free_time);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty_not_an_error() {
+        let batch = analyze_batch(&[], &PipelineConfig::default()).unwrap();
+        assert_eq!(batch.num_traces(), 0);
+        assert!(batch.fused_aggregates.is_empty());
+        assert!(batch.recommendations.is_empty());
+        assert_eq!(batch.top_opportunity(), 0.0);
+    }
+}

@@ -1,6 +1,6 @@
 //! The final performance-debugging report PerfPlay hands to the programmer.
 
-use perfplay_detect::{SiteAggregates, UlcpAnalysis, UlcpBreakdown};
+use perfplay_detect::{DetectionPlan, SiteAggregates, UlcpAnalysis, UlcpBreakdown};
 use perfplay_replay::ReplayResult;
 use perfplay_trace::{Trace, TraceStats};
 use perfplay_transform::{TransformStats, TransformedTrace};
@@ -102,6 +102,33 @@ impl PerfReport {
             transform_stats: transformed.stats(),
             lockset_overhead_fraction: ulcp_free_replay.lockset_overhead_fraction(),
         }
+    }
+
+    /// Assembles the report from a single-pass [`DetectionPlan`]: the
+    /// breakdown and fusion seeds come straight out of the one detection
+    /// pass that also fed the transformation, so the whole pipeline runs
+    /// with O(code sites) detection output and no pair list.
+    ///
+    /// Equivalent to [`from_aggregates`](Self::from_aggregates) over the
+    /// plan's parts; the accumulated gains are whatever detection-time
+    /// [`GainSource`](perfplay_detect::GainSource) the plan's sink used
+    /// (typically [`BodyOverlapGain`](perfplay_detect::BodyOverlapGain),
+    /// since Equation 1 replay gains do not exist before the replays run).
+    pub fn from_plan(
+        trace: &Trace,
+        plan: &DetectionPlan,
+        transformed: &TransformedTrace,
+        original_replay: &ReplayResult,
+        ulcp_free_replay: &ReplayResult,
+    ) -> Self {
+        Self::from_aggregates(
+            trace,
+            plan.breakdown,
+            &plan.aggregates,
+            transformed,
+            original_replay,
+            ulcp_free_replay,
+        )
     }
 
     /// The most beneficial code-region recommendation, if any.

@@ -18,6 +18,13 @@
 //!    the replayer to prune locks of already-finished source nodes and keep
 //!    lockset maintenance overhead low (Table 3).
 //!
+//! Both entry points share one RULE 1–4 core:
+//! [`Transformer::transform`] consumes a materialized
+//! `perfplay_detect::UlcpAnalysis`, while
+//! [`Transformer::transform_from_plan`] consumes the compact single-pass
+//! `perfplay_detect::DetectionPlan` (edges + benign pairs, no pair list) and
+//! produces the bit-identical [`TransformedTrace`].
+//!
 //! The output, [`TransformedTrace`], is what `perfplay-replay` replays to
 //! measure the performance the program would have had without ULCPs.
 

@@ -21,7 +21,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use perfplay_detect::{UlcpAnalysis, UlcpKind};
+use perfplay_detect::{CausalEdge, DetectionPlan, UlcpAnalysis, UlcpKind};
 use perfplay_trace::{AuxLockId, CriticalSection, LockId, SectionId, Trace};
 use serde::{Deserialize, Serialize};
 
@@ -177,8 +177,54 @@ impl Transformer {
 
     /// Transforms the recorded trace into its ULCP-free counterpart.
     pub fn transform(&self, trace: &Trace, analysis: &UlcpAnalysis) -> TransformedTrace {
-        let topology = Topology::from_analysis(analysis);
-        let sections = analysis.sections.clone();
+        // Theorem 1: benign ULCPs become parallel although they touch the
+        // same data; report them as potential races.
+        let race_warnings = analysis
+            .ulcps
+            .iter()
+            .filter(|u| u.kind == UlcpKind::Benign)
+            .map(|u| RaceWarning {
+                first: u.first,
+                second: u.second,
+                lock: u.lock,
+            })
+            .collect();
+        self.transform_parts(
+            trace,
+            analysis.sections.clone(),
+            &analysis.edges,
+            race_warnings,
+        )
+    }
+
+    /// Transforms the recorded trace from a single-pass [`DetectionPlan`] —
+    /// the O(sections + edges + benign) detection output — producing a
+    /// [`TransformedTrace`] bit-identical to
+    /// [`transform`](Self::transform) over the materialized analysis of the
+    /// same trace: the plan retains the causal edges and benign pairs in the
+    /// exact canonical order the analysis lists them.
+    pub fn transform_from_plan(&self, trace: &Trace, plan: &DetectionPlan) -> TransformedTrace {
+        let race_warnings = plan
+            .benign
+            .iter()
+            .map(|u| RaceWarning {
+                first: u.first,
+                second: u.second,
+                lock: u.lock,
+            })
+            .collect();
+        self.transform_parts(trace, plan.sections.clone(), &plan.edges, race_warnings)
+    }
+
+    /// The shared RULE 1–4 core both entry points feed.
+    fn transform_parts(
+        &self,
+        trace: &Trace,
+        sections: Vec<CriticalSection>,
+        edges: &[CausalEdge],
+        race_warnings: Vec<RaceWarning>,
+    ) -> TransformedTrace {
+        let topology = Topology::from_parts(&sections, edges);
 
         // RULE 3: assign auxiliary locks to nodes with outgoing causal edges.
         let mut aux_locks: BTreeMap<SectionId, AuxLockId> = BTreeMap::new();
@@ -244,19 +290,6 @@ impl Transformer {
                 });
             }
         }
-
-        // Theorem 1: benign ULCPs become parallel although they touch the
-        // same data; report them as potential races.
-        let race_warnings = analysis
-            .ulcps
-            .iter()
-            .filter(|u| u.kind == UlcpKind::Benign)
-            .map(|u| RaceWarning {
-                first: u.first,
-                second: u.second,
-                lock: u.lock,
-            })
-            .collect();
 
         TransformedTrace {
             original: trace.clone(),
@@ -502,6 +535,27 @@ mod tests {
         if let Some(own) = node.aux_lock {
             assert!(pruned.contains(&own));
         }
+    }
+
+    #[test]
+    fn transform_from_plan_is_bit_identical_to_transform() {
+        let mut b = ProgramBuilder::new("plan-path-test");
+        figure7_workload(&mut b);
+        let trace = Recorder::new(SimConfig::default())
+            .record(&b.build())
+            .unwrap()
+            .trace;
+        let analysis = Detector::default().analyze(&trace);
+        let from_analysis = Transformer::default().transform(&trace, &analysis);
+
+        let plan = Detector::default().plan(&trace, perfplay_detect::NoGain);
+        let from_plan = Transformer::default().transform_from_plan(&trace, &plan);
+
+        assert_eq!(from_plan.sections, from_analysis.sections);
+        assert_eq!(from_plan.plan, from_analysis.plan);
+        assert_eq!(from_plan.order_constraints, from_analysis.order_constraints);
+        assert_eq!(from_plan.race_warnings, from_analysis.race_warnings);
+        assert_eq!(from_plan.num_aux_locks, from_analysis.num_aux_locks);
     }
 
     #[test]

@@ -23,16 +23,25 @@ impl Topology {
     /// Builds the topology from a ULCP analysis: every critical section is a
     /// node, every TLCP found by the sequential search is a causal edge.
     pub fn from_analysis(analysis: &UlcpAnalysis) -> Self {
-        let nodes = analysis.sections.iter().map(|s| s.id).collect();
+        Self::from_parts(&analysis.sections, &analysis.edges)
+    }
+
+    /// Builds the topology from a section table and an edge list directly —
+    /// the entry point for plan-driven transformation, where no
+    /// [`UlcpAnalysis`] ever exists. Edge order is preserved (it determines
+    /// the adjacency-list order downstream), so callers must pass edges in
+    /// the canonical detection order for bit-identical output.
+    pub fn from_parts(sections: &[perfplay_trace::CriticalSection], edges: &[CausalEdge]) -> Self {
+        let nodes = sections.iter().map(|s| s.id).collect();
         let mut outgoing: BTreeMap<SectionId, Vec<SectionId>> = BTreeMap::new();
         let mut incoming: BTreeMap<SectionId, Vec<SectionId>> = BTreeMap::new();
-        for e in &analysis.edges {
+        for e in edges {
             outgoing.entry(e.from).or_default().push(e.to);
             incoming.entry(e.to).or_default().push(e.from);
         }
         Topology {
             nodes,
-            edges: analysis.edges.clone(),
+            edges: edges.to_vec(),
             outgoing,
             incoming,
         }

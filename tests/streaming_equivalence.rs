@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use perfplay::prelude::*;
 use perfplay::workloads::{random_workload, GeneratorConfig};
 use perfplay_detect::reference_analyze;
-use perfplay_trace::{read_chunked_trace, ChunkFileReader, Trace};
+use perfplay_trace::{read_chunked_trace, ChunkFileReader, StreamError, Trace};
 
 fn generator_config() -> impl Strategy<Value = GeneratorConfig> {
     (2usize..5, 1usize..4, 2usize..6, 4u32..14).prop_map(
@@ -147,4 +147,98 @@ proptest! {
         std::fs::remove_file(&path).ok();
         assert_analyses_equal("file stream vs batch", &streamed.analysis, &batch)?;
     }
+}
+
+/// Spills a small trace to a chunk file and returns its path and lines.
+fn spilled_lines(tag: &str) -> (std::path::PathBuf, Vec<String>) {
+    let trace = record(
+        77,
+        &GeneratorConfig {
+            threads: 3,
+            locks: 2,
+            objects: 4,
+            sections_per_thread: 6,
+        },
+    );
+    let path = std::env::temp_dir().join(format!(
+        "perfplay-truncated-{tag}-{}.jsonl",
+        std::process::id()
+    ));
+    spill_trace(&trace, &path, 16).unwrap();
+    let lines: Vec<String> = std::fs::read_to_string(&path)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert!(lines.len() >= 3, "need header + chunk(s) + trailer");
+    (path, lines)
+}
+
+/// Drains a reader until end-of-stream or the first error.
+fn drain(reader: &mut ChunkFileReader) -> Result<(), StreamError> {
+    while reader.next_chunk()?.is_some() {}
+    Ok(())
+}
+
+/// Regression: a chunk file cut off after a complete chunk record — e.g. a
+/// crashed recorder that never wrote its trailer — must surface as a
+/// structured `StreamError::Format`, not a panic or a silent short read that
+/// would analyze a partial trace as if it were complete.
+#[test]
+fn truncated_file_without_trailer_is_a_structured_error() {
+    let (path, lines) = spilled_lines("no-trailer");
+    // Drop the trailer line.
+    std::fs::write(&path, format!("{}\n", lines[..lines.len() - 1].join("\n"))).unwrap();
+
+    let mut reader = ChunkFileReader::open(&path).unwrap();
+    let err = drain(&mut reader).expect_err("missing trailer must be an error");
+    assert!(
+        matches!(&err, StreamError::Format(msg) if msg.contains("trailer")),
+        "expected a format error naming the missing trailer, got {err:?}"
+    );
+    assert!(reader.trailer().is_none());
+
+    // The whole-trace reassembly path reports the same structured error.
+    let err = read_chunked_trace(&path).expect_err("reassembly must fail too");
+    assert!(matches!(err, StreamError::Format(_)));
+    std::fs::remove_file(&path).ok();
+}
+
+/// Regression: a file cut off *mid-chunk* (a partial final line, the shape a
+/// killed process leaves behind) must surface as `StreamError::Parse` with
+/// the failing line number — never a panic.
+#[test]
+fn truncated_file_mid_chunk_is_a_parse_error() {
+    let (path, lines) = spilled_lines("mid-chunk");
+    // Keep the header intact and cut the second record in half.
+    let half = &lines[1][..lines[1].len() / 2];
+    std::fs::write(&path, format!("{}\n{half}\n", lines[0])).unwrap();
+
+    let mut reader = ChunkFileReader::open(&path).unwrap();
+    let err = drain(&mut reader).expect_err("mid-chunk EOF must be an error");
+    match err {
+        StreamError::Parse { line, .. } => assert_eq!(line, 2, "the cut line is line 2"),
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Regression: a trailer whose chunk/event counts disagree with what was
+/// actually read (a file truncated *between* chunks with the trailer intact)
+/// is rejected instead of silently under-reporting.
+#[test]
+fn trailer_count_mismatch_is_a_structured_error() {
+    let (path, lines) = spilled_lines("count-mismatch");
+    // Drop one chunk record from the middle, keeping header + trailer.
+    let mut kept: Vec<&str> = lines.iter().map(String::as_str).collect();
+    kept.remove(1);
+    std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
+
+    let mut reader = ChunkFileReader::open(&path).unwrap();
+    let err = drain(&mut reader).expect_err("count mismatch must be an error");
+    assert!(
+        matches!(&err, StreamError::Format(msg) if msg.contains("trailer claims")),
+        "expected the trailer-mismatch format error, got {err:?}"
+    );
+    std::fs::remove_file(&path).ok();
 }
