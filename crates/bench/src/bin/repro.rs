@@ -39,6 +39,17 @@
 //!   wall-clock win of eliminating the second detection pass, and the
 //!   O(code sites) peak-memory story — and writes `BENCH_pipeline.json`,
 //!   embedding the `BENCH_replay.json` artifact when present.
+//! * `repro detect --inject SPEC [--out PATH]` runs the deterministic
+//!   fault-injection harness: a clean chunked trace is corrupted (on disk
+//!   and in flight) per SPEC (`all` or a fault name, optionally `:SEED`),
+//!   ingested under every `RecoveryPolicy` with each attempt wrapped in
+//!   `catch_unwind`, and the outcome matrix is printed. Exits non-zero if
+//!   any trial panics — the pipeline's no-panic invariant as a smoke test.
+//! * `repro batch --chunk-dir DIR [--quick] [--out PATH]` runs the batch
+//!   sweep over on-disk chunk files: every `*.jsonl` in DIR (spilling the
+//!   app models first when DIR is empty) is streamed through the detector
+//!   under `SkipChunk` recovery and fused into one ranked report, with gap
+//!   totals for any file that needed recovery.
 //! * `repro batch [--quick] [--out PATH]` runs the multi-trace batch driver
 //!   over every application model (the paper's Table 1 sweep as one call):
 //!   N traces analyzed concurrently, their aggregate tables fused with the
@@ -49,10 +60,11 @@
 use std::time::Instant;
 
 use perfplay::prelude::{
-    analyze_batch, analyze_batch_sequential, fuse_aggregates, fuse_ulcp_gains, rank_groups,
-    BatchAnalysis, BodyOverlapGain, ChunkFileReader, Detector, DetectorConfig, GainSource,
-    PerfReport, PipelineConfig, Recommendation, SectionCtx, SiteAggregator, StreamingDetector,
-    StreamingStats, Trace, Transformer, UlcpGain,
+    analyze_batch, analyze_batch_sequential, analyze_chunk_files, corrupt_chunk_file,
+    fuse_aggregates, fuse_ulcp_gains, rank_groups, spill_trace, BatchAnalysis, BodyOverlapGain,
+    ChunkFileReader, Detector, DetectorConfig, FaultInjector, FaultKind, FaultPlan, GainSource,
+    PerfReport, PipelineConfig, Recommendation, RecoveryPolicy, SectionCtx, SiteAggregator,
+    StreamingDetector, StreamingStats, Trace, Transformer, UlcpGain,
 };
 use perfplay::prelude::{ReplayConfig, ReplayResult, ReplaySchedule, Replayer, UlcpFreeReplayer};
 use perfplay::workloads::{App, InputSize};
@@ -1127,9 +1139,13 @@ fn analyze_app_sweep(quick: bool) -> AppSweep {
         .iter()
         .map(|app| record_app(*app, threads, input))
         .collect();
-    let (batch, analyze_ms) = time_ms(|| {
-        analyze_batch(&traces, &PipelineConfig::default()).expect("app models always analyze")
-    });
+    let (batch, analyze_ms) = time_ms(|| analyze_batch(&traces, &PipelineConfig::default()));
+    assert!(
+        batch.is_complete(),
+        "app models always analyze, but {} trace(s) failed: {:?}",
+        batch.failures.len(),
+        batch.failures
+    );
     let rows: Vec<PipelineRow> = App::ALL
         .iter()
         .zip(&batch.per_trace)
@@ -1254,10 +1270,14 @@ fn run_batch(quick: bool, out: &str) {
     print_rows(&sweep.rows);
 
     // The executable spec: sequential per-trace analysis, in-order merge.
-    let (sequential, sequential_ms) = time_ms(|| {
-        analyze_batch_sequential(&sweep.traces, &PipelineConfig::default())
-            .expect("app models always analyze")
-    });
+    let (sequential, sequential_ms) =
+        time_ms(|| analyze_batch_sequential(&sweep.traces, &PipelineConfig::default()));
+    assert!(
+        sequential.is_complete(),
+        "app models always analyze, but {} trace(s) failed: {:?}",
+        sequential.failures.len(),
+        sequential.failures
+    );
 
     let batch = &sweep.batch;
     let identical_to_sequential = batch.fused_aggregates == sequential.fused_aggregates
@@ -1300,6 +1320,294 @@ fn run_batch(quick: bool, out: &str) {
         "batch over {} traces identical to sequential + merge -> {out}",
         report.rows.len()
     );
+}
+
+/// One fault-injection trial: a `(kind, layer, policy)` cell of the chaos
+/// matrix and how the pipeline ended.
+#[derive(Debug, Serialize)]
+struct InjectTrial {
+    kind: String,
+    /// `file` (corrupted bytes on disk) or `stream` (in-flight injector).
+    layer: String,
+    policy: String,
+    /// What the injector actually did, for reproduction.
+    fault: String,
+    /// `report` | `gap-report` | `error` — `panic` fails the run.
+    outcome: String,
+    detail: String,
+}
+
+#[derive(Debug, Serialize)]
+struct InjectReport {
+    spec: String,
+    seed: u64,
+    trials: Vec<InjectTrial>,
+    clean_reports: usize,
+    gap_reports: usize,
+    structured_errors: usize,
+    panics: usize,
+}
+
+/// Runs one ingestion attempt under `catch_unwind` and classifies the ending.
+fn inject_outcome(
+    run: impl FnOnce() -> Result<StreamingStats, perfplay::prelude::StreamError>,
+) -> (String, String) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            ("panic".to_string(), msg)
+        }
+        Ok(Ok(stats)) if stats.gaps > 0 => (
+            "gap-report".to_string(),
+            format!("{} gap(s), {} event(s) lost", stats.gaps, stats.events_lost),
+        ),
+        Ok(Ok(stats)) => (
+            "report".to_string(),
+            format!("{} events, {} sections", stats.events, stats.sections),
+        ),
+        Ok(Err(e)) => ("error".to_string(), e.to_string()),
+    }
+}
+
+/// `repro detect --inject SPEC`: the deterministic chaos harness. Spills a
+/// clean chunked trace, applies each requested fault — at the byte level via
+/// [`corrupt_chunk_file`] and in flight via [`FaultInjector`] — and ingests
+/// every corrupted artifact under every [`RecoveryPolicy`], each attempt
+/// wrapped in `catch_unwind`. SPEC is `all` or a fault name
+/// (`drop-chunk`, `dup-chunk`, `dup-event`, `reorder`, `time-regress`,
+/// `truncate`, `truncate-mid`, `bit-flip`, `trailer-mismatch`), optionally
+/// suffixed `:SEED`. Exits non-zero if any trial panics: the pinned
+/// invariant is that every run ends in a report, a gap-annotated report, or
+/// a structured error.
+fn run_inject(spec: &str, out: Option<&str>) {
+    let (kind_part, seed) = match spec.split_once(':') {
+        Some((k, s)) => match s.parse::<u64>() {
+            Ok(seed) => (k, seed),
+            Err(_) => {
+                eprintln!("--inject seed must be an integer, got `{s}`");
+                std::process::exit(2);
+            }
+        },
+        None => (spec, 42),
+    };
+    let kinds: Vec<FaultKind> = if kind_part == "all" {
+        FaultKind::ALL.to_vec()
+    } else {
+        match FaultKind::parse(kind_part) {
+            Some(kind) => vec![kind],
+            None => {
+                eprintln!(
+                    "unknown fault `{kind_part}`; available: all, {}",
+                    FaultKind::ALL.map(FaultKind::name).join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let trace = record_app(App::ALL[0], 2, InputSize::SimSmall);
+    let dir = std::env::temp_dir().join(format!("perfplay-inject-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create inject scratch dir");
+    let clean_path = dir.join("clean.jsonl");
+    let summary = spill_trace(&trace, &clean_path, 256).expect("spill clean chunk file");
+    eprintln!(
+        "clean workload: {} events in {} chunks -> {}",
+        summary.events,
+        summary.chunks,
+        clean_path.display()
+    );
+
+    let config = DetectorConfig::default();
+    let policies = [
+        RecoveryPolicy::Fail,
+        RecoveryPolicy::SkipChunk,
+        RecoveryPolicy::SkipStream,
+    ];
+    let mut trials = Vec::new();
+    for kind in &kinds {
+        // Byte level: a corrupted file, read back under each policy.
+        let corrupted = dir.join(format!("{}-{seed}.jsonl", kind.name()));
+        let fault = corrupt_chunk_file(&clean_path, &corrupted, *kind, seed)
+            .expect("corruption applies to a valid chunk file");
+        for policy in policies {
+            let (outcome, detail) = inject_outcome(|| {
+                let mut reader = ChunkFileReader::with_policy(&corrupted, policy)?;
+                let streamed = StreamingDetector::new(config).analyze(&mut reader)?;
+                Ok(streamed.stats)
+            });
+            trials.push(InjectTrial {
+                kind: kind.name().to_string(),
+                layer: "file".to_string(),
+                policy: format!("{policy:?}"),
+                fault: fault.clone(),
+                outcome,
+                detail,
+            });
+        }
+        // In flight: the same fault injected between reader and detector.
+        if kind.stream_applicable() {
+            let plan = FaultPlan::seeded(seed, *kind, summary.chunks);
+            let (outcome, detail) = inject_outcome(|| {
+                let reader = ChunkFileReader::open(&clean_path)?;
+                let mut source = FaultInjector::new(reader, plan);
+                let streamed = StreamingDetector::new(config).analyze(&mut source)?;
+                Ok(streamed.stats)
+            });
+            trials.push(InjectTrial {
+                kind: kind.name().to_string(),
+                layer: "stream".to_string(),
+                policy: "-".to_string(),
+                fault: format!("in-flight {} at chunk {}", kind.name(), plan.target),
+                outcome,
+                detail,
+            });
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let count = |o: &str| trials.iter().filter(|t| t.outcome == o).count();
+    let report = InjectReport {
+        spec: spec.to_string(),
+        seed,
+        clean_reports: count("report"),
+        gap_reports: count("gap-report"),
+        structured_errors: count("error"),
+        panics: count("panic"),
+        trials,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{json}");
+    if let Some(out) = out {
+        std::fs::write(out, format!("{json}\n")).expect("write inject artifact");
+    }
+    eprintln!(
+        "{} trials: {} clean, {} gap-annotated, {} structured errors, {} panics",
+        report.trials.len(),
+        report.clean_reports,
+        report.gap_reports,
+        report.structured_errors,
+        report.panics
+    );
+    if report.panics > 0 {
+        for t in report.trials.iter().filter(|t| t.outcome == "panic") {
+            eprintln!(
+                "PANIC: {} ({}, policy {}): {} -> {}",
+                t.kind, t.layer, t.policy, t.fault, t.detail
+            );
+        }
+        eprintln!("no-panic invariant violated");
+        std::process::exit(1);
+    }
+}
+
+/// One ingested chunk file of a `--chunk-dir` sweep.
+#[derive(Debug, Serialize)]
+struct ChunkDirRow {
+    path: String,
+    events: usize,
+    sections: usize,
+    gaps: usize,
+    events_lost: u64,
+    breakdown: BreakdownReport,
+}
+
+#[derive(Debug, Serialize)]
+struct ChunkDirReport {
+    dir: String,
+    policy: String,
+    streams: Vec<ChunkDirRow>,
+    failures: Vec<String>,
+    total_gaps: usize,
+    total_events_lost: u64,
+    analyze_ms: f64,
+    fused_breakdown: BreakdownReport,
+    fused_aggregate_rows: usize,
+    fused_groups: usize,
+    fused_report_digest: String,
+}
+
+/// `repro batch --chunk-dir DIR`: the Table 1 sweep over on-disk chunk
+/// files. Every `*.jsonl` in DIR is streamed through the detector under
+/// `SkipChunk` recovery and the per-file aggregate tables fuse into one
+/// ranked report — traces that never existed in memory, with gap totals
+/// reported for any file that needed recovery. An empty (or missing) DIR is
+/// first populated by spilling every application model. Exits non-zero if
+/// any file fails outright.
+fn run_batch_chunk_dir(dir: &str, quick: bool, out: &str) {
+    let dir_path = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir_path).expect("create chunk dir");
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir_path)
+        .expect("read chunk dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        let (threads, input) = if quick {
+            (2, InputSize::SimSmall)
+        } else {
+            (4, InputSize::SimMedium)
+        };
+        eprintln!("{dir} has no chunk files; spilling the app sweep into it...");
+        for app in App::ALL {
+            let trace = record_app(app, threads, input);
+            let path = dir_path.join(format!("{}.jsonl", app.name()));
+            spill_trace(&trace, &path, 4_096).expect("spill app trace");
+            paths.push(path);
+        }
+    }
+    eprintln!("analyzing {} chunk file(s) from {dir}...", paths.len());
+
+    let policy = RecoveryPolicy::SkipChunk;
+    let (batch, analyze_ms) =
+        time_ms(|| analyze_chunk_files(&paths, &PipelineConfig::default(), policy));
+    let streams: Vec<ChunkDirRow> = batch
+        .per_stream
+        .iter()
+        .map(|s| ChunkDirRow {
+            path: s.path.clone(),
+            events: s.stats.events,
+            sections: s.stats.sections,
+            gaps: s.stats.gaps,
+            events_lost: s.stats.events_lost,
+            breakdown: (&s.plan.breakdown).into(),
+        })
+        .collect();
+    let report = ChunkDirReport {
+        dir: dir.to_string(),
+        policy: format!("{policy:?}"),
+        streams,
+        failures: batch.failures.iter().map(ToString::to_string).collect(),
+        total_gaps: batch.total_gaps(),
+        total_events_lost: batch.total_events_lost(),
+        analyze_ms,
+        fused_breakdown: (&batch.fused_breakdown).into(),
+        fused_aggregate_rows: batch.fused_aggregates.len(),
+        fused_groups: batch.recommendations.len(),
+        fused_report_digest: format!("{:016x}", report_digest(&batch.recommendations)),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(out, format!("{json}\n")).expect("write chunk-dir artifact");
+    println!("{json}");
+    eprintln!(
+        "fused {} stream(s): {} groups, {} gap(s), {} event(s) lost, digest {} -> {out}",
+        report.streams.len(),
+        report.fused_groups,
+        report.total_gaps,
+        report.total_events_lost,
+        report.fused_report_digest
+    );
+    if !report.failures.is_empty() {
+        for f in &report.failures {
+            eprintln!("FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
 }
 
 #[derive(Debug, Serialize)]
@@ -1362,6 +1670,8 @@ fn main() {
     let mut replay_artifact: Option<String> = None;
     let mut chunk_file: Option<String> = None;
     let mut spill: Option<String> = None;
+    let mut inject: Option<String> = None;
+    let mut chunk_dir: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -1386,6 +1696,20 @@ fn main() {
                 Some(path) => spill = Some(path.clone()),
                 None => {
                     eprintln!("--spill requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--inject" => match iter.next() {
+                Some(spec) => inject = Some(spec.clone()),
+                None => {
+                    eprintln!("--inject requires a fault spec (`all` or a fault name[:SEED])");
+                    std::process::exit(2);
+                }
+            },
+            "--chunk-dir" => match iter.next() {
+                Some(path) => chunk_dir = Some(path.clone()),
+                None => {
+                    eprintln!("--chunk-dir requires a directory argument");
                     std::process::exit(2);
                 }
             },
@@ -1420,10 +1744,23 @@ fn main() {
         );
         std::process::exit(2);
     }
+    if inject.is_some()
+        && (stream || aggregate || !matches!(command.as_deref(), Some("detect") | None))
+    {
+        eprintln!("--inject is a `detect` mode and excludes --stream/--aggregate");
+        std::process::exit(2);
+    }
+    if chunk_dir.is_some() && command.as_deref() != Some("batch") {
+        eprintln!("--chunk-dir only applies to `repro batch`");
+        std::process::exit(2);
+    }
     match command.as_deref() {
         Some("detect") | None if stream && aggregate => {
             eprintln!("--stream and --aggregate are mutually exclusive");
             std::process::exit(2);
+        }
+        Some("detect") | None if inject.is_some() => {
+            run_inject(inject.as_deref().expect("checked above"), out.as_deref());
         }
         Some("detect") | None if aggregate => {
             run_aggregate(quick, out.as_deref().unwrap_or("BENCH_aggregate.json"));
@@ -1449,9 +1786,14 @@ fn main() {
                 replay_artifact.as_deref().unwrap_or(REPLAY_ARTIFACT),
             );
         }
-        Some("batch") => {
-            run_batch(quick, out.as_deref().unwrap_or("BENCH_batch.json"));
-        }
+        Some("batch") => match chunk_dir {
+            Some(dir) => run_batch_chunk_dir(
+                &dir,
+                quick,
+                out.as_deref().unwrap_or("BENCH_batch_chunks.json"),
+            ),
+            None => run_batch(quick, out.as_deref().unwrap_or("BENCH_batch.json")),
+        },
         Some(other) => {
             eprintln!("unknown command `{other}`; available: detect, replay, pipeline, batch");
             std::process::exit(2);

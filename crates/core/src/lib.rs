@@ -48,10 +48,11 @@ use perfplay_transform::{TransformConfig, TransformedTrace, Transformer};
 /// Convenience re-exports of the building-block crates.
 pub mod prelude {
     pub use perfplay_detect::{
-        BodyOverlapGain, CollectPairs, DetectionPlan, Detector, DetectorConfig, GainSource, NoGain,
-        PlanAggregator, SectionCtx, SinkAnalysis, SiteAggregates, SiteAggregator,
-        StreamingAnalysis, StreamingDetector, StreamingSinkAnalysis, StreamingStats, Ulcp,
-        UlcpAnalysis, UlcpBreakdown, UlcpKind, UlcpSink,
+        corrupt_chunk_file, BodyOverlapGain, CollectPairs, DetectionPlan, Detector, DetectorConfig,
+        FaultInjector, FaultKind, FaultPlan, GainSource, NoGain, PlanAggregator, PlanError,
+        SectionCtx, SinkAnalysis, SiteAggregates, SiteAggregator, StreamingAnalysis,
+        StreamingDetector, StreamingSinkAnalysis, StreamingStats, Ulcp, UlcpAnalysis,
+        UlcpBreakdown, UlcpKind, UlcpSink,
     };
     pub use perfplay_program::{Program, ProgramBuilder};
     pub use perfplay_record::{
@@ -62,12 +63,17 @@ pub mod prelude {
         ScheduleKind, UlcpFreeReplayer,
     };
     pub use perfplay_report::{
-        analyze_batch, analyze_batch_sequential, analyze_plan, analyze_plan_with, fuse_aggregates,
-        fuse_ulcp_gains, fuse_ulcps, rank_groups, BatchAnalysis, GroupedUlcp, PerfReport,
-        PipelineConfig, PipelineError, PlanAnalysis, Recommendation, ReplayGains, UlcpGain,
+        analyze_batch, analyze_batch_sequential, analyze_chunk_files, analyze_plan,
+        analyze_plan_with, fuse_aggregates, fuse_ulcp_gains, fuse_ulcps, rank_groups,
+        BatchAnalysis, BatchItemError, ChunkBatchAnalysis, ChunkStreamAnalysis, GroupedUlcp,
+        PerfReport, PipelineConfig, PipelineError, PlanAnalysis, Recommendation, ReplayGains,
+        UlcpGain,
     };
     pub use perfplay_sim::{ExecutionResult, Executor, SimConfig};
-    pub use perfplay_trace::{ChunkFileReader, EventSource, TraceChunk, TraceChunks};
+    pub use perfplay_trace::{
+        ChunkFileReader, EventSource, RecoveryPolicy, StreamError, StreamGap, StreamItem,
+        TraceChunk, TraceChunks,
+    };
     pub use perfplay_trace::{Time, Trace, TraceStats};
     pub use perfplay_transform::{TransformConfig, TransformedTrace, Transformer};
 }
@@ -77,7 +83,24 @@ pub mod workloads {
     pub use perfplay_workloads::*;
 }
 
-/// Errors produced by the end-to-end pipeline.
+/// Errors produced by the end-to-end pipeline — the root of the framework's
+/// error taxonomy. Every stage's typed error converts into exactly one
+/// variant, so callers can match on *where* a run failed without knowing the
+/// per-crate error types:
+///
+/// * [`Record`](Self::Record) — the deterministic simulator could not execute
+///   the program ([`SimError`]);
+/// * [`Replay`](Self::Replay) — one of the two replays got stuck or ran away
+///   ([`ReplayError`]);
+/// * [`Stream`](Self::Stream) — chunked ingestion hit malformed input
+///   ([`perfplay_trace::StreamError`], possibly wrapped in a located
+///   `StreamError::At` with file, line and byte offset);
+/// * [`Trace`](Self::Trace) — a materialized trace failed structural
+///   validation ([`perfplay_trace::TraceError`]);
+/// * [`Plan`](Self::Plan) — a deserialized detection plan was internally
+///   inconsistent ([`perfplay_detect::PlanError`]);
+/// * [`Panic`](Self::Panic) — a pipeline stage panicked inside one of the
+///   batch drivers' `catch_unwind` isolation boundaries.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PerfPlayError {
     /// Recording (simulation) failed.
@@ -86,6 +109,13 @@ pub enum PerfPlayError {
     Replay(ReplayError),
     /// Chunked (streaming) trace ingestion failed.
     Stream(perfplay_trace::StreamError),
+    /// A materialized trace failed structural validation.
+    Trace(perfplay_trace::TraceError),
+    /// A detection plan failed consistency validation.
+    Plan(perfplay_detect::PlanError),
+    /// A pipeline stage panicked; the batch drivers isolate per-trace panics
+    /// and surface them as this variant.
+    Panic(String),
 }
 
 impl std::fmt::Display for PerfPlayError {
@@ -94,6 +124,9 @@ impl std::fmt::Display for PerfPlayError {
             PerfPlayError::Record(e) => write!(f, "recording failed: {e}"),
             PerfPlayError::Replay(e) => write!(f, "replay failed: {e}"),
             PerfPlayError::Stream(e) => write!(f, "stream ingestion failed: {e}"),
+            PerfPlayError::Trace(e) => write!(f, "trace validation failed: {e}"),
+            PerfPlayError::Plan(e) => write!(f, "plan validation failed: {e}"),
+            PerfPlayError::Panic(msg) => write!(f, "pipeline stage panicked: {msg}"),
         }
     }
 }
@@ -112,11 +145,30 @@ impl From<ReplayError> for PerfPlayError {
     }
 }
 
+impl From<perfplay_trace::StreamError> for PerfPlayError {
+    fn from(e: perfplay_trace::StreamError) -> Self {
+        PerfPlayError::Stream(e)
+    }
+}
+
+impl From<perfplay_trace::TraceError> for PerfPlayError {
+    fn from(e: perfplay_trace::TraceError) -> Self {
+        PerfPlayError::Trace(e)
+    }
+}
+
+impl From<perfplay_detect::PlanError> for PerfPlayError {
+    fn from(e: perfplay_detect::PlanError) -> Self {
+        PerfPlayError::Plan(e)
+    }
+}
+
 impl From<perfplay_report::PipelineError> for PerfPlayError {
     fn from(e: perfplay_report::PipelineError) -> Self {
         match e {
             perfplay_report::PipelineError::Replay(e) => PerfPlayError::Replay(e),
             perfplay_report::PipelineError::Stream(e) => PerfPlayError::Stream(e),
+            perfplay_report::PipelineError::Panic(msg) => PerfPlayError::Panic(msg),
         }
     }
 }

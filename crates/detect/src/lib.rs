@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 mod classify;
+mod inject;
 mod kinds;
 mod pairing;
 mod plan;
@@ -49,9 +50,10 @@ mod sink;
 mod streaming;
 
 pub use classify::{classify_by_sets, classify_pair, refine_conflicting_pair};
+pub use inject::{corrupt_chunk_file, FaultInjector, FaultKind, FaultPlan};
 pub use kinds::{PairClass, UlcpKind};
 pub use pairing::{CausalEdge, Detector, DetectorConfig, Ulcp, UlcpAnalysis, UlcpBreakdown};
-pub use plan::{DetectionPlan, PlanAggregator};
+pub use plan::{DetectionPlan, PlanAggregator, PlanError};
 pub use reference::{reference_analyze, reference_analyze_with};
 pub use shadow::{LastWriteIndex, MemorySnapshot, StartState, StateBefore};
 pub use sink::{

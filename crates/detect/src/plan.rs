@@ -44,6 +44,37 @@ pub struct DetectionPlan {
     pub aggregates: SiteAggregates,
 }
 
+/// Errors found validating a [`DetectionPlan`] of untrusted provenance
+/// (e.g. deserialized from disk) before the pipeline consumes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// `sections[i].id != i`: the section table is not densely numbered.
+    MisnumberedSection {
+        /// Index into [`DetectionPlan::sections`].
+        index: usize,
+    },
+    /// An edge or benign pair references a section id outside the table.
+    DanglingSection {
+        /// The out-of-range section id.
+        id: SectionId,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::MisnumberedSection { index } => {
+                write!(f, "plan section at index {index} is misnumbered")
+            }
+            PlanError::DanglingSection { id } => {
+                write!(f, "plan references section {id:?} outside the table")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 impl DetectionPlan {
     /// Assembles a plan from a batch-engine run into a [`PlanAggregator`].
     pub fn from_batch<G: GainSource>(analysis: SinkAnalysis<PlanAggregator<G>>) -> Self {
@@ -73,6 +104,40 @@ impl DetectionPlan {
     /// Returns the critical section for an id.
     pub fn section(&self, id: SectionId) -> &CriticalSection {
         &self.sections[id.index()]
+    }
+
+    /// Checks the internal references of a plan of untrusted provenance:
+    /// every section id is dense, and every edge and benign pair points
+    /// inside the section table. Engine-built plans satisfy this by
+    /// construction; deserialized plans must be validated before
+    /// [`section`](Self::section) (or any consumer that indexes the table)
+    /// can be called without risking a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        for (index, section) in self.sections.iter().enumerate() {
+            if section.id.index() != index {
+                return Err(PlanError::MisnumberedSection { index });
+            }
+        }
+        let check = |id: SectionId| {
+            if id.index() < self.sections.len() {
+                Ok(())
+            } else {
+                Err(PlanError::DanglingSection { id })
+            }
+        };
+        for edge in &self.edges {
+            check(edge.from)?;
+            check(edge.to)?;
+        }
+        for pair in &self.benign {
+            check(pair.first)?;
+            check(pair.second)?;
+        }
+        Ok(())
     }
 
     /// Entries the plan holds beyond the section table: aggregate rows plus

@@ -34,7 +34,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use perfplay_trace::{
     CriticalSection, Event, EventSource, Footprint, LockId, MemAccess, ObjectId, SectionId,
-    StreamError, ThreadId, Time, Trace, TraceChunk, TraceChunks, TraceError,
+    StreamError, StreamGap, StreamItem, ThreadId, Time, Trace, TraceChunk, TraceChunks, TraceError,
 };
 
 use crate::classify::classify_pair;
@@ -66,6 +66,18 @@ pub struct StreamingStats {
     pub peak_live_pairs: usize,
     /// Sections whose pairing state was retired before the stream ended.
     pub retired_before_end: usize,
+    /// Stream gaps a recovering source reported (0 on a clean stream).
+    pub gaps: usize,
+    /// Events known lost across those gaps.
+    pub events_lost: u64,
+}
+
+impl StreamingStats {
+    /// True if the source reported any gaps: the analysis is sound on what
+    /// was seen, but not complete.
+    pub fn is_gapped(&self) -> bool {
+        self.gaps > 0
+    }
 }
 
 /// The output of a streaming run: the analysis (bit-identical to the batch
@@ -193,6 +205,9 @@ struct ThreadState {
     last_time: Time,
     open: Vec<OpenSection>,
     exited: bool,
+    /// Set after a stream gap: the next span may jump forward (events were
+    /// lost), after which normal contiguity checking resumes.
+    resync: bool,
 }
 
 /// One `(current, other-thread)` sequential search.
@@ -311,8 +326,11 @@ impl StreamingDetector {
         sink: S,
     ) -> Result<StreamingSinkAnalysis<S>, StreamError> {
         let mut engine = Engine::new(self.config, source.num_threads(), sink);
-        while let Some(chunk) = source.next_chunk()? {
-            engine.ingest(chunk)?;
+        while let Some(item) = source.next_item()? {
+            match item {
+                StreamItem::Chunk(chunk) => engine.ingest(chunk)?,
+                StreamItem::Gap(gap) => engine.note_gap(&gap),
+            }
         }
         engine.finish()
     }
@@ -402,7 +420,18 @@ impl<S: UlcpSink> Engine<S> {
                     span.thread
                 )));
             }
-            if span.base_index != self.threads[ti].next_index {
+            if self.threads[ti].resync {
+                // Events of this thread may have been lost in a gap; accept a
+                // forward jump once and resume strict checking after it.
+                if span.base_index < self.threads[ti].next_index {
+                    return Err(StreamError::Format(format!(
+                        "span for {} rewinds across a gap: base {} but {} events seen",
+                        span.thread, span.base_index, self.threads[ti].next_index
+                    )));
+                }
+                self.threads[ti].next_index = span.base_index;
+                self.threads[ti].resync = false;
+            } else if span.base_index != self.threads[ti].next_index {
                 return Err(StreamError::Format(format!(
                     "non-contiguous span for {}: base {} but {} events seen",
                     span.thread, span.base_index, self.threads[ti].next_index
@@ -563,6 +592,18 @@ impl<S: UlcpSink> Engine<S> {
         self.stats.peak_live_pairs = self.stats.peak_live_pairs.max(self.sink.resident_entries());
         self.prev_window_end = Some(chunk.window_end);
         Ok(())
+    }
+
+    /// Notes a gap a recovering source reported: the analysis stays sound on
+    /// the events actually seen — detection over the surviving chunks is
+    /// exactly detection over the trace with the lost events removed — but
+    /// per-thread contiguity must tolerate one forward jump per thread.
+    fn note_gap(&mut self, gap: &StreamGap) {
+        self.stats.gaps += 1;
+        self.stats.events_lost += gap.events_lost;
+        for state in &mut self.threads {
+            state.resync = true;
+        }
     }
 
     fn push_placeholder(&mut self, open: &OpenSection, thread: ThreadId) {

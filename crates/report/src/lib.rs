@@ -42,7 +42,8 @@ pub use metrics::{
     pair_gain_ns, segment_anchors, ulcp_gains, ImpactSplit, ReplayGains, SegmentAnchors, UlcpGain,
 };
 pub use pipeline::{
-    analyze_batch, analyze_batch_sequential, analyze_plan, analyze_plan_with, BatchAnalysis,
-    PipelineConfig, PipelineError, PlanAnalysis,
+    analyze_batch, analyze_batch_sequential, analyze_chunk_files, analyze_plan, analyze_plan_with,
+    BatchAnalysis, BatchItemError, ChunkBatchAnalysis, ChunkStreamAnalysis, PipelineConfig,
+    PipelineError, PlanAnalysis,
 };
 pub use report::PerfReport;

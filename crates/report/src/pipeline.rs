@@ -17,6 +17,8 @@
 //! to sequential per-trace analysis followed by an in-order merge.
 
 use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -28,7 +30,7 @@ use perfplay_replay::{
     ReplayConfig, ReplayError, ReplayResult, ReplaySchedule, Replayer, ScheduleKind,
     UlcpFreeReplayer,
 };
-use perfplay_trace::{StreamError, Trace};
+use perfplay_trace::{ChunkFileReader, RecoveryPolicy, StreamError, Trace};
 use perfplay_transform::{TransformConfig, Transformer};
 
 use crate::fusion::{fuse_aggregates, rank_groups, Recommendation};
@@ -41,6 +43,10 @@ pub enum PipelineError {
     Replay(ReplayError),
     /// Chunked (streaming) detection failed.
     Stream(StreamError),
+    /// A pipeline stage panicked; the payload message is preserved. Only
+    /// produced by the batch drivers, which isolate each trace with
+    /// `catch_unwind` so one poisoned input cannot abort the sweep.
+    Panic(String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -48,6 +54,7 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::Replay(e) => write!(f, "pipeline replay failed: {e}"),
             PipelineError::Stream(e) => write!(f, "pipeline stream ingestion failed: {e}"),
+            PipelineError::Panic(msg) => write!(f, "pipeline stage panicked: {msg}"),
         }
     }
 }
@@ -64,6 +71,45 @@ impl From<StreamError> for PipelineError {
     fn from(e: StreamError) -> Self {
         PipelineError::Stream(e)
     }
+}
+
+/// The failure of one item of a batch run: which input failed, and how. The
+/// other items' analyses are unaffected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItemError {
+    /// Index of the failing trace (or chunk file) in the batch input.
+    pub trace_index: usize,
+    /// What went wrong.
+    pub error: PipelineError,
+}
+
+impl std::fmt::Display for BatchItemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch item {}: {}", self.trace_index, self.error)
+    }
+}
+
+impl std::error::Error for BatchItemError {}
+
+/// Extracts a human-readable message from a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs one trace through the pipeline with panic isolation: a panicking
+/// stage yields [`PipelineError::Panic`] instead of unwinding the caller.
+fn analyze_plan_caught(
+    trace: &Trace,
+    config: &PipelineConfig,
+) -> Result<PlanAnalysis, PipelineError> {
+    std::panic::catch_unwind(AssertUnwindSafe(|| analyze_plan(trace, config)))
+        .unwrap_or_else(|payload| Err(PipelineError::Panic(panic_message(payload))))
 }
 
 /// Configuration of the single-pass pipeline.
@@ -147,13 +193,16 @@ pub fn analyze_plan_with<G: GainSource + Clone + Send + Sync>(
     let ulcp_free_replay = UlcpFreeReplayer::new(config.replay)
         .with_dls(config.use_dls)
         .replay(&transformed)?;
-    let report = PerfReport::from_plan(
+    let mut report = PerfReport::from_plan(
         trace,
         &plan,
         &transformed,
         &original_replay,
         &ulcp_free_replay,
     );
+    if let Some(stats) = &streaming {
+        report = report.with_stream_gaps(stats.gaps, stats.events_lost);
+    }
     Ok(PlanAnalysis {
         plan,
         original_replay,
@@ -173,15 +222,23 @@ pub fn analyze_plan(trace: &Trace, config: &PipelineConfig) -> Result<PlanAnalys
     analyze_plan_with(trace, config, BodyOverlapGain)
 }
 
-/// The fused output of a multi-trace batch run.
+/// The fused output of a multi-trace batch run. Failed traces are quarantined
+/// in `failures`; the surviving traces' analyses fuse exactly as if the
+/// failing inputs had never been passed in.
 #[derive(Debug, Clone)]
 pub struct BatchAnalysis {
-    /// Per-trace single-pass analyses, in input order.
+    /// Per-trace single-pass analyses of the traces that succeeded, in input
+    /// order. When `failures` is non-empty the original index of the k-th
+    /// entry is the k-th input index *not* listed in `failures`.
     pub per_trace: Vec<PlanAnalysis>,
-    /// The fused aggregate table across all traces (saturating merge).
+    /// One structured error per failing trace, in input order. Panics inside
+    /// a per-trace pipeline stage surface here as [`PipelineError::Panic`].
+    pub failures: Vec<BatchItemError>,
+    /// The fused aggregate table across all surviving traces (saturating
+    /// merge).
     pub fused_aggregates: SiteAggregates,
-    /// Summed per-category breakdown across all traces (saturating by
-    /// construction of the per-trace counts; plain sums here).
+    /// Summed per-category breakdown across all surviving traces (saturating
+    /// by construction of the per-trace counts; plain sums here).
     pub fused_breakdown: UlcpBreakdown,
     /// One ranked recommendation list seeded from the fused table — the
     /// Table 1 sweep's "which code region matters most overall" answer.
@@ -189,9 +246,14 @@ pub struct BatchAnalysis {
 }
 
 impl BatchAnalysis {
-    /// Number of traces analyzed.
+    /// Number of traces analyzed successfully.
     pub fn num_traces(&self) -> usize {
         self.per_trace.len()
+    }
+
+    /// Whether every input trace was analyzed successfully.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
     }
 
     /// Relative opportunity of the top fused group.
@@ -211,13 +273,11 @@ impl BatchAnalysis {
 /// bit-identical to analyzing the traces sequentially and merging in order —
 /// which [`analyze_batch_sequential`] does, as the executable spec.
 ///
-/// # Errors
-///
-/// Returns the error of the lowest-indexed failing trace, if any.
-pub fn analyze_batch(
-    traces: &[Trace],
-    config: &PipelineConfig,
-) -> Result<BatchAnalysis, PipelineError> {
+/// A failing trace — replay error, malformed stream, or a panic anywhere in
+/// its pipeline (isolated with `catch_unwind`) — becomes one
+/// [`BatchItemError`] in [`BatchAnalysis::failures`] while the other N-1
+/// traces complete and fuse normally.
+pub fn analyze_batch(traces: &[Trace], config: &PipelineConfig) -> BatchAnalysis {
     let workers = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
@@ -232,38 +292,38 @@ pub fn analyze_batch(
                 let Some(trace) = traces.get(i) else {
                     break;
                 };
-                let result = analyze_plan(trace, config);
+                let result = analyze_plan_caught(trace, config);
                 slots.lock().expect("batch slots lock")[i] = Some(result);
             });
         }
     });
-    let per_trace: Result<Vec<PlanAnalysis>, PipelineError> = slots
+    let results = slots
         .into_inner()
         .expect("batch slots lock")
         .into_iter()
-        .map(|slot| slot.expect("every trace index was processed"))
-        .collect();
-    Ok(fuse_batch(per_trace?))
+        .map(|slot| slot.expect("every trace index was processed"));
+    fuse_batch(results)
 }
 
 /// The sequential executable spec of [`analyze_batch`]: per-trace analysis
-/// in input order, aggregate merge in input order.
-///
-/// # Errors
-///
-/// Returns the error of the first failing trace.
-pub fn analyze_batch_sequential(
-    traces: &[Trace],
-    config: &PipelineConfig,
-) -> Result<BatchAnalysis, PipelineError> {
-    let per_trace: Result<Vec<PlanAnalysis>, PipelineError> =
-        traces.iter().map(|t| analyze_plan(t, config)).collect();
-    Ok(fuse_batch(per_trace?))
+/// in input order, aggregate merge in input order, and the same per-trace
+/// panic isolation (panic-for-panic equivalent with the concurrent path).
+pub fn analyze_batch_sequential(traces: &[Trace], config: &PipelineConfig) -> BatchAnalysis {
+    fuse_batch(traces.iter().map(|t| analyze_plan_caught(t, config)))
 }
 
-/// Fuses per-trace analyses: merged aggregate table, summed breakdown, one
-/// ranked recommendation list.
-fn fuse_batch(per_trace: Vec<PlanAnalysis>) -> BatchAnalysis {
+/// Splits per-trace outcomes into survivors and failures, then fuses the
+/// survivors: merged aggregate table, summed breakdown, one ranked
+/// recommendation list.
+fn fuse_batch(results: impl Iterator<Item = Result<PlanAnalysis, PipelineError>>) -> BatchAnalysis {
+    let mut per_trace = Vec::new();
+    let mut failures = Vec::new();
+    for (trace_index, result) in results.enumerate() {
+        match result {
+            Ok(analysis) => per_trace.push(analysis),
+            Err(error) => failures.push(BatchItemError { trace_index, error }),
+        }
+    }
     let mut fused_aggregates = SiteAggregates::default();
     let mut fused_breakdown = UlcpBreakdown::default();
     for analysis in &per_trace {
@@ -273,6 +333,98 @@ fn fuse_batch(per_trace: Vec<PlanAnalysis>) -> BatchAnalysis {
     let recommendations = rank_groups(fuse_aggregates(&fused_aggregates));
     BatchAnalysis {
         per_trace,
+        failures,
+        fused_aggregates,
+        fused_breakdown,
+        recommendations,
+    }
+}
+
+/// The detection-only analysis of one on-disk chunk stream: the plan's
+/// aggregate rows and breakdown plus the streaming statistics (including gap
+/// counts under a recovery policy). No trace is ever materialized and no
+/// replay runs, so this scales to spill files far larger than memory.
+#[derive(Debug, Clone)]
+pub struct ChunkStreamAnalysis {
+    /// Path of the chunk file this analysis came from.
+    pub path: String,
+    /// The compact detection output (aggregate rows, edges, breakdown).
+    pub plan: DetectionPlan,
+    /// Resident-state statistics, including `gaps` / `events_lost` recorded
+    /// while recovering from corrupt chunks.
+    pub stats: StreamingStats,
+}
+
+/// The fused output of a [`analyze_chunk_files`] sweep.
+#[derive(Debug, Clone)]
+pub struct ChunkBatchAnalysis {
+    /// Per-file detection analyses of the files that succeeded, in input
+    /// order.
+    pub per_stream: Vec<ChunkStreamAnalysis>,
+    /// One structured error per failing file, in input order
+    /// (`trace_index` is the index into the input path list).
+    pub failures: Vec<BatchItemError>,
+    /// The fused aggregate table across all surviving files.
+    pub fused_aggregates: SiteAggregates,
+    /// Summed per-category breakdown across all surviving files.
+    pub fused_breakdown: UlcpBreakdown,
+    /// One ranked recommendation list seeded from the fused table.
+    pub recommendations: Vec<Recommendation>,
+}
+
+impl ChunkBatchAnalysis {
+    /// Total stream gaps recovered from across all surviving files.
+    pub fn total_gaps(&self) -> usize {
+        self.per_stream.iter().map(|s| s.stats.gaps).sum()
+    }
+
+    /// Total events lost to stream gaps across all surviving files.
+    pub fn total_events_lost(&self) -> u64 {
+        self.per_stream
+            .iter()
+            .map(|s| s.stats.events_lost)
+            .fold(0, u64::saturating_add)
+    }
+}
+
+/// Runs detection-only analysis over on-disk chunk files and fuses the
+/// per-file aggregate tables into one ranked report — the batch sweep for
+/// traces that were spilled at record time and never loaded back into
+/// memory. Each file streams through [`StreamingDetector`] under the given
+/// [`RecoveryPolicy`]; a file that still fails (or panics a detector stage)
+/// becomes one [`BatchItemError`] while the other files complete and fuse.
+pub fn analyze_chunk_files<P: AsRef<Path>>(
+    paths: &[P],
+    config: &PipelineConfig,
+    policy: RecoveryPolicy,
+) -> ChunkBatchAnalysis {
+    let mut per_stream = Vec::new();
+    let mut failures = Vec::new();
+    for (trace_index, path) in paths.iter().enumerate() {
+        let path = path.as_ref().display().to_string();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut reader = ChunkFileReader::with_policy(&path, policy)?;
+            let streamed = StreamingDetector::new(config.detector)
+                .analyze_with(&mut reader, PlanAggregator::new(BodyOverlapGain))?;
+            let (plan, stats) = DetectionPlan::from_streaming(streamed);
+            Ok((plan, stats))
+        }))
+        .unwrap_or_else(|payload| Err(PipelineError::Panic(panic_message(payload))));
+        match outcome {
+            Ok((plan, stats)) => per_stream.push(ChunkStreamAnalysis { path, plan, stats }),
+            Err(error) => failures.push(BatchItemError { trace_index, error }),
+        }
+    }
+    let mut fused_aggregates = SiteAggregates::default();
+    let mut fused_breakdown = UlcpBreakdown::default();
+    for analysis in &per_stream {
+        fused_aggregates.merge(&analysis.plan.aggregates);
+        fused_breakdown.merge_totals(&analysis.plan.breakdown);
+    }
+    let recommendations = rank_groups(fuse_aggregates(&fused_aggregates));
+    ChunkBatchAnalysis {
+        per_stream,
+        failures,
         fused_aggregates,
         fused_breakdown,
         recommendations,
@@ -359,9 +511,10 @@ mod tests {
     fn concurrent_batch_equals_sequential_batch_plus_merge() {
         let traces: Vec<Trace> = (0..5).map(|i| record(100 + i)).collect();
         let config = PipelineConfig::default();
-        let concurrent = analyze_batch(&traces, &config).unwrap();
-        let sequential = analyze_batch_sequential(&traces, &config).unwrap();
+        let concurrent = analyze_batch(&traces, &config);
+        let sequential = analyze_batch_sequential(&traces, &config);
 
+        assert!(concurrent.is_complete());
         assert_eq!(concurrent.num_traces(), traces.len());
         assert_eq!(concurrent.fused_aggregates, sequential.fused_aggregates);
         assert_eq!(concurrent.fused_breakdown, sequential.fused_breakdown);
@@ -398,7 +551,8 @@ mod tests {
     #[test]
     fn batch_results_follow_input_order() {
         let traces: Vec<Trace> = (0..3).map(|i| record(40 + i)).collect();
-        let batch = analyze_batch(&traces, &PipelineConfig::default()).unwrap();
+        let batch = analyze_batch(&traces, &PipelineConfig::default());
+        assert!(batch.failures.is_empty());
         assert_eq!(batch.per_trace.len(), 3);
         for (analysis, trace) in batch.per_trace.iter().zip(&traces) {
             assert_eq!(analysis.report.program, trace.meta.program);
@@ -408,10 +562,131 @@ mod tests {
 
     #[test]
     fn empty_batch_is_empty_not_an_error() {
-        let batch = analyze_batch(&[], &PipelineConfig::default()).unwrap();
+        let batch = analyze_batch(&[], &PipelineConfig::default());
+        assert!(batch.is_complete());
         assert_eq!(batch.num_traces(), 0);
         assert!(batch.fused_aggregates.is_empty());
         assert!(batch.recommendations.is_empty());
         assert_eq!(batch.top_opportunity(), 0.0);
+    }
+
+    /// A trace whose lock schedule names a thread that does not exist: once
+    /// the grant before the corrupted one is released, the ELSC replay's
+    /// targeted wake indexes the thread table out of bounds, so the
+    /// per-trace pipeline panics (in release builds too). The corrupted
+    /// grant is the first *repeat* grant of some lock, which guarantees a
+    /// predecessor whose release reaches the wake.
+    fn poisoned(seed: u64) -> Trace {
+        let mut trace = record(seed);
+        let mut seen = std::collections::BTreeSet::new();
+        let repeat = trace
+            .lock_schedule
+            .iter()
+            .position(|g| !seen.insert(g.lock))
+            .expect("workload revisits a lock");
+        trace.lock_schedule[repeat].thread = perfplay_trace::ThreadId::new(99);
+        trace
+    }
+
+    /// Swaps in a no-op panic hook while `f` runs so intentionally poisoned
+    /// traces don't spray backtraces into test output. Serialized because
+    /// the hook is process-global.
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        static HOOK: Mutex<()> = Mutex::new(());
+        let _guard = HOOK.lock().expect("panic hook lock");
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn poisoned_trace_becomes_a_batch_item_error_and_others_fuse() {
+        let traces = vec![record(200), poisoned(201), record(202)];
+        let batch = with_quiet_panics(|| analyze_batch(&traces, &PipelineConfig::default()));
+
+        assert_eq!(batch.failures.len(), 1);
+        assert_eq!(batch.failures[0].trace_index, 1);
+        assert!(matches!(batch.failures[0].error, PipelineError::Panic(_)));
+        assert_eq!(batch.per_trace.len(), 2);
+        // The survivors fuse exactly as if the poisoned trace was never
+        // passed in.
+        let clean = analyze_batch(&[record(200), record(202)], &PipelineConfig::default());
+        assert_eq!(batch.fused_aggregates, clean.fused_aggregates);
+        assert_eq!(batch.fused_breakdown, clean.fused_breakdown);
+        assert_eq!(batch.recommendations, clean.recommendations);
+    }
+
+    #[test]
+    fn concurrent_and_sequential_paths_are_panic_for_panic_equivalent() {
+        let traces = vec![poisoned(210), record(211), poisoned(212)];
+        let config = PipelineConfig::default();
+        let (concurrent, sequential) = with_quiet_panics(|| {
+            (
+                analyze_batch(&traces, &config),
+                analyze_batch_sequential(&traces, &config),
+            )
+        });
+
+        assert_eq!(concurrent.failures, sequential.failures);
+        assert_eq!(
+            concurrent
+                .failures
+                .iter()
+                .map(|f| f.trace_index)
+                .collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        for f in &concurrent.failures {
+            assert!(matches!(f.error, PipelineError::Panic(_)));
+        }
+        assert_eq!(concurrent.per_trace.len(), sequential.per_trace.len());
+        assert_eq!(concurrent.fused_aggregates, sequential.fused_aggregates);
+        assert_eq!(concurrent.recommendations, sequential.recommendations);
+    }
+
+    #[test]
+    fn chunk_file_sweep_matches_in_memory_detection() {
+        use perfplay_record::spill_trace;
+
+        let dir = std::env::temp_dir().join("perfplay-chunk-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut paths = Vec::new();
+        let mut traces = Vec::new();
+        for (i, seed) in [300u64, 301, 302].iter().enumerate() {
+            let trace = record(*seed);
+            let path = dir.join(format!("sweep-{i}.chunks"));
+            spill_trace(&trace, path.to_str().unwrap(), 16).unwrap();
+            paths.push(path);
+            traces.push(trace);
+        }
+
+        let config = PipelineConfig::default();
+        let sweep = analyze_chunk_files(&paths, &config, RecoveryPolicy::Fail);
+        assert!(sweep.failures.is_empty());
+        assert_eq!(sweep.per_stream.len(), 3);
+        assert_eq!(sweep.total_gaps(), 0);
+        assert_eq!(sweep.total_events_lost(), 0);
+
+        // Per-file plans match in-memory detection; the fused table is the
+        // in-order merge.
+        let mut fused = SiteAggregates::default();
+        for (analysis, trace) in sweep.per_stream.iter().zip(&traces) {
+            let direct = Detector::new(config.detector).plan(trace, BodyOverlapGain);
+            assert_eq!(analysis.plan, direct);
+            fused.merge(&direct.aggregates);
+        }
+        assert_eq!(sweep.fused_aggregates, fused);
+
+        let missing = dir.join("does-not-exist.chunks");
+        let with_bad = [paths[0].clone(), missing];
+        let partial = analyze_chunk_files(&with_bad, &config, RecoveryPolicy::Fail);
+        assert_eq!(partial.per_stream.len(), 1);
+        assert_eq!(partial.failures.len(), 1);
+        assert_eq!(partial.failures[0].trace_index, 1);
+        for p in &paths {
+            let _ = std::fs::remove_file(p);
+        }
     }
 }

@@ -34,6 +34,14 @@ pub struct PerfReport {
     /// Lockset maintenance overhead fraction observed during the ULCP-free
     /// replay (with whatever DLS setting was used).
     pub lockset_overhead_fraction: f64,
+    /// Number of stream gaps the ingestion layer recovered from (corrupt or
+    /// skipped chunks). Zero for in-memory traces and clean streams; when
+    /// non-zero the report is sound for the events that survived, not the
+    /// full execution.
+    pub stream_gaps: usize,
+    /// Total events lost to those gaps, as reconciled against the stream
+    /// trailer when one was readable.
+    pub stream_events_lost: u64,
 }
 
 impl PerfReport {
@@ -60,6 +68,8 @@ impl PerfReport {
             race_warnings: transformed.race_warnings.len(),
             transform_stats: transformed.stats(),
             lockset_overhead_fraction: ulcp_free_replay.lockset_overhead_fraction(),
+            stream_gaps: 0,
+            stream_events_lost: 0,
         }
     }
 
@@ -101,6 +111,8 @@ impl PerfReport {
             race_warnings: transformed.race_warnings.len(),
             transform_stats: transformed.stats(),
             lockset_overhead_fraction: ulcp_free_replay.lockset_overhead_fraction(),
+            stream_gaps: 0,
+            stream_events_lost: 0,
         }
     }
 
@@ -129,6 +141,22 @@ impl PerfReport {
             original_replay,
             ulcp_free_replay,
         )
+    }
+
+    /// Annotates the report with the stream gaps the ingestion layer
+    /// recovered from. Returns `self` for builder-style chaining after
+    /// [`from_plan`](Self::from_plan) when detection streamed from a file
+    /// under a recovery policy.
+    pub fn with_stream_gaps(mut self, gaps: usize, events_lost: u64) -> Self {
+        self.stream_gaps = gaps;
+        self.stream_events_lost = events_lost;
+        self
+    }
+
+    /// Whether the underlying stream had recovered gaps — i.e. the numbers
+    /// below describe the surviving events, not the full execution.
+    pub fn is_gap_annotated(&self) -> bool {
+        self.stream_gaps > 0
     }
 
     /// The most beneficial code-region recommendation, if any.
@@ -195,6 +223,13 @@ impl PerfReport {
             self.race_warnings,
             100.0 * self.lockset_overhead_fraction
         );
+        if self.is_gap_annotated() {
+            let _ = writeln!(
+                out,
+                "  ! incomplete stream: {} gap(s), {} event(s) lost — results cover surviving events only",
+                self.stream_gaps, self.stream_events_lost
+            );
+        }
         let _ = writeln!(out, "  recommendations ({} groups):", self.grouped_ulcps());
         for (rank, rec) in self.recommendations.iter().enumerate().take(10) {
             let describe = |region: &perfplay_trace::CodeRegion| {

@@ -93,6 +93,29 @@ pub enum StreamError {
     Format(String),
     /// The streamed events violated a trace invariant.
     Trace(TraceError),
+    /// An error located in a specific file: the path and byte offset make
+    /// failures attributable when a daemon ingests many streams at once.
+    At {
+        /// Path of the chunk file the error occurred in.
+        path: String,
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Byte offset of the start of the offending line.
+        offset: u64,
+        /// The underlying error.
+        source: Box<StreamError>,
+    },
+}
+
+impl StreamError {
+    /// Unwraps [`StreamError::At`] location layers down to the underlying
+    /// error.
+    pub fn root_cause(&self) -> &StreamError {
+        match self {
+            StreamError::At { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for StreamError {
@@ -104,11 +127,71 @@ impl std::fmt::Display for StreamError {
             }
             StreamError::Format(msg) => write!(f, "malformed event stream: {msg}"),
             StreamError::Trace(e) => write!(f, "streamed trace is invalid: {e}"),
+            StreamError::At {
+                path,
+                line,
+                offset,
+                source,
+            } => write!(f, "{path}:{line} (byte {offset}): {source}"),
         }
     }
 }
 
 impl std::error::Error for StreamError {}
+
+/// How a chunk-file reader responds to a corrupt or contract-violating
+/// record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Surface the first failure as a [`StreamError`] and stop (the
+    /// historical behavior).
+    #[default]
+    Fail,
+    /// Skip the offending record, emit a [`StreamGap`], resynchronize on the
+    /// next record boundary and keep going.
+    SkipChunk,
+    /// Emit a [`StreamGap`] for the first failure and end the stream cleanly
+    /// with whatever valid prefix was read.
+    SkipStream,
+}
+
+/// One hole a recovering reader left in the event stream: the consumer saw
+/// every chunk around the gap but none of the events inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamGap {
+    /// Number of chunks successfully delivered before the gap.
+    pub chunk_index: u64,
+    /// 1-based line number of the skipped record (or of end-of-file for a
+    /// truncation gap).
+    pub line: usize,
+    /// Byte offset of the start of the skipped record.
+    pub offset: u64,
+    /// Events known to be lost in this gap. `0` when the record was
+    /// unreadable and the loss is unknown until trailer reconciliation.
+    pub events_lost: u64,
+    /// The failure that opened the gap.
+    pub cause: Box<StreamError>,
+}
+
+impl std::fmt::Display for StreamGap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gap after chunk {} at line {} (byte {}), {} events lost: {}",
+            self.chunk_index, self.line, self.offset, self.events_lost, self.cause
+        )
+    }
+}
+
+/// One item of a recoverable event stream: a chunk, or a gap where a chunk
+/// could not be delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamItem {
+    /// The next chunk of events.
+    Chunk(TraceChunk),
+    /// A hole: events were lost here and the consumer should resynchronize.
+    Gap(StreamGap),
+}
 
 impl From<TraceError> for StreamError {
     fn from(e: TraceError) -> Self {
@@ -136,6 +219,21 @@ pub trait EventSource {
     ///
     /// Sources backed by files report I/O and parse failures.
     fn next_chunk(&mut self) -> Result<Option<TraceChunk>, StreamError>;
+
+    /// Pulls the next stream item — a chunk, or a [`StreamGap`] where a
+    /// recovering source skipped unreadable input.
+    ///
+    /// The default forwards to [`next_chunk`](Self::next_chunk) and never
+    /// produces gaps; recovering sources override it. Gap-aware consumers
+    /// should prefer this over `next_chunk` so losses reach them instead of
+    /// being skipped silently.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`next_chunk`](Self::next_chunk).
+    fn next_item(&mut self) -> Result<Option<StreamItem>, StreamError> {
+        Ok(self.next_chunk()?.map(StreamItem::Chunk))
+    }
 }
 
 /// [`EventSource`] adapter over an in-memory [`Trace`].
@@ -294,58 +392,130 @@ pub enum ChunkFileRecord {
 ///
 /// Only one line is resident at a time; the file can be arbitrarily larger
 /// than memory.
+///
+/// Every error the reader produces is wrapped in [`StreamError::At`] with
+/// the file path, line number and byte offset, so multi-stream logs are
+/// attributable. Under a non-[`Fail`](RecoveryPolicy::Fail) policy the
+/// reader converts failures into [`StreamGap`]s instead: it validates each
+/// chunk against the chunk contract before delivering it, skips bad records,
+/// resynchronizes on the next line boundary, and reconciles the total event
+/// loss against the trailer when one is present.
 pub struct ChunkFileReader {
     lines: std::io::Lines<BufReader<std::fs::File>>,
+    path: String,
+    policy: RecoveryPolicy,
     header: ChunkFileHeader,
     trailer: Option<ChunkFileTrailer>,
     line_no: usize,
+    /// Byte offset of the start of the next unread line.
+    offset: u64,
     chunks_seen: u64,
     events_seen: u64,
+    /// Per-thread count of events delivered, for contiguity validation.
+    next_index: Vec<usize>,
+    /// Threads whose next span may jump forward (set after a gap).
+    resync: Vec<bool>,
+    /// Window of the last delivered non-empty chunk.
+    last_window_end: Option<Time>,
+    gaps: Vec<StreamGap>,
     done: bool,
 }
 
 impl std::fmt::Debug for ChunkFileReader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChunkFileReader")
+            .field("path", &self.path)
+            .field("policy", &self.policy)
             .field("header", &self.header)
             .field("chunks_seen", &self.chunks_seen)
             .field("events_seen", &self.events_seen)
+            .field("gaps", &self.gaps.len())
             .finish_non_exhaustive()
     }
 }
 
 impl ChunkFileReader {
-    /// Opens a chunked trace file and reads its header.
+    /// Opens a chunked trace file and reads its header, failing on the first
+    /// malformed record ([`RecoveryPolicy::Fail`]).
     ///
     /// # Errors
     ///
     /// Fails if the file cannot be opened, the first line does not parse, or
     /// it is not a [`ChunkFileRecord::Header`].
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StreamError> {
-        let file = std::fs::File::open(path)?;
+        Self::with_policy(path, RecoveryPolicy::Fail)
+    }
+
+    /// Opens a chunked trace file with an explicit [`RecoveryPolicy`].
+    ///
+    /// The header must be readable under every policy — without it the
+    /// stream has no thread count or site table and nothing downstream can
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`open`](Self::open).
+    pub fn with_policy(
+        path: impl AsRef<Path>,
+        policy: RecoveryPolicy,
+    ) -> Result<Self, StreamError> {
+        let path_str = path.as_ref().display().to_string();
+        let at = |line: usize, offset: u64, source: StreamError| StreamError::At {
+            path: path_str.clone(),
+            line,
+            offset,
+            source: Box::new(source),
+        };
+        let file = std::fs::File::open(&path).map_err(|e| at(0, 0, e.into()))?;
         let mut lines = BufReader::new(file).lines();
         let first = lines
             .next()
-            .ok_or_else(|| StreamError::Format("empty chunk file".into()))??;
-        let record: ChunkFileRecord =
-            serde_json::from_str(&first).map_err(|e| StreamError::Parse {
-                line: 1,
-                message: e.0,
-            })?;
+            .ok_or_else(|| at(1, 0, StreamError::Format("empty chunk file".into())))?
+            .map_err(|e| at(1, 0, e.into()))?;
+        let record: ChunkFileRecord = serde_json::from_str(&first).map_err(|e| {
+            at(
+                1,
+                0,
+                StreamError::Parse {
+                    line: 1,
+                    message: e.0,
+                },
+            )
+        })?;
         let ChunkFileRecord::Header(header) = record else {
-            return Err(StreamError::Format(
-                "chunk file does not start with a header record".into(),
+            return Err(at(
+                1,
+                0,
+                StreamError::Format("chunk file does not start with a header record".into()),
             ));
         };
+        let num_threads = header.num_threads;
         Ok(ChunkFileReader {
             lines,
+            path: path_str,
+            policy,
             header,
             trailer: None,
             line_no: 1,
+            offset: first.len() as u64 + 1,
             chunks_seen: 0,
             events_seen: 0,
+            next_index: vec![0; num_threads],
+            resync: vec![false; num_threads],
+            last_window_end: None,
+            gaps: Vec::new(),
             done: false,
         })
+    }
+
+    /// The path of the file being read.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The recovery policy in effect.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
     }
 
     /// The interned code sites from the file header.
@@ -356,6 +526,288 @@ impl ChunkFileReader {
     /// The file trailer; available once the stream has been fully consumed.
     pub fn trailer(&self) -> Option<&ChunkFileTrailer> {
         self.trailer.as_ref()
+    }
+
+    /// Every gap recorded so far (non-empty only under a recovering policy).
+    pub fn gaps(&self) -> &[StreamGap] {
+        &self.gaps
+    }
+
+    /// Total events known lost across all recorded gaps.
+    pub fn events_lost(&self) -> u64 {
+        self.gaps.iter().map(|g| g.events_lost).sum()
+    }
+
+    /// Wraps an error with this file's path and the given location.
+    fn locate(&self, line: usize, offset: u64, source: StreamError) -> StreamError {
+        StreamError::At {
+            path: self.path.clone(),
+            line,
+            offset,
+            source: Box::new(source),
+        }
+    }
+
+    /// Records a gap at the given location and marks every thread for
+    /// forward resynchronization.
+    fn record_gap(
+        &mut self,
+        line: usize,
+        offset: u64,
+        events_lost: u64,
+        cause: StreamError,
+    ) -> StreamGap {
+        let gap = StreamGap {
+            chunk_index: self.chunks_seen,
+            line,
+            offset,
+            events_lost,
+            cause: Box::new(cause),
+        };
+        self.gaps.push(gap.clone());
+        for flag in &mut self.resync {
+            *flag = true;
+        }
+        gap
+    }
+
+    /// Checks one parsed chunk against the chunk contract: advancing window,
+    /// ascending in-range spans, per-thread contiguity (allowing a forward
+    /// jump right after a gap), and every event inside the window in
+    /// non-decreasing order. Read-only; [`admit_chunk`](Self::admit_chunk)
+    /// commits the state updates once the chunk is accepted.
+    fn validate_chunk(&self, chunk: &TraceChunk) -> Result<(), StreamError> {
+        if let Some(prev) = self.last_window_end {
+            if chunk.window_end <= prev && chunk.num_events() > 0 {
+                return Err(StreamError::Format(format!(
+                    "chunk {} window {} does not advance past {}",
+                    chunk.seq, chunk.window_end, prev
+                )));
+            }
+        }
+        let mut prev_thread: Option<ThreadId> = None;
+        for span in &chunk.spans {
+            if prev_thread.is_some_and(|p| span.thread <= p) {
+                return Err(StreamError::Format(format!(
+                    "chunk {} spans not in ascending thread order",
+                    chunk.seq
+                )));
+            }
+            prev_thread = Some(span.thread);
+            let ti = span.thread.index();
+            if ti >= self.header.num_threads {
+                return Err(StreamError::Format(format!(
+                    "span for out-of-range thread {}",
+                    span.thread
+                )));
+            }
+            if self.resync[ti] {
+                if span.base_index < self.next_index[ti] {
+                    return Err(StreamError::Format(format!(
+                        "span for {} rewinds across a gap: base {} but {} events seen",
+                        span.thread, span.base_index, self.next_index[ti]
+                    )));
+                }
+            } else if span.base_index != self.next_index[ti] {
+                return Err(StreamError::Format(format!(
+                    "non-contiguous span for {}: base {} but {} events seen",
+                    span.thread, span.base_index, self.next_index[ti]
+                )));
+            }
+            let mut last = self.last_window_end;
+            for (offset, te) in span.events.iter().enumerate() {
+                if te.at > chunk.window_end {
+                    return Err(StreamError::Format(format!(
+                        "event {} of {} at {} is outside chunk {}'s window",
+                        span.base_index + offset,
+                        span.thread,
+                        te.at,
+                        chunk.seq
+                    )));
+                }
+                if last.is_some_and(|p| te.at < p) {
+                    return Err(StreamError::Trace(TraceError::NonMonotonicTime {
+                        thread: span.thread,
+                        event_index: span.base_index + offset,
+                    }));
+                }
+                // Events of the first span position must additionally clear
+                // the previous window: `last` starts at the window boundary
+                // (inclusive is fine — the strict check lives in the
+                // detector, which knows the exact previous window).
+                last = Some(te.at);
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits the reader-side bookkeeping for an accepted chunk.
+    fn admit_chunk(&mut self, chunk: &TraceChunk) {
+        for span in &chunk.spans {
+            let ti = span.thread.index();
+            self.next_index[ti] = span.base_index + span.events.len();
+            self.resync[ti] = false;
+        }
+        self.last_window_end = Some(chunk.window_end);
+        self.chunks_seen += 1;
+        self.events_seen += chunk.num_events() as u64;
+    }
+
+    /// Reads one record, applying the recovery policy. Returns `Ok(None)`
+    /// only at a clean end of stream.
+    fn read_item(&mut self) -> Result<Option<StreamItem>, StreamError> {
+        if self.done {
+            return Ok(None);
+        }
+        {
+            let line_offset = self.offset;
+            let line_no = self.line_no + 1;
+            let Some(line) = self.lines.next() else {
+                let cause = StreamError::Format("chunk file ended without a trailer record".into());
+                return match self.policy {
+                    RecoveryPolicy::Fail => Err(self.locate(line_no, line_offset, cause)),
+                    _ => {
+                        self.done = true;
+                        Ok(Some(StreamItem::Gap(self.record_gap(
+                            line_no,
+                            line_offset,
+                            0,
+                            cause,
+                        ))))
+                    }
+                };
+            };
+            self.line_no = line_no;
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    // The stream position is unknowable after a read error:
+                    // even recovering policies end the stream here.
+                    let cause = StreamError::Io(e.to_string());
+                    return match self.policy {
+                        RecoveryPolicy::Fail => Err(self.locate(line_no, line_offset, cause)),
+                        _ => {
+                            self.done = true;
+                            Ok(Some(StreamItem::Gap(self.record_gap(
+                                line_no,
+                                line_offset,
+                                0,
+                                cause,
+                            ))))
+                        }
+                    };
+                }
+            };
+            self.offset += line.len() as u64 + 1;
+
+            let parsed: Result<ChunkFileRecord, StreamError> =
+                serde_json::from_str(&line).map_err(|e| StreamError::Parse {
+                    line: line_no,
+                    message: e.0,
+                });
+            let record = match parsed {
+                Ok(r) => r,
+                Err(cause) => match self.policy {
+                    RecoveryPolicy::Fail => {
+                        return Err(self.locate(line_no, line_offset, cause));
+                    }
+                    RecoveryPolicy::SkipChunk => {
+                        return Ok(Some(StreamItem::Gap(self.record_gap(
+                            line_no,
+                            line_offset,
+                            0,
+                            cause,
+                        ))));
+                    }
+                    RecoveryPolicy::SkipStream => {
+                        self.done = true;
+                        return Ok(Some(StreamItem::Gap(self.record_gap(
+                            line_no,
+                            line_offset,
+                            0,
+                            cause,
+                        ))));
+                    }
+                },
+            };
+            let (cause, events_lost) = match record {
+                ChunkFileRecord::Header(_) => (
+                    StreamError::Format(format!("unexpected second header at line {line_no}")),
+                    0u64,
+                ),
+                ChunkFileRecord::Chunk(chunk) => match self.validate_chunk(&chunk) {
+                    Ok(()) => {
+                        self.admit_chunk(&chunk);
+                        return Ok(Some(StreamItem::Chunk(chunk)));
+                    }
+                    Err(cause) => {
+                        let lost = chunk.num_events() as u64;
+                        (cause, lost)
+                    }
+                },
+                ChunkFileRecord::Trailer(trailer) => {
+                    return self.finish_at_trailer(trailer, line_no, line_offset);
+                }
+            };
+            match self.policy {
+                RecoveryPolicy::Fail => Err(self.locate(line_no, line_offset, cause)),
+                RecoveryPolicy::SkipChunk => Ok(Some(StreamItem::Gap(self.record_gap(
+                    line_no,
+                    line_offset,
+                    events_lost,
+                    cause,
+                )))),
+                RecoveryPolicy::SkipStream => {
+                    self.done = true;
+                    Ok(Some(StreamItem::Gap(self.record_gap(
+                        line_no,
+                        line_offset,
+                        events_lost,
+                        cause,
+                    ))))
+                }
+            }
+        }
+    }
+
+    /// Handles the trailer record: verifies the integrity counts, and under
+    /// a recovering policy reconciles the true event loss (the trailer is
+    /// the writer's ground truth) into one final accounting gap.
+    fn finish_at_trailer(
+        &mut self,
+        trailer: ChunkFileTrailer,
+        line_no: usize,
+        line_offset: u64,
+    ) -> Result<Option<StreamItem>, StreamError> {
+        let counts_match = trailer.chunks == self.chunks_seen && trailer.events == self.events_seen;
+        if counts_match {
+            self.trailer = Some(trailer);
+            self.done = true;
+            return Ok(None);
+        }
+        let cause = StreamError::Format(format!(
+            "trailer claims {} chunks / {} events but {} / {} were read",
+            trailer.chunks, trailer.events, self.chunks_seen, self.events_seen
+        ));
+        if matches!(self.policy, RecoveryPolicy::Fail) {
+            return Err(self.locate(line_no, line_offset, cause));
+        }
+        let counted: u64 = self.events_lost();
+        let residual = trailer
+            .events
+            .saturating_sub(self.events_seen)
+            .saturating_sub(counted);
+        self.trailer = Some(trailer);
+        self.done = true;
+        if residual > 0 || self.gaps.is_empty() {
+            return Ok(Some(StreamItem::Gap(self.record_gap(
+                line_no,
+                line_offset,
+                residual,
+                cause,
+            ))));
+        }
+        Ok(None)
     }
 }
 
@@ -369,43 +821,19 @@ impl EventSource for ChunkFileReader {
     }
 
     fn next_chunk(&mut self) -> Result<Option<TraceChunk>, StreamError> {
-        if self.done {
-            return Ok(None);
-        }
-        let Some(line) = self.lines.next() else {
-            return Err(StreamError::Format(
-                "chunk file ended without a trailer record".into(),
-            ));
-        };
-        let line = line?;
-        self.line_no += 1;
-        let record: ChunkFileRecord =
-            serde_json::from_str(&line).map_err(|e| StreamError::Parse {
-                line: self.line_no,
-                message: e.0,
-            })?;
-        match record {
-            ChunkFileRecord::Header(_) => Err(StreamError::Format(format!(
-                "unexpected second header at line {}",
-                self.line_no
-            ))),
-            ChunkFileRecord::Chunk(chunk) => {
-                self.chunks_seen += 1;
-                self.events_seen += chunk.num_events() as u64;
-                Ok(Some(chunk))
-            }
-            ChunkFileRecord::Trailer(trailer) => {
-                if trailer.chunks != self.chunks_seen || trailer.events != self.events_seen {
-                    return Err(StreamError::Format(format!(
-                        "trailer claims {} chunks / {} events but {} / {} were read",
-                        trailer.chunks, trailer.events, self.chunks_seen, self.events_seen
-                    )));
-                }
-                self.trailer = Some(trailer);
-                self.done = true;
-                Ok(None)
+        // Gap-unaware consumers skip over gaps; the losses stay queryable
+        // through [`gaps`](Self::gaps).
+        loop {
+            match self.read_item()? {
+                Some(StreamItem::Chunk(chunk)) => return Ok(Some(chunk)),
+                Some(StreamItem::Gap(_)) => continue,
+                None => return Ok(None),
             }
         }
+    }
+
+    fn next_item(&mut self) -> Result<Option<StreamItem>, StreamError> {
+        self.read_item()
     }
 }
 
@@ -439,6 +867,15 @@ pub fn read_chunked_trace(path: impl AsRef<Path>) -> Result<Trace, StreamError> 
                 )));
             }
             for te in span.events {
+                // Pre-check monotonicity: `ThreadTrace::push` debug-asserts
+                // it, and an untrusted file must yield a typed error in every
+                // build profile, not a panic.
+                if tt.events.last().is_some_and(|prev| te.at < prev.at) {
+                    return Err(StreamError::Trace(TraceError::NonMonotonicTime {
+                        thread: span.thread,
+                        event_index: tt.events.len(),
+                    }));
+                }
                 tt.push(te.at, te.event);
             }
         }

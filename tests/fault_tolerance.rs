@@ -1,0 +1,400 @@
+//! Fault-tolerance suite: the chaos no-panic invariant, truncation at every
+//! record boundary, and recovery soundness.
+//!
+//! The pinned invariant: **no corrupted, truncated or perturbed input makes
+//! the ingestion pipeline panic** — every run ends in a report, a
+//! gap-annotated report, or a structured [`StreamError`], and identical
+//! inputs end identically (the fault layer is fully seeded).
+
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use perfplay::prelude::*;
+use perfplay::workloads::{random_workload, GeneratorConfig};
+use perfplay_trace::{ChunkFileReader, RecoveryPolicy, StreamError, Trace, TraceChunk};
+
+const POLICIES: [RecoveryPolicy; 3] = [
+    RecoveryPolicy::Fail,
+    RecoveryPolicy::SkipChunk,
+    RecoveryPolicy::SkipStream,
+];
+
+fn config() -> DetectorConfig {
+    DetectorConfig {
+        max_scan_per_thread: Some(3),
+        ..DetectorConfig::default()
+    }
+}
+
+fn record(seed: u64, gen: &GeneratorConfig) -> Trace {
+    let program = random_workload(seed, gen);
+    Recorder::new(SimConfig::default())
+        .record(&program)
+        .unwrap()
+        .trace
+}
+
+/// The shared clean corpus: one recorded trace spilled to a chunk file, plus
+/// the same chunking in memory so tests know exactly what each record line
+/// holds.
+struct Corpus {
+    trace: Trace,
+    path: PathBuf,
+    lines: Vec<String>,
+    chunks: Vec<TraceChunk>,
+}
+
+fn corpus() -> &'static Corpus {
+    static CORPUS: OnceLock<Corpus> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let trace = record(
+            9,
+            &GeneratorConfig {
+                threads: 4,
+                locks: 2,
+                objects: 5,
+                sections_per_thread: 9,
+            },
+        );
+        let path =
+            std::env::temp_dir().join(format!("perfplay-chaos-clean-{}.jsonl", std::process::id()));
+        spill_trace(&trace, &path, 24).unwrap();
+        let lines: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        // The writer windows by time completion, so learn the actual
+        // chunking by reading the clean file back.
+        let mut chunks = Vec::new();
+        let mut source = ChunkFileReader::open(&path).unwrap();
+        while let Some(chunk) = source.next_chunk().unwrap() {
+            chunks.push(chunk);
+        }
+        assert_eq!(
+            lines.len(),
+            chunks.len() + 2,
+            "file is header + chunks + trailer"
+        );
+        assert!(chunks.len() >= 4, "corpus needs several chunks");
+        Corpus {
+            trace,
+            path,
+            lines,
+            chunks,
+        }
+    })
+}
+
+/// Ingests one chunk file under `catch_unwind` and reduces the ending to a
+/// comparable string: `report …` / `gap-report …` / `error …` / `panic`.
+/// Equal strings mean bit-identical analysis content.
+fn run_file(path: &Path, policy: RecoveryPolicy) -> String {
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<_, StreamError> {
+        let mut reader = ChunkFileReader::with_policy(path, policy)?;
+        let streamed = StreamingDetector::new(config()).analyze(&mut reader)?;
+        Ok(format!(
+            "events={} gaps={} lost={} ulcps={} edges={} {:?}",
+            streamed.stats.events,
+            streamed.stats.gaps,
+            streamed.stats.events_lost,
+            streamed.analysis.ulcps.len(),
+            streamed.analysis.edges.len(),
+            streamed.analysis.breakdown,
+        ))
+    }));
+    match outcome {
+        Err(_) => "panic".to_string(),
+        Ok(Ok(s)) if s.contains("gaps=0") => format!("report {s}"),
+        Ok(Ok(s)) => format!("gap-report {s}"),
+        Ok(Err(e)) => format!("error {e}"),
+    }
+}
+
+/// The full chaos matrix: every fault kind realized on disk, ingested under
+/// every recovery policy, twice. Nothing panics and reruns are identical.
+#[test]
+fn chaos_matrix_never_panics_and_is_deterministic() {
+    let corpus = corpus();
+    for kind in FaultKind::ALL {
+        for seed in [1u64, 7, 42] {
+            let dst = std::env::temp_dir().join(format!(
+                "perfplay-chaos-{}-{seed}-{}.jsonl",
+                kind.name(),
+                std::process::id()
+            ));
+            let fault = corrupt_chunk_file(&corpus.path, &dst, kind, seed).unwrap();
+            for policy in POLICIES {
+                let first = run_file(&dst, policy);
+                assert!(
+                    first != "panic",
+                    "{kind} seed {seed} under {policy:?} panicked ({fault})"
+                );
+                let second = run_file(&dst, policy);
+                assert_eq!(
+                    first, second,
+                    "{kind} seed {seed} under {policy:?} is nondeterministic ({fault})"
+                );
+            }
+            std::fs::remove_file(&dst).ok();
+        }
+    }
+}
+
+/// The same matrix applied in flight: a seeded [`FaultInjector`] between the
+/// file reader and the detector. Nothing panics, reruns are identical.
+#[test]
+fn in_flight_faults_never_panic_and_are_deterministic() {
+    let corpus = corpus();
+    for kind in FaultKind::ALL.into_iter().filter(|k| k.stream_applicable()) {
+        for seed in [1u64, 7, 42] {
+            let plan = FaultPlan::seeded(seed, kind, corpus.chunks.len() as u64);
+            let run = || {
+                let outcome =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<_, StreamError> {
+                        let reader = ChunkFileReader::open(&corpus.path)?;
+                        let mut source = FaultInjector::new(reader, plan);
+                        let streamed = StreamingDetector::new(config()).analyze(&mut source)?;
+                        Ok((streamed.analysis.breakdown, streamed.stats.events))
+                    }));
+                match outcome {
+                    Err(_) => "panic".to_string(),
+                    Ok(Ok(t)) => format!("ok {t:?}"),
+                    Ok(Err(e)) => format!("error {e}"),
+                }
+            };
+            let first = run();
+            assert!(first != "panic", "in-flight {kind} seed {seed} panicked");
+            assert_eq!(
+                first,
+                run(),
+                "in-flight {kind} seed {seed} nondeterministic"
+            );
+        }
+    }
+}
+
+/// Recovery soundness: `SkipChunk` detection over a stream with one
+/// corrupted chunk record equals batch detection over the same trace with
+/// that chunk's events removed, and the gap annotation accounts for exactly
+/// the lost events.
+#[test]
+fn skip_chunk_recovery_matches_detection_with_the_chunk_removed() {
+    let corpus = corpus();
+    let victim = corpus.chunks.len() / 2;
+    let victim_chunk = &corpus.chunks[victim];
+    let victim_events = victim_chunk.num_events();
+    assert!(victim_events > 0, "victim chunk must lose something");
+
+    // Corrupt the victim's record line beyond parsing (line 0 is the header).
+    let mut lines = corpus.lines.clone();
+    let cut = lines[victim + 1].len() / 2;
+    lines[victim + 1].truncate(cut);
+    let path = std::env::temp_dir().join(format!(
+        "perfplay-recovery-soundness-{}.jsonl",
+        std::process::id()
+    ));
+    std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+    let mut reader = ChunkFileReader::with_policy(&path, RecoveryPolicy::SkipChunk).unwrap();
+    let streamed = StreamingDetector::new(config())
+        .analyze(&mut reader)
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // The gap annotation counts the loss: one unparseable-record gap (size
+    // unknown at that point) plus the trailer reconciliation gap carrying
+    // the residual — exactly the victim's events.
+    assert_eq!(streamed.stats.gaps, 2, "parse gap + trailer reconciliation");
+    assert_eq!(streamed.stats.events_lost, victim_events as u64);
+    assert_eq!(
+        streamed.stats.events,
+        corpus.trace.num_events() - victim_events
+    );
+
+    // The executable spec: the same trace with the victim chunk's events
+    // spliced out, analyzed by the in-memory batch engine.
+    let mut expected = corpus.trace.clone();
+    for span in &victim_chunk.spans {
+        expected.threads[span.thread.index()]
+            .events
+            .drain(span.base_index..span.base_index + span.events.len());
+    }
+    let batch = Detector::new(config()).analyze(&expected);
+
+    assert_eq!(streamed.analysis.breakdown, batch.breakdown);
+    assert_eq!(streamed.analysis.ulcps, batch.ulcps);
+    assert_eq!(streamed.analysis.edges, batch.edges);
+    // Sections match in everything but the per-thread event indexes (the
+    // gapped stream keeps the original numbering; the spliced trace
+    // renumbers).
+    assert_eq!(streamed.analysis.sections.len(), batch.sections.len());
+    for (s, b) in streamed.analysis.sections.iter().zip(&batch.sections) {
+        assert_eq!(s.id, b.id);
+        assert_eq!(s.thread, b.thread);
+        assert_eq!(s.lock, b.lock);
+        assert_eq!(s.site, b.site);
+        assert_eq!(s.enter_time, b.enter_time);
+        assert_eq!(s.exit_time, b.exit_time);
+        assert_eq!(s.reads, b.reads);
+        assert_eq!(s.writes, b.writes);
+        assert_eq!(s.body_cost, b.body_cost);
+    }
+}
+
+/// Truncation sweep: the file cut at every record boundary and at several
+/// byte offsets inside every record. `Fail` rejects every incomplete file
+/// with a structured error; the recovery policies analyze exactly the clean
+/// prefix and annotate the gap; nothing ever panics.
+#[test]
+fn truncation_at_every_boundary_is_contained() {
+    let corpus = corpus();
+    let n = corpus.lines.len();
+    let dst = std::env::temp_dir().join(format!(
+        "perfplay-truncate-sweep-{}.jsonl",
+        std::process::id()
+    ));
+    for keep in 1..=n {
+        let line = corpus.lines[keep - 1].as_bytes();
+        // None: clean cut after `keep` whole lines. Some(b): `keep - 1`
+        // whole lines plus `b` bytes of the next record, no trailing
+        // newline — the shape a killed writer leaves.
+        let mut cuts: Vec<Option<usize>> = vec![None];
+        for b in [1, line.len() / 2, line.len().saturating_sub(1)] {
+            if b > 0 && b < line.len() && cuts.iter().all(|c| *c != Some(b)) {
+                cuts.push(Some(b));
+            }
+        }
+        for cut in cuts {
+            let mut content: Vec<u8> = Vec::new();
+            for full in &corpus.lines[..keep - 1] {
+                content.extend_from_slice(full.as_bytes());
+                content.push(b'\n');
+            }
+            match cut {
+                None => {
+                    content.extend_from_slice(line);
+                    content.push(b'\n');
+                }
+                Some(b) => content.extend_from_slice(&line[..b]),
+            }
+            std::fs::write(&dst, &content).unwrap();
+
+            let complete = keep == n && cut.is_none();
+            let whole_lines = if cut.is_none() { keep } else { keep - 1 };
+            // Chunk records fully present: lines 1..=chunks.len().
+            let kept_chunks = whole_lines.saturating_sub(1).min(corpus.chunks.len());
+            let expected_events: usize = corpus.chunks[..kept_chunks]
+                .iter()
+                .map(TraceChunk::num_events)
+                .sum();
+
+            for policy in POLICIES {
+                let out = run_file(&dst, policy);
+                assert!(
+                    out != "panic",
+                    "keep {keep} cut {cut:?} under {policy:?} panicked"
+                );
+                match policy {
+                    RecoveryPolicy::Fail => {
+                        if complete {
+                            assert!(
+                                out.starts_with("report"),
+                                "complete file must analyze cleanly, got {out}"
+                            );
+                        } else {
+                            assert!(
+                                out.starts_with("error"),
+                                "Fail must reject keep {keep} cut {cut:?}, got {out}"
+                            );
+                        }
+                    }
+                    _ => {
+                        if complete {
+                            assert!(out.starts_with("report"), "got {out}");
+                        } else if keep == 1 && cut.is_some() {
+                            // The header itself is unreadable: a structured
+                            // error is the only honest outcome.
+                            assert!(out.starts_with("error"), "got {out}");
+                        } else {
+                            assert!(
+                                out.starts_with("gap-report"),
+                                "recovery must keep the clean prefix of keep {keep} \
+                                 cut {cut:?}, got {out}"
+                            );
+                            let events = format!("events={expected_events} ");
+                            assert!(
+                                out.contains(&events),
+                                "prefix of keep {keep} cut {cut:?} holds \
+                                 {expected_events} events, got {out}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    std::fs::remove_file(&dst).ok();
+}
+
+/// A corrupted member of a multi-file batch is isolated as a structured
+/// per-item failure while the clean members analyze and fuse.
+#[test]
+fn chunk_file_batch_isolates_a_corrupted_member() {
+    let corpus = corpus();
+    let bad = std::env::temp_dir().join(format!(
+        "perfplay-chaos-batch-bad-{}.jsonl",
+        std::process::id()
+    ));
+    corrupt_chunk_file(&corpus.path, &bad, FaultKind::TruncateMidRecord, 7).unwrap();
+
+    let paths = [&corpus.path, &bad];
+    let batch = analyze_chunk_files(&paths, &PipelineConfig::default(), RecoveryPolicy::Fail);
+    assert_eq!(batch.per_stream.len(), 1, "the clean file analyzes");
+    assert_eq!(batch.failures.len(), 1, "the corrupted file fails alone");
+    assert_eq!(batch.failures[0].trace_index, 1);
+    assert!(!batch.recommendations.is_empty());
+
+    // Under recovery the same corrupted file degrades to a gapped stream
+    // instead of failing, and the fused result annotates the loss.
+    let recovered = analyze_chunk_files(
+        &paths,
+        &PipelineConfig::default(),
+        RecoveryPolicy::SkipChunk,
+    );
+    assert!(recovered.failures.is_empty());
+    assert_eq!(recovered.per_stream.len(), 2);
+    assert!(recovered.total_gaps() > 0);
+    std::fs::remove_file(&bad).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Seeded random corner of the chaos space beyond the fixed matrix:
+    /// arbitrary `(seed, fault, policy)` cells still never panic.
+    #[test]
+    fn random_faults_never_panic(
+        seed in 0u64..10_000,
+        kind_index in 0usize..FaultKind::ALL.len(),
+        policy_index in 0usize..3,
+    ) {
+        let corpus = corpus();
+        let kind = FaultKind::ALL[kind_index];
+        let dst = std::env::temp_dir().join(format!(
+            "perfplay-chaos-prop-{seed}-{kind_index}-{}.jsonl",
+            std::process::id()
+        ));
+        corrupt_chunk_file(&corpus.path, &dst, kind, seed).unwrap();
+        let out = run_file(&dst, POLICIES[policy_index]);
+        std::fs::remove_file(&dst).ok();
+        prop_assert!(
+            out != "panic",
+            "{} seed {} under {:?} panicked",
+            kind, seed, POLICIES[policy_index]
+        );
+    }
+}

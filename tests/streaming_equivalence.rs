@@ -193,14 +193,19 @@ fn truncated_file_without_trailer_is_a_structured_error() {
     let mut reader = ChunkFileReader::open(&path).unwrap();
     let err = drain(&mut reader).expect_err("missing trailer must be an error");
     assert!(
-        matches!(&err, StreamError::Format(msg) if msg.contains("trailer")),
+        matches!(err.root_cause(), StreamError::Format(msg) if msg.contains("trailer")),
         "expected a format error naming the missing trailer, got {err:?}"
+    );
+    // The error is located: path and line of the failure travel with it.
+    assert!(
+        matches!(&err, StreamError::At { path: p, .. } if path.to_str().unwrap() == p),
+        "expected a located error carrying the file path, got {err:?}"
     );
     assert!(reader.trailer().is_none());
 
     // The whole-trace reassembly path reports the same structured error.
     let err = read_chunked_trace(&path).expect_err("reassembly must fail too");
-    assert!(matches!(err, StreamError::Format(_)));
+    assert!(matches!(err.root_cause(), StreamError::Format(_)));
     std::fs::remove_file(&path).ok();
 }
 
@@ -216,29 +221,68 @@ fn truncated_file_mid_chunk_is_a_parse_error() {
 
     let mut reader = ChunkFileReader::open(&path).unwrap();
     let err = drain(&mut reader).expect_err("mid-chunk EOF must be an error");
-    match err {
-        StreamError::Parse { line, .. } => assert_eq!(line, 2, "the cut line is line 2"),
-        other => panic!("expected a parse error, got {other:?}"),
+    match &err {
+        StreamError::At {
+            path: p,
+            line,
+            offset,
+            ..
+        } => {
+            assert_eq!(p, path.to_str().unwrap());
+            assert_eq!(*line, 2, "the cut line is line 2");
+            // Line 2 starts right after the header line and its newline.
+            assert_eq!(*offset, lines[0].len() as u64 + 1);
+        }
+        other => panic!("expected a located error, got {other:?}"),
+    }
+    match err.root_cause() {
+        StreamError::Parse { line, .. } => assert_eq!(*line, 2),
+        other => panic!("expected a parse error underneath, got {other:?}"),
     }
     std::fs::remove_file(&path).ok();
 }
 
 /// Regression: a trailer whose chunk/event counts disagree with what was
-/// actually read (a file truncated *between* chunks with the trailer intact)
+/// actually read (a file with a chunk record excised but the trailer intact)
 /// is rejected instead of silently under-reporting.
 #[test]
 fn trailer_count_mismatch_is_a_structured_error() {
     let (path, lines) = spilled_lines("count-mismatch");
-    // Drop one chunk record from the middle, keeping header + trailer.
+    // Drop the *last* chunk record, keeping header + trailer: with no later
+    // chunk left to trip the contiguity check, the trailer reconciliation is
+    // what must catch the loss.
     let mut kept: Vec<&str> = lines.iter().map(String::as_str).collect();
-    kept.remove(1);
+    kept.remove(kept.len() - 2);
     std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
 
     let mut reader = ChunkFileReader::open(&path).unwrap();
     let err = drain(&mut reader).expect_err("count mismatch must be an error");
     assert!(
-        matches!(&err, StreamError::Format(msg) if msg.contains("trailer claims")),
+        matches!(err.root_cause(), StreamError::Format(msg) if msg.contains("trailer claims")),
         "expected the trailer-mismatch format error, got {err:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Regression: a chunk record excised from the *middle* of the file is caught
+/// before the trailer, by the per-thread span-contiguity check, as a located
+/// structured error — never a silent splice.
+#[test]
+fn missing_middle_chunk_is_a_contiguity_error() {
+    let (path, lines) = spilled_lines("missing-middle");
+    let mut kept: Vec<&str> = lines.iter().map(String::as_str).collect();
+    kept.remove(1);
+    std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
+
+    let mut reader = ChunkFileReader::open(&path).unwrap();
+    let err = drain(&mut reader).expect_err("missing chunk must be an error");
+    assert!(
+        matches!(&err, StreamError::At { path: p, .. } if p == path.to_str().unwrap()),
+        "expected a located error carrying the file path, got {err:?}"
+    );
+    assert!(
+        matches!(err.root_cause(), StreamError::Format(msg) if msg.contains("non-contiguous")),
+        "expected the span-contiguity format error, got {err:?}"
     );
     std::fs::remove_file(&path).ok();
 }
