@@ -12,7 +12,9 @@
 //! Set `PERFPLAY_BENCH_FAST=1` for a CI-sized smoke run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use perfplay::prelude::{BodyOverlapGain, Detector, SiteAggregator, StreamingDetector};
+use perfplay::prelude::{
+    BodyOverlapGain, Detector, ParallelStreamingDetector, SiteAggregator, StreamingDetector,
+};
 use perfplay_bench::{detect_bench_config, stream_trace, StreamWorkload};
 
 fn bench_stream_scaling(c: &mut Criterion) {
@@ -71,6 +73,22 @@ fn bench_stream_scaling(c: &mut Criterion) {
                 },
             );
         }
+        // The parallel engine at a fixed small worker count: tracks the
+        // sharded-worker pipeline's overhead against sequential streaming
+        // (`stream_256k`) on the same chunk size.
+        group.bench_with_input(
+            BenchmarkId::new("parallel_256k_w2", &label),
+            &trace,
+            |b, t| {
+                b.iter(|| {
+                    ParallelStreamingDetector::with_workers(config, 2)
+                        .analyze_trace(t, 262_144)
+                        .expect("in-memory chunk stream never fails")
+                        .analysis
+                        .breakdown
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("aggregate_256k", &label),
             &trace,

@@ -63,8 +63,8 @@ use perfplay::prelude::{
     analyze_batch, analyze_batch_sequential, analyze_chunk_files, corrupt_chunk_file,
     fuse_aggregates, fuse_ulcp_gains, rank_groups, spill_trace, BatchAnalysis, BodyOverlapGain,
     ChunkFileReader, Detector, DetectorConfig, FaultInjector, FaultKind, FaultPlan, GainSource,
-    PerfReport, PipelineConfig, Recommendation, RecoveryPolicy, SectionCtx, SiteAggregator,
-    StreamingDetector, StreamingStats, Trace, Transformer, UlcpGain,
+    ParallelStreamingDetector, PerfReport, PipelineConfig, Recommendation, RecoveryPolicy,
+    SectionCtx, SiteAggregator, StreamingDetector, StreamingStats, Trace, Transformer, UlcpGain,
 };
 use perfplay::prelude::{ReplayConfig, ReplayResult, ReplaySchedule, Replayer, UlcpFreeReplayer};
 use perfplay::workloads::{App, InputSize};
@@ -327,7 +327,30 @@ struct FileRoundtripReport {
     bytes: u64,
     write_ms: f64,
     stream_from_file_ms: f64,
+    /// Decode+detect throughput of the re-ingest leg (`events` over
+    /// `stream_from_file_ms`) — the number the chunk-file decode hot path is
+    /// graded on.
+    events_per_sec: f64,
+    /// On-disk density of the chunked format (`bytes` / `events`).
+    bytes_per_event: f64,
     identical_to_batch: bool,
+}
+
+/// The sharded-worker streaming run (`--parallel`), reported next to the
+/// sequential streaming baseline it must match bit-for-bit.
+#[derive(Debug, Serialize)]
+struct ParallelStreamReport {
+    workers: usize,
+    stream_ms: f64,
+    /// Sequential streaming wall-clock over parallel streaming wall-clock.
+    speedup_vs_sequential: f64,
+    /// Content digest (breakdown + every pair/edge) AND ranked-report digest
+    /// both equal to the sequential streaming run's.
+    results_identical: bool,
+    report_digest: String,
+    /// Peak resident state summed across the decoder and all worker shards.
+    streaming: StreamingStats,
+    memory: MemoryReport,
 }
 
 #[derive(Debug, Serialize)]
@@ -338,6 +361,8 @@ struct StreamReport {
     batch_ms: f64,
     stream_ms: f64,
     results_identical: bool,
+    /// The sharded per-lock worker pipeline, when run with `--parallel`.
+    parallel: Option<ParallelStreamReport>,
     /// Peak resident state of the streaming run; `peak_live_sections` /
     /// `total_sections` is the boundedness headline.
     streaming: StreamingStats,
@@ -350,14 +375,46 @@ struct StreamReport {
     breakdown: BreakdownReport,
 }
 
+/// Worker count for the `--parallel` runs: every core, floored at 8 so the
+/// acceptance artifact always exercises a real shard fan-out.
+fn parallel_workers() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .max(8)
+}
+
+/// Ranked-report digest of an analysis under the detection-time
+/// [`BodyOverlapGain`] proxy — the report-level half of the parallel
+/// streaming equivalence check (the content digest is the other half).
+fn ranked_digest(analysis: &UlcpAnalysis) -> u64 {
+    let gain = BodyOverlapGain;
+    report_digest(&rank_groups(fuse_ulcp_gains(
+        analysis,
+        analysis.ulcps.iter().map(|u| UlcpGain {
+            ulcp: *u,
+            gain_ns: gain.pair_gain_ns(
+                u,
+                &SectionCtx {
+                    first: analysis.section(u.first),
+                    second: analysis.section(u.second),
+                },
+            ),
+        }),
+    )))
+}
+
 /// `repro detect --stream`: the streaming ingestion path. Records a
 /// synthetic workload (>=10M events unless `--quick`), analyzes it with the
 /// in-memory engine and the chunk-by-chunk [`StreamingDetector`], verifies
 /// the results are bit-identical, exercises the chunked-file spill/re-ingest
-/// roundtrip, and writes `BENCH_stream.json`. With `--spill PATH`, the
-/// roundtrip's chunked trace file is written to `PATH` and kept, ready for
+/// roundtrip, and writes `BENCH_stream.json`. With `--parallel`, the same
+/// workload additionally runs through the sharded-per-lock-worker
+/// [`ParallelStreamingDetector`] and the artifact gains a `parallel` block
+/// pinning bit-identical results (content + ranked-report digests) and the
+/// wall-clock ratio. With `--spill PATH`, the roundtrip's chunked trace file
+/// is written to `PATH` and kept, ready for
 /// `repro detect --stream --chunk-file PATH`.
-fn run_stream(quick: bool, out: &str, spill: Option<&str>) {
+fn run_stream(quick: bool, out: &str, spill: Option<&str>, parallel: bool) {
     let workload = if quick {
         StreamWorkload::quick()
     } else {
@@ -383,16 +440,45 @@ fn run_stream(quick: bool, out: &str, spill: Option<&str>) {
     let (batch_digest, batch_ms) = measure("in-memory batch", runs, || {
         Detector::new(config).analyze(&trace)
     });
-    let mut stats = StreamingStats::default();
-    let (stream_digest, stream_ms) = measure("streaming      ", runs, || {
-        let streamed = StreamingDetector::new(config)
+    // Sequential streaming is timed explicitly (not through `measure`) so
+    // the analysis survives long enough for a ranked-report digest — the
+    // second half of the parallel equivalence check.
+    let (streamed, stream_ms) = time_ms(|| {
+        StreamingDetector::new(config)
             .analyze_trace(&trace, chunk_events)
-            .expect("in-memory chunk stream never fails");
-        stats = streamed.stats;
-        streamed.analysis
+            .expect("in-memory chunk stream never fails")
     });
+    eprintln!("streaming       run 1/1: {stream_ms:.0}ms");
+    let stats = streamed.stats;
+    let stream_digest = digest(&streamed.analysis);
+    let stream_ranked = ranked_digest(&streamed.analysis);
+    drop(streamed);
     let results_identical = batch_digest == stream_digest;
     let total_sections = stats.sections;
+
+    // The sharded per-lock worker pipeline: decoder -> bounded channel ->
+    // N workers -> in-order shard absorption. Timed against the sequential
+    // streaming run it must reproduce bit-for-bit.
+    let parallel = parallel.then(|| {
+        let workers = parallel_workers();
+        let (par, par_ms) = time_ms(|| {
+            ParallelStreamingDetector::with_workers(config, workers)
+                .analyze_trace(&trace, chunk_events)
+                .expect("in-memory chunk stream never fails")
+        });
+        eprintln!("parallel x{workers:<4} run 1/1: {par_ms:.0}ms");
+        let par_digest = digest(&par.analysis);
+        let par_ranked = ranked_digest(&par.analysis);
+        ParallelStreamReport {
+            workers,
+            stream_ms: par_ms,
+            speedup_vs_sequential: stream_ms / par_ms,
+            results_identical: par_digest == stream_digest && par_ranked == stream_ranked,
+            report_digest: format!("{par_ranked:016x}"),
+            memory: MemoryReport::from_streaming(&par.stats),
+            streaming: par.stats,
+        }
+    });
 
     // File roundtrip on a CI-sized slice: spill to a chunked file, stream
     // the detector from the file, compare against the batch engine.
@@ -428,6 +514,8 @@ fn run_stream(quick: bool, out: &str, spill: Option<&str>) {
         bytes: rt_summary.bytes,
         write_ms,
         stream_from_file_ms,
+        events_per_sec: rt_summary.events as f64 / (stream_from_file_ms / 1e3).max(1e-9),
+        bytes_per_event: rt_summary.bytes as f64 / rt_summary.events.max(1) as f64,
         identical_to_batch: digest(&rt_result.analysis) == rt_batch,
     };
 
@@ -446,6 +534,7 @@ fn run_stream(quick: bool, out: &str, spill: Option<&str>) {
         batch_ms,
         stream_ms,
         results_identical,
+        parallel,
         peak_live_fraction: stats.peak_live_sections as f64 / total_sections.max(1) as f64,
         memory: MemoryReport::from_streaming(&stats),
         streaming: stats,
@@ -465,6 +554,18 @@ fn run_stream(quick: bool, out: &str, spill: Option<&str>) {
         report.file_roundtrip.identical_to_batch,
         "chunked-file roundtrip diverged from the in-memory engine"
     );
+    if let Some(par) = &report.parallel {
+        assert!(
+            par.results_identical,
+            "parallel streaming detector diverged from sequential streaming \
+             (workers {}, digest {})",
+            par.workers, par.report_digest
+        );
+        eprintln!(
+            "parallel streaming x{}: {:.0}ms ({:.2}x vs sequential streaming), identical",
+            par.workers, par.stream_ms, par.speedup_vs_sequential
+        );
+    }
     eprintln!(
         "streaming {} events: peak live sections {} / {} ({:.3}%), peak chunk {} events -> {out}",
         trace_events,
@@ -1448,6 +1549,23 @@ fn run_inject(spec: &str, out: Option<&str>) {
                 detail,
             });
         }
+        // Parallel streaming over the same corrupted artifact: the sharded
+        // engine inherits the no-panic invariant and must end the trial —
+        // report, gap-report or structured error — like the sequential one.
+        let (outcome, detail) = inject_outcome(|| {
+            let mut reader = ChunkFileReader::with_policy(&corrupted, RecoveryPolicy::SkipChunk)?;
+            let streamed =
+                ParallelStreamingDetector::with_workers(config, 2).analyze(&mut reader)?;
+            Ok(streamed.stats)
+        });
+        trials.push(InjectTrial {
+            kind: kind.name().to_string(),
+            layer: "file-parallel".to_string(),
+            policy: "SkipChunk".to_string(),
+            fault: fault.clone(),
+            outcome,
+            detail,
+        });
         // In flight: the same fault injected between reader and detector.
         if kind.stream_applicable() {
             let plan = FaultPlan::seeded(seed, *kind, summary.chunks);
@@ -1613,6 +1731,8 @@ fn run_batch_chunk_dir(dir: &str, quick: bool, out: &str) {
 #[derive(Debug, Serialize)]
 struct ChunkFileReport {
     path: String,
+    /// Worker count of the sharded engine; `None` for the sequential one.
+    workers: Option<usize>,
     analyze_ms: f64,
     events: usize,
     sections: usize,
@@ -1624,9 +1744,10 @@ struct ChunkFileReport {
 /// `repro detect --stream --chunk-file PATH`: streams the detector off an
 /// on-disk chunked trace file — the `ChunkedWriter` format — so traces
 /// spilled at record time are analyzed without ever materializing the event
-/// log. Exits non-zero with the structured `StreamError` on a malformed or
-/// truncated file.
-fn run_stream_file(path: &str, out: Option<&str>) {
+/// log. With `--parallel`, the sharded [`ParallelStreamingDetector`] decodes
+/// and classifies instead of the sequential engine. Exits non-zero with the
+/// structured `StreamError` on a malformed or truncated file.
+fn run_stream_file(path: &str, out: Option<&str>, parallel: bool) {
     let config = detect_bench_config();
     let mut reader = match ChunkFileReader::open(path) {
         Ok(reader) => reader,
@@ -1635,7 +1756,13 @@ fn run_stream_file(path: &str, out: Option<&str>) {
             std::process::exit(1);
         }
     };
-    let (result, analyze_ms) = time_ms(|| StreamingDetector::new(config).analyze(&mut reader));
+    let workers = parallel.then(parallel_workers);
+    let (result, analyze_ms) = time_ms(|| match workers {
+        Some(workers) => {
+            ParallelStreamingDetector::with_workers(config, workers).analyze(&mut reader)
+        }
+        None => StreamingDetector::new(config).analyze(&mut reader),
+    });
     let streamed = match result {
         Ok(streamed) => streamed,
         Err(e) => {
@@ -1645,6 +1772,7 @@ fn run_stream_file(path: &str, out: Option<&str>) {
     };
     let report = ChunkFileReport {
         path: path.to_string(),
+        workers,
         analyze_ms,
         events: streamed.stats.events,
         sections: streamed.stats.sections,
@@ -1666,6 +1794,7 @@ fn main() {
     let mut quick = false;
     let mut stream = false;
     let mut aggregate = false;
+    let mut parallel = false;
     let mut out: Option<String> = None;
     let mut replay_artifact: Option<String> = None;
     let mut chunk_file: Option<String> = None;
@@ -1678,6 +1807,7 @@ fn main() {
             "--quick" => quick = true,
             "--stream" => stream = true,
             "--aggregate" => aggregate = true,
+            "--parallel" => parallel = true,
             "--out" => match iter.next() {
                 Some(path) => out = Some(path.clone()),
                 None => {
@@ -1737,6 +1867,10 @@ fn main() {
         eprintln!("--chunk-file requires --stream (it feeds the streaming detector)");
         std::process::exit(2);
     }
+    if parallel && !stream {
+        eprintln!("--parallel selects the sharded streaming engine; it requires --stream");
+        std::process::exit(2);
+    }
     if spill.is_some() && (!stream || chunk_file.is_some()) {
         eprintln!(
             "--spill only applies to `detect --stream` without --chunk-file \
@@ -1766,11 +1900,12 @@ fn main() {
             run_aggregate(quick, out.as_deref().unwrap_or("BENCH_aggregate.json"));
         }
         Some("detect") | None if stream => match chunk_file {
-            Some(path) => run_stream_file(&path, out.as_deref()),
+            Some(path) => run_stream_file(&path, out.as_deref(), parallel),
             None => run_stream(
                 quick,
                 out.as_deref().unwrap_or("BENCH_stream.json"),
                 spill.as_deref(),
+                parallel,
             ),
         },
         Some("detect") | None => {

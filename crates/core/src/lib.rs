@@ -49,10 +49,10 @@ use perfplay_transform::{TransformConfig, TransformedTrace, Transformer};
 pub mod prelude {
     pub use perfplay_detect::{
         corrupt_chunk_file, BodyOverlapGain, CollectPairs, DetectionPlan, Detector, DetectorConfig,
-        FaultInjector, FaultKind, FaultPlan, GainSource, NoGain, PlanAggregator, PlanError,
-        SectionCtx, SinkAnalysis, SiteAggregates, SiteAggregator, StreamingAnalysis,
-        StreamingDetector, StreamingSinkAnalysis, StreamingStats, Ulcp, UlcpAnalysis,
-        UlcpBreakdown, UlcpKind, UlcpSink,
+        FaultInjector, FaultKind, FaultPlan, GainSource, NoGain, ParallelStreamingDetector,
+        PlanAggregator, PlanError, SectionCtx, SinkAnalysis, SiteAggregates, SiteAggregator,
+        StreamingAnalysis, StreamingDetector, StreamingSinkAnalysis, StreamingStats, Ulcp,
+        UlcpAnalysis, UlcpBreakdown, UlcpKind, UlcpSink,
     };
     pub use perfplay_program::{Program, ProgramBuilder};
     pub use perfplay_record::{
@@ -210,7 +210,8 @@ impl PerfPlayConfig {
     /// The analysis-stage slice of this configuration, as consumed by the
     /// single-pass pipeline (`perfplay_report::analyze_plan`) and the
     /// multi-trace batch driver. `chunk_events` selects streaming detection
-    /// when set.
+    /// when set; `parallel_streams` keeps its default (follow
+    /// [`DetectorConfig::parallel`]).
     pub fn pipeline(&self, chunk_events: Option<usize>) -> perfplay_report::PipelineConfig {
         perfplay_report::PipelineConfig {
             detector: self.detector,
@@ -219,6 +220,7 @@ impl PerfPlayConfig {
             use_dls: self.use_dls,
             original_schedule: self.original_schedule,
             chunk_events,
+            parallel_streams: 0,
         }
     }
 }

@@ -43,6 +43,7 @@ mod classify;
 mod inject;
 mod kinds;
 mod pairing;
+mod parallel_stream;
 mod plan;
 mod reference;
 mod shadow;
@@ -53,6 +54,7 @@ pub use classify::{classify_by_sets, classify_pair, refine_conflicting_pair};
 pub use inject::{corrupt_chunk_file, FaultInjector, FaultKind, FaultPlan};
 pub use kinds::{PairClass, UlcpKind};
 pub use pairing::{CausalEdge, Detector, DetectorConfig, Ulcp, UlcpAnalysis, UlcpBreakdown};
+pub use parallel_stream::ParallelStreamingDetector;
 pub use plan::{DetectionPlan, PlanAggregator, PlanError};
 pub use reference::{reference_analyze, reference_analyze_with};
 pub use shadow::{LastWriteIndex, MemorySnapshot, StartState, StateBefore};

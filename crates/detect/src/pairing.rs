@@ -136,6 +136,15 @@ pub struct DetectorConfig {
     /// are merged deterministically (ascending lock order, original search
     /// order within each lock), so output is bit-identical to the
     /// sequential path.
+    ///
+    /// How each engine composes with this flag:
+    ///
+    /// | entry point | `parallel: false` | `parallel: true` |
+    /// |---|---|---|
+    /// | [`Detector::analyze`] / `analyze_with` | sequential per-lock loop | per-lock work-queue fan-out |
+    /// | [`StreamingDetector::analyze`](crate::StreamingDetector::analyze) (+ `analyze_trace`) | sequential engine | delegates to [`ParallelStreamingDetector`](crate::ParallelStreamingDetector) (one worker per core) |
+    /// | [`StreamingDetector::analyze_with`](crate::StreamingDetector::analyze_with) (+ `analyze_trace_with`) | sequential engine | [`StreamError::Config`](perfplay_trace::StreamError::Config) — the sink is not required to be `Send`; call the parallel detector directly |
+    /// | [`ParallelStreamingDetector`](crate::ParallelStreamingDetector) | ignored — always parallel; worker count from the constructor | ignored |
     pub parallel: bool,
 }
 
@@ -150,7 +159,7 @@ impl Default for DetectorConfig {
 }
 
 /// The result of ULCP identification over one trace.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UlcpAnalysis {
     /// Every dynamic critical section, indexed by [`SectionId::index`].
     pub sections: Vec<CriticalSection>,

@@ -28,7 +28,7 @@
 
 use std::collections::BTreeMap;
 
-use perfplay_trace::{CodeSiteId, CriticalSection, SectionId, Time};
+use perfplay_trace::{CodeSiteId, CriticalSection, SectionId, ThreadId, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::kinds::UlcpKind;
@@ -56,6 +56,18 @@ pub struct SectionCtx<'a> {
 pub trait UlcpSink {
     /// Receives one unnecessary lock contention pair.
     fn emit(&mut self, ulcp: Ulcp, ctx: &SectionCtx<'_>);
+
+    /// Receives one pair together with the second section's thread, which
+    /// the caller already knows without a section-table access. The default
+    /// forwards to [`emit`](Self::emit) and ignores the thread; sinks that
+    /// capture it at emission time (to build the canonical sort key later)
+    /// override this so the per-pair hot path never touches the section
+    /// rows. Implementations must behave exactly like `emit` — the thread
+    /// is `ctx.second.thread`, passed separately purely as an optimization.
+    fn emit_threaded(&mut self, ulcp: Ulcp, second_thread: ThreadId, ctx: &SectionCtx<'_>) {
+        let _ = second_thread;
+        self.emit(ulcp, ctx);
+    }
 
     /// Receives one causal edge (true lock contention pair).
     fn emit_edge(&mut self, edge: CausalEdge, ctx: &SectionCtx<'_>);
@@ -101,6 +113,11 @@ impl<A: UlcpSink, B: UlcpSink> UlcpSink for (A, B) {
     fn emit(&mut self, ulcp: Ulcp, ctx: &SectionCtx<'_>) {
         self.0.emit(ulcp, ctx);
         self.1.emit(ulcp, ctx);
+    }
+
+    fn emit_threaded(&mut self, ulcp: Ulcp, second_thread: ThreadId, ctx: &SectionCtx<'_>) {
+        self.0.emit_threaded(ulcp, second_thread, ctx);
+        self.1.emit_threaded(ulcp, second_thread, ctx);
     }
 
     fn emit_edge(&mut self, edge: CausalEdge, ctx: &SectionCtx<'_>) {

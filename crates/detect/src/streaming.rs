@@ -24,11 +24,15 @@
 //! the same starting state, and the output is ordered identically. The
 //! equivalence is property-tested in `tests/streaming_equivalence.rs`.
 //!
-//! `DetectorConfig::parallel` is ignored here: the stream is consumed
-//! sequentially. Without a `max_scan_per_thread` cap, read-heavy workloads
-//! can keep sections pairing-live for a long time, so the resident-state
-//! bound is strongest with a cap configured (the bench harness always sets
-//! one).
+//! With `DetectorConfig::parallel` set, [`StreamingDetector::analyze`]
+//! routes to [`ParallelStreamingDetector`](crate::ParallelStreamingDetector)
+//! (sharded per-lock workers, same bit-identical output); the sink-generic
+//! entry points require `S: Send` for that and therefore return a
+//! [`StreamError::Config`] instead — call the parallel detector directly to
+//! supply a sendable sink. Without a `max_scan_per_thread` cap, read-heavy
+//! workloads can keep sections pairing-live for a long time, so the
+//! resident-state bound is strongest with a cap configured (the bench
+//! harness always sets one).
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -282,8 +286,12 @@ struct Engine<S: UlcpSink> {
 }
 
 impl StreamingDetector {
-    /// Creates a streaming detector with the given configuration
-    /// (`parallel` is ignored; the stream is consumed sequentially).
+    /// Creates a streaming detector with the given configuration. With
+    /// `config.parallel` set, [`analyze`](Self::analyze) (and the
+    /// `analyze_trace` wrapper) delegate to
+    /// [`ParallelStreamingDetector`](crate::ParallelStreamingDetector); the
+    /// sink-generic entry points return [`StreamError::Config`] instead
+    /// because they cannot require `S: Send`.
     pub fn new(config: DetectorConfig) -> Self {
         StreamingDetector { config }
     }
@@ -291,6 +299,10 @@ impl StreamingDetector {
     /// Consumes the source to exhaustion and returns the analysis, which is
     /// bit-identical to [`Detector::analyze`](crate::Detector::analyze) over
     /// the same events.
+    ///
+    /// With `DetectorConfig::parallel` set this delegates to
+    /// [`ParallelStreamingDetector`](crate::ParallelStreamingDetector) with
+    /// one worker per available core — same output, bit for bit.
     ///
     /// # Errors
     ///
@@ -300,6 +312,9 @@ impl StreamingDetector {
         &self,
         source: &mut Src,
     ) -> Result<StreamingAnalysis, StreamError> {
+        if self.config.parallel {
+            return crate::ParallelStreamingDetector::new(self.config).analyze(source);
+        }
         let result = self.analyze_with(source, CollectPairs::default())?;
         Ok(StreamingAnalysis {
             analysis: UlcpAnalysis {
@@ -319,12 +334,24 @@ impl StreamingDetector {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`analyze`](Self::analyze).
+    /// Same conditions as [`analyze`](Self::analyze). Additionally returns
+    /// [`StreamError::Config`] when `DetectorConfig::parallel` is set: this
+    /// entry point cannot require `S: Send`, so a parallel run with a custom
+    /// sink must go through
+    /// [`ParallelStreamingDetector::analyze_with`](crate::ParallelStreamingDetector::analyze_with).
     pub fn analyze_with<Src: EventSource, S: UlcpSink>(
         &self,
         source: &mut Src,
         sink: S,
     ) -> Result<StreamingSinkAnalysis<S>, StreamError> {
+        if self.config.parallel {
+            return Err(StreamError::Config(
+                "DetectorConfig::parallel requires a Send sink; use \
+                 ParallelStreamingDetector::analyze_with (or clear `parallel` \
+                 for the sequential engine)"
+                    .into(),
+            ));
+        }
         let mut engine = Engine::new(self.config, source.num_threads(), sink);
         while let Some(item) = source.next_item()? {
             match item {

@@ -23,8 +23,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use perfplay_detect::{
-    BodyOverlapGain, DetectionPlan, Detector, DetectorConfig, GainSource, PlanAggregator,
-    SiteAggregates, StreamingDetector, StreamingStats, UlcpBreakdown,
+    BodyOverlapGain, DetectionPlan, Detector, DetectorConfig, GainSource,
+    ParallelStreamingDetector, PlanAggregator, SiteAggregates, StreamingDetector, StreamingStats,
+    UlcpBreakdown,
 };
 use perfplay_replay::{
     ReplayConfig, ReplayError, ReplayResult, ReplaySchedule, Replayer, ScheduleKind,
@@ -129,6 +130,13 @@ pub struct PipelineConfig {
     /// size (bounded pairing state); when `None`, the batch engine runs
     /// (honouring [`DetectorConfig::parallel`]).
     pub chunk_events: Option<usize>,
+    /// Worker count for streaming detection (only meaningful with
+    /// `chunk_events` set): `0` follows [`DetectorConfig::parallel`] (one
+    /// worker per available core when set, the sequential engine otherwise);
+    /// `1` forces the sequential engine; `n > 1` runs
+    /// [`ParallelStreamingDetector`] with `n` sharded per-lock workers.
+    /// Output is bit-identical either way.
+    pub parallel_streams: usize,
 }
 
 impl Default for PipelineConfig {
@@ -140,6 +148,24 @@ impl Default for PipelineConfig {
             use_dls: true,
             original_schedule: ScheduleKind::ElscS,
             chunk_events: None,
+            parallel_streams: 0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The resolved streaming worker count: `Some(n)` means parallel
+    /// streaming detection with `n` workers, `None` means the sequential
+    /// streaming engine.
+    pub fn stream_workers(&self) -> Option<usize> {
+        match self.parallel_streams {
+            0 => self.detector.parallel.then(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            }),
+            1 => None,
+            n => Some(n),
         }
     }
 }
@@ -176,11 +202,16 @@ pub fn analyze_plan_with<G: GainSource + Clone + Send + Sync>(
 ) -> Result<PlanAnalysis, PipelineError> {
     let (plan, streaming) = match config.chunk_events {
         Some(chunk_events) => {
-            let streamed = StreamingDetector::new(config.detector).analyze_trace_with(
-                trace,
-                chunk_events,
-                PlanAggregator::new(gain),
-            )?;
+            let sink = PlanAggregator::new(gain);
+            let streamed = match config.stream_workers() {
+                Some(workers) => ParallelStreamingDetector::with_workers(config.detector, workers)
+                    .analyze_trace_with(trace, chunk_events, sink)?,
+                None => StreamingDetector::new(DetectorConfig {
+                    parallel: false,
+                    ..config.detector
+                })
+                .analyze_trace_with(trace, chunk_events, sink)?,
+            };
             let (plan, stats) = DetectionPlan::from_streaming(streamed);
             (plan, Some(stats))
         }
@@ -390,7 +421,9 @@ impl ChunkBatchAnalysis {
 /// Runs detection-only analysis over on-disk chunk files and fuses the
 /// per-file aggregate tables into one ranked report — the batch sweep for
 /// traces that were spilled at record time and never loaded back into
-/// memory. Each file streams through [`StreamingDetector`] under the given
+/// memory. Each file streams through [`StreamingDetector`] — or, with
+/// [`PipelineConfig::parallel_streams`] resolving to more than one worker,
+/// through [`ParallelStreamingDetector`] — under the given
 /// [`RecoveryPolicy`]; a file that still fails (or panics a detector stage)
 /// becomes one [`BatchItemError`] while the other files complete and fuse.
 pub fn analyze_chunk_files<P: AsRef<Path>>(
@@ -404,8 +437,16 @@ pub fn analyze_chunk_files<P: AsRef<Path>>(
         let path = path.as_ref().display().to_string();
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let mut reader = ChunkFileReader::with_policy(&path, policy)?;
-            let streamed = StreamingDetector::new(config.detector)
-                .analyze_with(&mut reader, PlanAggregator::new(BodyOverlapGain))?;
+            let sink = PlanAggregator::new(BodyOverlapGain);
+            let streamed = match config.stream_workers() {
+                Some(workers) => ParallelStreamingDetector::with_workers(config.detector, workers)
+                    .analyze_with(&mut reader, sink)?,
+                None => StreamingDetector::new(DetectorConfig {
+                    parallel: false,
+                    ..config.detector
+                })
+                .analyze_with(&mut reader, sink)?,
+            };
             let (plan, stats) = DetectionPlan::from_streaming(streamed);
             Ok((plan, stats))
         }))
@@ -505,6 +546,89 @@ mod tests {
         assert_eq!(streamed.report, batch.report);
         assert!(streamed.streaming.is_some());
         assert!(batch.streaming.is_none());
+    }
+
+    #[test]
+    fn parallel_streaming_pipeline_matches_sequential_streaming_and_batch() {
+        let trace = record(7);
+        let batch = analyze_plan(&trace, &PipelineConfig::default()).unwrap();
+        let sequential = analyze_plan(
+            &trace,
+            &PipelineConfig {
+                chunk_events: Some(17),
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        for parallel_streams in [2, 3] {
+            let parallel = analyze_plan(
+                &trace,
+                &PipelineConfig {
+                    chunk_events: Some(17),
+                    parallel_streams,
+                    ..PipelineConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(parallel.plan, batch.plan);
+            assert_eq!(parallel.report, sequential.report);
+            let stats = parallel.streaming.unwrap();
+            let seq_stats = sequential.streaming.unwrap();
+            assert_eq!(stats.chunks, seq_stats.chunks);
+            assert_eq!(stats.events, seq_stats.events);
+            assert_eq!(stats.sections, seq_stats.sections);
+        }
+        // `detector.parallel` with the default knob resolves to the parallel
+        // path too (one worker per core), same output.
+        let flagged = analyze_plan(
+            &trace,
+            &PipelineConfig {
+                chunk_events: Some(17),
+                detector: DetectorConfig {
+                    parallel: true,
+                    ..DetectorConfig::default()
+                },
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(flagged.plan, batch.plan);
+        assert_eq!(flagged.report, sequential.report);
+    }
+
+    #[test]
+    fn chunk_file_sweep_is_identical_under_parallel_streams() {
+        use perfplay_record::spill_trace;
+
+        let dir = std::env::temp_dir().join("perfplay-parallel-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut paths = Vec::new();
+        for (i, seed) in [310u64, 311].iter().enumerate() {
+            let trace = record(*seed);
+            let path = dir.join(format!("psweep-{i}.chunks"));
+            spill_trace(&trace, path.to_str().unwrap(), 16).unwrap();
+            paths.push(path);
+        }
+        let sequential =
+            analyze_chunk_files(&paths, &PipelineConfig::default(), RecoveryPolicy::Fail);
+        let parallel = analyze_chunk_files(
+            &paths,
+            &PipelineConfig {
+                parallel_streams: 2,
+                ..PipelineConfig::default()
+            },
+            RecoveryPolicy::Fail,
+        );
+        assert!(sequential.failures.is_empty() && parallel.failures.is_empty());
+        assert_eq!(sequential.fused_aggregates, parallel.fused_aggregates);
+        assert_eq!(sequential.fused_breakdown, parallel.fused_breakdown);
+        assert_eq!(sequential.recommendations, parallel.recommendations);
+        for (s, p) in sequential.per_stream.iter().zip(&parallel.per_stream) {
+            assert_eq!(s.plan, p.plan);
+        }
+        for p in &paths {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

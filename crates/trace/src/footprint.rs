@@ -94,6 +94,19 @@ impl Footprint {
         &self.objs
     }
 
+    /// The 64-bit Bloom summary word over the objects.
+    ///
+    /// If `a.summary() & b.summary() == 0` the two footprints are certainly
+    /// disjoint; a non-zero AND says nothing (bits collide). An empty
+    /// footprint has summary `0`, and every non-empty footprint has a
+    /// non-zero summary, so `summary() == 0` is equivalent to
+    /// [`is_empty`](Self::is_empty). Consumers can therefore classify the
+    /// overwhelmingly common disjoint case from two words without touching
+    /// the object lists.
+    pub fn summary(&self) -> u64 {
+        self.summary
+    }
+
     /// Returns true if the two footprints share at least one object.
     ///
     /// The summary AND rejects disjoint footprints in O(1); surviving pairs

@@ -91,11 +91,16 @@ fn corpus() -> &'static Corpus {
 
 /// Ingests one chunk file under `catch_unwind` and reduces the ending to a
 /// comparable string: `report …` / `gap-report …` / `error …` / `panic`.
-/// Equal strings mean bit-identical analysis content.
-fn run_file(path: &Path, policy: RecoveryPolicy) -> String {
+/// Equal strings mean bit-identical analysis content. `workers == 0` runs
+/// the sequential streaming engine; otherwise the sharded-parallel one.
+fn run_file(path: &Path, policy: RecoveryPolicy, workers: usize) -> String {
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<_, StreamError> {
         let mut reader = ChunkFileReader::with_policy(path, policy)?;
-        let streamed = StreamingDetector::new(config()).analyze(&mut reader)?;
+        let streamed = if workers == 0 {
+            StreamingDetector::new(config()).analyze(&mut reader)?
+        } else {
+            ParallelStreamingDetector::with_workers(config(), workers).analyze(&mut reader)?
+        };
         Ok(format!(
             "events={} gaps={} lost={} ulcps={} edges={} {:?}",
             streamed.stats.events,
@@ -115,7 +120,9 @@ fn run_file(path: &Path, policy: RecoveryPolicy) -> String {
 }
 
 /// The full chaos matrix: every fault kind realized on disk, ingested under
-/// every recovery policy, twice. Nothing panics and reruns are identical.
+/// every recovery policy by both streaming engines, twice. Nothing panics,
+/// reruns are identical, and the sharded-parallel engine ends every cell —
+/// report, gap-report or structured error — exactly like the sequential one.
 #[test]
 fn chaos_matrix_never_panics_and_is_deterministic() {
     let corpus = corpus();
@@ -128,15 +135,21 @@ fn chaos_matrix_never_panics_and_is_deterministic() {
             ));
             let fault = corrupt_chunk_file(&corpus.path, &dst, kind, seed).unwrap();
             for policy in POLICIES {
-                let first = run_file(&dst, policy);
+                let first = run_file(&dst, policy, 0);
                 assert!(
                     first != "panic",
                     "{kind} seed {seed} under {policy:?} panicked ({fault})"
                 );
-                let second = run_file(&dst, policy);
+                let second = run_file(&dst, policy, 0);
                 assert_eq!(
                     first, second,
                     "{kind} seed {seed} under {policy:?} is nondeterministic ({fault})"
+                );
+                let parallel = run_file(&dst, policy, 2);
+                assert_eq!(
+                    first, parallel,
+                    "{kind} seed {seed} under {policy:?}: parallel streaming \
+                     diverged from sequential ({fault})"
                 );
             }
             std::fs::remove_file(&dst).ok();
@@ -293,7 +306,7 @@ fn truncation_at_every_boundary_is_contained() {
                 .sum();
 
             for policy in POLICIES {
-                let out = run_file(&dst, policy);
+                let out = run_file(&dst, policy, 0);
                 assert!(
                     out != "panic",
                     "keep {keep} cut {cut:?} under {policy:?} panicked"
@@ -381,6 +394,7 @@ proptest! {
         seed in 0u64..10_000,
         kind_index in 0usize..FaultKind::ALL.len(),
         policy_index in 0usize..3,
+        workers in prop_oneof![Just(0usize), Just(2)],
     ) {
         let corpus = corpus();
         let kind = FaultKind::ALL[kind_index];
@@ -389,12 +403,12 @@ proptest! {
             std::process::id()
         ));
         corrupt_chunk_file(&corpus.path, &dst, kind, seed).unwrap();
-        let out = run_file(&dst, POLICIES[policy_index]);
+        let out = run_file(&dst, POLICIES[policy_index], workers);
         std::fs::remove_file(&dst).ok();
         prop_assert!(
             out != "panic",
-            "{} seed {} under {:?} panicked",
-            kind, seed, POLICIES[policy_index]
+            "{} seed {} under {:?} ({} workers) panicked",
+            kind, seed, POLICIES[policy_index], workers
         );
     }
 }

@@ -1,13 +1,14 @@
-//! Property tests: the streaming detector is bit-identical to both in-memory
-//! engines on arbitrary generated workloads, across arbitrary chunk sizes,
-//! and through the chunked-file spill/re-ingest roundtrip.
+//! Property tests: the streaming detector — sequential and sharded-parallel
+//! — is bit-identical to both in-memory engines on arbitrary generated
+//! workloads, across arbitrary chunk sizes and worker counts, and through
+//! the chunked-file spill/re-ingest roundtrip, gaps included.
 
 use proptest::prelude::*;
 
 use perfplay::prelude::*;
 use perfplay::workloads::{random_workload, GeneratorConfig};
 use perfplay_detect::reference_analyze;
-use perfplay_trace::{read_chunked_trace, ChunkFileReader, StreamError, Trace};
+use perfplay_trace::{read_chunked_trace, ChunkFileReader, RecoveryPolicy, StreamError, Trace};
 
 fn generator_config() -> impl Strategy<Value = GeneratorConfig> {
     (2usize..5, 1usize..4, 2usize..6, 4u32..14).prop_map(
@@ -68,6 +69,11 @@ fn report_pipeline_accepts_streaming_output_unchanged() {
         .unwrap()
         .analysis;
 
+    let parallel = ParallelStreamingDetector::with_workers(DetectorConfig::default(), 3)
+        .analyze_trace(&trace, 64)
+        .unwrap()
+        .analysis;
+
     let build_report = |analysis: &UlcpAnalysis| {
         let transformed = Transformer::default().transform(&trace, analysis);
         let original = Replayer::default()
@@ -82,13 +88,18 @@ fn report_pipeline_accepts_streaming_output_unchanged() {
     assert_eq!(from_batch.recommendations, from_stream.recommendations);
     assert_eq!(from_batch.impact, from_stream.impact);
     assert_eq!(from_batch.render(&trace), from_stream.render(&trace));
+    // PerfReport parity extends through the sharded parallel engine: same
+    // pairs in, same report out.
+    let from_parallel = build_report(&parallel);
+    assert_eq!(from_batch, from_parallel);
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 
-    /// The streaming detector reproduces the in-memory engine (and, through
-    /// the existing equivalence, the naive snapshot-cloning reference)
+    /// The streaming detectors — sequential and sharded-parallel at any
+    /// worker count — reproduce the in-memory engine (and, through the
+    /// existing equivalence, the naive snapshot-cloning reference)
     /// bit-for-bit regardless of chunking.
     #[test]
     fn streaming_is_bit_identical_to_both_engines(
@@ -96,6 +107,7 @@ proptest! {
         gen in generator_config(),
         config in detector_configs(),
         chunk_events in 1usize..400,
+        workers in prop_oneof![Just(1usize), Just(2), Just(4)],
     ) {
         let trace = record(seed, &gen);
         let batch = Detector::new(config).analyze(&trace);
@@ -111,6 +123,20 @@ proptest! {
         prop_assert_eq!(streamed.stats.events, trace.num_events());
         prop_assert_eq!(streamed.stats.sections, batch.sections.len());
         prop_assert!(streamed.stats.peak_chunk_events <= trace.num_events());
+
+        // The sharded-parallel engine agrees with everything above, at one
+        // worker (pure pipeline), a middle shard count, and beyond #locks.
+        let parallel = ParallelStreamingDetector::with_workers(config, workers)
+            .analyze_trace(&trace, chunk_events)
+            .unwrap();
+        assert_analyses_equal("parallel vs batch", &parallel.analysis, &batch)?;
+        prop_assert_eq!(parallel.stats.chunks, streamed.stats.chunks);
+        prop_assert_eq!(parallel.stats.events, streamed.stats.events);
+        prop_assert_eq!(parallel.stats.sections, streamed.stats.sections);
+        prop_assert_eq!(
+            parallel.stats.peak_chunk_events,
+            streamed.stats.peak_chunk_events
+        );
     }
 
     /// Spilling to a chunked trace file and re-ingesting it — either
@@ -147,6 +173,107 @@ proptest! {
         std::fs::remove_file(&path).ok();
         assert_analyses_equal("file stream vs batch", &streamed.analysis, &batch)?;
     }
+}
+
+/// Gap equivalence: over the *same* corrupted chunk file recovered under
+/// `SkipChunk`, the sharded-parallel engine reproduces the sequential
+/// streaming engine bit-for-bit — analysis content, gap count and loss
+/// accounting all agree, per fault kind and worker count.
+#[test]
+fn parallel_streaming_matches_sequential_over_gapped_streams() {
+    let trace = record(
+        23,
+        &GeneratorConfig {
+            threads: 4,
+            locks: 3,
+            objects: 5,
+            sections_per_thread: 9,
+        },
+    );
+    let clean = std::env::temp_dir().join(format!(
+        "perfplay-parallel-gaps-clean-{}.jsonl",
+        std::process::id()
+    ));
+    spill_trace(&trace, &clean, 24).unwrap();
+
+    let config = DetectorConfig {
+        max_scan_per_thread: Some(3),
+        ..DetectorConfig::default()
+    };
+    for kind in [FaultKind::DropChunk, FaultKind::TruncateAtBoundary] {
+        for seed in [1u64, 7, 42] {
+            let dst = std::env::temp_dir().join(format!(
+                "perfplay-parallel-gaps-{}-{seed}-{}.jsonl",
+                kind.name(),
+                std::process::id()
+            ));
+            corrupt_chunk_file(&clean, &dst, kind, seed).unwrap();
+
+            let mut reader = ChunkFileReader::with_policy(&dst, RecoveryPolicy::SkipChunk).unwrap();
+            let sequential = StreamingDetector::new(config).analyze(&mut reader).unwrap();
+            assert!(
+                sequential.stats.is_gapped(),
+                "{kind} seed {seed} must actually lose events"
+            );
+
+            for workers in [1usize, 2, 4] {
+                let mut reader =
+                    ChunkFileReader::with_policy(&dst, RecoveryPolicy::SkipChunk).unwrap();
+                let parallel = ParallelStreamingDetector::with_workers(config, workers)
+                    .analyze(&mut reader)
+                    .unwrap();
+                assert_eq!(
+                    parallel.analysis, sequential.analysis,
+                    "{kind} seed {seed} workers {workers}: analysis diverged"
+                );
+                assert_eq!(parallel.stats.gaps, sequential.stats.gaps);
+                assert_eq!(parallel.stats.events_lost, sequential.stats.events_lost);
+                assert_eq!(parallel.stats.events, sequential.stats.events);
+            }
+            std::fs::remove_file(&dst).ok();
+        }
+    }
+    std::fs::remove_file(&clean).ok();
+}
+
+/// The documented `DetectorConfig::parallel` × streaming matrix: the plain
+/// entry points route the flag to the sharded engine (identical output), and
+/// the sink-generic sequential entry points reject it with a structured
+/// [`StreamError::Config`] instead of silently ignoring it.
+#[test]
+fn parallel_flag_routes_or_errors_per_the_documented_matrix() {
+    let trace = record(
+        31,
+        &GeneratorConfig {
+            threads: 3,
+            locks: 2,
+            objects: 4,
+            sections_per_thread: 8,
+        },
+    );
+    let flagged = DetectorConfig {
+        parallel: true,
+        ..DetectorConfig::default()
+    };
+
+    // `analyze` delegates to the sharded engine: same result as unflagged.
+    let routed = StreamingDetector::new(flagged)
+        .analyze_trace(&trace, 32)
+        .unwrap();
+    let sequential = StreamingDetector::new(DetectorConfig::default())
+        .analyze_trace(&trace, 32)
+        .unwrap();
+    assert_eq!(routed.analysis, sequential.analysis);
+
+    // The sink-generic path cannot promise `Send`, so the flag is a
+    // structured config error there — not a silent sequential run.
+    let err = StreamingDetector::new(flagged)
+        .analyze_trace_with(&trace, 32, perfplay_detect::CollectPairs::default())
+        .expect_err("parallel + analyze_with must be rejected");
+    assert!(
+        matches!(err, StreamError::Config(_)),
+        "expected StreamError::Config, got {err:?}"
+    );
 }
 
 /// Spills a small trace to a chunk file and returns its path and lines.

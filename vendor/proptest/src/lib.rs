@@ -2,7 +2,8 @@
 //!
 //! Supports the subset the PerfPlay test-suite uses: the `proptest!` macro
 //! with an optional `#![proptest_config(...)]` header, range and tuple
-//! strategies, `prop_map`, and the `prop_assert*` macros. Cases are generated
+//! strategies, [`Just`], [`prop_oneof!`], `prop_map`, and the `prop_assert*`
+//! macros. Cases are generated
 //! from a deterministic per-test seed (derived from the test name), so runs
 //! are reproducible; shrinking is not implemented — the failing case's inputs
 //! are reported instead.
@@ -103,6 +104,55 @@ impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
     fn generate(&self, rng: &mut TestRng) -> T {
         (self.f)(self.strategy.generate(rng))
     }
+}
+
+/// A strategy that always yields a clone of one fixed value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Uniform choice among same-valued strategies, produced by [`prop_oneof!`].
+/// (The real crate's weighted `N => strategy` arms are not supported.)
+pub struct OneOf<V> {
+    /// The candidate strategies; each draw picks one uniformly.
+    pub choices: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.choices.is_empty(), "prop_oneof over no strategies");
+        let idx = (rng.next_u64() % self.choices.len() as u64) as usize;
+        self.choices[idx].generate(rng)
+    }
+}
+
+/// Picks uniformly among the listed strategies, mirroring `prop_oneof!`
+/// without the weighted arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let choices: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::OneOf { choices }
+    }};
 }
 
 macro_rules! impl_range_strategy {
@@ -232,7 +282,7 @@ macro_rules! prop_assert_ne {
 /// One-stop imports, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Map, ProptestConfig, Strategy,
-        TestCaseError, TestRng,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, Map, OneOf,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
     };
 }

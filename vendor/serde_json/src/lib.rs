@@ -261,12 +261,17 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 character.
-                let rest = std::str::from_utf8(&bytes[*pos..])
+                // Consume the maximal run of unescaped bytes and validate it
+                // as UTF-8 once. Validating from `*pos` to end-of-input per
+                // character would make string parsing quadratic in the line
+                // length.
+                let start = *pos;
+                while *pos < bytes.len() && !matches!(bytes[*pos], b'"' | b'\\') {
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos])
                     .map_err(|_| Error("invalid utf-8".into()))?;
-                let c = rest.chars().next().expect("non-empty by get() above");
-                out.push(c);
-                *pos += c.len_utf8();
+                out.push_str(run);
             }
         }
     }
