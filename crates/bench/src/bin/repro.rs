@@ -50,6 +50,21 @@
 //!   app models first when DIR is empty) is streamed through the detector
 //!   under `SkipChunk` recovery and fused into one ranked report, with gap
 //!   totals for any file that needed recovery.
+//! * `repro lint --chunk-file PATH [--json]` statically lints one chunk file
+//!   (well-formedness + lock-order analysis, no detection, no replay) and
+//!   prints the coded diagnostics; exits non-zero when any error-severity
+//!   finding exists. `--chunk-dir DIR` lints every `*.jsonl` in a directory.
+//! * `repro lint --matrix` runs the fixed-seed fault→diagnostic-code matrix:
+//!   each of the nine `FaultKind`s is injected (on disk and, where
+//!   applicable, in flight) at several seeds and the lint report is checked
+//!   against the documented contract (`codes_for_fault`). Exits non-zero on
+//!   any contract violation — the linter's detection guarantees as a smoke
+//!   test.
+//! * `repro lint [--quick] [--out PATH]` runs the lint throughput benchmark:
+//!   a >=10M-event synthetic trace (CI-sized with `--quick`) is spilled to a
+//!   chunk file and statically linted, reporting events/sec and bytes/event
+//!   with a determinism digest, written as `BENCH_lint.json`. The workload
+//!   must lint clean.
 //! * `repro batch [--quick] [--out PATH]` runs the multi-trace batch driver
 //!   over every application model (the paper's Table 1 sweep as one call):
 //!   N traces analyzed concurrently, their aggregate tables fused with the
@@ -66,6 +81,7 @@ use perfplay::prelude::{
     ParallelStreamingDetector, PerfReport, PipelineConfig, Recommendation, RecoveryPolicy,
     SectionCtx, SiteAggregator, StreamingDetector, StreamingStats, Trace, Transformer, UlcpGain,
 };
+use perfplay::prelude::{codes_for_fault, lint_chunk_file, lint_source, lint_trace, LintConfig};
 use perfplay::prelude::{ReplayConfig, ReplayResult, ReplaySchedule, Replayer, UlcpFreeReplayer};
 use perfplay::workloads::{App, InputSize};
 use perfplay_bench::{
@@ -1788,6 +1804,293 @@ fn run_stream_file(path: &str, out: Option<&str>, parallel: bool) {
     }
 }
 
+/// Prints one lint report (human or JSON) and returns whether it is free of
+/// error-severity findings.
+fn print_lint_report(path: &str, report: &perfplay::prelude::LintReport, json: bool) -> bool {
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{path}:");
+        println!("{}", report.render_human());
+    }
+    report.errors() == 0
+}
+
+/// `repro lint --chunk-file PATH`: statically lints one chunk file.
+fn run_lint_file(path: &str, json: bool) {
+    let report = lint_chunk_file(path, &LintConfig::default());
+    let ok = print_lint_report(path, &report, json);
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
+/// `repro lint --chunk-dir DIR`: lints every `*.jsonl` chunk file in DIR.
+fn run_lint_dir(dir: &str, json: bool) {
+    let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read chunk dir {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no *.jsonl chunk files in {dir}");
+        std::process::exit(2);
+    }
+    let mut all_ok = true;
+    for path in &paths {
+        let path = path.display().to_string();
+        let report = lint_chunk_file(&path, &LintConfig::default());
+        all_ok &= print_lint_report(&path, &report, json);
+    }
+    std::process::exit(if all_ok { 0 } else { 1 });
+}
+
+/// `repro lint --matrix`: injects every fault kind at fixed seeds — on disk
+/// via [`corrupt_chunk_file`] and in flight via [`FaultInjector`] — and
+/// checks each lint report against the documented fault→code contract
+/// ([`codes_for_fault`]). Exits non-zero on any contract violation.
+fn run_lint_matrix() {
+    const SEEDS: [u64; 3] = [1, 7, 42];
+    let trace = record_app(App::ALL[0], 2, InputSize::SimSmall);
+    let dir = std::env::temp_dir().join(format!("perfplay-lint-matrix-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create lint matrix scratch dir");
+    let clean_path = dir.join("clean.jsonl");
+    let summary = spill_trace(&trace, &clean_path, 256).expect("spill clean chunk file");
+    let stream_config = LintConfig {
+        expected_events: Some(trace.num_events() as u64),
+        expected_grants: Some(trace.lock_schedule.len() as u64),
+        ..LintConfig::default()
+    };
+
+    // The uncorrupted artifact must lint clean in both layers, or the matrix
+    // below proves nothing.
+    let clean_path_str = clean_path.display().to_string();
+    let baseline = lint_chunk_file(&clean_path_str, &LintConfig::default());
+    assert!(
+        baseline.is_clean(),
+        "clean chunk file does not lint clean:\n{}",
+        baseline.render_human()
+    );
+    let mut reader = ChunkFileReader::open(&clean_path_str).expect("open clean chunk file");
+    let baseline_stream = lint_source(&mut reader, &stream_config);
+    assert!(
+        baseline_stream.is_clean(),
+        "clean stream does not lint clean:\n{}",
+        baseline_stream.render_human()
+    );
+
+    let mut failures = 0usize;
+    let mut trials = 0usize;
+    let mut check = |kind: FaultKind,
+                     seed: u64,
+                     layer: &str,
+                     must: &[perfplay::prelude::DiagnosticCode],
+                     may_be_clean: bool,
+                     report: &perfplay::prelude::LintReport| {
+        trials += 1;
+        let found: Vec<&'static str> = {
+            let mut codes: Vec<&'static str> = report
+                .diagnostics
+                .iter()
+                .map(|d| d.code.code_str())
+                .collect();
+            codes.sort_unstable();
+            codes.dedup();
+            codes
+        };
+        let missing: Vec<&'static str> = must
+            .iter()
+            .filter(|code| !found.contains(&code.code_str()))
+            .map(|code| code.code_str())
+            .collect();
+        let silent = report.is_clean() && !may_be_clean;
+        let ok = missing.is_empty() && !silent;
+        println!(
+            "{:<16} seed={:<3} {:<7} codes=[{}] {}",
+            kind.name(),
+            seed,
+            layer,
+            found.join(","),
+            if ok { "ok" } else { "CONTRACT VIOLATION" }
+        );
+        if !ok {
+            if !missing.is_empty() {
+                eprintln!("  expected codes missing: {}", missing.join(","));
+            }
+            if silent {
+                eprintln!("  fault left the artifact lint-clean but the contract forbids it");
+            }
+            failures += 1;
+        }
+    };
+
+    for kind in FaultKind::ALL {
+        let expectation = codes_for_fault(kind);
+        for seed in SEEDS {
+            let faulty = dir.join(format!("{}-{seed}.jsonl", kind.name()));
+            corrupt_chunk_file(&clean_path, &faulty, kind, seed).expect("corrupt chunk file");
+            let report = lint_chunk_file(faulty.display().to_string(), &LintConfig::default());
+            check(
+                kind,
+                seed,
+                "file",
+                expectation.file_must,
+                expectation.file_may_be_clean,
+                &report,
+            );
+            if kind.stream_applicable() {
+                let plan = FaultPlan::seeded(seed, kind, summary.chunks);
+                let reader = ChunkFileReader::open(&clean_path_str).expect("open clean file");
+                let mut source = FaultInjector::new(reader, plan);
+                let report = lint_source(&mut source, &stream_config);
+                check(
+                    kind,
+                    seed,
+                    "stream",
+                    expectation.stream_must,
+                    expectation.stream_may_be_clean,
+                    &report,
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    if failures > 0 {
+        eprintln!("{failures}/{trials} matrix trials violated the fault→code contract");
+        std::process::exit(1);
+    }
+    eprintln!("all {trials} matrix trials honoured the fault→code contract");
+}
+
+#[derive(Debug, Serialize)]
+struct LintBenchReport {
+    threads: usize,
+    trace_events: usize,
+    chunk_events: usize,
+    record_ms: f64,
+    spill_ms: f64,
+    file_bytes: u64,
+    lint_trace_ms: f64,
+    lint_file_ms: f64,
+    file_events_per_sec: f64,
+    bytes_per_event: f64,
+    diagnostics: usize,
+    clean: bool,
+    deterministic: bool,
+    digest: String,
+}
+
+/// FNV-1a digest of a lint report: every diagnostic's rendered form plus
+/// the stream totals, so two passes over the same file can be compared.
+fn lint_digest(report: &perfplay::prelude::LintReport) -> u64 {
+    let mut hash = Fnv::new();
+    for d in &report.diagnostics {
+        for byte in d.to_string().bytes() {
+            hash.mix(byte as u64);
+        }
+    }
+    hash.mix(report.stats.chunks);
+    hash.mix(report.stats.events);
+    hash.mix(report.stats.grants);
+    hash.mix(report.stats.bytes);
+    hash.0
+}
+
+/// `repro lint [--quick] [--out PATH]`: lint throughput on the >=10M-event
+/// streaming workload — in memory (chunk-bounded over `TraceChunks`) and
+/// over the spilled chunk file (record-by-record scan), with a determinism
+/// digest. The synthetic workload must lint clean.
+fn run_lint_bench(quick: bool, out: &str) {
+    let workload = if quick {
+        StreamWorkload::quick()
+    } else {
+        StreamWorkload::ten_million()
+    };
+    let chunk_events = if quick { 4_096 } else { 262_144 };
+    eprintln!(
+        "recording lint workload: {} threads, target {} events...",
+        workload.threads, workload.target_events
+    );
+    let threads = workload.threads;
+    let (trace, record_ms) = time_ms(|| stream_trace(workload));
+    let trace_events = trace.num_events();
+    eprintln!("recorded {trace_events} events in {record_ms:.0}ms");
+
+    let (memory_report, lint_trace_ms) = time_ms(|| lint_trace(&trace, chunk_events));
+    assert!(
+        memory_report.is_clean(),
+        "in-memory lint of the synthetic workload is not clean:\n{}",
+        memory_report.render_human()
+    );
+    eprintln!("in-memory lint: clean in {lint_trace_ms:.0}ms");
+
+    let path =
+        std::env::temp_dir().join(format!("perfplay-lint-bench-{}.jsonl", std::process::id()));
+    let (_, spill_ms) = time_ms(|| spill_trace(&trace, &path, chunk_events).expect("spill trace"));
+    let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    drop(trace);
+
+    let path_str = path.display().to_string();
+    let mut reports = Vec::new();
+    let mut times = Vec::new();
+    for run in 0..2 {
+        let (report, ms) = time_ms(|| lint_chunk_file(&path_str, &LintConfig::default()));
+        eprintln!(
+            "file lint run {}/2: {ms:.0}ms, {} diagnostics",
+            run + 1,
+            report.diagnostics.len()
+        );
+        times.push(ms);
+        reports.push(report);
+    }
+    let _ = std::fs::remove_file(&path);
+    let deterministic = lint_digest(&reports[0]) == lint_digest(&reports[1]);
+    times.sort_by(f64::total_cmp);
+    let lint_file_ms = times[0];
+    let report = &reports[0];
+    let bench = LintBenchReport {
+        threads,
+        trace_events,
+        chunk_events,
+        record_ms,
+        spill_ms,
+        file_bytes,
+        lint_trace_ms,
+        lint_file_ms,
+        file_events_per_sec: report.stats.events as f64 / (lint_file_ms / 1e3),
+        bytes_per_event: if report.stats.events > 0 {
+            file_bytes as f64 / report.stats.events as f64
+        } else {
+            0.0
+        },
+        diagnostics: report.diagnostics.len(),
+        clean: report.is_clean(),
+        deterministic,
+        digest: format!("{:016x}", lint_digest(report)),
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("report serializes");
+    std::fs::write(out, format!("{json}\n")).expect("write benchmark artifact");
+    println!("{json}");
+    // Assert only after the artifact is on disk, so a failure leaves a
+    // machine-readable record (clean: false) instead of nothing.
+    assert!(
+        bench.clean,
+        "the synthetic workload's chunk file does not lint clean:\n{}",
+        report.render_human()
+    );
+    assert!(bench.deterministic, "file lint is nondeterministic");
+    eprintln!(
+        "lint throughput: {:.1}M events/sec ({:.1} bytes/event) -> {out}",
+        bench.file_events_per_sec / 1e6,
+        bench.bytes_per_event
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command: Option<String> = None;
@@ -1801,6 +2104,8 @@ fn main() {
     let mut spill: Option<String> = None;
     let mut inject: Option<String> = None;
     let mut chunk_dir: Option<String> = None;
+    let mut json = false;
+    let mut matrix = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -1808,6 +2113,8 @@ fn main() {
             "--stream" => stream = true,
             "--aggregate" => aggregate = true,
             "--parallel" => parallel = true,
+            "--json" => json = true,
+            "--matrix" => matrix = true,
             "--out" => match iter.next() {
                 Some(path) => out = Some(path.clone()),
                 None => {
@@ -1863,8 +2170,13 @@ fn main() {
             }
         }
     }
-    if chunk_file.is_some() && !stream {
-        eprintln!("--chunk-file requires --stream (it feeds the streaming detector)");
+    let linting = command.as_deref() == Some("lint");
+    if chunk_file.is_some() && !stream && !linting {
+        eprintln!("--chunk-file requires --stream (it feeds the streaming detector) or `lint`");
+        std::process::exit(2);
+    }
+    if (json || matrix) && !linting {
+        eprintln!("--json and --matrix only apply to `repro lint`");
         std::process::exit(2);
     }
     if parallel && !stream {
@@ -1884,8 +2196,8 @@ fn main() {
         eprintln!("--inject is a `detect` mode and excludes --stream/--aggregate");
         std::process::exit(2);
     }
-    if chunk_dir.is_some() && command.as_deref() != Some("batch") {
-        eprintln!("--chunk-dir only applies to `repro batch`");
+    if chunk_dir.is_some() && !matches!(command.as_deref(), Some("batch") | Some("lint")) {
+        eprintln!("--chunk-dir only applies to `repro batch` and `repro lint`");
         std::process::exit(2);
     }
     match command.as_deref() {
@@ -1921,6 +2233,16 @@ fn main() {
                 replay_artifact.as_deref().unwrap_or(REPLAY_ARTIFACT),
             );
         }
+        Some("lint") if matrix => run_lint_matrix(),
+        Some("lint") => match (chunk_file, chunk_dir) {
+            (Some(_), Some(_)) => {
+                eprintln!("--chunk-file and --chunk-dir are mutually exclusive for `lint`");
+                std::process::exit(2);
+            }
+            (Some(path), None) => run_lint_file(&path, json),
+            (None, Some(dir)) => run_lint_dir(&dir, json),
+            (None, None) => run_lint_bench(quick, out.as_deref().unwrap_or("BENCH_lint.json")),
+        },
         Some("batch") => match chunk_dir {
             Some(dir) => run_batch_chunk_dir(
                 &dir,
@@ -1930,7 +2252,9 @@ fn main() {
             None => run_batch(quick, out.as_deref().unwrap_or("BENCH_batch.json")),
         },
         Some(other) => {
-            eprintln!("unknown command `{other}`; available: detect, replay, pipeline, batch");
+            eprintln!(
+                "unknown command `{other}`; available: detect, replay, pipeline, batch, lint"
+            );
             std::process::exit(2);
         }
     }

@@ -54,6 +54,11 @@ pub mod prelude {
         StreamingAnalysis, StreamingDetector, StreamingSinkAnalysis, StreamingStats, Ulcp,
         UlcpAnalysis, UlcpBreakdown, UlcpKind, UlcpSink,
     };
+    pub use perfplay_lint::{
+        analyze_schedule, codes_for_fault, lint_chunk_file, lint_source, lint_trace, Diagnostic,
+        DiagnosticCode, FaultExpectation, LintConfig, LintReport, LintStats, Location, Severity,
+        StreamLinter,
+    };
     pub use perfplay_program::{Program, ProgramBuilder};
     pub use perfplay_record::{
         spill_trace, ChunkedWriter, Recorder, RecordingMode, WallClockRecorder,
@@ -100,7 +105,10 @@ pub mod workloads {
 /// * [`Plan`](Self::Plan) — a deserialized detection plan was internally
 ///   inconsistent ([`perfplay_detect::PlanError`]);
 /// * [`Panic`](Self::Panic) — a pipeline stage panicked inside one of the
-///   batch drivers' `catch_unwind` isolation boundaries.
+///   batch drivers' `catch_unwind` isolation boundaries;
+/// * [`Preflight`](Self::Preflight) — the opt-in static lint
+///   ([`PerfPlayConfig::preflight`]) found error-severity problems before
+///   the pipeline ran ([`perfplay_lint::Diagnostic`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum PerfPlayError {
     /// Recording (simulation) failed.
@@ -116,6 +124,9 @@ pub enum PerfPlayError {
     /// A pipeline stage panicked; the batch drivers isolate per-trace panics
     /// and surface them as this variant.
     Panic(String),
+    /// The static preflight lint refused the input or the transformed
+    /// schedule before any expensive stage ran.
+    Preflight(Vec<perfplay_lint::Diagnostic>),
 }
 
 impl std::fmt::Display for PerfPlayError {
@@ -127,6 +138,13 @@ impl std::fmt::Display for PerfPlayError {
             PerfPlayError::Trace(e) => write!(f, "trace validation failed: {e}"),
             PerfPlayError::Plan(e) => write!(f, "plan validation failed: {e}"),
             PerfPlayError::Panic(msg) => write!(f, "pipeline stage panicked: {msg}"),
+            PerfPlayError::Preflight(diagnostics) => {
+                write!(f, "preflight lint found {} error(s)", diagnostics.len())?;
+                if let Some(first) = diagnostics.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -169,6 +187,9 @@ impl From<perfplay_report::PipelineError> for PerfPlayError {
             perfplay_report::PipelineError::Replay(e) => PerfPlayError::Replay(e),
             perfplay_report::PipelineError::Stream(e) => PerfPlayError::Stream(e),
             perfplay_report::PipelineError::Panic(msg) => PerfPlayError::Panic(msg),
+            perfplay_report::PipelineError::Preflight(diagnostics) => {
+                PerfPlayError::Preflight(diagnostics)
+            }
         }
     }
 }
@@ -190,6 +211,11 @@ pub struct PerfPlayConfig {
     pub use_dls: bool,
     /// Schedule used for the original-trace replay (the paper uses ELSC).
     pub original_schedule: ScheduleKind,
+    /// Opt-in static preflight: lint inputs and the transformed schedule
+    /// before the expensive stages; error-severity findings abort with
+    /// [`PerfPlayError::Preflight`]. Only honoured by the pipeline entry
+    /// points that go through [`PerfPlayConfig::pipeline`].
+    pub preflight: bool,
 }
 
 impl Default for PerfPlayConfig {
@@ -202,6 +228,7 @@ impl Default for PerfPlayConfig {
             transform: TransformConfig::default(),
             use_dls: true,
             original_schedule: ScheduleKind::ElscS,
+            preflight: false,
         }
     }
 }
@@ -221,6 +248,7 @@ impl PerfPlayConfig {
             original_schedule: self.original_schedule,
             chunk_events,
             parallel_streams: 0,
+            preflight: self.preflight,
         }
     }
 }

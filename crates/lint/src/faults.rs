@@ -1,0 +1,156 @@
+//! Deterministic mapping from injected fault kinds to the diagnostic codes
+//! the linter must produce.
+//!
+//! `perfplay-detect`'s fault injector (PR 6) perturbs chunk files and
+//! in-flight streams in nine documented ways. Each kind has a *contract*
+//! with the linter, captured here as a [`FaultExpectation`]: the codes that
+//! MUST appear in the lint report of a faulted artifact, and whether the
+//! fault can legitimately leave the artifact observationally clean (e.g. a
+//! reorder of two equal-timestamp compute events is indistinguishable from
+//! a valid trace). The fixed-seed fault→code matrix in CI and the property
+//! tests in `tests/lint_faults.rs` enforce this table.
+
+use perfplay_detect::FaultKind;
+
+use crate::diag::DiagnosticCode;
+
+/// The lint contract of one [`FaultKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultExpectation {
+    /// Codes that must appear when the fault is applied to a chunk *file*
+    /// (via `corrupt_chunk_file`) and the file is linted with
+    /// [`lint_chunk_file`](crate::lint_chunk_file).
+    pub file_must: &'static [DiagnosticCode],
+    /// Whether the file-level fault can leave the file lint-clean for some
+    /// (seed, trace) combinations. When `false`, a clean report is a linter
+    /// bug.
+    pub file_may_be_clean: bool,
+    /// Codes that must appear when the fault is applied in-flight (via
+    /// `FaultInjector`) and the stream is linted with
+    /// [`lint_source`](crate::lint_source) *with expected totals
+    /// configured*. Meaningful only for kinds where
+    /// `FaultKind::stream_applicable()` is true.
+    pub stream_must: &'static [DiagnosticCode],
+    /// Whether the in-flight fault can leave the stream lint-clean.
+    pub stream_may_be_clean: bool,
+}
+
+/// Returns the lint contract for `kind`.
+///
+/// Rationale per kind:
+///
+/// * `DropChunk` — a missing chunk always desyncs the dense chunk seq or the
+///   event totals; with the trailer (file) or expected totals (stream) the
+///   count reconciliation catches even a dropped *final* chunk → `L008`.
+/// * `DuplicateChunk` — the replayed chunk repeats a seq (`L005`) and
+///   inflates the totals (`L008`).
+/// * `DuplicateEvent` — totals inflate by one (`L008`); depending on the
+///   duplicated event, `L002`/`L012`/`L003` may also fire.
+/// * `ReorderEvents` — swapping two adjacent events may produce `L001`
+///   (time regress) or lock-pairing errors, but a swap of equal-timestamp
+///   independent events is legitimately invisible.
+/// * `TimestampRegression` — usually `L001`, but regressing the very first
+///   event of a thread in chunk 0 has no lower bound to violate.
+/// * `TruncateAtBoundary` — the file loses its trailer (`L006`); the
+///   in-flight stream just ends early, caught by totals (`L008`).
+/// * `TruncateMidRecord` — a strict prefix of a record never parses
+///   (`L007`) and the file also loses its trailer (`L006`). File-only.
+/// * `BitFlip` — a single bit flip can corrupt a record (`L007`), corrupt a
+///   value (anything), or hit a don't-care byte (clean). File-only.
+/// * `TrailerMismatch` — the trailer's event count is rewritten, which the
+///   reconciliation always catches (`L008`). File-only, fully
+///   deterministic.
+pub fn codes_for_fault(kind: FaultKind) -> FaultExpectation {
+    use DiagnosticCode::{CountMismatch, MissingTrailer, RecordParse, WindowNotAdvancing};
+    match kind {
+        FaultKind::DropChunk => FaultExpectation {
+            file_must: &[CountMismatch],
+            file_may_be_clean: false,
+            stream_must: &[CountMismatch],
+            stream_may_be_clean: false,
+        },
+        FaultKind::DuplicateChunk => FaultExpectation {
+            file_must: &[WindowNotAdvancing, CountMismatch],
+            file_may_be_clean: false,
+            stream_must: &[WindowNotAdvancing, CountMismatch],
+            stream_may_be_clean: false,
+        },
+        FaultKind::DuplicateEvent => FaultExpectation {
+            file_must: &[CountMismatch],
+            file_may_be_clean: false,
+            stream_must: &[CountMismatch],
+            stream_may_be_clean: false,
+        },
+        FaultKind::ReorderEvents => FaultExpectation {
+            file_must: &[],
+            file_may_be_clean: true,
+            stream_must: &[],
+            stream_may_be_clean: true,
+        },
+        FaultKind::TimestampRegression => FaultExpectation {
+            file_must: &[],
+            file_may_be_clean: true,
+            stream_must: &[],
+            stream_may_be_clean: true,
+        },
+        FaultKind::TruncateAtBoundary => FaultExpectation {
+            file_must: &[MissingTrailer],
+            file_may_be_clean: false,
+            stream_must: &[CountMismatch],
+            stream_may_be_clean: false,
+        },
+        FaultKind::TruncateMidRecord => FaultExpectation {
+            file_must: &[RecordParse, MissingTrailer],
+            file_may_be_clean: false,
+            stream_must: &[],
+            stream_may_be_clean: true,
+        },
+        FaultKind::BitFlip => FaultExpectation {
+            file_must: &[],
+            file_may_be_clean: true,
+            stream_must: &[],
+            stream_may_be_clean: true,
+        },
+        FaultKind::TrailerMismatch => FaultExpectation {
+            file_must: &[CountMismatch],
+            file_may_be_clean: false,
+            stream_must: &[],
+            stream_may_be_clean: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fault_kind_has_a_contract() {
+        for kind in FaultKind::ALL {
+            let expectation = codes_for_fault(kind);
+            // A kind either guarantees at least one code or is explicitly
+            // allowed to be clean — never neither.
+            assert!(
+                !expectation.file_must.is_empty() || expectation.file_may_be_clean,
+                "{kind:?} has an inconsistent file contract"
+            );
+            if kind.stream_applicable() {
+                assert!(
+                    !expectation.stream_must.is_empty() || expectation.stream_may_be_clean,
+                    "{kind:?} has an inconsistent stream contract"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_kinds_guarantee_codes() {
+        assert!(!codes_for_fault(FaultKind::TrailerMismatch)
+            .file_must
+            .is_empty());
+        assert!(!codes_for_fault(FaultKind::TruncateMidRecord)
+            .file_must
+            .is_empty());
+        assert!(!codes_for_fault(FaultKind::DropChunk).file_must.is_empty());
+    }
+}

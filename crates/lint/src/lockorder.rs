@@ -1,0 +1,527 @@
+//! Deadlock-potential analyses: the Goodlock-style lock acquisition-order
+//! graph over traces (D001) and the wait-graph analysis over transformed
+//! schedules (D002/D003).
+//!
+//! The two analyses answer different questions. D001 asks whether the
+//! *recorded program* could deadlock under a different interleaving: if
+//! thread A ever held `L1` while acquiring `L2` and thread B ever held `L2`
+//! while acquiring `L1`, the acquisition-order graph has a cross-thread
+//! cycle — the run that was recorded did not deadlock, but a neighboring one
+//! can, so the finding is a warning. D002 asks whether the *ULCP-free
+//! schedule the transformation produced* can replay at all: the RULE 2
+//! ordering constraints plus program order form a wait graph, and a cycle in
+//! it means the lockset replay is certain to end in `ReplayError::Stuck` —
+//! an error, caught here statically instead of after a replay times out.
+//!
+//! The wait graph mirrors the replay semantics of
+//! `perfplay_replay::UlcpFreeReplayer` exactly:
+//!
+//! * a section's *finish* awaits its *start*;
+//! * program order: a section's start awaits the finish of the previous
+//!   section on the same thread, and a nested section's start awaits its
+//!   enclosing section's start (the enclosing finish awaits the nested
+//!   finish);
+//! * a RULE 2 constraint `before → after` makes `after`'s start await
+//!   `before`'s finish — **unless** `after` is lock-stripped, because the
+//!   replayer completes stripped sections immediately without consulting
+//!   their constraints;
+//! * auxiliary-lock locksets add no edges: the replayer takes a lockset
+//!   atomically (no hold-and-wait), so aux-lock order alone cannot deadlock.
+//!
+//! A clean transformation is provably acyclic — RULE 2 orders each lock's
+//! causal nodes by original entry time, and same-lock sections never overlap
+//! in the original execution — so anything D002 reports traces back to a
+//! corrupted or hand-modified schedule.
+
+use std::collections::BTreeMap;
+
+use perfplay_trace::{LockId, SectionId, ThreadId};
+use perfplay_transform::TransformedTrace;
+
+use crate::diag::{Diagnostic, DiagnosticCode, Location};
+
+/// The per-thread lock acquisition-order graph (Goodlock): one edge
+/// `held → acquired` per observed pair, with the threads that produced it
+/// and a witness description of the first observation.
+#[derive(Debug, Default)]
+pub struct LockOrderGraph {
+    edges: BTreeMap<(LockId, LockId), EdgeWitness>,
+}
+
+#[derive(Debug)]
+struct EdgeWitness {
+    threads: Vec<ThreadId>,
+    first: String,
+}
+
+impl LockOrderGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        LockOrderGraph::default()
+    }
+
+    /// Records that `thread` acquired `acquired` while holding `held`.
+    /// `detail` describes the acquisition site of the first observation.
+    pub fn record(&mut self, held: LockId, acquired: LockId, thread: ThreadId, detail: &str) {
+        if held == acquired {
+            return; // reentrancy is L012's business, not an order edge
+        }
+        let entry = self
+            .edges
+            .entry((held, acquired))
+            .or_insert_with(|| EdgeWitness {
+                threads: Vec::new(),
+                first: detail.to_string(),
+            });
+        if !entry.threads.contains(&thread) {
+            entry.threads.push(thread);
+        }
+    }
+
+    /// True when no acquisition-order edge was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finds cross-thread cycles in the acquisition-order graph and renders
+    /// each strongly connected component as one [`DiagnosticCode::TraceLockOrderCycle`]
+    /// warning.
+    ///
+    /// A component whose edges were all produced by one single thread is
+    /// skipped: a thread executes sequentially and cannot deadlock with
+    /// itself.
+    pub fn cycles(&self) -> Vec<Diagnostic> {
+        // Dense-index the lock nodes.
+        let mut index: BTreeMap<LockId, usize> = BTreeMap::new();
+        for &(a, b) in self.edges.keys() {
+            let next = index.len();
+            index.entry(a).or_insert(next);
+            let next = index.len();
+            index.entry(b).or_insert(next);
+        }
+        let locks: Vec<LockId> = index.keys().copied().collect();
+        let n = locks.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in self.edges.keys() {
+            adj[index[&a]].push(index[&b]);
+        }
+
+        let mut out = Vec::new();
+        for component in strongly_connected(&adj) {
+            if component.len() < 2 {
+                continue;
+            }
+            let mut members: Vec<LockId> = component.iter().map(|&i| locks[i]).collect();
+            members.sort();
+            // Collect the component's internal edges and the union of the
+            // threads that produced them.
+            let mut witness = Vec::new();
+            let mut threads: Vec<ThreadId> = Vec::new();
+            for (&(a, b), info) in &self.edges {
+                if members.contains(&a) && members.contains(&b) {
+                    witness.push(format!(
+                        "{a} held while acquiring {b} by {}: {}",
+                        info.threads
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(","),
+                        info.first
+                    ));
+                    for &t in &info.threads {
+                        if !threads.contains(&t) {
+                            threads.push(t);
+                        }
+                    }
+                }
+            }
+            if threads.len() < 2 {
+                continue; // single-threaded order inversion cannot deadlock
+            }
+            let names: Vec<String> = members.iter().map(ToString::to_string).collect();
+            out.push(
+                Diagnostic::new(
+                    DiagnosticCode::TraceLockOrderCycle,
+                    Location::default(),
+                    format!(
+                        "lock acquisition-order cycle over {{{}}} across {} threads: \
+                         a neighboring interleaving can deadlock",
+                        names.join(", "),
+                        threads.len()
+                    ),
+                )
+                .with_witness(witness),
+            );
+        }
+        out
+    }
+}
+
+/// Iterative Tarjan strongly-connected components; returns components of
+/// size >= 1 in reverse topological order.
+fn strongly_connected(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut order = vec![usize::MAX; n]; // discovery index
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut components = Vec::new();
+    let mut counter = 0usize;
+
+    for root in 0..n {
+        if order[root] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS frames: (node, next child index).
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        order[root] = counter;
+        low[root] = counter;
+        counter += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if order[w] == usize::MAX {
+                    order[w] = counter;
+                    low[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(order[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == order[v] {
+                    let mut component = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// How one wait-graph edge arose; used to label cycle witnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeKind {
+    /// finish(S) awaits start(S).
+    Completion,
+    /// start(S) awaits finish(P): P precedes S on the same thread.
+    Program,
+    /// start(S) awaits start(O) / finish(O) awaits finish(S): O encloses S.
+    Nesting,
+    /// start(after) awaits finish(before): a RULE 2 ordering constraint.
+    Constraint(LockId),
+}
+
+/// Statically analyzes a transformed (ULCP-free) schedule.
+///
+/// Returns [`DiagnosticCode::ScheduleInconsistent`] errors for structural
+/// problems (mismatched plan/section tables, out-of-range ids, self-ordering
+/// constraints) and [`DiagnosticCode::ScheduleWaitCycle`] errors for wait
+/// cycles that make the lockset replay certain to report
+/// `ReplayError::Stuck`. An empty result means the schedule is replayable as
+/// far as its ordering structure is concerned.
+pub fn analyze_schedule(transformed: &TransformedTrace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let sections = &transformed.sections;
+    let n = sections.len();
+
+    if transformed.plan.len() != n {
+        out.push(Diagnostic::new(
+            DiagnosticCode::ScheduleInconsistent,
+            Location::default(),
+            format!(
+                "plan has {} entries for {} sections",
+                transformed.plan.len(),
+                n
+            ),
+        ));
+        return out; // nothing below is meaningful
+    }
+    for (i, node) in transformed.plan.iter().enumerate() {
+        if node.section.index() != i {
+            out.push(Diagnostic::new(
+                DiagnosticCode::ScheduleInconsistent,
+                Location::section(i as u32),
+                format!("plan entry {} names section {}", i, node.section),
+            ));
+        }
+        for src in &node.sources {
+            if src.index() >= n {
+                out.push(Diagnostic::new(
+                    DiagnosticCode::ScheduleInconsistent,
+                    Location::section(i as u32),
+                    format!("plan entry {} has out-of-range source {}", i, src),
+                ));
+            }
+        }
+        for aux in node.aux_lock.iter().chain(node.lockset.iter()) {
+            if aux.index() >= transformed.num_aux_locks {
+                out.push(Diagnostic::new(
+                    DiagnosticCode::ScheduleInconsistent,
+                    Location::section(i as u32),
+                    format!(
+                        "plan entry {} references {} but only {} aux locks exist",
+                        i, aux, transformed.num_aux_locks
+                    ),
+                ));
+            }
+        }
+    }
+    let mut constraints_ok = true;
+    for c in &transformed.order_constraints {
+        if c.before.index() >= n || c.after.index() >= n {
+            out.push(Diagnostic::new(
+                DiagnosticCode::ScheduleInconsistent,
+                Location::default(),
+                format!(
+                    "order constraint {} -> {} is out of range",
+                    c.before, c.after
+                ),
+            ));
+            constraints_ok = false;
+        } else if c.before == c.after {
+            out.push(Diagnostic::new(
+                DiagnosticCode::ScheduleInconsistent,
+                Location::section(c.after.index() as u32),
+                format!(
+                    "order constraint {} -> itself can never be satisfied",
+                    c.after
+                ),
+            ));
+            constraints_ok = false;
+        }
+    }
+    if !constraints_ok {
+        return out;
+    }
+
+    // Wait graph: two nodes per section. start(i) = 2i, finish(i) = 2i + 1.
+    // An edge X -> Y reads "X cannot happen until Y has happened".
+    let start = |i: usize| 2 * i;
+    let finish = |i: usize| 2 * i + 1;
+    let mut adj: Vec<Vec<(usize, EdgeKind)>> = vec![Vec::new(); 2 * n];
+
+    for i in 0..n {
+        adj[finish(i)].push((start(i), EdgeKind::Completion));
+    }
+
+    // Program order and nesting, per thread, in acquire order.
+    let mut by_thread: BTreeMap<ThreadId, Vec<usize>> = BTreeMap::new();
+    for (i, s) in sections.iter().enumerate() {
+        by_thread.entry(s.thread).or_default().push(i);
+    }
+    for indices in by_thread.values_mut() {
+        indices.sort_by_key(|&i| sections[i].acquire_index);
+        let mut open: Vec<usize> = Vec::new(); // enclosing-section stack
+        for &i in indices.iter() {
+            let mut predecessor = None;
+            while let Some(&top) = open.last() {
+                if sections[top].release_index < sections[i].acquire_index {
+                    predecessor = Some(top);
+                    open.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(p) = predecessor {
+                adj[start(i)].push((finish(p), EdgeKind::Program));
+            }
+            if let Some(&outer) = open.last() {
+                adj[start(i)].push((start(outer), EdgeKind::Nesting));
+                adj[finish(outer)].push((finish(i), EdgeKind::Nesting));
+            }
+            open.push(i);
+        }
+    }
+
+    // RULE 2 constraints — skipped for stripped `after` sections, exactly as
+    // the replayer skips them.
+    for c in &transformed.order_constraints {
+        if transformed.plan[c.after.index()].strip_lock {
+            continue;
+        }
+        adj[start(c.after.index())].push((finish(c.before.index()), EdgeKind::Constraint(c.lock)));
+    }
+
+    if let Some(cycle) = find_cycle(&adj) {
+        let describe = |node: usize| -> String {
+            let i = node / 2;
+            let side = if node.is_multiple_of(2) {
+                "start"
+            } else {
+                "finish"
+            };
+            format!("{side}({})", SectionId::new(i as u32))
+        };
+        let mut witness = Vec::new();
+        let mut anchor: Option<SectionId> = None;
+        for (from, to, kind) in &cycle {
+            let label = match kind {
+                EdgeKind::Completion => "completion".to_string(),
+                EdgeKind::Program => "program order".to_string(),
+                EdgeKind::Nesting => "lock nesting".to_string(),
+                EdgeKind::Constraint(lock) => {
+                    if anchor.is_none() {
+                        anchor = Some(SectionId::new((from / 2) as u32));
+                    }
+                    format!("RULE 2 order on {lock}")
+                }
+            };
+            witness.push(format!(
+                "{} awaits {} ({label})",
+                describe(*from),
+                describe(*to)
+            ));
+        }
+        let mut members: Vec<String> = cycle
+            .iter()
+            .map(|(from, _, _)| SectionId::new((from / 2) as u32).to_string())
+            .collect();
+        members.dedup();
+        let location = match anchor {
+            Some(id) => Location::section(id.index() as u32),
+            None => Location::default(),
+        };
+        out.push(
+            Diagnostic::new(
+                DiagnosticCode::ScheduleWaitCycle,
+                location,
+                format!(
+                    "wait-graph cycle over {{{}}}: the ULCP-free replay cannot make progress",
+                    members.join(", ")
+                ),
+            )
+            .with_witness(witness),
+        );
+    }
+    out
+}
+
+/// Finds one cycle in the labelled wait graph, if any, as a list of edges
+/// `(from, to, kind)` in order around the cycle.
+fn find_cycle(adj: &[Vec<(usize, EdgeKind)>]) -> Option<Vec<(usize, usize, EdgeKind)>> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let n = adj.len();
+    let mut color = vec![WHITE; n];
+    for root in 0..n {
+        if color[root] != WHITE {
+            continue;
+        }
+        // Frames: (node, next edge index).
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        color[root] = GRAY;
+        while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
+            if *ei < adj[v].len() {
+                let (w, kind) = adj[v][*ei];
+                *ei += 1;
+                if color[w] == WHITE {
+                    color[w] = GRAY;
+                    frames.push((w, 0));
+                } else if color[w] == GRAY {
+                    // Cycle: w is on the current DFS path. Walk the frame
+                    // stack from w to v, then close with the back edge.
+                    let pos = frames
+                        .iter()
+                        .position(|&(node, _)| node == w)
+                        .unwrap_or(frames.len() - 1);
+                    let mut cycle = Vec::new();
+                    for pair in frames[pos..].windows(2) {
+                        let (a, ai) = pair[0];
+                        let (b, _) = pair[1];
+                        // Edge a -> b was the one at index ai - 1.
+                        let k = adj[a]
+                            .get(ai.wrapping_sub(1))
+                            .map_or(EdgeKind::Program, |&(_, k)| k);
+                        cycle.push((a, b, k));
+                    }
+                    cycle.push((v, w, kind));
+                    return Some(cycle);
+                }
+            } else {
+                color[v] = BLACK;
+                frames.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn empty_graph_has_no_cycles() {
+        let graph = LockOrderGraph::new();
+        assert!(graph.is_empty());
+        assert!(graph.cycles().is_empty());
+    }
+
+    #[test]
+    fn two_thread_inversion_is_a_cycle() {
+        let mut graph = LockOrderGraph::new();
+        let (a, b) = (LockId::new(0), LockId::new(1));
+        graph.record(a, b, ThreadId::new(0), "t0: a then b");
+        graph.record(b, a, ThreadId::new(1), "t1: b then a");
+        let cycles = graph.cycles();
+        assert_eq!(cycles.len(), 1);
+        let d = &cycles[0];
+        assert_eq!(d.code, DiagnosticCode::TraceLockOrderCycle);
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("L0"));
+        assert!(d.message.contains("L1"));
+        assert_eq!(d.witness.len(), 2);
+    }
+
+    #[test]
+    fn single_thread_inversion_is_not_reported() {
+        let mut graph = LockOrderGraph::new();
+        let (a, b) = (LockId::new(0), LockId::new(1));
+        // One thread taking a->b at one point and b->a later cannot deadlock
+        // with itself.
+        graph.record(a, b, ThreadId::new(0), "t0: a then b");
+        graph.record(b, a, ThreadId::new(0), "t0: b then a");
+        assert!(graph.cycles().is_empty());
+    }
+
+    #[test]
+    fn consistent_order_has_no_cycle() {
+        let mut graph = LockOrderGraph::new();
+        let (a, b, c) = (LockId::new(0), LockId::new(1), LockId::new(2));
+        graph.record(a, b, ThreadId::new(0), "x");
+        graph.record(b, c, ThreadId::new(1), "y");
+        graph.record(a, c, ThreadId::new(2), "z");
+        assert!(graph.cycles().is_empty());
+    }
+
+    #[test]
+    fn three_lock_rotation_across_threads_is_reported() {
+        let mut graph = LockOrderGraph::new();
+        let (a, b, c) = (LockId::new(0), LockId::new(1), LockId::new(2));
+        graph.record(a, b, ThreadId::new(0), "x");
+        graph.record(b, c, ThreadId::new(1), "y");
+        graph.record(c, a, ThreadId::new(2), "z");
+        let cycles = graph.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].witness.len(), 3);
+    }
+}

@@ -1,0 +1,1052 @@
+//! Streaming well-formedness lint over traces and chunk files.
+//!
+//! [`StreamLinter`] consumes a chunk stream and validates **everything**
+//! itself — it deliberately does not lean on `ChunkFileReader`'s contract
+//! validation, so it can lint raw files record by record (via
+//! [`perfplay_trace::RawChunkRecords`]) and report *every* finding with
+//! exact coordinates instead of stopping at the first failure. Memory stays
+//! chunk-bounded: per-thread cursors, held-lock stacks, the condvar/barrier
+//! pairing state and the lock-order graph are all O(threads + locks), never
+//! O(events), so a 12M-event file lints without materializing a `Trace`.
+//!
+//! Three entry points share the linter:
+//!
+//! * [`lint_chunk_file`] — raw record-by-record scan of a chunk file; parse
+//!   failures become [`DiagnosticCode::RecordParse`] findings with the exact
+//!   line and byte offset, and the scan continues on the next record;
+//! * [`lint_source`] — lints any [`EventSource`] (including a
+//!   `FaultInjector`-wrapped one) with chunk/event-index locations;
+//! * [`lint_trace`] — lints an in-memory [`Trace`] through [`TraceChunks`],
+//!   with the expected totals derived from the trace itself.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use perfplay_trace::{
+    BarrierId, ChunkFileRecord, ChunkFileTrailer, CondId, Event, EventSource, LockId,
+    RawChunkRecords, SiteTable, StreamError, StreamItem, ThreadId, Time, Trace, TraceChunk,
+    TraceChunks, TraceError,
+};
+
+use crate::diag::{Diagnostic, DiagnosticCode, LintReport, LintStats, Location};
+use crate::lockorder::LockOrderGraph;
+
+/// Caller-side expectations and limits of one lint pass.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Total events the stream is expected to carry; a mismatch at end of
+    /// stream is [`DiagnosticCode::CountMismatch`]. Chunk files carry their
+    /// own expectation in the trailer, so this is mainly for in-flight
+    /// sources.
+    pub expected_events: Option<u64>,
+    /// Total lock grants the stream is expected to carry.
+    pub expected_grants: Option<u64>,
+    /// Findings cap: diagnostics beyond this are counted in
+    /// [`LintStats::suppressed`] instead of accumulated, bounding memory on
+    /// pathological inputs.
+    pub max_diagnostics: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            expected_events: None,
+            expected_grants: None,
+            max_diagnostics: 1000,
+        }
+    }
+}
+
+/// One lock a thread currently holds, with where it was acquired.
+#[derive(Debug, Clone)]
+struct HeldLock {
+    lock: LockId,
+    detail: String,
+}
+
+#[derive(Debug, Clone)]
+struct PendingWait {
+    cond: CondId,
+    at: Time,
+    location: Location,
+}
+
+/// Streaming well-formedness linter. Feed it [`StreamItem`]s via
+/// [`check_chunk`](Self::check_chunk) / [`note_gap`](Self::note_gap), then
+/// call [`finish`](Self::finish).
+#[derive(Debug)]
+pub struct StreamLinter {
+    config: LintConfig,
+    /// Declared thread count; `None` when no header was available, in which
+    /// case per-thread state grows on demand and range checks are skipped.
+    num_threads: Option<usize>,
+    sites: Option<SiteTable>,
+    path: Option<String>,
+    diagnostics: Vec<Diagnostic>,
+    stats: LintStats,
+    last_seq: Option<u64>,
+    seq_resync: bool,
+    last_window_end: Option<Time>,
+    next_index: Vec<u64>,
+    resync: Vec<bool>,
+    last_time: Vec<Option<Time>>,
+    held: Vec<Vec<HeldLock>>,
+    last_grant_seq: Option<u64>,
+    gap_seen: bool,
+    pending_waits: Vec<PendingWait>,
+    max_signal: BTreeMap<CondId, Time>,
+    barrier_sizes: BTreeMap<BarrierId, usize>,
+    graph: LockOrderGraph,
+}
+
+/// Soft cap on retained unmatched condvar waits; beyond it the oldest are
+/// dropped so adversarial wait-only streams stay memory-bounded.
+const MAX_PENDING_WAITS: usize = 4096;
+
+impl StreamLinter {
+    /// Creates a linter. `num_threads` comes from the stream header when one
+    /// exists; `path` attaches a file path to every location.
+    pub fn new(config: LintConfig, num_threads: Option<usize>, path: Option<String>) -> Self {
+        let n = num_threads.unwrap_or(0);
+        StreamLinter {
+            config,
+            num_threads,
+            sites: None,
+            path,
+            diagnostics: Vec::new(),
+            stats: LintStats {
+                threads: num_threads.map_or(0, |n| n as u32),
+                ..LintStats::default()
+            },
+            last_seq: None,
+            seq_resync: false,
+            last_window_end: None,
+            next_index: vec![0; n],
+            resync: vec![false; n],
+            last_time: vec![None; n],
+            held: vec![Vec::new(); n],
+            last_grant_seq: None,
+            gap_seen: false,
+            pending_waits: Vec::new(),
+            max_signal: BTreeMap::new(),
+            barrier_sizes: BTreeMap::new(),
+            graph: LockOrderGraph::new(),
+        }
+    }
+
+    /// Attaches a site table so witness lines carry source locations instead
+    /// of bare site ids.
+    pub fn with_sites(mut self, sites: SiteTable) -> Self {
+        self.sites = Some(sites);
+        self
+    }
+
+    fn emit(&mut self, diagnostic: Diagnostic) {
+        if self.diagnostics.len() < self.config.max_diagnostics {
+            self.diagnostics.push(diagnostic);
+        } else {
+            self.stats.suppressed += 1;
+        }
+    }
+
+    /// Builds a location, attaching the file coordinates when known.
+    fn locate(&self, base: Location, file: Option<(usize, u64)>) -> Location {
+        match (&self.path, file) {
+            (Some(path), Some((line, offset))) => base.in_file(path, line, offset),
+            _ => base,
+        }
+    }
+
+    fn site_name(&self, site: perfplay_trace::CodeSiteId) -> String {
+        match self.sites.as_ref().and_then(|t| t.get(site)) {
+            Some(s) => s.to_string(),
+            None => site.to_string(),
+        }
+    }
+
+    fn ensure_thread(&mut self, ti: usize) {
+        while self.next_index.len() <= ti {
+            self.next_index.push(0);
+            self.resync.push(false);
+            self.last_time.push(None);
+            self.held.push(Vec::new());
+        }
+        if self.num_threads.is_none() {
+            self.stats.threads = self.stats.threads.max(ti as u32 + 1);
+        }
+    }
+
+    /// Registers a gap: lost events make per-thread lock state, contiguity
+    /// and pairing expectations unreliable, so they are reset and the
+    /// loss-explainable warnings are suppressed from here on.
+    pub fn note_gap(&mut self) {
+        self.stats.gaps += 1;
+        self.gap_seen = true;
+        self.seq_resync = true;
+        for flag in &mut self.resync {
+            *flag = true;
+        }
+        for stack in &mut self.held {
+            stack.clear();
+        }
+        self.pending_waits.clear();
+    }
+
+    /// Lints one chunk. `file` carries the (line, offset) of the chunk's
+    /// record when linting a file.
+    pub fn check_chunk(&mut self, chunk: &TraceChunk, file: Option<(usize, u64)>) {
+        self.stats.chunks += 1;
+        let window_lower = self.last_window_end;
+
+        // Chunk sequence numbers are dense: a jump means a lost chunk, a
+        // repeat means a duplicated one.
+        if let Some(prev) = self.last_seq {
+            let expected = prev + 1;
+            let jump_ok = self.seq_resync && chunk.seq > prev;
+            if chunk.seq != expected && !jump_ok {
+                self.emit(Diagnostic::new(
+                    DiagnosticCode::WindowNotAdvancing,
+                    self.locate(Location::stream(chunk.seq), file),
+                    format!("chunk seq {} does not follow {}", chunk.seq, prev),
+                ));
+            }
+        }
+        self.seq_resync = false;
+        self.last_seq = Some(chunk.seq);
+
+        if let Some(prev) = window_lower {
+            if chunk.window_end <= prev && chunk.num_events() > 0 {
+                self.emit(Diagnostic::new(
+                    DiagnosticCode::WindowNotAdvancing,
+                    self.locate(Location::stream(chunk.seq), file),
+                    format!(
+                        "chunk {} window {} does not advance past {}",
+                        chunk.seq, chunk.window_end, prev
+                    ),
+                ));
+            }
+        }
+
+        let mut prev_thread: Option<ThreadId> = None;
+        let mut barrier_groups: BTreeMap<(BarrierId, Time), (usize, Location)> = BTreeMap::new();
+        for span in &chunk.spans {
+            if prev_thread.is_some_and(|p| span.thread <= p) {
+                self.emit(Diagnostic::new(
+                    DiagnosticCode::NonContiguousSpan,
+                    self.locate(Location::stream(chunk.seq), file),
+                    format!(
+                        "chunk {} spans are not in ascending thread order at {}",
+                        chunk.seq, span.thread
+                    ),
+                ));
+            }
+            prev_thread = Some(span.thread);
+            let ti = span.thread.index();
+            if self.num_threads.is_some_and(|n| ti >= n) {
+                self.emit(Diagnostic::new(
+                    DiagnosticCode::SpanOutOfRange,
+                    self.locate(Location::stream(chunk.seq), file),
+                    format!(
+                        "span for {} but the header declares {} threads",
+                        span.thread,
+                        self.num_threads.unwrap_or(0)
+                    ),
+                ));
+                continue;
+            }
+            self.ensure_thread(ti);
+
+            // Per-thread contiguity: `base_index` must continue exactly where
+            // the previous span of this thread left off (forward jumps are
+            // allowed right after a gap).
+            let expected = self.next_index[ti];
+            let base = span.base_index as u64;
+            let contiguous = if self.resync[ti] {
+                base >= expected
+            } else {
+                base == expected
+            };
+            if !contiguous {
+                self.emit(Diagnostic::new(
+                    DiagnosticCode::NonContiguousSpan,
+                    self.locate(Location::event(chunk.seq, span.thread.raw(), base), file),
+                    format!(
+                        "non-contiguous span for {}: base {} but {} events seen",
+                        span.thread, base, expected
+                    ),
+                ));
+            }
+            self.resync[ti] = false;
+            self.next_index[ti] = base + span.events.len() as u64;
+
+            for (k, te) in span.events.iter().enumerate() {
+                let index = base + k as u64;
+                let loc = || Location::event(chunk.seq, span.thread.raw(), index);
+                self.stats.events += 1;
+                if te.at > chunk.window_end {
+                    self.emit(Diagnostic::new(
+                        DiagnosticCode::NonMonotonicTime,
+                        self.locate(loc(), file),
+                        format!(
+                            "event at {} is outside chunk {}'s window (ends {})",
+                            te.at, chunk.seq, chunk.window_end
+                        ),
+                    ));
+                }
+                if let Some(prev) = window_lower {
+                    if te.at <= prev {
+                        self.emit(Diagnostic::new(
+                            DiagnosticCode::NonMonotonicTime,
+                            self.locate(loc(), file),
+                            format!(
+                                "event at {} belongs to an earlier window (<= {})",
+                                te.at, prev
+                            ),
+                        ));
+                    }
+                }
+                if let Some(prev) = self.last_time[ti] {
+                    if te.at < prev {
+                        self.emit(
+                            Diagnostic::new(
+                                DiagnosticCode::NonMonotonicTime,
+                                self.locate(loc(), file),
+                                format!(
+                                    "{}'s clock regresses: {} after {}",
+                                    span.thread, te.at, prev
+                                ),
+                            )
+                            .with_witness(vec![format!("previous event completed at {prev}")]),
+                        );
+                    } else {
+                        self.last_time[ti] = Some(te.at);
+                    }
+                } else {
+                    self.last_time[ti] = Some(te.at);
+                }
+
+                match &te.event {
+                    Event::LockAcquire { lock, site } => {
+                        if self.held[ti].iter().any(|h| h.lock == *lock) {
+                            let witness: Vec<String> =
+                                self.held[ti].iter().map(|h| h.detail.clone()).collect();
+                            self.emit(
+                                Diagnostic::new(
+                                    DiagnosticCode::ReentrantAcquire,
+                                    self.locate(loc(), file),
+                                    format!(
+                                        "{} re-acquires {} while holding it",
+                                        span.thread, lock
+                                    ),
+                                )
+                                .with_witness(witness),
+                            );
+                        } else {
+                            let detail = format!(
+                                "{} acquired {} at {} (chunk {}, event {})",
+                                span.thread,
+                                lock,
+                                self.site_name(*site),
+                                chunk.seq,
+                                index
+                            );
+                            for h in &self.held[ti] {
+                                self.graph.record(h.lock, *lock, span.thread, &detail);
+                            }
+                            self.held[ti].push(HeldLock {
+                                lock: *lock,
+                                detail,
+                            });
+                        }
+                    }
+                    Event::LockRelease { lock } => {
+                        let stack = &mut self.held[ti];
+                        if stack.last().is_some_and(|h| h.lock == *lock) {
+                            stack.pop();
+                        } else if let Some(pos) = stack.iter().rposition(|h| h.lock == *lock) {
+                            let over: Vec<String> =
+                                stack[pos + 1..].iter().map(|h| h.detail.clone()).collect();
+                            stack.remove(pos);
+                            self.emit(
+                                Diagnostic::new(
+                                    DiagnosticCode::NonLifoRelease,
+                                    self.locate(loc(), file),
+                                    format!(
+                                        "{} releases {} before locks acquired after it",
+                                        span.thread, lock
+                                    ),
+                                )
+                                .with_witness(over),
+                            );
+                        } else if !self.gap_seen {
+                            self.emit(Diagnostic::new(
+                                DiagnosticCode::UnbalancedRelease,
+                                self.locate(loc(), file),
+                                format!("{} releases {} without holding it", span.thread, lock),
+                            ));
+                        }
+                    }
+                    Event::CondWait { cond, lock } => {
+                        if !self.held[ti].iter().any(|h| h.lock == *lock) && !self.gap_seen {
+                            self.emit(Diagnostic::new(
+                                DiagnosticCode::UnbalancedRelease,
+                                self.locate(loc(), file),
+                                format!("{} waits on {} with {} not held", span.thread, cond, lock),
+                            ));
+                        }
+                        if self.pending_waits.len() >= MAX_PENDING_WAITS {
+                            self.pending_waits.remove(0);
+                        }
+                        self.pending_waits.push(PendingWait {
+                            cond: *cond,
+                            at: te.at,
+                            location: self.locate(loc(), file),
+                        });
+                    }
+                    Event::CondSignal { cond, .. } => {
+                        let entry = self.max_signal.entry(*cond).or_insert(te.at);
+                        *entry = (*entry).max(te.at);
+                    }
+                    Event::BarrierWait { barrier } => {
+                        let entry = barrier_groups
+                            .entry((*barrier, te.at))
+                            .or_insert_with(|| (0, self.locate(loc(), file)));
+                        entry.0 += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        for g in &chunk.grants {
+            self.stats.grants += 1;
+            if let Some(prev) = self.last_grant_seq {
+                if g.seq <= prev {
+                    self.emit(Diagnostic::new(
+                        DiagnosticCode::WindowNotAdvancing,
+                        self.locate(Location::stream(chunk.seq), file),
+                        format!("grant seq {} does not advance past {}", g.seq, prev),
+                    ));
+                    continue; // keep the high-water mark
+                }
+            }
+            self.last_grant_seq = Some(g.seq);
+        }
+
+        // Barrier groups never straddle a chunk boundary (equal timestamps
+        // never do), so they can be finalized here. Sizes must be consistent
+        // per barrier across the whole stream.
+        for ((barrier, at), (size, location)) in barrier_groups {
+            match self.barrier_sizes.get(&barrier) {
+                None => {
+                    self.barrier_sizes.insert(barrier, size);
+                }
+                Some(&expected) if expected != size && !self.gap_seen => {
+                    self.emit(Diagnostic::new(
+                        DiagnosticCode::BarrierGroupMismatch,
+                        location,
+                        format!(
+                            "{barrier} group at {at} has {size} waiters; earlier groups had {expected}"
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+
+        // Prune condvar waits answered by a signal at-or-after their time.
+        let signals = &self.max_signal;
+        self.pending_waits
+            .retain(|w| signals.get(&w.cond).is_none_or(|&s| s < w.at));
+
+        self.last_window_end = Some(chunk.window_end);
+    }
+
+    /// Ends the pass: reconciles totals, reports still-held locks and
+    /// unanswered waits, runs the lock-order cycle analysis, and returns the
+    /// report.
+    ///
+    /// `trailer` is the chunk file's own expectation when one was read;
+    /// `trailer_loc` its record coordinates.
+    pub fn finish(
+        mut self,
+        trailer: Option<&ChunkFileTrailer>,
+        trailer_loc: Option<(usize, u64)>,
+    ) -> LintReport {
+        if let Some(t) = trailer {
+            if t.chunks != self.stats.chunks || t.events != self.stats.events {
+                let (chunks, events) = (self.stats.chunks, self.stats.events);
+                self.emit(Diagnostic::new(
+                    DiagnosticCode::CountMismatch,
+                    self.locate(Location::default(), trailer_loc),
+                    format!(
+                        "trailer claims {} chunks / {} events but {} / {} were seen",
+                        t.chunks, t.events, chunks, events
+                    ),
+                ));
+            }
+        }
+        if let Some(expected) = self.config.expected_events {
+            if expected != self.stats.events {
+                let events = self.stats.events;
+                self.emit(Diagnostic::new(
+                    DiagnosticCode::CountMismatch,
+                    Location::default(),
+                    format!("expected {expected} events but the stream carried {events}"),
+                ));
+            }
+        }
+        if let Some(expected) = self.config.expected_grants {
+            if expected != self.stats.grants {
+                let grants = self.stats.grants;
+                self.emit(Diagnostic::new(
+                    DiagnosticCode::CountMismatch,
+                    Location::default(),
+                    format!("expected {expected} lock grants but the stream carried {grants}"),
+                ));
+            }
+        }
+        if !self.gap_seen {
+            for ti in 0..self.held.len() {
+                if self.held[ti].is_empty() {
+                    continue;
+                }
+                let locks: Vec<String> = self.held[ti].iter().map(|h| h.lock.to_string()).collect();
+                let witness: Vec<String> = self.held[ti].iter().map(|h| h.detail.clone()).collect();
+                self.emit(
+                    Diagnostic::new(
+                        DiagnosticCode::UnreleasedLock,
+                        Location {
+                            thread: Some(ti as u32),
+                            ..Location::default()
+                        },
+                        format!("T{ti} still holds {} at end of stream", locks.join(", ")),
+                    )
+                    .with_witness(witness),
+                );
+            }
+            let waits: Vec<PendingWait> = std::mem::take(&mut self.pending_waits);
+            for w in waits {
+                self.emit(Diagnostic::new(
+                    DiagnosticCode::UnpairedCondWait,
+                    w.location,
+                    format!(
+                        "wait on {} at {} has no signal at or after it",
+                        w.cond, w.at
+                    ),
+                ));
+            }
+        }
+        for diagnostic in self.graph.cycles() {
+            self.emit(diagnostic);
+        }
+        LintReport {
+            diagnostics: self.diagnostics,
+            stats: self.stats,
+        }
+    }
+
+    /// Mutable access to the running stats (the file scanner tracks bytes).
+    pub fn stats_mut(&mut self) -> &mut LintStats {
+        &mut self.stats
+    }
+}
+
+/// Maps a stream-level error (from a source that failed outright) to the
+/// closest diagnostic code.
+fn stream_error_code(e: &StreamError) -> DiagnosticCode {
+    match e.root_cause() {
+        StreamError::Io(_) => DiagnosticCode::Io,
+        StreamError::Parse { .. } => DiagnosticCode::RecordParse,
+        StreamError::Trace(TraceError::NonMonotonicTime { .. }) => DiagnosticCode::NonMonotonicTime,
+        StreamError::Trace(_) => DiagnosticCode::NonContiguousSpan,
+        StreamError::Format(_) => DiagnosticCode::WindowNotAdvancing,
+        StreamError::Config(_) => DiagnosticCode::Io,
+        StreamError::At { .. } => DiagnosticCode::Io, // unreachable: root_cause unwraps
+    }
+}
+
+/// Lints an event stream. Gaps from a recovering source are accounted (and
+/// the loss-explainable warnings suppressed); a hard source error ends the
+/// pass with a corresponding diagnostic.
+pub fn lint_source<S: EventSource>(source: &mut S, config: &LintConfig) -> LintReport {
+    let mut linter = StreamLinter::new(config.clone(), Some(source.num_threads()), None);
+    loop {
+        match source.next_item() {
+            Ok(Some(StreamItem::Chunk(chunk))) => linter.check_chunk(&chunk, None),
+            Ok(Some(StreamItem::Gap(_))) => linter.note_gap(),
+            Ok(None) => break,
+            Err(e) => {
+                let code = stream_error_code(&e);
+                linter.emit(Diagnostic::new(
+                    code,
+                    Location::default(),
+                    format!("stream failed: {e}"),
+                ));
+                break;
+            }
+        }
+    }
+    linter.finish(None, None)
+}
+
+/// Lints an in-memory trace by streaming it through [`TraceChunks`], with
+/// the expected totals taken from the trace itself.
+pub fn lint_trace(trace: &Trace, chunk_events: usize) -> LintReport {
+    let config = LintConfig {
+        expected_events: Some(trace.num_events() as u64),
+        expected_grants: Some(trace.lock_schedule.len() as u64),
+        ..LintConfig::default()
+    };
+    let mut source = TraceChunks::new(trace, chunk_events.max(1));
+    let mut linter =
+        StreamLinter::new(config, Some(trace.num_threads()), None).with_sites(trace.sites.clone());
+    loop {
+        match source.next_chunk() {
+            Ok(Some(chunk)) => linter.check_chunk(&chunk, None),
+            Ok(None) => break,
+            Err(e) => {
+                let code = stream_error_code(&e);
+                linter.emit(Diagnostic::new(
+                    code,
+                    Location::default(),
+                    format!("stream failed: {e}"),
+                ));
+                break;
+            }
+        }
+    }
+    linter.finish(None, None)
+}
+
+/// Lints a chunk file record by record.
+///
+/// Every line is read exactly once through [`RawChunkRecords`]; nothing is
+/// materialized beyond one record. Unlike `ChunkFileReader` the scan never
+/// stops at a bad record — a parse failure is a
+/// [`DiagnosticCode::RecordParse`] finding at its exact line and byte
+/// offset, and linting resumes on the next line, so one pass reports *all*
+/// the file's problems.
+pub fn lint_chunk_file(path: impl AsRef<Path>, config: &LintConfig) -> LintReport {
+    let path_str = path.as_ref().display().to_string();
+    let records = match RawChunkRecords::open(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            let mut report = LintReport::default();
+            report.diagnostics.push(Diagnostic::new(
+                DiagnosticCode::Io,
+                Location::file(&path_str, 0, 0),
+                format!("cannot open chunk file: {e}"),
+            ));
+            return report;
+        }
+    };
+
+    let mut linter: Option<StreamLinter> = None;
+    let mut pre_header: Vec<Diagnostic> = Vec::new();
+    let mut trailer: Option<(ChunkFileTrailer, usize, u64)> = None;
+    let mut bytes = 0u64;
+    let mut last_line = 0usize;
+    for raw in records {
+        bytes += raw.bytes;
+        last_line = raw.line;
+        let file = Some((raw.line, raw.offset));
+        let record = match raw.record {
+            Ok(r) => r,
+            Err(e) => {
+                let (code, message) = match &e {
+                    StreamError::Io(io) => (DiagnosticCode::Io, format!("read failed: {io}")),
+                    other => (
+                        DiagnosticCode::RecordParse,
+                        format!("record does not parse: {other}"),
+                    ),
+                };
+                let d = Diagnostic::new(
+                    code,
+                    Location::file(&path_str, raw.line, raw.offset),
+                    message,
+                );
+                match linter.as_mut() {
+                    Some(l) => l.emit(d),
+                    None => pre_header.push(d),
+                }
+                continue;
+            }
+        };
+        match record {
+            ChunkFileRecord::Header(header) => match linter {
+                None => {
+                    let mut l = StreamLinter::new(
+                        config.clone(),
+                        Some(header.num_threads),
+                        Some(path_str.clone()),
+                    )
+                    .with_sites(header.sites);
+                    for d in pre_header.drain(..) {
+                        l.emit(d);
+                    }
+                    linter = Some(l);
+                }
+                Some(ref mut l) => {
+                    l.emit(Diagnostic::new(
+                        DiagnosticCode::RecordParse,
+                        Location::file(&path_str, raw.line, raw.offset),
+                        "unexpected second header record".to_string(),
+                    ));
+                }
+            },
+            ChunkFileRecord::Chunk(chunk) => {
+                let l = linter.get_or_insert_with(|| {
+                    // No header: thread count unknown; lint what we can.
+                    let mut l = StreamLinter::new(config.clone(), None, Some(path_str.clone()));
+                    l.emit(Diagnostic::new(
+                        DiagnosticCode::RecordParse,
+                        Location::file(&path_str, 1, 0),
+                        "chunk file does not start with a header record".to_string(),
+                    ));
+                    l
+                });
+                for d in pre_header.drain(..) {
+                    l.emit(d);
+                }
+                if trailer.is_some() {
+                    l.emit(Diagnostic::new(
+                        DiagnosticCode::RecordParse,
+                        Location::file(&path_str, raw.line, raw.offset),
+                        "chunk record after the trailer".to_string(),
+                    ));
+                }
+                l.check_chunk(&chunk, file);
+            }
+            ChunkFileRecord::Trailer(t) => {
+                if trailer.is_some() {
+                    if let Some(ref mut l) = linter {
+                        l.emit(Diagnostic::new(
+                            DiagnosticCode::RecordParse,
+                            Location::file(&path_str, raw.line, raw.offset),
+                            "unexpected second trailer record".to_string(),
+                        ));
+                    }
+                } else {
+                    trailer = Some((t, raw.line, raw.offset));
+                }
+            }
+        }
+    }
+
+    let mut linter = linter.unwrap_or_else(|| {
+        let mut l = StreamLinter::new(config.clone(), None, Some(path_str.clone()));
+        for d in pre_header.drain(..) {
+            l.emit(d);
+        }
+        if l.stats_mut().chunks == 0 && trailer.is_none() && bytes == 0 {
+            l.emit(Diagnostic::new(
+                DiagnosticCode::RecordParse,
+                Location::file(&path_str, 1, 0),
+                "empty chunk file".to_string(),
+            ));
+        }
+        l
+    });
+    linter.stats_mut().bytes = bytes;
+    if trailer.is_none() {
+        linter.emit(Diagnostic::new(
+            DiagnosticCode::MissingTrailer,
+            Location::file(&path_str, last_line, bytes),
+            "chunk file ended without a trailer record".to_string(),
+        ));
+    }
+    let (trailer, loc) = match &trailer {
+        Some((t, line, offset)) => (Some(t), Some((*line, *offset))),
+        None => (None, None),
+    };
+    linter.finish(trailer, loc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use perfplay_trace::{CodeSiteId, LockGrant, ObjectId, ThreadSpan, TimedEvent, TraceMeta};
+
+    fn clean_trace() -> Trace {
+        let mut trace = Trace::new(TraceMeta::default(), 2);
+        for (ti, base) in [(0usize, 0u64), (1, 10)] {
+            let t = &mut trace.threads[ti];
+            t.push(
+                Time::from_nanos(base + 1),
+                Event::LockAcquire {
+                    lock: LockId::new(0),
+                    site: CodeSiteId::new(0),
+                },
+            );
+            t.push(
+                Time::from_nanos(base + 2),
+                Event::Read {
+                    obj: ObjectId::new(0),
+                    value: 0,
+                },
+            );
+            t.push(
+                Time::from_nanos(base + 3),
+                Event::LockRelease {
+                    lock: LockId::new(0),
+                },
+            );
+            t.push(Time::from_nanos(base + 4), Event::ThreadExit);
+        }
+        trace.lock_schedule = vec![
+            LockGrant {
+                seq: 0,
+                lock: LockId::new(0),
+                thread: ThreadId::new(0),
+                event_index: 0,
+                at: Time::from_nanos(1),
+            },
+            LockGrant {
+                seq: 1,
+                lock: LockId::new(0),
+                thread: ThreadId::new(1),
+                event_index: 0,
+                at: Time::from_nanos(11),
+            },
+        ];
+        trace.total_time = Time::from_nanos(20);
+        trace
+    }
+
+    #[test]
+    fn clean_trace_lints_clean_at_every_chunking() {
+        let trace = clean_trace();
+        for chunk_events in 1..=9 {
+            let report = lint_trace(&trace, chunk_events);
+            assert!(
+                report.is_clean(),
+                "chunk_events={chunk_events}: {}",
+                report.render_human()
+            );
+            assert_eq!(report.stats.events, trace.num_events() as u64);
+            assert_eq!(report.stats.grants, 2);
+        }
+    }
+
+    #[test]
+    fn unbalanced_release_is_flagged() {
+        let mut trace = clean_trace();
+        trace.threads[0].events[2].event = Event::LockRelease {
+            lock: LockId::new(5),
+        };
+        let report = lint_trace(&trace, 4);
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(
+            codes.contains(&DiagnosticCode::UnbalancedRelease),
+            "{codes:?}"
+        );
+        assert!(codes.contains(&DiagnosticCode::UnreleasedLock), "{codes:?}");
+    }
+
+    #[test]
+    fn reentrant_acquire_is_flagged() {
+        let mut trace = clean_trace();
+        trace.threads[1].events[1].event = Event::LockAcquire {
+            lock: LockId::new(0),
+            site: CodeSiteId::new(0),
+        };
+        let report = lint_trace(&trace, 4);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::ReentrantAcquire));
+    }
+
+    #[test]
+    fn count_mismatch_when_expectations_disagree() {
+        let trace = clean_trace();
+        let config = LintConfig {
+            expected_events: Some(99),
+            expected_grants: Some(2),
+            ..LintConfig::default()
+        };
+        let mut source = TraceChunks::new(&trace, 4);
+        let report = lint_source(&mut source, &config);
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.diagnostics[0].code, DiagnosticCode::CountMismatch);
+    }
+
+    #[test]
+    fn hand_built_malformed_chunks_are_located() {
+        let mut linter = StreamLinter::new(LintConfig::default(), Some(1), None);
+        let mk = |seq: u64, window: u64, base: usize, times: &[u64]| TraceChunk {
+            seq,
+            window_end: Time::from_nanos(window),
+            spans: vec![ThreadSpan {
+                thread: ThreadId::new(0),
+                base_index: base,
+                events: times
+                    .iter()
+                    .map(|&t| {
+                        TimedEvent::new(
+                            Time::from_nanos(t),
+                            Event::Read {
+                                obj: ObjectId::new(0),
+                                value: 0,
+                            },
+                        )
+                    })
+                    .collect(),
+            }],
+            grants: Vec::new(),
+        };
+        linter.check_chunk(&mk(0, 10, 0, &[1, 2]), None);
+        // seq jumps (L005), base jumps (L002), one event behind the previous
+        // window (L001).
+        linter.check_chunk(&mk(2, 20, 5, &[9, 15]), None);
+        let report = linter.finish(None, None);
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(
+            codes.contains(&DiagnosticCode::WindowNotAdvancing),
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&DiagnosticCode::NonContiguousSpan),
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&DiagnosticCode::NonMonotonicTime),
+            "{codes:?}"
+        );
+        let l001 = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagnosticCode::NonMonotonicTime)
+            .expect("L001 present");
+        assert_eq!(l001.location.chunk, Some(2));
+        assert_eq!(l001.location.event_index, Some(5));
+    }
+
+    #[test]
+    fn unpaired_wait_is_a_warning_and_signal_pairs_it() {
+        let mut trace = Trace::new(TraceMeta::default(), 2);
+        trace.threads[0].push(
+            Time::from_nanos(1),
+            Event::LockAcquire {
+                lock: LockId::new(0),
+                site: CodeSiteId::new(0),
+            },
+        );
+        trace.threads[0].push(
+            Time::from_nanos(2),
+            Event::CondWait {
+                cond: CondId::new(0),
+                lock: LockId::new(0),
+            },
+        );
+        trace.threads[0].push(
+            Time::from_nanos(3),
+            Event::LockRelease {
+                lock: LockId::new(0),
+            },
+        );
+        let unpaired = lint_trace(&trace, 8);
+        assert_eq!(unpaired.errors(), 0);
+        assert!(
+            unpaired
+                .diagnostics
+                .iter()
+                .any(|d| d.code == DiagnosticCode::UnpairedCondWait
+                    && d.severity == Severity::Warning)
+        );
+
+        trace.threads[1].push(
+            Time::from_nanos(5),
+            Event::CondSignal {
+                cond: CondId::new(0),
+                broadcast: false,
+            },
+        );
+        let paired = lint_trace(&trace, 8);
+        assert!(!paired
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::UnpairedCondWait));
+    }
+
+    #[test]
+    fn barrier_group_sizes_must_be_consistent() {
+        let mut trace = Trace::new(TraceMeta::default(), 3);
+        // First barrier round: all three arrive (same completion time).
+        for ti in 0..3 {
+            trace.threads[ti].push(
+                Time::from_nanos(5),
+                Event::BarrierWait {
+                    barrier: BarrierId::new(0),
+                },
+            );
+        }
+        // Second round: only two arrive.
+        for ti in 0..2 {
+            trace.threads[ti].push(
+                Time::from_nanos(9),
+                Event::BarrierWait {
+                    barrier: BarrierId::new(0),
+                },
+            );
+        }
+        let report = lint_trace(&trace, 16);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::BarrierGroupMismatch));
+        assert_eq!(report.errors(), 0);
+    }
+
+    #[test]
+    fn nested_locks_build_order_edges_and_inversion_warns() {
+        let mut trace = Trace::new(TraceMeta::default(), 2);
+        let site = CodeSiteId::new(0);
+        let (a, b) = (LockId::new(0), LockId::new(1));
+        // T0: a then b (nested); T1: b then a.
+        let t0 = &mut trace.threads[0];
+        t0.push(Time::from_nanos(1), Event::LockAcquire { lock: a, site });
+        t0.push(Time::from_nanos(2), Event::LockAcquire { lock: b, site });
+        t0.push(Time::from_nanos(3), Event::LockRelease { lock: b });
+        t0.push(Time::from_nanos(4), Event::LockRelease { lock: a });
+        let t1 = &mut trace.threads[1];
+        t1.push(Time::from_nanos(11), Event::LockAcquire { lock: b, site });
+        t1.push(Time::from_nanos(12), Event::LockAcquire { lock: a, site });
+        t1.push(Time::from_nanos(13), Event::LockRelease { lock: a });
+        t1.push(Time::from_nanos(14), Event::LockRelease { lock: b });
+        let report = lint_trace(&trace, 16);
+        assert_eq!(report.errors(), 0, "{}", report.render_human());
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagnosticCode::TraceLockOrderCycle)
+            .expect("D001 fires");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(!d.witness.is_empty());
+    }
+
+    #[test]
+    fn diagnostics_are_capped() {
+        let config = LintConfig {
+            max_diagnostics: 3,
+            ..LintConfig::default()
+        };
+        let mut linter = StreamLinter::new(config, Some(1), None);
+        for seq in [5u64, 3, 1, 9, 2] {
+            linter.check_chunk(
+                &TraceChunk {
+                    seq,
+                    window_end: Time::from_nanos(1),
+                    spans: Vec::new(),
+                    grants: Vec::new(),
+                },
+                None,
+            );
+        }
+        let report = linter.finish(None, None);
+        assert_eq!(report.diagnostics.len(), 3);
+        assert!(report.stats.suppressed > 0);
+    }
+}

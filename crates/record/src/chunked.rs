@@ -221,8 +221,11 @@ impl<W: Write> ChunkedWriter<W> {
             });
         }
         let mut grants = Vec::new();
-        while self.grants.front().is_some_and(|g| g.at <= window_end) {
-            grants.push(self.grants.pop_front().expect("front exists"));
+        while let Some(g) = self.grants.front() {
+            if g.at > window_end {
+                break;
+            }
+            grants.extend(self.grants.pop_front());
         }
         if spans.is_empty() && grants.is_empty() {
             return Ok(());

@@ -27,6 +27,7 @@ use perfplay_detect::{
     ParallelStreamingDetector, PlanAggregator, SiteAggregates, StreamingDetector, StreamingStats,
     UlcpBreakdown,
 };
+use perfplay_lint::{analyze_schedule, lint_chunk_file, lint_trace, Diagnostic, LintConfig};
 use perfplay_replay::{
     ReplayConfig, ReplayError, ReplayResult, ReplaySchedule, Replayer, ScheduleKind,
     UlcpFreeReplayer,
@@ -48,6 +49,11 @@ pub enum PipelineError {
     /// produced by the batch drivers, which isolate each trace with
     /// `catch_unwind` so one poisoned input cannot abort the sweep.
     Panic(String),
+    /// The opt-in static preflight ([`PipelineConfig::preflight`]) found
+    /// error-severity problems in the input trace/file or in the transformed
+    /// schedule, and the pipeline refused to proceed. The diagnostics say
+    /// exactly what and where.
+    Preflight(Vec<Diagnostic>),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -56,6 +62,13 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Replay(e) => write!(f, "pipeline replay failed: {e}"),
             PipelineError::Stream(e) => write!(f, "pipeline stream ingestion failed: {e}"),
             PipelineError::Panic(msg) => write!(f, "pipeline stage panicked: {msg}"),
+            PipelineError::Preflight(diagnostics) => {
+                write!(f, "preflight lint found {} error(s)", diagnostics.len())?;
+                if let Some(first) = diagnostics.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -137,6 +150,12 @@ pub struct PipelineConfig {
     /// [`ParallelStreamingDetector`] with `n` sharded per-lock workers.
     /// Output is bit-identical either way.
     pub parallel_streams: usize,
+    /// Opt-in static preflight: lint the input trace (or chunk file) before
+    /// detection and the transformed schedule before the ULCP-free replay.
+    /// Error-severity findings abort the run with
+    /// [`PipelineError::Preflight`] instead of failing later inside a
+    /// detector stream or as a stuck replay; warnings never block.
+    pub preflight: bool,
 }
 
 impl Default for PipelineConfig {
@@ -149,8 +168,28 @@ impl Default for PipelineConfig {
             original_schedule: ScheduleKind::ElscS,
             chunk_events: None,
             parallel_streams: 0,
+            preflight: false,
         }
     }
+}
+
+/// Fallback chunk size for the trace preflight when the pipeline itself
+/// runs batch (non-streaming) detection and has no `chunk_events` to borrow.
+const PREFLIGHT_CHUNK_EVENTS: usize = 4096;
+
+/// Returns the error-severity findings of `report`, or `None` when it has
+/// none (warnings never block a preflighted run).
+fn preflight_errors(report: perfplay_lint::LintReport) -> Option<Vec<Diagnostic>> {
+    if report.errors() == 0 {
+        return None;
+    }
+    Some(
+        report
+            .diagnostics
+            .into_iter()
+            .filter(|d| d.severity == perfplay_lint::Severity::Error)
+            .collect(),
+    )
 }
 
 impl PipelineConfig {
@@ -200,6 +239,12 @@ pub fn analyze_plan_with<G: GainSource + Clone + Send + Sync>(
     config: &PipelineConfig,
     gain: G,
 ) -> Result<PlanAnalysis, PipelineError> {
+    if config.preflight {
+        let chunk_events = config.chunk_events.unwrap_or(PREFLIGHT_CHUNK_EVENTS);
+        if let Some(errors) = preflight_errors(lint_trace(trace, chunk_events)) {
+            return Err(PipelineError::Preflight(errors));
+        }
+    }
     let (plan, streaming) = match config.chunk_events {
         Some(chunk_events) => {
             let sink = PlanAggregator::new(gain);
@@ -219,6 +264,14 @@ pub fn analyze_plan_with<G: GainSource + Clone + Send + Sync>(
     };
 
     let transformed = Transformer::new(config.transform).transform_from_plan(trace, &plan);
+    if config.preflight {
+        // A transform-introduced lock-order inversion (RULEs 2–4) is caught
+        // here as a wait-graph cycle instead of as a stuck ULCP-free replay.
+        let schedule_errors: Vec<Diagnostic> = analyze_schedule(&transformed);
+        if !schedule_errors.is_empty() {
+            return Err(PipelineError::Preflight(schedule_errors));
+        }
+    }
     let original_replay = Replayer::new(config.replay)
         .replay(trace, ReplaySchedule::for_kind(config.original_schedule))?;
     let ulcp_free_replay = UlcpFreeReplayer::new(config.replay)
@@ -435,6 +488,15 @@ pub fn analyze_chunk_files<P: AsRef<Path>>(
     let mut failures = Vec::new();
     for (trace_index, path) in paths.iter().enumerate() {
         let path = path.as_ref().display().to_string();
+        if config.preflight {
+            if let Some(errors) = preflight_errors(lint_chunk_file(&path, &LintConfig::default())) {
+                failures.push(BatchItemError {
+                    trace_index,
+                    error: PipelineError::Preflight(errors),
+                });
+                continue;
+            }
+        }
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let mut reader = ChunkFileReader::with_policy(&path, policy)?;
             let sink = PlanAggregator::new(BodyOverlapGain);

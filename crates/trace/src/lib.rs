@@ -62,8 +62,8 @@ pub use site::{CodeRegion, CodeSite, SiteTable};
 pub use stats::TraceStats;
 pub use stream::{
     read_chunked_trace, ChunkFileHeader, ChunkFileReader, ChunkFileRecord, ChunkFileTrailer,
-    EventSource, RecoveryPolicy, StreamError, StreamGap, StreamItem, ThreadSpan, TraceChunk,
-    TraceChunks,
+    EventSource, RawChunkRecords, RawRecord, RecoveryPolicy, StreamError, StreamGap, StreamItem,
+    ThreadSpan, TraceChunk, TraceChunks,
 };
 pub use time::Time;
 pub use trace::{ThreadTrace, Trace, TraceError, TraceMeta};

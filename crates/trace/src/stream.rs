@@ -843,6 +843,96 @@ impl EventSource for ChunkFileReader {
     }
 }
 
+/// One record scanned by [`RawChunkRecords`]: its exact file coordinates
+/// plus the parse outcome. Parse failures are data, not stream terminators —
+/// the scanner keeps going on the next line.
+#[derive(Debug)]
+pub struct RawRecord {
+    /// 1-based line number of the record.
+    pub line: usize,
+    /// Byte offset of the start of the line.
+    pub offset: u64,
+    /// Bytes consumed by the line (including the newline).
+    pub bytes: u64,
+    /// The parsed record, or why the line did not parse.
+    pub record: Result<ChunkFileRecord, StreamError>,
+}
+
+/// Low-level record-by-record scanner of a chunked trace file.
+///
+/// Unlike [`ChunkFileReader`] this performs **no** contract validation and
+/// **no** recovery bookkeeping: every line is surfaced verbatim with its
+/// 1-based line number and byte offset, parse failures included, so a
+/// consumer (e.g. a lint pass) can attribute each finding to exact file
+/// coordinates and keep scanning past malformed records. Only one line is
+/// resident at a time.
+///
+/// An unreadable line (an I/O error mid-file) is reported as one final
+/// [`RawRecord`] carrying [`StreamError::Io`], after which the scanner ends:
+/// the stream position is unknowable past a failed read.
+#[derive(Debug)]
+pub struct RawChunkRecords {
+    lines: std::io::Lines<BufReader<std::fs::File>>,
+    line_no: usize,
+    offset: u64,
+    done: bool,
+}
+
+impl RawChunkRecords {
+    /// Opens a chunk file for raw scanning.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the file cannot be opened; everything else — including
+    /// an empty file — is reported through the iterator.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StreamError> {
+        let file = std::fs::File::open(&path).map_err(StreamError::from)?;
+        Ok(RawChunkRecords {
+            lines: BufReader::new(file).lines(),
+            line_no: 0,
+            offset: 0,
+            done: false,
+        })
+    }
+}
+
+impl Iterator for RawChunkRecords {
+    type Item = RawRecord;
+
+    fn next(&mut self) -> Option<RawRecord> {
+        if self.done {
+            return None;
+        }
+        let line_no = self.line_no + 1;
+        let line_offset = self.offset;
+        let line = match self.lines.next()? {
+            Ok(l) => l,
+            Err(e) => {
+                self.done = true;
+                return Some(RawRecord {
+                    line: line_no,
+                    offset: line_offset,
+                    bytes: 0,
+                    record: Err(StreamError::Io(e.to_string())),
+                });
+            }
+        };
+        self.line_no = line_no;
+        let bytes = line.len() as u64 + 1;
+        self.offset += bytes;
+        let record = serde_json::from_str(&line).map_err(|e| StreamError::Parse {
+            line: line_no,
+            message: e.0,
+        });
+        Some(RawRecord {
+            line: line_no,
+            offset: line_offset,
+            bytes,
+            record,
+        })
+    }
+}
+
 /// Reads a chunked trace file back into a full in-memory [`Trace`].
 ///
 /// This is the inverse of `perfplay-record`'s `ChunkedWriter`: useful for
