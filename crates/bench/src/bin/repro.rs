@@ -10,8 +10,20 @@
 //!   ingestion comparison: the in-memory engine vs the chunk-by-chunk
 //!   `StreamingDetector` on a >=10M-event synthetic trace (CI-sized with
 //!   `--quick`), verifies bit-identical results plus the chunked-file
-//!   spill/re-ingest roundtrip, reports the peak resident state, and writes
+//!   spill/re-ingest roundtrip — one row per on-disk format (`jsonl` and
+//!   `pbin`) — reports the peak resident state, and writes
 //!   `BENCH_stream.json`.
+//! * `repro ingest [--quick] [--out PATH]` runs the on-disk ingestion
+//!   benchmark: the >=10M-event workload is spilled through `ChunkedWriter`
+//!   in both chunk-file formats and streamed back through the detector,
+//!   pinning events/sec and bytes/event per format plus bit-identical
+//!   detection digests (content + ranked report) across formats, written as
+//!   `BENCH_ingest.json`. On the full workload the binary format must
+//!   ingest >=4x faster than JSON-lines at <=1/3 the bytes/event.
+//! * `repro convert --chunk-file SRC --out DST [--format json|pbin]`
+//!   translates a chunk file between the on-disk formats (streaming,
+//!   chunk-bounded memory), autodetecting the source by magic bytes and the
+//!   destination by extension unless `--format` overrides it.
 //! * `repro detect --aggregate [--quick] [--out PATH]` runs the sink
 //!   comparison on the same >=10M-event workload: the materializing
 //!   pair-list path (batch `CollectPairs` + per-pair fusion) vs the
@@ -46,14 +58,16 @@
 //!   `catch_unwind`, and the outcome matrix is printed. Exits non-zero if
 //!   any trial panics — the pipeline's no-panic invariant as a smoke test.
 //! * `repro batch --chunk-dir DIR [--quick] [--out PATH]` runs the batch
-//!   sweep over on-disk chunk files: every `*.jsonl` in DIR (spilling the
-//!   app models first when DIR is empty) is streamed through the detector
-//!   under `SkipChunk` recovery and fused into one ranked report, with gap
-//!   totals for any file that needed recovery.
+//!   sweep over on-disk chunk files: every `*.jsonl` and `*.pbin` in DIR
+//!   (spilling the app models first when DIR is empty, alternating formats)
+//!   is streamed through the detector under `SkipChunk` recovery and fused
+//!   into one ranked report, with gap totals for any file that needed
+//!   recovery.
 //! * `repro lint --chunk-file PATH [--json]` statically lints one chunk file
 //!   (well-formedness + lock-order analysis, no detection, no replay) and
 //!   prints the coded diagnostics; exits non-zero when any error-severity
-//!   finding exists. `--chunk-dir DIR` lints every `*.jsonl` in a directory.
+//!   finding exists. `--chunk-dir DIR` lints every `*.jsonl` and `*.pbin`
+//!   in a directory.
 //! * `repro lint --matrix` runs the fixed-seed fault→diagnostic-code matrix:
 //!   each of the nine `FaultKind`s is injected (on disk and, where
 //!   applicable, in flight) at several seeds and the lint report is checked
@@ -75,9 +89,10 @@
 use std::time::Instant;
 
 use perfplay::prelude::{
-    analyze_batch, analyze_batch_sequential, analyze_chunk_files, corrupt_chunk_file,
-    fuse_aggregates, fuse_ulcp_gains, rank_groups, spill_trace, BatchAnalysis, BodyOverlapGain,
-    ChunkFileReader, Detector, DetectorConfig, FaultInjector, FaultKind, FaultPlan, GainSource,
+    analyze_batch, analyze_batch_sequential, analyze_chunk_files, convert_chunk_file,
+    corrupt_chunk_file, fuse_aggregates, fuse_ulcp_gains, rank_groups, spill_trace,
+    spill_trace_with_format, BatchAnalysis, BodyOverlapGain, ChunkFileReader, ChunkFormat,
+    Detector, DetectorConfig, EventSource, FaultInjector, FaultKind, FaultPlan, GainSource,
     ParallelStreamingDetector, PerfReport, PipelineConfig, Recommendation, RecoveryPolicy,
     SectionCtx, SiteAggregator, StreamingDetector, StreamingStats, Trace, Transformer, UlcpGain,
 };
@@ -336,20 +351,91 @@ struct StreamWorkloadReport {
     total_sections: usize,
 }
 
+/// One on-disk format's spill + re-ingest measurement. The same row shape
+/// appears in `BENCH_stream.json` (`file_roundtrip`) and `BENCH_ingest.json`
+/// (`rows`) so the two artifacts can't drift.
 #[derive(Debug, Serialize)]
-struct FileRoundtripReport {
+struct FormatRoundtripReport {
+    /// On-disk chunk-file format: `jsonl` or `pbin`.
+    format: String,
     events: u64,
     chunks: u64,
     bytes: u64,
     write_ms: f64,
+    /// Decode-only drain of the file: open, read and decode every chunk,
+    /// run no detection. This isolates the codec — the only thing the
+    /// on-disk format can change.
+    ingest_ms: f64,
+    /// Full streaming detection off the file (decode + detect), for the
+    /// digest-identity check against the in-memory engine.
     stream_from_file_ms: f64,
-    /// Decode+detect throughput of the re-ingest leg (`events` over
-    /// `stream_from_file_ms`) — the number the chunk-file decode hot path is
-    /// graded on.
+    /// Decode throughput of the drain leg (`events` over `ingest_ms`) —
+    /// the number the chunk-file codec is graded on.
     events_per_sec: f64,
     /// On-disk density of the chunked format (`bytes` / `events`).
     bytes_per_event: f64,
     identical_to_batch: bool,
+    /// Ranked-report digest of the file-streamed analysis.
+    report_digest: String,
+}
+
+/// Spills `trace` to `path` in `format`, drains the file once decode-only,
+/// streams the detector back off it, and reduces the leg to one
+/// [`FormatRoundtripReport`] row compared against the in-memory batch
+/// digests. The file is removed unless `keep`.
+fn roundtrip_row(
+    trace: &Trace,
+    format: ChunkFormat,
+    path: &std::path::Path,
+    keep: bool,
+    chunk_events: usize,
+    config: DetectorConfig,
+    batch: &ResultDigest,
+) -> FormatRoundtripReport {
+    let (summary, write_ms) = time_ms(|| {
+        spill_trace_with_format(trace, path, chunk_events, format).expect("spill succeeds")
+    });
+    let (drained, ingest_ms) = time_ms(|| {
+        let mut reader = ChunkFileReader::open(path).expect("chunk file opens");
+        assert_eq!(reader.format(), format, "magic autodetection");
+        let mut events = 0u64;
+        while let Some(chunk) = reader.next_chunk().expect("clean file drains") {
+            events += chunk.num_events() as u64;
+        }
+        events
+    });
+    assert_eq!(drained, summary.events, "drain saw every spilled event");
+    let (result, stream_from_file_ms) = time_ms(|| {
+        let mut reader = ChunkFileReader::open(path).expect("chunk file opens");
+        StreamingDetector::new(config)
+            .analyze(&mut reader)
+            .expect("file stream analyzes")
+    });
+    if keep {
+        eprintln!("chunked trace file kept at {}", path.display());
+    } else {
+        std::fs::remove_file(path).ok();
+    }
+    eprintln!(
+        "{} roundtrip: {} events, {} bytes, write {write_ms:.0}ms, \
+         drain {ingest_ms:.0}ms, re-ingest+detect {stream_from_file_ms:.0}ms",
+        format.name(),
+        summary.events,
+        summary.bytes,
+    );
+    FormatRoundtripReport {
+        format: format.name().to_string(),
+        events: summary.events,
+        chunks: summary.chunks,
+        bytes: summary.bytes,
+        write_ms,
+        ingest_ms,
+        stream_from_file_ms,
+        events_per_sec: summary.events as f64 / (ingest_ms / 1e3).max(1e-9),
+        bytes_per_event: summary.bytes as f64 / summary.events.max(1) as f64,
+        identical_to_batch: digest(&result.analysis) == *batch,
+        report_digest: format!("{:016x}", ranked_digest(&result.analysis)),
+    }
 }
 
 /// The sharded-worker streaming run (`--parallel`), reported next to the
@@ -386,8 +472,11 @@ struct StreamReport {
     memory: MemoryReport,
     peak_live_fraction: f64,
     /// End-to-end spill + re-ingest through the chunked trace file, run on
-    /// a CI-sized slice (JSON parsing cost keeps it out of the 10M run).
-    file_roundtrip: FileRoundtripReport,
+    /// a CI-sized slice (text parsing cost keeps it out of the 10M run) —
+    /// one row per on-disk format. The full-scale per-format comparison
+    /// lives in `BENCH_ingest.json` (`repro ingest`), which shares this row
+    /// shape.
+    file_roundtrip: Vec<FormatRoundtripReport>,
     breakdown: BreakdownReport,
 }
 
@@ -427,8 +516,9 @@ fn ranked_digest(analysis: &UlcpAnalysis) -> u64 {
 /// workload additionally runs through the sharded-per-lock-worker
 /// [`ParallelStreamingDetector`] and the artifact gains a `parallel` block
 /// pinning bit-identical results (content + ranked-report digests) and the
-/// wall-clock ratio. With `--spill PATH`, the roundtrip's chunked trace file
-/// is written to `PATH` and kept, ready for
+/// wall-clock ratio. With `--spill PATH`, the roundtrip row whose format
+/// matches `PATH`'s extension (`.pbin` for binary, anything else JSON-lines)
+/// writes its chunked trace file to `PATH` and keeps it, ready for
 /// `repro detect --stream --chunk-file PATH`.
 fn run_stream(quick: bool, out: &str, spill: Option<&str>, parallel: bool) {
     let workload = if quick {
@@ -496,44 +586,36 @@ fn run_stream(quick: bool, out: &str, spill: Option<&str>, parallel: bool) {
         }
     });
 
-    // File roundtrip on a CI-sized slice: spill to a chunked file, stream
-    // the detector from the file, compare against the batch engine.
+    // File roundtrip on a CI-sized slice, once per on-disk format: spill to
+    // a chunked file, stream the detector from the file, compare against
+    // the batch engine. With `--spill PATH`, the row whose format matches
+    // PATH's extension writes there and the file is kept.
     let rt_workload = StreamWorkload::quick();
     let rt_trace = if quick {
         trace
     } else {
         stream_trace(rt_workload)
     };
-    let rt_path = match spill {
-        Some(path) => std::path::PathBuf::from(path),
-        None => std::env::temp_dir().join(format!("perfplay-stream-{}.jsonl", std::process::id())),
-    };
-    let (rt_summary, write_ms) = time_ms(|| {
-        perfplay::prelude::spill_trace(&rt_trace, &rt_path, 4_096).expect("spill succeeds")
-    });
-    let (rt_result, stream_from_file_ms) = time_ms(|| {
-        let mut reader =
-            perfplay::prelude::ChunkFileReader::open(&rt_path).expect("chunk file opens");
-        StreamingDetector::new(config)
-            .analyze(&mut reader)
-            .expect("file stream analyzes")
-    });
-    if spill.is_some() {
-        eprintln!("chunked trace file kept at {}", rt_path.display());
-    } else {
-        std::fs::remove_file(&rt_path).ok();
-    }
     let rt_batch = digest(&Detector::new(config).analyze(&rt_trace));
-    let file_roundtrip = FileRoundtripReport {
-        events: rt_summary.events,
-        chunks: rt_summary.chunks,
-        bytes: rt_summary.bytes,
-        write_ms,
-        stream_from_file_ms,
-        events_per_sec: rt_summary.events as f64 / (stream_from_file_ms / 1e3).max(1e-9),
-        bytes_per_event: rt_summary.bytes as f64 / rt_summary.events.max(1) as f64,
-        identical_to_batch: digest(&rt_result.analysis) == rt_batch,
-    };
+    let spill_path = spill.map(std::path::PathBuf::from);
+    let spill_format = spill_path.as_deref().map(ChunkFormat::for_path);
+    let file_roundtrip: Vec<FormatRoundtripReport> = [ChunkFormat::Json, ChunkFormat::Pbin]
+        .into_iter()
+        .map(|format| {
+            let (rt_path, keep) = match &spill_path {
+                Some(p) if spill_format == Some(format) => (p.clone(), true),
+                _ => (
+                    std::env::temp_dir().join(format!(
+                        "perfplay-stream-{}.{}",
+                        std::process::id(),
+                        format.name()
+                    )),
+                    false,
+                ),
+            };
+            roundtrip_row(&rt_trace, format, &rt_path, keep, 4_096, config, &rt_batch)
+        })
+        .collect();
 
     let breakdown = stream_digest.breakdown;
     let report = StreamReport {
@@ -566,10 +648,13 @@ fn run_stream(quick: bool, out: &str, spill: Option<&str>, parallel: bool) {
         report.results_identical,
         "streaming detector diverged from the in-memory engine:\nbatch:  {batch_digest:?}\nstream: {stream_digest:?}"
     );
-    assert!(
-        report.file_roundtrip.identical_to_batch,
-        "chunked-file roundtrip diverged from the in-memory engine"
-    );
+    for rt in &report.file_roundtrip {
+        assert!(
+            rt.identical_to_batch,
+            "chunked-file roundtrip ({}) diverged from the in-memory engine",
+            rt.format
+        );
+    }
     if let Some(par) = &report.parallel {
         assert!(
             par.results_identical,
@@ -589,6 +674,194 @@ fn run_stream(quick: bool, out: &str, spill: Option<&str>, parallel: bool) {
         total_sections,
         100.0 * report.peak_live_fraction,
         report.streaming.peak_chunk_events,
+    );
+}
+
+#[derive(Debug, Serialize)]
+struct IngestReport {
+    workload: StreamWorkloadReport,
+    chunk_events: usize,
+    record_ms: f64,
+    /// In-memory batch analysis of the same trace — the digest reference
+    /// and the "as fast as in-memory" yardstick.
+    batch_ms: f64,
+    /// One spill + re-ingest row per on-disk format, same shape as
+    /// `BENCH_stream.json`'s `file_roundtrip` rows.
+    rows: Vec<FormatRoundtripReport>,
+    /// pbin events/sec over jsonl events/sec on the re-ingest leg.
+    ingest_speedup: f64,
+    /// pbin bytes/event over jsonl bytes/event (below 1 means denser).
+    density_ratio: f64,
+    /// Every file stream matched the in-memory engine bit-for-bit: content
+    /// digests and ranked-report digests all identical.
+    results_identical: bool,
+    report_digest: String,
+    breakdown: BreakdownReport,
+}
+
+/// `repro ingest`: the on-disk ingestion benchmark behind the binary chunk
+/// format. Records the >=10M-event streaming workload once, spills it
+/// through `ChunkedWriter` in both formats, streams the detector back off
+/// each file, and writes `BENCH_ingest.json` pinning events/sec and
+/// bytes/event per format plus bit-identical detection digests (content +
+/// ranked report) across formats and against the in-memory engine. On the
+/// full workload the binary format must ingest >=4x faster than JSON-lines
+/// at <=1/3 the bytes/event — asserted after the artifact is written, so a
+/// regression leaves a machine-readable record.
+fn run_ingest(quick: bool, out: &str) {
+    let workload = if quick {
+        StreamWorkload::quick()
+    } else {
+        StreamWorkload::ten_million()
+    };
+    let chunk_events = if quick { 4_096 } else { 262_144 };
+    eprintln!(
+        "recording ingest workload: {} threads, target {} events...",
+        workload.threads, workload.target_events
+    );
+    let (trace, record_ms) = time_ms(|| stream_trace(workload));
+    let trace_events = trace.num_events();
+    eprintln!("recorded {trace_events} events in {record_ms:.0}ms");
+    if !quick {
+        assert!(
+            trace_events >= 10_000_000,
+            "acceptance workload must exceed 10M events, got {trace_events}"
+        );
+    }
+
+    let config = detect_bench_config();
+    let (batch_analysis, batch_ms) = time_ms(|| Detector::new(config).analyze(&trace));
+    eprintln!("in-memory batch: {batch_ms:.0}ms");
+    let batch = digest(&batch_analysis);
+    let batch_ranked = format!("{:016x}", ranked_digest(&batch_analysis));
+    let total_sections = batch_analysis.sections.len();
+    drop(batch_analysis);
+
+    let rows: Vec<FormatRoundtripReport> = [ChunkFormat::Json, ChunkFormat::Pbin]
+        .into_iter()
+        .map(|format| {
+            let path = std::env::temp_dir().join(format!(
+                "perfplay-ingest-{}.{}",
+                std::process::id(),
+                format.name()
+            ));
+            roundtrip_row(&trace, format, &path, false, chunk_events, config, &batch)
+        })
+        .collect();
+    let ingest_speedup = rows[1].events_per_sec / rows[0].events_per_sec.max(1e-9);
+    let density_ratio = rows[1].bytes_per_event / rows[0].bytes_per_event.max(1e-9);
+    let results_identical = rows
+        .iter()
+        .all(|r| r.identical_to_batch && r.report_digest == batch_ranked);
+
+    let breakdown = batch.breakdown;
+    let report = IngestReport {
+        workload: StreamWorkloadReport {
+            threads: workload.threads,
+            locks: workload.locks,
+            objects: workload.objects,
+            target_events: workload.target_events,
+            trace_events,
+            total_sections,
+        },
+        chunk_events,
+        record_ms,
+        batch_ms,
+        rows,
+        ingest_speedup,
+        density_ratio,
+        results_identical,
+        report_digest: batch_ranked,
+        breakdown: (&breakdown).into(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(out, format!("{json}\n")).expect("write benchmark artifact");
+    println!("{json}");
+    // Assert only after the artifact is on disk, so a divergence leaves a
+    // machine-readable record instead of nothing.
+    assert!(
+        report.results_identical,
+        "file-streamed detection diverged across formats or from the in-memory engine"
+    );
+    if !quick {
+        assert!(
+            report.ingest_speedup >= 4.0,
+            "pbin ingest speedup {:.2}x is below the 4x acceptance floor",
+            report.ingest_speedup
+        );
+        assert!(
+            report.density_ratio <= 1.0 / 3.0,
+            "pbin density ratio {:.3} exceeds the 1/3 acceptance ceiling",
+            report.density_ratio
+        );
+    }
+    eprintln!(
+        "ingest: pbin {:.2}x events/sec at {:.2}x bytes/event vs jsonl, digests identical -> {out}",
+        report.ingest_speedup, report.density_ratio
+    );
+}
+
+#[derive(Debug, Serialize)]
+struct ConvertArtifact {
+    src: String,
+    dst: String,
+    from: String,
+    to: String,
+    records: u64,
+    chunks: u64,
+    events: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    convert_ms: f64,
+}
+
+/// `repro convert --chunk-file SRC --out DST [--format json|pbin]`:
+/// translates a chunk file between the on-disk formats, streaming record by
+/// record (chunk-bounded memory). The source format is autodetected by
+/// magic bytes; the destination format follows DST's extension unless
+/// `--format` overrides it. Exits non-zero with the located `StreamError`
+/// when the source is malformed.
+fn run_convert(src: &str, dst: &str, format: Option<&str>) {
+    let to = match format {
+        None => None,
+        Some(name) => match ChunkFormat::parse(name) {
+            Some(f) => Some(f),
+            None => {
+                eprintln!("unknown format `{name}`; available: json, pbin");
+                std::process::exit(2);
+            }
+        },
+    };
+    let (result, convert_ms) = time_ms(|| convert_chunk_file(src, dst, to));
+    let summary = match result {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("conversion of {src} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let artifact = ConvertArtifact {
+        src: src.to_string(),
+        dst: dst.to_string(),
+        from: summary.from.name().to_string(),
+        to: summary.to.name().to_string(),
+        records: summary.records,
+        chunks: summary.chunks,
+        events: summary.events,
+        bytes_in: summary.bytes_in,
+        bytes_out: summary.bytes_out,
+        convert_ms,
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("summary serializes");
+    println!("{json}");
+    eprintln!(
+        "converted {src} ({}) -> {dst} ({}): {} records, {} events, {} -> {} bytes",
+        artifact.from,
+        artifact.to,
+        artifact.records,
+        artifact.events,
+        artifact.bytes_in,
+        artifact.bytes_out
     );
 }
 
@@ -1529,13 +1802,15 @@ fn run_inject(spec: &str, out: Option<&str>) {
     let trace = record_app(App::ALL[0], 2, InputSize::SimSmall);
     let dir = std::env::temp_dir().join(format!("perfplay-inject-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create inject scratch dir");
-    let clean_path = dir.join("clean.jsonl");
-    let summary = spill_trace(&trace, &clean_path, 256).expect("spill clean chunk file");
+    let clean_json = dir.join("clean.jsonl");
+    let summary = spill_trace(&trace, &clean_json, 256).expect("spill clean chunk file");
+    let clean_pbin = dir.join("clean.pbin");
+    spill_trace(&trace, &clean_pbin, 256).expect("spill clean binary chunk file");
     eprintln!(
-        "clean workload: {} events in {} chunks -> {}",
+        "clean workload: {} events in {} chunks -> {} (+ binary twin)",
         summary.events,
         summary.chunks,
-        clean_path.display()
+        clean_json.display()
     );
 
     let config = DetectorConfig::default();
@@ -1546,47 +1821,53 @@ fn run_inject(spec: &str, out: Option<&str>) {
     ];
     let mut trials = Vec::new();
     for kind in &kinds {
-        // Byte level: a corrupted file, read back under each policy.
-        let corrupted = dir.join(format!("{}-{seed}.jsonl", kind.name()));
-        let fault = corrupt_chunk_file(&clean_path, &corrupted, *kind, seed)
-            .expect("corruption applies to a valid chunk file");
-        for policy in policies {
+        // Byte level: a corrupted file in each on-disk format, read back
+        // under each policy.
+        for (ext, clean) in [("jsonl", &clean_json), ("pbin", &clean_pbin)] {
+            let corrupted = dir.join(format!("{}-{seed}.{ext}", kind.name()));
+            let fault = corrupt_chunk_file(clean, &corrupted, *kind, seed)
+                .expect("corruption applies to a valid chunk file");
+            for policy in policies {
+                let (outcome, detail) = inject_outcome(|| {
+                    let mut reader = ChunkFileReader::with_policy(&corrupted, policy)?;
+                    let streamed = StreamingDetector::new(config).analyze(&mut reader)?;
+                    Ok(streamed.stats)
+                });
+                trials.push(InjectTrial {
+                    kind: kind.name().to_string(),
+                    layer: format!("file:{ext}"),
+                    policy: format!("{policy:?}"),
+                    fault: fault.clone(),
+                    outcome,
+                    detail,
+                });
+            }
+            // Parallel streaming over the same corrupted artifact: the
+            // sharded engine inherits the no-panic invariant and must end
+            // the trial — report, gap-report or structured error — like the
+            // sequential one.
             let (outcome, detail) = inject_outcome(|| {
-                let mut reader = ChunkFileReader::with_policy(&corrupted, policy)?;
-                let streamed = StreamingDetector::new(config).analyze(&mut reader)?;
+                let mut reader =
+                    ChunkFileReader::with_policy(&corrupted, RecoveryPolicy::SkipChunk)?;
+                let streamed =
+                    ParallelStreamingDetector::with_workers(config, 2).analyze(&mut reader)?;
                 Ok(streamed.stats)
             });
             trials.push(InjectTrial {
                 kind: kind.name().to_string(),
-                layer: "file".to_string(),
-                policy: format!("{policy:?}"),
-                fault: fault.clone(),
+                layer: format!("file-parallel:{ext}"),
+                policy: "SkipChunk".to_string(),
+                fault,
                 outcome,
                 detail,
             });
         }
-        // Parallel streaming over the same corrupted artifact: the sharded
-        // engine inherits the no-panic invariant and must end the trial —
-        // report, gap-report or structured error — like the sequential one.
-        let (outcome, detail) = inject_outcome(|| {
-            let mut reader = ChunkFileReader::with_policy(&corrupted, RecoveryPolicy::SkipChunk)?;
-            let streamed =
-                ParallelStreamingDetector::with_workers(config, 2).analyze(&mut reader)?;
-            Ok(streamed.stats)
-        });
-        trials.push(InjectTrial {
-            kind: kind.name().to_string(),
-            layer: "file-parallel".to_string(),
-            policy: "SkipChunk".to_string(),
-            fault: fault.clone(),
-            outcome,
-            detail,
-        });
-        // In flight: the same fault injected between reader and detector.
+        // In flight: the same fault injected between reader and detector
+        // (format-independent — the injector mutates decoded chunks).
         if kind.stream_applicable() {
             let plan = FaultPlan::seeded(seed, *kind, summary.chunks);
             let (outcome, detail) = inject_outcome(|| {
-                let reader = ChunkFileReader::open(&clean_path)?;
+                let reader = ChunkFileReader::open(&clean_json)?;
                 let mut source = FaultInjector::new(reader, plan);
                 let streamed = StreamingDetector::new(config).analyze(&mut source)?;
                 Ok(streamed.stats)
@@ -1665,12 +1946,13 @@ struct ChunkDirReport {
 }
 
 /// `repro batch --chunk-dir DIR`: the Table 1 sweep over on-disk chunk
-/// files. Every `*.jsonl` in DIR is streamed through the detector under
-/// `SkipChunk` recovery and the per-file aggregate tables fuse into one
-/// ranked report — traces that never existed in memory, with gap totals
-/// reported for any file that needed recovery. An empty (or missing) DIR is
-/// first populated by spilling every application model. Exits non-zero if
-/// any file fails outright.
+/// files. Every `*.jsonl` and `*.pbin` in DIR is streamed through the
+/// detector under `SkipChunk` recovery and the per-file aggregate tables
+/// fuse into one ranked report — traces that never existed in memory, with
+/// gap totals reported for any file that needed recovery. An empty (or
+/// missing) DIR is first populated by spilling every application model,
+/// alternating between the two formats so the sweep always exercises both.
+/// Exits non-zero if any file fails outright.
 fn run_batch_chunk_dir(dir: &str, quick: bool, out: &str) {
     let dir_path = std::path::Path::new(dir);
     std::fs::create_dir_all(dir_path).expect("create chunk dir");
@@ -1678,7 +1960,10 @@ fn run_batch_chunk_dir(dir: &str, quick: bool, out: &str) {
         .expect("read chunk dir")
         .filter_map(Result::ok)
         .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+        .filter(|p| {
+            p.extension()
+                .is_some_and(|ext| ext == "jsonl" || ext == "pbin")
+        })
         .collect();
     paths.sort();
     if paths.is_empty() {
@@ -1688,9 +1973,10 @@ fn run_batch_chunk_dir(dir: &str, quick: bool, out: &str) {
             (4, InputSize::SimMedium)
         };
         eprintln!("{dir} has no chunk files; spilling the app sweep into it...");
-        for app in App::ALL {
-            let trace = record_app(app, threads, input);
-            let path = dir_path.join(format!("{}.jsonl", app.name()));
+        for (i, app) in App::ALL.iter().enumerate() {
+            let trace = record_app(*app, threads, input);
+            let ext = if i % 2 == 0 { "jsonl" } else { "pbin" };
+            let path = dir_path.join(format!("{}.{ext}", app.name()));
             spill_trace(&trace, &path, 4_096).expect("spill app trace");
             paths.push(path);
         }
@@ -1823,13 +2109,17 @@ fn run_lint_file(path: &str, json: bool) {
     std::process::exit(if ok { 0 } else { 1 });
 }
 
-/// `repro lint --chunk-dir DIR`: lints every `*.jsonl` chunk file in DIR.
+/// `repro lint --chunk-dir DIR`: lints every `*.jsonl` and `*.pbin` chunk
+/// file in DIR.
 fn run_lint_dir(dir: &str, json: bool) {
     let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
         Ok(entries) => entries
             .filter_map(Result::ok)
             .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+            .filter(|p| {
+                p.extension()
+                    .is_some_and(|ext| ext == "jsonl" || ext == "pbin")
+            })
             .collect(),
         Err(e) => {
             eprintln!("cannot read chunk dir {dir}: {e}");
@@ -1838,7 +2128,7 @@ fn run_lint_dir(dir: &str, json: bool) {
     };
     paths.sort();
     if paths.is_empty() {
-        eprintln!("no *.jsonl chunk files in {dir}");
+        eprintln!("no *.jsonl or *.pbin chunk files in {dir}");
         std::process::exit(2);
     }
     let mut all_ok = true;
@@ -1851,32 +2141,38 @@ fn run_lint_dir(dir: &str, json: bool) {
 }
 
 /// `repro lint --matrix`: injects every fault kind at fixed seeds — on disk
-/// via [`corrupt_chunk_file`] and in flight via [`FaultInjector`] — and
-/// checks each lint report against the documented fault→code contract
-/// ([`codes_for_fault`]). Exits non-zero on any contract violation.
+/// via [`corrupt_chunk_file`] in both chunk-file formats and in flight via
+/// [`FaultInjector`] — and checks each lint report against the documented
+/// fault→code contract ([`codes_for_fault`]). Exits non-zero on any
+/// contract violation.
 fn run_lint_matrix() {
     const SEEDS: [u64; 3] = [1, 7, 42];
     let trace = record_app(App::ALL[0], 2, InputSize::SimSmall);
     let dir = std::env::temp_dir().join(format!("perfplay-lint-matrix-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create lint matrix scratch dir");
-    let clean_path = dir.join("clean.jsonl");
-    let summary = spill_trace(&trace, &clean_path, 256).expect("spill clean chunk file");
+    let clean_json = dir.join("clean.jsonl");
+    let summary = spill_trace(&trace, &clean_json, 256).expect("spill clean chunk file");
+    let clean_pbin = dir.join("clean.pbin");
+    spill_trace(&trace, &clean_pbin, 256).expect("spill clean binary chunk file");
     let stream_config = LintConfig {
         expected_events: Some(trace.num_events() as u64),
         expected_grants: Some(trace.lock_schedule.len() as u64),
         ..LintConfig::default()
     };
 
-    // The uncorrupted artifact must lint clean in both layers, or the matrix
-    // below proves nothing.
-    let clean_path_str = clean_path.display().to_string();
-    let baseline = lint_chunk_file(&clean_path_str, &LintConfig::default());
-    assert!(
-        baseline.is_clean(),
-        "clean chunk file does not lint clean:\n{}",
-        baseline.render_human()
-    );
-    let mut reader = ChunkFileReader::open(&clean_path_str).expect("open clean chunk file");
+    // The uncorrupted artifacts must lint clean in both layers, or the
+    // matrix below proves nothing.
+    for clean in [&clean_json, &clean_pbin] {
+        let baseline = lint_chunk_file(clean.display().to_string(), &LintConfig::default());
+        assert!(
+            baseline.is_clean(),
+            "clean chunk file {} does not lint clean:\n{}",
+            clean.display(),
+            baseline.render_human()
+        );
+    }
+    let clean_json_str = clean_json.display().to_string();
+    let mut reader = ChunkFileReader::open(&clean_json_str).expect("open clean chunk file");
     let baseline_stream = lint_source(&mut reader, &stream_config);
     assert!(
         baseline_stream.is_clean(),
@@ -1932,20 +2228,22 @@ fn run_lint_matrix() {
     for kind in FaultKind::ALL {
         let expectation = codes_for_fault(kind);
         for seed in SEEDS {
-            let faulty = dir.join(format!("{}-{seed}.jsonl", kind.name()));
-            corrupt_chunk_file(&clean_path, &faulty, kind, seed).expect("corrupt chunk file");
-            let report = lint_chunk_file(faulty.display().to_string(), &LintConfig::default());
-            check(
-                kind,
-                seed,
-                "file",
-                expectation.file_must,
-                expectation.file_may_be_clean,
-                &report,
-            );
+            for (ext, clean) in [("jsonl", &clean_json), ("pbin", &clean_pbin)] {
+                let faulty = dir.join(format!("{}-{seed}.{ext}", kind.name()));
+                corrupt_chunk_file(clean, &faulty, kind, seed).expect("corrupt chunk file");
+                let report = lint_chunk_file(faulty.display().to_string(), &LintConfig::default());
+                check(
+                    kind,
+                    seed,
+                    ext,
+                    expectation.file_must,
+                    expectation.file_may_be_clean,
+                    &report,
+                );
+            }
             if kind.stream_applicable() {
                 let plan = FaultPlan::seeded(seed, kind, summary.chunks);
-                let reader = ChunkFileReader::open(&clean_path_str).expect("open clean file");
+                let reader = ChunkFileReader::open(&clean_json_str).expect("open clean file");
                 let mut source = FaultInjector::new(reader, plan);
                 let report = lint_source(&mut source, &stream_config);
                 check(
@@ -2106,6 +2404,7 @@ fn main() {
     let mut chunk_dir: Option<String> = None;
     let mut json = false;
     let mut matrix = false;
+    let mut format: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -2150,6 +2449,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--format" => match iter.next() {
+                Some(name) => format = Some(name.clone()),
+                None => {
+                    eprintln!("--format requires a format name (json|pbin)");
+                    std::process::exit(2);
+                }
+            },
             "--replay-artifact" => match iter.next() {
                 Some(path) => replay_artifact = Some(path.clone()),
                 None => {
@@ -2171,8 +2477,16 @@ fn main() {
         }
     }
     let linting = command.as_deref() == Some("lint");
-    if chunk_file.is_some() && !stream && !linting {
-        eprintln!("--chunk-file requires --stream (it feeds the streaming detector) or `lint`");
+    let converting = command.as_deref() == Some("convert");
+    if chunk_file.is_some() && !stream && !linting && !converting {
+        eprintln!(
+            "--chunk-file requires --stream (it feeds the streaming detector), \
+             `lint` or `convert`"
+        );
+        std::process::exit(2);
+    }
+    if format.is_some() && !converting {
+        eprintln!("--format only applies to `repro convert`");
         std::process::exit(2);
     }
     if (json || matrix) && !linting {
@@ -2251,9 +2565,23 @@ fn main() {
             ),
             None => run_batch(quick, out.as_deref().unwrap_or("BENCH_batch.json")),
         },
+        Some("ingest") => {
+            run_ingest(quick, out.as_deref().unwrap_or("BENCH_ingest.json"));
+        }
+        Some("convert") => match (chunk_file, out) {
+            (Some(src), Some(dst)) => run_convert(&src, &dst, format.as_deref()),
+            _ => {
+                eprintln!(
+                    "`repro convert` requires --chunk-file SRC and --out DST \
+                     (add --format json|pbin to override the DST extension)"
+                );
+                std::process::exit(2);
+            }
+        },
         Some(other) => {
             eprintln!(
-                "unknown command `{other}`; available: detect, replay, pipeline, batch, lint"
+                "unknown command `{other}`; available: detect, replay, pipeline, batch, \
+                 lint, ingest, convert"
             );
             std::process::exit(2);
         }

@@ -61,7 +61,8 @@ pub mod prelude {
     };
     pub use perfplay_program::{Program, ProgramBuilder};
     pub use perfplay_record::{
-        spill_trace, ChunkedWriter, Recorder, RecordingMode, WallClockRecorder,
+        convert_chunk_file, spill_trace, spill_trace_with_format, ChunkedWriter, ConvertSummary,
+        Recorder, RecordingMode, WallClockRecorder,
     };
     pub use perfplay_replay::{
         measure_fidelity, FidelityReport, ReplayConfig, ReplayResult, ReplaySchedule, Replayer,
@@ -76,8 +77,8 @@ pub mod prelude {
     };
     pub use perfplay_sim::{ExecutionResult, Executor, SimConfig};
     pub use perfplay_trace::{
-        ChunkFileReader, EventSource, RecoveryPolicy, StreamError, StreamGap, StreamItem,
-        TraceChunk, TraceChunks,
+        ChunkFileReader, ChunkFormat, EventSource, RecoveryPolicy, StreamError, StreamGap,
+        StreamItem, TraceChunk, TraceChunks,
     };
     pub use perfplay_trace::{Time, Trace, TraceStats};
     pub use perfplay_transform::{TransformConfig, TransformedTrace, Transformer};

@@ -19,7 +19,8 @@
 use std::path::Path;
 
 use perfplay_trace::{
-    ChunkFileRecord, EventSource, StreamError, StreamItem, Time, TraceChunk, TraceMeta,
+    ChunkFileRecord, ChunkFormat, EventSource, RawChunkRecords, StreamError, StreamItem, Time,
+    TraceChunk, TraceMeta,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -294,17 +295,19 @@ fn regress_timestamp(chunk: &mut TraceChunk, rng: &mut ChaCha8Rng) {
 /// Rewrites `src` into `dst` with one deterministic byte- or record-level
 /// corruption applied, returning a description of what was done.
 ///
-/// Supports every [`FaultKind`]; the chunk-shaped kinds are applied by
-/// parsing one record, mutating it exactly as [`FaultInjector`] would, and
-/// re-serializing. The output file is what a buggy or crashed writer could
-/// plausibly have produced — feed it to a
+/// Format-agnostic: the source's [`ChunkFormat`] is autodetected and the
+/// corrupted file stays in the same format, so both JSON-lines and PBIN
+/// recovery paths are exercised by the same call. Supports every
+/// [`FaultKind`]; the chunk-shaped kinds are applied by parsing one record,
+/// mutating it exactly as [`FaultInjector`] would, and re-encoding it. The
+/// output file is what a buggy or crashed writer could plausibly have
+/// produced — feed it to a
 /// [`ChunkFileReader`](perfplay_trace::ChunkFileReader) under each
 /// [`RecoveryPolicy`](perfplay_trace::RecoveryPolicy) to exercise recovery.
 ///
 /// # Errors
 ///
-/// I/O failures, and `InvalidData` if `src` is not a valid chunk file where
-/// the fault needs to parse a record.
+/// I/O failures, and `InvalidData` if `src` is not a valid chunk file.
 pub fn corrupt_chunk_file(
     src: impl AsRef<Path>,
     dst: impl AsRef<Path>,
@@ -312,131 +315,147 @@ pub fn corrupt_chunk_file(
     seed: u64,
 ) -> std::io::Result<String> {
     use std::io::{Error, ErrorKind};
+    let invalid = |msg: String| Error::new(ErrorKind::InvalidData, msg);
 
     let bytes = std::fs::read(&src)?;
-    let mut lines: Vec<Vec<u8>> = bytes.split(|&b| b == b'\n').map(<[u8]>::to_vec).collect();
-    if lines.last().is_some_and(Vec::is_empty) {
-        lines.pop(); // trailing newline
+    // Segment the file into per-record byte extents (for JSON a line plus
+    // its newline; for PBIN a frame, the prelude folded into the first).
+    let scanner =
+        RawChunkRecords::open(&src).map_err(|e| invalid(format!("unreadable chunk file: {e}")))?;
+    let format = scanner.format();
+    let mut records: Vec<(std::ops::Range<usize>, ChunkFileRecord)> = Vec::new();
+    for raw in scanner {
+        let record = raw
+            .record
+            .map_err(|e| invalid(format!("source record {} is not clean: {e}", raw.line)))?;
+        let start = raw.offset as usize;
+        let end = (start + raw.bytes as usize).min(bytes.len());
+        records.push((start..end, record));
     }
-    if lines.len() < 3 {
-        return Err(Error::new(
-            ErrorKind::InvalidData,
-            "chunk file needs header + chunk(s) + trailer",
+    if records.len() < 3 {
+        return Err(invalid(
+            "chunk file needs header + chunk(s) + trailer".into(),
         ));
     }
+    // Working copy: the raw bytes of each record, in order.
+    let mut segments: Vec<Vec<u8>> = records
+        .iter()
+        .map(|(range, _)| bytes[range.clone()].to_vec())
+        .collect();
+
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    // Record lines that are fair game: everything between header and trailer.
-    let chunk_range = 1..lines.len() - 1;
+    // Records that are fair game: everything between header and trailer.
+    let chunk_range = 1..records.len() - 1;
     let pick = |rng: &mut ChaCha8Rng| rng.gen_range(chunk_range.start..chunk_range.end);
 
-    let parse_chunk = |line: &[u8]| -> std::io::Result<TraceChunk> {
-        let text = std::str::from_utf8(line)
-            .map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?;
-        match serde_json::from_str::<ChunkFileRecord>(text) {
-            Ok(ChunkFileRecord::Chunk(chunk)) => Ok(chunk),
-            Ok(_) => Err(Error::new(ErrorKind::InvalidData, "not a chunk record")),
-            Err(e) => Err(Error::new(ErrorKind::InvalidData, e.0)),
+    let reencode = |record: &ChunkFileRecord| -> std::io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        format
+            .encode_record(record, &mut out)
+            .map_err(|e| invalid(e.to_string()))?;
+        Ok(out)
+    };
+    let as_chunk = |record: &ChunkFileRecord| -> std::io::Result<TraceChunk> {
+        match record {
+            ChunkFileRecord::Chunk(chunk) => Ok(chunk.clone()),
+            _ => Err(invalid("not a chunk record".into())),
         }
     };
-    let serialize = |record: &ChunkFileRecord| -> std::io::Result<Vec<u8>> {
-        serde_json::to_string(record)
-            .map(String::into_bytes)
-            .map_err(|e| Error::new(ErrorKind::InvalidData, e.0))
-    };
 
-    let mut truncate_after: Option<usize> = None; // drop lines past this index
+    let mut truncate_after: Option<usize> = None; // drop records past this index
     let description = match kind {
         FaultKind::DropChunk => {
             let i = pick(&mut rng);
-            lines.remove(i);
-            format!("dropped record line {}", i + 1)
+            segments.remove(i);
+            format!("dropped record {}", i + 1)
         }
         FaultKind::DuplicateChunk => {
             let i = pick(&mut rng);
-            let copy = lines[i].clone();
-            lines.insert(i + 1, copy);
-            format!("duplicated record line {}", i + 1)
+            let copy = segments[i].clone();
+            segments.insert(i + 1, copy);
+            format!("duplicated record {}", i + 1)
         }
         FaultKind::DuplicateEvent => {
             let i = pick(&mut rng);
-            let mut chunk = parse_chunk(&lines[i])?;
+            let mut chunk = as_chunk(&records[i].1)?;
             duplicate_event(&mut chunk, &mut rng);
-            lines[i] = serialize(&ChunkFileRecord::Chunk(chunk))?;
-            format!("duplicated one event in record line {}", i + 1)
+            segments[i] = reencode(&ChunkFileRecord::Chunk(chunk))?;
+            format!("duplicated one event in record {}", i + 1)
         }
         FaultKind::ReorderEvents => {
             let i = pick(&mut rng);
-            let mut chunk = parse_chunk(&lines[i])?;
+            let mut chunk = as_chunk(&records[i].1)?;
             reorder_events(&mut chunk, &mut rng);
-            lines[i] = serialize(&ChunkFileRecord::Chunk(chunk))?;
-            format!("swapped adjacent events in record line {}", i + 1)
+            segments[i] = reencode(&ChunkFileRecord::Chunk(chunk))?;
+            format!("swapped adjacent events in record {}", i + 1)
         }
         FaultKind::TimestampRegression => {
             let i = pick(&mut rng);
-            let mut chunk = parse_chunk(&lines[i])?;
+            let mut chunk = as_chunk(&records[i].1)?;
             regress_timestamp(&mut chunk, &mut rng);
-            lines[i] = serialize(&ChunkFileRecord::Chunk(chunk))?;
-            format!("regressed one timestamp in record line {}", i + 1)
+            segments[i] = reencode(&ChunkFileRecord::Chunk(chunk))?;
+            format!("regressed one timestamp in record {}", i + 1)
         }
         FaultKind::TruncateAtBoundary => {
             let i = pick(&mut rng);
             truncate_after = Some(i);
-            format!("truncated file after record line {}", i + 1)
+            format!("truncated file after record {}", i)
         }
         FaultKind::TruncateMidRecord => {
             let i = pick(&mut rng);
-            let keep = if lines[i].is_empty() {
-                0
-            } else {
-                rng.gen_range(0..lines[i].len())
+            // Cut strictly inside the record's encoding (for JSON, short of
+            // the newline too) so the remnant can never parse as a complete
+            // record — this fault is "the writer died mid-write", not a
+            // boundary truncation.
+            let payload = match format {
+                ChunkFormat::Json => segments[i].len().saturating_sub(1),
+                ChunkFormat::Pbin => segments[i].len(),
             };
-            lines[i].truncate(keep);
+            let keep = if payload > 1 {
+                rng.gen_range(1..payload)
+            } else {
+                0
+            };
+            segments[i].truncate(keep);
             truncate_after = Some(i + 1);
-            format!("cut record line {} at byte {keep}", i + 1)
+            format!("cut record {} at byte {keep}", i + 1)
         }
         FaultKind::BitFlip => {
             let i = pick(&mut rng);
-            let pos = rng.gen_range(0..lines[i].len().max(1));
+            // For JSON, spare the trailing newline: flipping it would merge
+            // two records, which is a different fault shape.
+            let span = match format {
+                ChunkFormat::Json => segments[i].len().saturating_sub(1),
+                ChunkFormat::Pbin => segments[i].len(),
+            };
+            let pos = rng.gen_range(0..span.max(1));
             let bit = rng.gen_range(0u32..8);
-            if let Some(byte) = lines[i].get_mut(pos) {
+            if let Some(byte) = segments[i].get_mut(pos) {
                 *byte ^= 1 << bit;
-                // A flip into a newline would split the record in two; nudge
-                // it so the fault stays "one corrupt line".
-                if *byte == b'\n' {
+                // A flip into a newline would split a JSON record in two;
+                // nudge it so the fault stays "one corrupt record".
+                if matches!(format, ChunkFormat::Json) && *byte == b'\n' {
                     *byte ^= 1;
                 }
             }
-            format!("flipped bit {bit} of byte {pos} in record line {}", i + 1)
+            format!("flipped bit {bit} of byte {pos} in record {}", i + 1)
         }
         FaultKind::TrailerMismatch => {
-            let last = lines.len() - 1;
-            let text = std::str::from_utf8(&lines[last])
-                .map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?;
-            let record = serde_json::from_str::<ChunkFileRecord>(text)
-                .map_err(|e| Error::new(ErrorKind::InvalidData, e.0))?;
-            let ChunkFileRecord::Trailer(mut trailer) = record else {
-                return Err(Error::new(
-                    ErrorKind::InvalidData,
-                    "last line is not a trailer",
-                ));
+            let last = records.len() - 1;
+            let ChunkFileRecord::Trailer(mut trailer) = records[last].1.clone() else {
+                return Err(invalid("last record is not a trailer".into()));
             };
             let extra = rng.gen_range(1u64..=100);
             trailer.events = trailer.events.wrapping_add(extra);
-            lines[last] = serialize(&ChunkFileRecord::Trailer(trailer))?;
+            segments[last] = reencode(&ChunkFileRecord::Trailer(trailer))?;
             format!("inflated trailer event count by {extra}")
         }
     };
 
-    let kept = truncate_after.unwrap_or(lines.len());
+    let kept = truncate_after.unwrap_or(segments.len()).max(1);
     let mut out = Vec::new();
-    for (i, line) in lines.iter().take(kept.max(1)).enumerate() {
-        out.extend_from_slice(line);
-        // A mid-record cut leaves no trailing newline, exactly like a killed
-        // writer.
-        let cut_here = matches!(kind, FaultKind::TruncateMidRecord) && i + 1 == kept;
-        if !cut_here {
-            out.push(b'\n');
-        }
+    for segment in segments.iter().take(kept) {
+        out.extend_from_slice(segment);
     }
     std::fs::write(&dst, out)?;
     Ok(description)

@@ -3,25 +3,30 @@
 //!
 //! [`ChunkedWriter`] is the producing half of the streaming ingestion path:
 //! it accepts events thread by thread (in per-thread program order, the only
-//! order a recorder naturally has) and emits [`TraceChunk`]s to a JSON-lines
-//! file as soon as a time window is *complete* — i.e. once every still-active
-//! thread has progressed past the window, so no earlier event can arrive. The
-//! resulting file honours the chunk contract documented in
-//! `perfplay_trace::stream` and is consumed by
-//! [`ChunkFileReader`](perfplay_trace::ChunkFileReader) or reassembled with
+//! order a recorder naturally has) and emits [`TraceChunk`]s to a chunk file
+//! — JSON-lines or binary PBIN, selected per [`ChunkFormat`] — as soon as a
+//! time window is *complete*, i.e. once every still-active thread has
+//! progressed past the window, so no earlier event can arrive. The resulting
+//! file honours the chunk contract documented in `perfplay_trace::stream`
+//! and is consumed by [`ChunkFileReader`](perfplay_trace::ChunkFileReader)
+//! or reassembled with
 //! [`read_chunked_trace`](perfplay_trace::read_chunked_trace).
 //!
 //! The writer's resident state is the set of events of the currently
 //! incomplete window — bounded as long as threads make roughly comparable
 //! time progress, independent of total trace length.
+//!
+//! [`convert_chunk_file`] translates an existing chunk file between the two
+//! formats record by record, holding only one record in memory.
 
 use std::collections::VecDeque;
 use std::io::Write;
 use std::path::Path;
 
 use perfplay_trace::{
-    ChunkFileHeader, ChunkFileRecord, ChunkFileTrailer, Event, LockGrant, SiteTable, ThreadId,
-    ThreadSpan, Time, TimedEvent, Trace, TraceChunk, TraceMeta,
+    ChunkFileHeader, ChunkFileRecord, ChunkFileTrailer, ChunkFormat, Event, LockGrant,
+    RawChunkRecords, SiteTable, StreamError, ThreadId, ThreadSpan, Time, TimedEvent, Trace,
+    TraceChunk, TraceMeta,
 };
 
 /// Summary of one finished chunked spill.
@@ -55,6 +60,9 @@ struct ThreadBuffer {
 #[derive(Debug)]
 pub struct ChunkedWriter<W: Write> {
     out: W,
+    format: ChunkFormat,
+    /// Reused encode buffer: one record's bytes, whichever the format.
+    scratch: Vec<u8>,
     chunk_events: usize,
     threads: Vec<ThreadBuffer>,
     grants: VecDeque<LockGrant>,
@@ -66,7 +74,9 @@ pub struct ChunkedWriter<W: Write> {
 }
 
 impl ChunkedWriter<std::io::BufWriter<std::fs::File>> {
-    /// Creates a chunked trace file at `path` and writes its header.
+    /// Creates a chunked trace file at `path` and writes its header. The
+    /// format is picked by the path's extension (`.pbin` → binary, anything
+    /// else → JSON-lines).
     ///
     /// # Errors
     ///
@@ -78,19 +88,40 @@ impl ChunkedWriter<std::io::BufWriter<std::fs::File>> {
         sites: SiteTable,
         chunk_events: usize,
     ) -> std::io::Result<Self> {
+        let format = ChunkFormat::for_path(&path);
+        Self::create_with_format(path, meta, num_threads, sites, chunk_events, format)
+    }
+
+    /// Creates a chunked trace file at `path` in an explicit [`ChunkFormat`]
+    /// and writes its header.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be created or the header cannot be written.
+    pub fn create_with_format(
+        path: impl AsRef<Path>,
+        meta: TraceMeta,
+        num_threads: usize,
+        sites: SiteTable,
+        chunk_events: usize,
+        format: ChunkFormat,
+    ) -> std::io::Result<Self> {
         let file = std::fs::File::create(path)?;
-        ChunkedWriter::new(
+        ChunkedWriter::with_format(
             std::io::BufWriter::new(file),
             meta,
             num_threads,
             sites,
             chunk_events,
+            format,
         )
     }
 }
 
 impl<W: Write> ChunkedWriter<W> {
-    /// Wraps an arbitrary writer, emitting the header record immediately.
+    /// Wraps an arbitrary writer, emitting the header record immediately in
+    /// JSON-lines (the historical default for raw writers; use
+    /// [`with_format`](Self::with_format) to pick).
     ///
     /// # Errors
     ///
@@ -102,8 +133,34 @@ impl<W: Write> ChunkedWriter<W> {
         sites: SiteTable,
         chunk_events: usize,
     ) -> std::io::Result<Self> {
+        Self::with_format(
+            out,
+            meta,
+            num_threads,
+            sites,
+            chunk_events,
+            ChunkFormat::Json,
+        )
+    }
+
+    /// Wraps an arbitrary writer with an explicit [`ChunkFormat`], emitting
+    /// the file prelude (binary only) and header record immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn with_format(
+        out: W,
+        meta: TraceMeta,
+        num_threads: usize,
+        sites: SiteTable,
+        chunk_events: usize,
+        format: ChunkFormat,
+    ) -> std::io::Result<Self> {
         let mut writer = ChunkedWriter {
             out,
+            format,
+            scratch: Vec::new(),
             chunk_events: chunk_events.max(1),
             threads: (0..num_threads).map(|_| ThreadBuffer::default()).collect(),
             grants: VecDeque::new(),
@@ -113,6 +170,11 @@ impl<W: Write> ChunkedWriter<W> {
             bytes_written: 0,
             last_window_end: None,
         };
+        let prelude = format.prelude();
+        if !prelude.is_empty() {
+            writer.bytes_written += prelude.len() as u64;
+            writer.out.write_all(&prelude)?;
+        }
         writer.write_record(&ChunkFileRecord::Header(ChunkFileHeader {
             meta,
             num_threads,
@@ -121,12 +183,18 @@ impl<W: Write> ChunkedWriter<W> {
         Ok(writer)
     }
 
+    /// The on-disk format being written.
+    pub fn format(&self) -> ChunkFormat {
+        self.format
+    }
+
     fn write_record(&mut self, record: &ChunkFileRecord) -> std::io::Result<()> {
-        let json = serde_json::to_string(record)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?;
-        self.bytes_written += json.len() as u64 + 1;
-        self.out.write_all(json.as_bytes())?;
-        self.out.write_all(b"\n")
+        self.scratch.clear();
+        self.format
+            .encode_record(record, &mut self.scratch)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.bytes_written += self.scratch.len() as u64;
+        self.out.write_all(&self.scratch)
     }
 
     /// Appends one event of a thread. Timestamps must be non-decreasing per
@@ -284,7 +352,8 @@ impl<W: Write> ChunkedWriter<W> {
 
 /// Spills a complete in-memory trace to `path` as a chunked trace file,
 /// streaming it through the windowing logic (events interleaved across
-/// threads in time order, so windows flush as they complete).
+/// threads in time order, so windows flush as they complete). The format is
+/// picked by the path's extension.
 ///
 /// # Errors
 ///
@@ -294,12 +363,29 @@ pub fn spill_trace(
     path: impl AsRef<Path>,
     chunk_events: usize,
 ) -> std::io::Result<ChunkedWriteSummary> {
-    let mut writer = ChunkedWriter::create(
+    let format = ChunkFormat::for_path(&path);
+    spill_trace_with_format(trace, path, chunk_events, format)
+}
+
+/// [`spill_trace`] with an explicit [`ChunkFormat`] instead of the
+/// extension-based pick.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn spill_trace_with_format(
+    trace: &Trace,
+    path: impl AsRef<Path>,
+    chunk_events: usize,
+    format: ChunkFormat,
+) -> std::io::Result<ChunkedWriteSummary> {
+    let mut writer = ChunkedWriter::create_with_format(
         path,
         trace.meta.clone(),
         trace.num_threads(),
         trace.sites.clone(),
         chunk_events,
+        format,
     )?;
     // Threads with no events would otherwise block window completion
     // forever (their next timestamp is unknowable), degrading the writer to
@@ -345,6 +431,84 @@ pub fn spill_trace(
         trace.total_time,
         trace.threads.iter().map(|t| t.finish_time).collect(),
     )
+}
+
+/// Summary of one chunk-file format conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvertSummary {
+    /// Source format (autodetected by magic bytes).
+    pub from: ChunkFormat,
+    /// Destination format.
+    pub to: ChunkFormat,
+    /// Records translated (header + chunks + trailer).
+    pub records: u64,
+    /// Chunk records among them.
+    pub chunks: u64,
+    /// Events carried by the translated chunks.
+    pub events: u64,
+    /// Bytes read from the source file.
+    pub bytes_in: u64,
+    /// Bytes written to the destination file.
+    pub bytes_out: u64,
+}
+
+/// Translates a chunk file between formats, record by record: only one
+/// record is resident at a time, so the conversion is chunk-bounded no
+/// matter how large the file. The source format is autodetected by magic
+/// bytes; `to` picks the destination format (`None` → by `dst`'s
+/// extension). Records pass through verbatim — a converted file carries the
+/// identical record stream.
+///
+/// # Errors
+///
+/// Fails on the first unreadable or unparseable source record (conversion
+/// must not silently drop data; recover a corrupt file through
+/// [`ChunkFileReader`](perfplay_trace::ChunkFileReader) first) and on any
+/// write failure.
+pub fn convert_chunk_file(
+    src: impl AsRef<Path>,
+    dst: impl AsRef<Path>,
+    to: Option<ChunkFormat>,
+) -> Result<ConvertSummary, StreamError> {
+    let src_path = src.as_ref().display().to_string();
+    let records = RawChunkRecords::open(&src)?;
+    let from = records.format();
+    let to = to.unwrap_or_else(|| ChunkFormat::for_path(&dst));
+    let file = std::fs::File::create(&dst).map_err(StreamError::from)?;
+    let mut out = std::io::BufWriter::new(file);
+    let mut summary = ConvertSummary {
+        from,
+        to,
+        records: 0,
+        chunks: 0,
+        events: 0,
+        bytes_in: 0,
+        bytes_out: 0,
+    };
+    let prelude = to.prelude();
+    out.write_all(&prelude).map_err(StreamError::from)?;
+    summary.bytes_out += prelude.len() as u64;
+    let mut scratch = Vec::new();
+    for raw in records {
+        let record = raw.record.map_err(|e| StreamError::At {
+            path: src_path.clone(),
+            line: raw.line,
+            offset: raw.offset,
+            source: Box::new(e),
+        })?;
+        if let ChunkFileRecord::Chunk(chunk) = &record {
+            summary.chunks += 1;
+            summary.events += chunk.num_events() as u64;
+        }
+        summary.records += 1;
+        summary.bytes_in += raw.bytes;
+        scratch.clear();
+        to.encode_record(&record, &mut scratch)?;
+        out.write_all(&scratch).map_err(StreamError::from)?;
+        summary.bytes_out += scratch.len() as u64;
+    }
+    out.flush().map_err(StreamError::from)?;
+    Ok(summary)
 }
 
 #[cfg(test)]
@@ -478,6 +642,125 @@ mod tests {
         );
         let back = read_chunked_trace(&path).unwrap();
         assert_eq!(back, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pbin_spill_and_reassemble_roundtrips_the_trace() {
+        let trace = demo_trace();
+        let path = temp_path("pbin-roundtrip").with_extension("pbin");
+        for chunk_events in [1, 7, 64, 100_000] {
+            let summary =
+                spill_trace_with_format(&trace, &path, chunk_events, ChunkFormat::Pbin).unwrap();
+            assert_eq!(summary.events as usize, trace.num_events());
+            assert_eq!(
+                summary.bytes,
+                std::fs::metadata(&path).unwrap().len(),
+                "summary bytes must equal the file size"
+            );
+            let reader = ChunkFileReader::open(&path).unwrap();
+            assert_eq!(reader.format(), ChunkFormat::Pbin);
+            let back = read_chunked_trace(&path).unwrap();
+            assert_eq!(back, trace);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn extension_picks_the_format_and_magic_detection_overrides_it() {
+        let trace = demo_trace();
+        // A `.pbin` extension selects the binary writer...
+        let pbin_path = temp_path("ext").with_extension("pbin");
+        spill_trace(&trace, &pbin_path, 32).unwrap();
+        let head = std::fs::read(&pbin_path).unwrap();
+        assert_eq!(&head[0..4], b"PBIN");
+        // ...and a binary file with a misleading extension is still read
+        // correctly, because readers detect by magic, not name.
+        let disguised = temp_path("disguised").with_extension("jsonl");
+        std::fs::copy(&pbin_path, &disguised).unwrap();
+        let back = read_chunked_trace(&disguised).unwrap();
+        assert_eq!(back, trace);
+        std::fs::remove_file(&pbin_path).ok();
+        std::fs::remove_file(&disguised).ok();
+    }
+
+    #[test]
+    fn converted_files_carry_the_identical_record_stream() {
+        let trace = demo_trace();
+        let json_path = temp_path("convert-src").with_extension("jsonl");
+        spill_trace(&trace, &json_path, 16).unwrap();
+        let golden: Vec<ChunkFileRecord> = RawChunkRecords::open(&json_path)
+            .unwrap()
+            .map(|r| r.record.unwrap())
+            .collect();
+
+        // json -> pbin -> json: every hop preserves the record stream.
+        let pbin_path = temp_path("convert-mid").with_extension("pbin");
+        let s1 = convert_chunk_file(&json_path, &pbin_path, None).unwrap();
+        assert_eq!((s1.from, s1.to), (ChunkFormat::Json, ChunkFormat::Pbin));
+        assert_eq!(s1.events as usize, trace.num_events());
+        assert_eq!(s1.bytes_out, std::fs::metadata(&pbin_path).unwrap().len());
+        let mid: Vec<ChunkFileRecord> = RawChunkRecords::open(&pbin_path)
+            .unwrap()
+            .map(|r| r.record.unwrap())
+            .collect();
+        assert_eq!(mid, golden);
+
+        let back_path = temp_path("convert-back").with_extension("jsonl");
+        let s2 = convert_chunk_file(&pbin_path, &back_path, None).unwrap();
+        assert_eq!((s2.from, s2.to), (ChunkFormat::Pbin, ChunkFormat::Json));
+        let back: Vec<ChunkFileRecord> = RawChunkRecords::open(&back_path)
+            .unwrap()
+            .map(|r| r.record.unwrap())
+            .collect();
+        assert_eq!(back, golden);
+        assert_eq!(read_chunked_trace(&back_path).unwrap(), trace);
+
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&pbin_path).ok();
+        std::fs::remove_file(&back_path).ok();
+    }
+
+    #[test]
+    fn convert_fails_on_corrupt_source_with_located_error() {
+        let trace = demo_trace();
+        let path = temp_path("convert-corrupt").with_extension("jsonl");
+        spill_trace(&trace, &path, 16).unwrap();
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        let mid = content.len() / 2;
+        content.replace_range(mid..mid + 1, "\u{1}");
+        std::fs::write(&path, content).unwrap();
+        let out = temp_path("convert-corrupt-out").with_extension("pbin");
+        let err = convert_chunk_file(&path, &out, None).unwrap_err();
+        assert!(
+            matches!(err, StreamError::At { .. }),
+            "conversion error must carry file coordinates, got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn pbin_reader_rejects_truncated_files() {
+        let trace = demo_trace();
+        let path = temp_path("pbin-truncated").with_extension("pbin");
+        spill_trace(&trace, &path, 16).unwrap();
+        let content = std::fs::read(&path).unwrap();
+        // Drop the final frame (the trailer) entirely.
+        let marker = [0xF7u8, 0x50, 0x42, 0xF7];
+        let last_frame = (0..content.len() - 3)
+            .rev()
+            .find(|&i| content[i..i + 4] == marker)
+            .unwrap();
+        std::fs::write(&path, &content[..last_frame]).unwrap();
+        let mut reader = ChunkFileReader::open(&path).unwrap();
+        let result = loop {
+            match reader.next_chunk() {
+                Ok(Some(_)) => continue,
+                other => break other,
+            }
+        };
+        assert!(result.is_err(), "truncated pbin file must not end cleanly");
         std::fs::remove_file(&path).ok();
     }
 

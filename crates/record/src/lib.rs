@@ -25,7 +25,10 @@ mod chunked;
 mod recorder;
 mod wallclock;
 
-pub use chunked::{spill_trace, ChunkedWriteSummary, ChunkedWriter};
+pub use chunked::{
+    convert_chunk_file, spill_trace, spill_trace_with_format, ChunkedWriteSummary, ChunkedWriter,
+    ConvertSummary,
+};
 pub use recorder::{
     checkpoints, selective_compress, CheckpointLocation, RecordedExecution, Recorder, RecordingMode,
 };

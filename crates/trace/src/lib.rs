@@ -47,6 +47,7 @@
 mod event;
 mod footprint;
 mod ids;
+pub mod pbin;
 mod section;
 mod site;
 mod stats;
@@ -57,6 +58,7 @@ mod trace;
 pub use event::{Event, LockGrant, TimedEvent, WriteOp};
 pub use footprint::Footprint;
 pub use ids::{AuxLockId, BarrierId, CodeSiteId, CondId, LockId, ObjectId, SectionId, ThreadId};
+pub use pbin::ChunkFormat;
 pub use section::{extract_critical_sections, sections_by_lock, CriticalSection, MemAccess};
 pub use site::{CodeRegion, CodeSite, SiteTable};
 pub use stats::TraceStats;

@@ -26,9 +26,16 @@
 //! Two sources are provided: [`TraceChunks`], which adapts an in-memory
 //! [`Trace`] (the executable spec and the bridge for already-recorded
 //! traces), and [`ChunkFileReader`], which streams a chunked trace file
-//! (JSON-lines; one [`ChunkFileRecord`] per line) written by
-//! `perfplay-record`'s `ChunkedWriter`, so detection never needs the full
-//! log in memory at all.
+//! written by `perfplay-record`'s `ChunkedWriter`, so detection never needs
+//! the full log in memory at all.
+//!
+//! Chunk files come in two on-disk formats carrying the identical record
+//! stream — JSON-lines (one [`ChunkFileRecord`] per line) and the compact
+//! PBIN binary framing (see [`crate::pbin`]) — discriminated by
+//! [`ChunkFormat`]. Readers autodetect by magic bytes and accept an explicit
+//! override; all location reporting is format-agnostic: `line` is the
+//! 1-based record ordinal (the line number for JSON) and `offset` the byte
+//! offset of the record's start.
 
 use std::io::{BufRead, BufReader};
 use std::path::Path;
@@ -37,6 +44,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::event::{LockGrant, TimedEvent};
 use crate::ids::ThreadId;
+use crate::pbin::{ChunkFormat, PbinScanner};
 use crate::site::SiteTable;
 use crate::time::Time;
 use crate::trace::{Trace, TraceError, TraceMeta};
@@ -393,27 +401,29 @@ pub enum ChunkFileRecord {
     Trailer(ChunkFileTrailer),
 }
 
-/// Streaming reader of a chunked trace file (JSON-lines, one
-/// [`ChunkFileRecord`] per line).
+/// Streaming reader of a chunked trace file, in either [`ChunkFormat`].
 ///
-/// Only one line is resident at a time; the file can be arbitrarily larger
-/// than memory.
+/// Only one record is resident at a time; the file can be arbitrarily
+/// larger than memory. Binary records are decoded from a reused frame
+/// buffer with no intermediate `String`/JSON value allocations.
 ///
 /// Every error the reader produces is wrapped in [`StreamError::At`] with
-/// the file path, line number and byte offset, so multi-stream logs are
-/// attributable. Under a non-[`Fail`](RecoveryPolicy::Fail) policy the
-/// reader converts failures into [`StreamGap`]s instead: it validates each
-/// chunk against the chunk contract before delivering it, skips bad records,
-/// resynchronizes on the next line boundary, and reconciles the total event
-/// loss against the trailer when one is present.
+/// the file path, record ordinal (`line`) and byte offset, so multi-stream
+/// logs are attributable. Under a non-[`Fail`](RecoveryPolicy::Fail) policy
+/// the reader converts failures into [`StreamGap`]s instead: it validates
+/// each chunk against the chunk contract before delivering it, skips bad
+/// records, resynchronizes on the next record boundary (the next line, or
+/// the next binary frame marker), and reconciles the total event loss
+/// against the trailer when one is present.
 pub struct ChunkFileReader {
-    lines: std::io::Lines<BufReader<std::fs::File>>,
+    scanner: RecordScanner,
+    format: ChunkFormat,
     path: String,
     policy: RecoveryPolicy,
     header: ChunkFileHeader,
     trailer: Option<ChunkFileTrailer>,
     line_no: usize,
-    /// Byte offset of the start of the next unread line.
+    /// Byte offset of the start of the next unread record.
     offset: u64,
     chunks_seen: u64,
     events_seen: u64,
@@ -431,6 +441,7 @@ impl std::fmt::Debug for ChunkFileReader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChunkFileReader")
             .field("path", &self.path)
+            .field("format", &self.format)
             .field("policy", &self.policy)
             .field("header", &self.header)
             .field("chunks_seen", &self.chunks_seen)
@@ -441,18 +452,33 @@ impl std::fmt::Debug for ChunkFileReader {
 }
 
 impl ChunkFileReader {
-    /// Opens a chunked trace file and reads its header, failing on the first
-    /// malformed record ([`RecoveryPolicy::Fail`]).
+    /// Opens a chunked trace file (format autodetected by magic bytes) and
+    /// reads its header, failing on the first malformed record
+    /// ([`RecoveryPolicy::Fail`]).
     ///
     /// # Errors
     ///
-    /// Fails if the file cannot be opened, the first line does not parse, or
-    /// it is not a [`ChunkFileRecord::Header`].
+    /// Fails if the file cannot be opened, the first record does not parse,
+    /// or it is not a [`ChunkFileRecord::Header`].
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StreamError> {
         Self::with_policy(path, RecoveryPolicy::Fail)
     }
 
-    /// Opens a chunked trace file with an explicit [`RecoveryPolicy`].
+    /// Opens a chunked trace file with an explicit format instead of
+    /// autodetection, under [`RecoveryPolicy::Fail`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`open`](Self::open).
+    pub fn open_with_format(
+        path: impl AsRef<Path>,
+        format: ChunkFormat,
+    ) -> Result<Self, StreamError> {
+        Self::with_policy_and_format(path, RecoveryPolicy::Fail, Some(format))
+    }
+
+    /// Opens a chunked trace file with an explicit [`RecoveryPolicy`]
+    /// (format autodetected).
     ///
     /// The header must be readable under every policy — without it the
     /// stream has no thread count or site table and nothing downstream can
@@ -465,6 +491,20 @@ impl ChunkFileReader {
         path: impl AsRef<Path>,
         policy: RecoveryPolicy,
     ) -> Result<Self, StreamError> {
+        Self::with_policy_and_format(path, policy, None)
+    }
+
+    /// Opens a chunked trace file with an explicit [`RecoveryPolicy`] and an
+    /// optional format override (`None` autodetects by magic bytes).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`open`](Self::open).
+    pub fn with_policy_and_format(
+        path: impl AsRef<Path>,
+        policy: RecoveryPolicy,
+        format: Option<ChunkFormat>,
+    ) -> Result<Self, StreamError> {
         let path_str = path.as_ref().display().to_string();
         let at = |line: usize, offset: u64, source: StreamError| StreamError::At {
             path: path_str.clone(),
@@ -472,38 +512,28 @@ impl ChunkFileReader {
             offset,
             source: Box::new(source),
         };
-        let file = std::fs::File::open(&path).map_err(|e| at(0, 0, e.into()))?;
-        let mut lines = BufReader::new(file).lines();
-        let first = lines
-            .next()
-            .ok_or_else(|| at(1, 0, StreamError::Format("empty chunk file".into())))?
-            .map_err(|e| at(1, 0, e.into()))?;
-        let record: ChunkFileRecord = serde_json::from_str(&first).map_err(|e| {
-            at(
-                1,
-                0,
-                StreamError::Parse {
-                    line: 1,
-                    message: e.0,
-                },
-            )
-        })?;
+        let (format, mut scanner) = RecordScanner::open(&path, format).map_err(|e| at(0, 0, e))?;
+        let first = scanner
+            .next_record()
+            .ok_or_else(|| at(1, 0, StreamError::Format("empty chunk file".into())))?;
+        let record = first.record.map_err(|e| at(first.line, first.offset, e))?;
         let ChunkFileRecord::Header(header) = record else {
             return Err(at(
-                1,
-                0,
+                first.line,
+                first.offset,
                 StreamError::Format("chunk file does not start with a header record".into()),
             ));
         };
         let num_threads = header.num_threads;
         Ok(ChunkFileReader {
-            lines,
+            scanner,
+            format,
             path: path_str,
             policy,
             header,
             trailer: None,
-            line_no: 1,
-            offset: first.len() as u64 + 1,
+            line_no: first.line,
+            offset: first.offset + first.bytes,
             chunks_seen: 0,
             events_seen: 0,
             next_index: vec![0; num_threads],
@@ -517,6 +547,11 @@ impl ChunkFileReader {
     /// The path of the file being read.
     pub fn path(&self) -> &str {
         &self.path
+    }
+
+    /// The on-disk format of the file being read.
+    pub fn format(&self) -> ChunkFormat {
+        self.format
     }
 
     /// The recovery policy in effect.
@@ -666,9 +701,9 @@ impl ChunkFileReader {
             return Ok(None);
         }
         {
-            let line_offset = self.offset;
-            let line_no = self.line_no + 1;
-            let Some(line) = self.lines.next() else {
+            let Some(raw) = self.scanner.next_record() else {
+                let line_no = self.line_no + 1;
+                let line_offset = self.offset;
                 let cause = StreamError::Format("chunk file ended without a trailer record".into());
                 return match self.policy {
                     RecoveryPolicy::Fail => Err(self.locate(line_no, line_offset, cause)),
@@ -683,58 +718,36 @@ impl ChunkFileReader {
                     }
                 };
             };
-            self.line_no = line_no;
-            let line = match line {
-                Ok(l) => l,
-                Err(e) => {
-                    // The stream position is unknowable after a read error:
-                    // even recovering policies end the stream here.
-                    let cause = StreamError::Io(e.to_string());
-                    return match self.policy {
-                        RecoveryPolicy::Fail => Err(self.locate(line_no, line_offset, cause)),
-                        _ => {
-                            self.done = true;
-                            Ok(Some(StreamItem::Gap(self.record_gap(
+            let line_no = raw.line;
+            let line_offset = raw.offset;
+            self.line_no = raw.line;
+            self.offset = raw.offset + raw.bytes;
+            let record = match raw.record {
+                Ok(r) => r,
+                Err(cause) => {
+                    // The stream position is unknowable after a read error,
+                    // so even recovering policies end the stream on I/O
+                    // failures; parse failures resynchronize on the next
+                    // record boundary under SkipChunk.
+                    let ends_stream = matches!(cause.root_cause(), StreamError::Io(_))
+                        || !matches!(self.policy, RecoveryPolicy::SkipChunk);
+                    match self.policy {
+                        RecoveryPolicy::Fail => {
+                            return Err(self.locate(line_no, line_offset, cause));
+                        }
+                        RecoveryPolicy::SkipChunk | RecoveryPolicy::SkipStream => {
+                            if ends_stream {
+                                self.done = true;
+                            }
+                            return Ok(Some(StreamItem::Gap(self.record_gap(
                                 line_no,
                                 line_offset,
                                 0,
                                 cause,
-                            ))))
+                            ))));
                         }
-                    };
+                    }
                 }
-            };
-            self.offset += line.len() as u64 + 1;
-
-            let parsed: Result<ChunkFileRecord, StreamError> =
-                serde_json::from_str(&line).map_err(|e| StreamError::Parse {
-                    line: line_no,
-                    message: e.0,
-                });
-            let record = match parsed {
-                Ok(r) => r,
-                Err(cause) => match self.policy {
-                    RecoveryPolicy::Fail => {
-                        return Err(self.locate(line_no, line_offset, cause));
-                    }
-                    RecoveryPolicy::SkipChunk => {
-                        return Ok(Some(StreamItem::Gap(self.record_gap(
-                            line_no,
-                            line_offset,
-                            0,
-                            cause,
-                        ))));
-                    }
-                    RecoveryPolicy::SkipStream => {
-                        self.done = true;
-                        return Ok(Some(StreamItem::Gap(self.record_gap(
-                            line_no,
-                            line_offset,
-                            0,
-                            cause,
-                        ))));
-                    }
-                },
             };
             let (cause, events_lost) = match record {
                 ChunkFileRecord::Header(_) => (
@@ -845,54 +858,152 @@ impl EventSource for ChunkFileReader {
 
 /// One record scanned by [`RawChunkRecords`]: its exact file coordinates
 /// plus the parse outcome. Parse failures are data, not stream terminators —
-/// the scanner keeps going on the next line.
+/// the scanner keeps going on the next record boundary.
 #[derive(Debug)]
 pub struct RawRecord {
-    /// 1-based line number of the record.
+    /// 1-based record ordinal (the line number for JSON-lines files).
     pub line: usize,
-    /// Byte offset of the start of the line.
+    /// Byte offset of the start of the record.
     pub offset: u64,
-    /// Bytes consumed by the line (including the newline).
+    /// Bytes consumed by the record (including the newline for JSON-lines;
+    /// including the file prelude for the first binary record, so a clean
+    /// file's record extents tile the whole file).
     pub bytes: u64,
-    /// The parsed record, or why the line did not parse.
+    /// The parsed record, or why it did not parse.
     pub record: Result<ChunkFileRecord, StreamError>,
 }
 
-/// Low-level record-by-record scanner of a chunked trace file.
+/// Format-dispatching record scanner: yields every record of a chunk file,
+/// parse failures included, in either [`ChunkFormat`].
+#[derive(Debug)]
+enum RecordScanner {
+    Json {
+        lines: std::io::Lines<BufReader<std::fs::File>>,
+        line_no: usize,
+        offset: u64,
+        done: bool,
+    },
+    Pbin(PbinScanner),
+}
+
+impl RecordScanner {
+    /// Opens `path` for record scanning, autodetecting the format by magic
+    /// bytes unless `format` overrides it.
+    fn open(
+        path: impl AsRef<Path>,
+        format: Option<ChunkFormat>,
+    ) -> Result<(ChunkFormat, Self), StreamError> {
+        let format = match format {
+            Some(f) => f,
+            None => ChunkFormat::detect(&path)?,
+        };
+        let scanner = match format {
+            ChunkFormat::Json => {
+                let file = std::fs::File::open(&path).map_err(StreamError::from)?;
+                RecordScanner::Json {
+                    lines: BufReader::new(file).lines(),
+                    line_no: 0,
+                    offset: 0,
+                    done: false,
+                }
+            }
+            ChunkFormat::Pbin => RecordScanner::Pbin(PbinScanner::open(path)?),
+        };
+        Ok((format, scanner))
+    }
+
+    fn next_record(&mut self) -> Option<RawRecord> {
+        match self {
+            RecordScanner::Json {
+                lines,
+                line_no,
+                offset,
+                done,
+            } => {
+                if *done {
+                    return None;
+                }
+                let this_line = *line_no + 1;
+                let line_offset = *offset;
+                let line = match lines.next()? {
+                    Ok(l) => l,
+                    Err(e) => {
+                        *done = true;
+                        return Some(RawRecord {
+                            line: this_line,
+                            offset: line_offset,
+                            bytes: 0,
+                            record: Err(StreamError::Io(e.to_string())),
+                        });
+                    }
+                };
+                *line_no = this_line;
+                let bytes = line.len() as u64 + 1;
+                *offset += bytes;
+                let record = serde_json::from_str(&line).map_err(|e| StreamError::Parse {
+                    line: this_line,
+                    message: e.0,
+                });
+                Some(RawRecord {
+                    line: this_line,
+                    offset: line_offset,
+                    bytes,
+                    record,
+                })
+            }
+            RecordScanner::Pbin(scanner) => scanner.next_record(),
+        }
+    }
+}
+
+/// Low-level record-by-record scanner of a chunked trace file, in either
+/// [`ChunkFormat`].
 ///
 /// Unlike [`ChunkFileReader`] this performs **no** contract validation and
-/// **no** recovery bookkeeping: every line is surfaced verbatim with its
-/// 1-based line number and byte offset, parse failures included, so a
-/// consumer (e.g. a lint pass) can attribute each finding to exact file
-/// coordinates and keep scanning past malformed records. Only one line is
-/// resident at a time.
+/// **no** recovery bookkeeping: every record is surfaced verbatim with its
+/// 1-based ordinal and byte offset, parse failures included, so a consumer
+/// (e.g. a lint pass) can attribute each finding to exact file coordinates
+/// and keep scanning past malformed records. Only one record is resident at
+/// a time.
 ///
-/// An unreadable line (an I/O error mid-file) is reported as one final
+/// An unreadable record (an I/O error mid-file) is reported as one final
 /// [`RawRecord`] carrying [`StreamError::Io`], after which the scanner ends:
 /// the stream position is unknowable past a failed read.
 #[derive(Debug)]
 pub struct RawChunkRecords {
-    lines: std::io::Lines<BufReader<std::fs::File>>,
-    line_no: usize,
-    offset: u64,
-    done: bool,
+    scanner: RecordScanner,
+    format: ChunkFormat,
 }
 
 impl RawChunkRecords {
-    /// Opens a chunk file for raw scanning.
+    /// Opens a chunk file for raw scanning, autodetecting the format by
+    /// magic bytes.
     ///
     /// # Errors
     ///
     /// Fails only if the file cannot be opened; everything else — including
     /// an empty file — is reported through the iterator.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StreamError> {
-        let file = std::fs::File::open(&path).map_err(StreamError::from)?;
-        Ok(RawChunkRecords {
-            lines: BufReader::new(file).lines(),
-            line_no: 0,
-            offset: 0,
-            done: false,
-        })
+        Self::open_with_format(path, None)
+    }
+
+    /// Opens a chunk file for raw scanning with an optional format override
+    /// (`None` autodetects by magic bytes).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`open`](Self::open).
+    pub fn open_with_format(
+        path: impl AsRef<Path>,
+        format: Option<ChunkFormat>,
+    ) -> Result<Self, StreamError> {
+        let (format, scanner) = RecordScanner::open(path, format)?;
+        Ok(RawChunkRecords { scanner, format })
+    }
+
+    /// The on-disk format being scanned.
+    pub fn format(&self) -> ChunkFormat {
+        self.format
     }
 }
 
@@ -900,36 +1011,7 @@ impl Iterator for RawChunkRecords {
     type Item = RawRecord;
 
     fn next(&mut self) -> Option<RawRecord> {
-        if self.done {
-            return None;
-        }
-        let line_no = self.line_no + 1;
-        let line_offset = self.offset;
-        let line = match self.lines.next()? {
-            Ok(l) => l,
-            Err(e) => {
-                self.done = true;
-                return Some(RawRecord {
-                    line: line_no,
-                    offset: line_offset,
-                    bytes: 0,
-                    record: Err(StreamError::Io(e.to_string())),
-                });
-            }
-        };
-        self.line_no = line_no;
-        let bytes = line.len() as u64 + 1;
-        self.offset += bytes;
-        let record = serde_json::from_str(&line).map_err(|e| StreamError::Parse {
-            line: line_no,
-            message: e.0,
-        });
-        Some(RawRecord {
-            line: line_no,
-            offset: line_offset,
-            bytes,
-            record,
-        })
+        self.scanner.next_record()
     }
 }
 

@@ -14,7 +14,10 @@ use proptest::prelude::*;
 
 use perfplay::prelude::*;
 use perfplay::workloads::{random_workload, GeneratorConfig};
-use perfplay_trace::{ChunkFileReader, RecoveryPolicy, StreamError, Trace, TraceChunk};
+use perfplay_trace::{
+    ChunkFileReader, ChunkFileRecord, ChunkFormat, RawChunkRecords, RecoveryPolicy, StreamError,
+    Trace, TraceChunk,
+};
 
 const POLICIES: [RecoveryPolicy; 3] = [
     RecoveryPolicy::Fail,
@@ -37,12 +40,13 @@ fn record(seed: u64, gen: &GeneratorConfig) -> Trace {
         .trace
 }
 
-/// The shared clean corpus: one recorded trace spilled to a chunk file, plus
-/// the same chunking in memory so tests know exactly what each record line
-/// holds.
+/// The shared clean corpus: one recorded trace spilled to a chunk file in
+/// both formats, plus the same chunking in memory so tests know exactly what
+/// each record holds.
 struct Corpus {
     trace: Trace,
     path: PathBuf,
+    pbin_path: PathBuf,
     lines: Vec<String>,
     chunks: Vec<TraceChunk>,
 }
@@ -80,9 +84,24 @@ fn corpus() -> &'static Corpus {
             "file is header + chunks + trailer"
         );
         assert!(chunks.len() >= 4, "corpus needs several chunks");
+        // The binary twin: the same trace, the same chunking, PBIN framing.
+        let pbin_path =
+            std::env::temp_dir().join(format!("perfplay-chaos-clean-{}.pbin", std::process::id()));
+        spill_trace(&trace, &pbin_path, 24).unwrap();
+        let mut source = ChunkFileReader::open(&pbin_path).unwrap();
+        assert_eq!(source.format(), ChunkFormat::Pbin, "magic autodetection");
+        let mut pbin_chunks = Vec::new();
+        while let Some(chunk) = source.next_chunk().unwrap() {
+            pbin_chunks.push(chunk);
+        }
+        assert_eq!(
+            pbin_chunks, chunks,
+            "both formats hold the identical chunk stream"
+        );
         Corpus {
             trace,
             path,
+            pbin_path,
             lines,
             chunks,
         }
@@ -119,40 +138,48 @@ fn run_file(path: &Path, policy: RecoveryPolicy, workers: usize) -> String {
     }
 }
 
-/// The full chaos matrix: every fault kind realized on disk, ingested under
-/// every recovery policy by both streaming engines, twice. Nothing panics,
-/// reruns are identical, and the sharded-parallel engine ends every cell —
-/// report, gap-report or structured error — exactly like the sequential one.
+/// The full chaos matrix: every fault kind realized on disk **in both
+/// formats**, ingested under every recovery policy by both streaming
+/// engines, twice. Nothing panics, reruns are identical, and the
+/// sharded-parallel engine ends every cell — report, gap-report or
+/// structured error — exactly like the sequential one.
+///
+/// Outcomes are *not* asserted equal across formats: a bit flip lands on
+/// different bytes in different encodings, so its detectability legitimately
+/// differs. The invariants (no panic, determinism, engine parity) hold for
+/// each format independently.
 #[test]
 fn chaos_matrix_never_panics_and_is_deterministic() {
     let corpus = corpus();
-    for kind in FaultKind::ALL {
-        for seed in [1u64, 7, 42] {
-            let dst = std::env::temp_dir().join(format!(
-                "perfplay-chaos-{}-{seed}-{}.jsonl",
-                kind.name(),
-                std::process::id()
-            ));
-            let fault = corrupt_chunk_file(&corpus.path, &dst, kind, seed).unwrap();
-            for policy in POLICIES {
-                let first = run_file(&dst, policy, 0);
-                assert!(
-                    first != "panic",
-                    "{kind} seed {seed} under {policy:?} panicked ({fault})"
-                );
-                let second = run_file(&dst, policy, 0);
-                assert_eq!(
-                    first, second,
-                    "{kind} seed {seed} under {policy:?} is nondeterministic ({fault})"
-                );
-                let parallel = run_file(&dst, policy, 2);
-                assert_eq!(
-                    first, parallel,
-                    "{kind} seed {seed} under {policy:?}: parallel streaming \
-                     diverged from sequential ({fault})"
-                );
+    for (ext, clean) in [("jsonl", &corpus.path), ("pbin", &corpus.pbin_path)] {
+        for kind in FaultKind::ALL {
+            for seed in [1u64, 7, 42] {
+                let dst = std::env::temp_dir().join(format!(
+                    "perfplay-chaos-{}-{seed}-{}.{ext}",
+                    kind.name(),
+                    std::process::id()
+                ));
+                let fault = corrupt_chunk_file(clean, &dst, kind, seed).unwrap();
+                for policy in POLICIES {
+                    let first = run_file(&dst, policy, 0);
+                    assert!(
+                        first != "panic",
+                        "{ext} {kind} seed {seed} under {policy:?} panicked ({fault})"
+                    );
+                    let second = run_file(&dst, policy, 0);
+                    assert_eq!(
+                        first, second,
+                        "{ext} {kind} seed {seed} under {policy:?} is nondeterministic ({fault})"
+                    );
+                    let parallel = run_file(&dst, policy, 2);
+                    assert_eq!(
+                        first, parallel,
+                        "{ext} {kind} seed {seed} under {policy:?}: parallel streaming \
+                         diverged from sequential ({fault})"
+                    );
+                }
+                std::fs::remove_file(&dst).ok();
             }
-            std::fs::remove_file(&dst).ok();
         }
     }
 }
@@ -258,6 +285,61 @@ fn skip_chunk_recovery_matches_detection_with_the_chunk_removed() {
     }
 }
 
+/// The binary twin of the recovery-soundness test: a payload byte flipped
+/// deep inside one chunk frame is rejected by the frame CRC, and `SkipChunk`
+/// accounts for exactly that chunk — same gap count, same residual loss,
+/// same analysis as the spliced batch run.
+#[test]
+fn pbin_skip_chunk_recovery_accounts_for_the_exact_loss() {
+    let corpus = corpus();
+    // Learn the byte extent of every record in the binary twin (extents tile
+    // the file: record 1 absorbs the 8-byte prelude).
+    let mut extents: Vec<(usize, usize)> = Vec::new();
+    for raw in RawChunkRecords::open(&corpus.pbin_path).unwrap() {
+        assert!(raw.record.is_ok(), "clean corpus record parses");
+        extents.push((raw.offset as usize, raw.bytes as usize));
+    }
+    assert_eq!(extents.len(), corpus.chunks.len() + 2);
+
+    let victim = corpus.chunks.len() / 2;
+    let victim_chunk = &corpus.chunks[victim];
+    let victim_events = victim_chunk.num_events();
+    assert!(victim_events > 0, "victim chunk must lose something");
+
+    let (start, len) = extents[victim + 1];
+    let mut bytes = std::fs::read(&corpus.pbin_path).unwrap();
+    bytes[start + len / 2] ^= 0x40;
+    let path = std::env::temp_dir().join(format!(
+        "perfplay-pbin-recovery-soundness-{}.pbin",
+        std::process::id()
+    ));
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mut reader = ChunkFileReader::with_policy(&path, RecoveryPolicy::SkipChunk).unwrap();
+    let streamed = StreamingDetector::new(config())
+        .analyze(&mut reader)
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(streamed.stats.gaps, 2, "CRC gap + trailer reconciliation");
+    assert_eq!(streamed.stats.events_lost, victim_events as u64);
+    assert_eq!(
+        streamed.stats.events,
+        corpus.trace.num_events() - victim_events
+    );
+
+    let mut expected = corpus.trace.clone();
+    for span in &victim_chunk.spans {
+        expected.threads[span.thread.index()]
+            .events
+            .drain(span.base_index..span.base_index + span.events.len());
+    }
+    let batch = Detector::new(config()).analyze(&expected);
+    assert_eq!(streamed.analysis.breakdown, batch.breakdown);
+    assert_eq!(streamed.analysis.ulcps, batch.ulcps);
+    assert_eq!(streamed.analysis.edges, batch.edges);
+}
+
 /// Truncation sweep: the file cut at every record boundary and at several
 /// byte offsets inside every record. `Fail` rejects every incomplete file
 /// with a structured error; the recovery policies analyze exactly the clean
@@ -353,6 +435,151 @@ fn truncation_at_every_boundary_is_contained() {
     std::fs::remove_file(&dst).ok();
 }
 
+/// A compact binary corpus for the exhaustive byte-level sweeps below:
+/// every single byte offset of this file gets truncated and bit-flipped, so
+/// it is recorded deliberately small.
+struct SweepCorpus {
+    bytes: Vec<u8>,
+    /// `(offset, bytes)` extent of each record; the extents tile the file
+    /// (record 1 absorbs the 8-byte prelude).
+    extents: Vec<(usize, usize)>,
+    chunks: Vec<TraceChunk>,
+}
+
+fn sweep_corpus() -> &'static SweepCorpus {
+    static SWEEP: OnceLock<SweepCorpus> = OnceLock::new();
+    SWEEP.get_or_init(|| {
+        let trace = record(
+            11,
+            &GeneratorConfig {
+                threads: 2,
+                locks: 2,
+                objects: 3,
+                sections_per_thread: 3,
+            },
+        );
+        let path =
+            std::env::temp_dir().join(format!("perfplay-chaos-sweep-{}.pbin", std::process::id()));
+        spill_trace(&trace, &path, 16).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let mut extents = Vec::new();
+        let mut chunks = Vec::new();
+        for raw in RawChunkRecords::open(&path).unwrap() {
+            extents.push((raw.offset as usize, raw.bytes as usize));
+            if let Ok(ChunkFileRecord::Chunk(chunk)) = raw.record {
+                chunks.push(chunk);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+        assert!(chunks.len() >= 3, "sweep corpus needs several chunks");
+        let tiled: usize = extents.iter().map(|(_, b)| b).sum();
+        assert_eq!(tiled, bytes.len(), "record extents tile the file");
+        SweepCorpus {
+            bytes,
+            extents,
+            chunks,
+        }
+    })
+}
+
+/// PBIN truncation sweep at **every byte offset** of the file. `Fail`
+/// rejects every incomplete file; the recovery policies analyze exactly the
+/// whole records before the cut and annotate the rest as gaps; cuts inside
+/// the prelude or header frame fail the open with a structured error;
+/// nothing ever panics.
+#[test]
+fn pbin_truncation_at_every_byte_offset_is_contained() {
+    let sweep = sweep_corpus();
+    let dst = std::env::temp_dir().join(format!(
+        "perfplay-pbin-trunc-sweep-{}.pbin",
+        std::process::id()
+    ));
+    for cut in 0..=sweep.bytes.len() {
+        std::fs::write(&dst, &sweep.bytes[..cut]).unwrap();
+        let complete = cut == sweep.bytes.len();
+        let whole = sweep.extents.iter().filter(|(o, b)| o + b <= cut).count();
+        let kept_chunks = whole.saturating_sub(1).min(sweep.chunks.len());
+        let expected_events: usize = sweep.chunks[..kept_chunks]
+            .iter()
+            .map(TraceChunk::num_events)
+            .sum();
+        for policy in POLICIES {
+            let out = run_file(&dst, policy, 0);
+            assert!(out != "panic", "cut {cut} under {policy:?} panicked");
+            if complete {
+                assert!(
+                    out.starts_with("report"),
+                    "complete file analyzes cleanly under {policy:?}, got {out}"
+                );
+            } else if matches!(policy, RecoveryPolicy::Fail) {
+                assert!(
+                    out.starts_with("error"),
+                    "Fail must reject cut {cut}, got {out}"
+                );
+            } else if whole == 0 {
+                // The header frame itself is incomplete: no stream exists.
+                assert!(
+                    out.starts_with("error"),
+                    "headerless cut {cut} must error under {policy:?}, got {out}"
+                );
+            } else {
+                assert!(
+                    out.starts_with("gap-report"),
+                    "recovery must keep the clean prefix at cut {cut} \
+                     under {policy:?}, got {out}"
+                );
+                let events = format!("events={expected_events} ");
+                assert!(
+                    out.contains(&events),
+                    "cut {cut} keeps {expected_events} events, got {out}"
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&dst).ok();
+}
+
+/// PBIN bit-flip sweep: one bit flipped at **every byte offset** of the
+/// file. Nothing panics, every outcome is deterministic, and any flip past
+/// the header record is *detected* — the frame CRC (or framing resync)
+/// turns it into a located error under `Fail` and a gap under `SkipChunk`,
+/// never silent corruption and never a stream-ending error mid-recovery.
+#[test]
+fn pbin_single_bit_flips_are_contained_at_every_byte_offset() {
+    let sweep = sweep_corpus();
+    let (header_start, header_len) = sweep.extents[0];
+    let header_end = header_start + header_len;
+    let dst = std::env::temp_dir().join(format!(
+        "perfplay-pbin-flip-sweep-{}.pbin",
+        std::process::id()
+    ));
+    for pos in 0..sweep.bytes.len() {
+        let mut bytes = sweep.bytes.clone();
+        bytes[pos] ^= 1 << (pos % 8);
+        std::fs::write(&dst, &bytes).unwrap();
+        let skip = run_file(&dst, RecoveryPolicy::SkipChunk, 0);
+        assert!(skip != "panic", "flip at {pos} panicked under SkipChunk");
+        assert_eq!(
+            skip,
+            run_file(&dst, RecoveryPolicy::SkipChunk, 0),
+            "flip at {pos} is nondeterministic"
+        );
+        let fail = run_file(&dst, RecoveryPolicy::Fail, 0);
+        assert!(fail != "panic", "flip at {pos} panicked under Fail");
+        if pos >= header_end {
+            assert!(
+                skip.starts_with("gap-report"),
+                "flip at {pos} must become a gap under SkipChunk, got {skip}"
+            );
+            assert!(
+                fail.starts_with("error"),
+                "flip at {pos} must be rejected under Fail, got {fail}"
+            );
+        }
+    }
+    std::fs::remove_file(&dst).ok();
+}
+
 /// A corrupted member of a multi-file batch is isolated as a structured
 /// per-item failure while the clean members analyze and fuse.
 #[test]
@@ -388,27 +615,33 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Seeded random corner of the chaos space beyond the fixed matrix:
-    /// arbitrary `(seed, fault, policy)` cells still never panic.
+    /// arbitrary `(seed, fault, policy, format)` cells still never panic.
     #[test]
     fn random_faults_never_panic(
         seed in 0u64..10_000,
         kind_index in 0usize..FaultKind::ALL.len(),
         policy_index in 0usize..3,
         workers in prop_oneof![Just(0usize), Just(2)],
+        use_pbin in prop_oneof![Just(false), Just(true)],
     ) {
         let corpus = corpus();
         let kind = FaultKind::ALL[kind_index];
+        let (ext, clean) = if use_pbin {
+            ("pbin", &corpus.pbin_path)
+        } else {
+            ("jsonl", &corpus.path)
+        };
         let dst = std::env::temp_dir().join(format!(
-            "perfplay-chaos-prop-{seed}-{kind_index}-{}.jsonl",
+            "perfplay-chaos-prop-{seed}-{kind_index}-{}.{ext}",
             std::process::id()
         ));
-        corrupt_chunk_file(&corpus.path, &dst, kind, seed).unwrap();
+        corrupt_chunk_file(clean, &dst, kind, seed).unwrap();
         let out = run_file(&dst, POLICIES[policy_index], workers);
         std::fs::remove_file(&dst).ok();
         prop_assert!(
             out != "panic",
-            "{} seed {} under {:?} ({} workers) panicked",
-            kind, seed, POLICIES[policy_index], workers
+            "{} {} seed {} under {:?} ({} workers) panicked",
+            ext, kind, seed, POLICIES[policy_index], workers
         );
     }
 }

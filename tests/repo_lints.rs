@@ -62,6 +62,7 @@ fn hardened_files() -> Vec<PathBuf> {
     let root = workspace_root();
     let mut files = vec![
         root.join("crates/trace/src/stream.rs"),
+        root.join("crates/trace/src/pbin.rs"),
         root.join("crates/detect/src/inject.rs"),
         root.join("crates/record/src/chunked.rs"),
     ];

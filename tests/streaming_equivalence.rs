@@ -175,6 +175,70 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The binary spill roundtrip: `Trace -> ChunkedWriter(pbin) ->
+    /// ChunkFileReader -> StreamingDetector` is bit-identical to the
+    /// in-memory batch engine, the reassembled trace is exactly the
+    /// original, the JSON spill of the same trace streams to the identical
+    /// analysis, and the full report pipeline (transform, both replays,
+    /// Equation 1, ranking) produces the identical [`PerfReport`] from
+    /// either side.
+    #[test]
+    fn pbin_file_roundtrip_is_lossless_and_report_identical(
+        seed in 0u64..5_000,
+        gen in generator_config(),
+        chunk_events in 1usize..200,
+    ) {
+        let trace = record(seed, &gen);
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let pbin = dir.join(format!("perfplay-eqv-{pid}-{seed}.pbin"));
+        let json = dir.join(format!("perfplay-eqv-{pid}-{seed}-twin.jsonl"));
+        let summary =
+            spill_trace_with_format(&trace, &pbin, chunk_events, ChunkFormat::Pbin).unwrap();
+        prop_assert_eq!(summary.events as usize, trace.num_events());
+        spill_trace(&trace, &json, chunk_events).unwrap();
+
+        // Reassembly is exact.
+        let back = read_chunked_trace(&pbin).unwrap();
+        prop_assert_eq!(&back, &trace);
+
+        let config = DetectorConfig {
+            max_scan_per_thread: Some(3),
+            ..DetectorConfig::default()
+        };
+        let batch = Detector::new(config).analyze(&trace);
+        let mut reader = ChunkFileReader::open(&pbin).unwrap();
+        prop_assert_eq!(reader.format(), ChunkFormat::Pbin);
+        let streamed = StreamingDetector::new(config).analyze(&mut reader).unwrap();
+        assert_analyses_equal("pbin stream vs batch", &streamed.analysis, &batch)?;
+
+        // The JSON twin of the same trace streams to the identical analysis.
+        let mut reader = ChunkFileReader::open(&json).unwrap();
+        let json_streamed = StreamingDetector::new(config).analyze(&mut reader).unwrap();
+        std::fs::remove_file(&pbin).ok();
+        std::fs::remove_file(&json).ok();
+        assert_analyses_equal(
+            "pbin vs json stream",
+            &streamed.analysis,
+            &json_streamed.analysis,
+        )?;
+
+        // Report parity end-to-end.
+        let build = |analysis: &UlcpAnalysis| {
+            let transformed = Transformer::default().transform(&trace, analysis);
+            let original = Replayer::default()
+                .replay(&trace, ReplaySchedule::elsc())
+                .unwrap();
+            let free = UlcpFreeReplayer::default().replay(&transformed).unwrap();
+            PerfReport::build(&trace, analysis, &transformed, &original, &free)
+        };
+        prop_assert_eq!(build(&streamed.analysis), build(&batch));
+    }
+}
+
 /// Gap equivalence: over the *same* corrupted chunk file recovered under
 /// `SkipChunk`, the sharded-parallel engine reproduces the sequential
 /// streaming engine bit-for-bit — analysis content, gap count and loss
