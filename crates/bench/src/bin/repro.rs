@@ -89,12 +89,13 @@
 use std::time::Instant;
 
 use perfplay::prelude::{
-    analyze_batch, analyze_batch_sequential, analyze_chunk_files, convert_chunk_file,
-    corrupt_chunk_file, fuse_aggregates, fuse_ulcp_gains, rank_groups, spill_trace,
-    spill_trace_with_format, BatchAnalysis, BodyOverlapGain, ChunkFileReader, ChunkFormat,
-    Detector, DetectorConfig, EventSource, FaultInjector, FaultKind, FaultPlan, GainSource,
-    ParallelStreamingDetector, PerfReport, PipelineConfig, Recommendation, RecoveryPolicy,
-    SectionCtx, SiteAggregator, StreamingDetector, StreamingStats, Trace, Transformer, UlcpGain,
+    analyze_batch, analyze_batch_sequential, analyze_chunk_files, convert_chunk_file_pipelined,
+    corrupt_chunk_file, default_decode_workers, fuse_aggregates, fuse_ulcp_gains, rank_groups,
+    spill_trace, spill_trace_with_format, BatchAnalysis, BodyOverlapGain, ChunkFileReader,
+    ChunkFormat, Detector, DetectorConfig, EventSource, FaultInjector, FaultKind, FaultPlan,
+    GainSource, ParallelStreamingDetector, PerfReport, PipelineConfig, PipelinedChunkReader,
+    Recommendation, RecoveryPolicy, SectionCtx, SiteAggregator, StreamingDetector, StreamingStats,
+    Trace, Transformer, UlcpGain,
 };
 use perfplay::prelude::{codes_for_fault, lint_chunk_file, lint_source, lint_trace, LintConfig};
 use perfplay::prelude::{ReplayConfig, ReplayResult, ReplaySchedule, Replayer, UlcpFreeReplayer};
@@ -366,6 +367,12 @@ struct FormatRoundtripReport {
     /// run no detection. This isolates the codec — the only thing the
     /// on-disk format can change.
     ingest_ms: f64,
+    /// The same decode-only drain through the three-stage
+    /// `PipelinedChunkReader` (framing thread + decode workers). On a
+    /// 1-CPU box this is expected to be no faster than `ingest_ms` —
+    /// compare it against `available_parallelism` before reading it as a
+    /// speedup claim.
+    pipelined_ingest_ms: f64,
     /// Full streaming detection off the file (decode + detect), for the
     /// digest-identity check against the in-memory engine.
     stream_from_file_ms: f64,
@@ -405,6 +412,19 @@ fn roundtrip_row(
         events
     });
     assert_eq!(drained, summary.events, "drain saw every spilled event");
+    let (pipelined_drained, pipelined_ingest_ms) = time_ms(|| {
+        let mut reader = PipelinedChunkReader::open(path).expect("chunk file opens");
+        assert_eq!(reader.format(), format, "magic autodetection");
+        let mut events = 0u64;
+        while let Some(chunk) = reader.next_chunk().expect("clean file drains") {
+            events += chunk.num_events() as u64;
+        }
+        events
+    });
+    assert_eq!(
+        pipelined_drained, summary.events,
+        "pipelined drain saw every spilled event"
+    );
     let (result, stream_from_file_ms) = time_ms(|| {
         let mut reader = ChunkFileReader::open(path).expect("chunk file opens");
         StreamingDetector::new(config)
@@ -418,7 +438,8 @@ fn roundtrip_row(
     }
     eprintln!(
         "{} roundtrip: {} events, {} bytes, write {write_ms:.0}ms, \
-         drain {ingest_ms:.0}ms, re-ingest+detect {stream_from_file_ms:.0}ms",
+         drain {ingest_ms:.0}ms (pipelined {pipelined_ingest_ms:.0}ms), \
+         re-ingest+detect {stream_from_file_ms:.0}ms",
         format.name(),
         summary.events,
         summary.bytes,
@@ -430,6 +451,7 @@ fn roundtrip_row(
         bytes: summary.bytes,
         write_ms,
         ingest_ms,
+        pipelined_ingest_ms,
         stream_from_file_ms,
         events_per_sec: summary.events as f64 / (ingest_ms / 1e3).max(1e-9),
         bytes_per_event: summary.bytes as f64 / summary.events.max(1) as f64,
@@ -459,6 +481,9 @@ struct ParallelStreamReport {
 struct StreamReport {
     workload: StreamWorkloadReport,
     chunk_events: usize,
+    /// Cores visible to this run — read the `parallel` block's worker count
+    /// and speedup against it (a 1-CPU CI box cannot show a real speedup).
+    available_parallelism: usize,
     record_ms: f64,
     batch_ms: f64,
     stream_ms: f64,
@@ -480,12 +505,16 @@ struct StreamReport {
     breakdown: BreakdownReport,
 }
 
+/// The machine's available parallelism — recorded in the artifacts so
+/// worker counts and speedup claims stay interpretable on 1-CPU CI boxes.
+fn available_parallelism_now() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Worker count for the `--parallel` runs: every core, floored at 8 so the
 /// acceptance artifact always exercises a real shard fan-out.
 fn parallel_workers() -> usize {
-    std::thread::available_parallelism()
-        .map_or(1, std::num::NonZeroUsize::get)
-        .max(8)
+    available_parallelism_now().max(8)
 }
 
 /// Ranked-report digest of an analysis under the detection-time
@@ -628,6 +657,7 @@ fn run_stream(quick: bool, out: &str, spill: Option<&str>, parallel: bool) {
             total_sections,
         },
         chunk_events,
+        available_parallelism: available_parallelism_now(),
         record_ms,
         batch_ms,
         stream_ms,
@@ -677,10 +707,53 @@ fn run_stream(quick: bool, out: &str, spill: Option<&str>, parallel: bool) {
     );
 }
 
+/// One format's run through the pipelined ingestion path: the
+/// `PipelinedChunkReader` (framing thread + decode workers) feeding the
+/// sharded `ParallelStreamingDetector` — the "on-disk analysis at in-memory
+/// speed" leg of `BENCH_ingest.json`.
+#[derive(Debug, Serialize)]
+struct PipelinedIngestRow {
+    /// On-disk chunk-file format: `jsonl` or `pbin`.
+    format: String,
+    /// Re-ingest + detect wall clock through the pipelined path.
+    stream_from_file_ms: f64,
+    /// This row's wall clock over the in-memory parallel yardstick
+    /// (`in_memory_parallel_ms`). The acceptance bound is <= 2.0 for pbin
+    /// on the full workload.
+    ratio_vs_in_memory: f64,
+    /// Content digest and ranked-report digest both equal to the in-memory
+    /// batch engine's.
+    identical_to_batch: bool,
+    report_digest: String,
+}
+
+/// The pipelined-ingestion block of `BENCH_ingest.json`: worker counts, the
+/// in-memory parallel yardstick, and one row per on-disk format.
+#[derive(Debug, Serialize)]
+struct PipelinedIngestReport {
+    /// Cores visible to this run — the ratio rows are only meaningful
+    /// relative to this (a 1-CPU box pays pipeline overhead for nothing).
+    available_parallelism: usize,
+    /// Decode-worker pool size of the pipelined reader.
+    decode_workers: usize,
+    /// Sharded per-lock worker count of the parallel detector.
+    detect_workers: usize,
+    /// In-memory `ParallelStreamingDetector` on the same trace — the
+    /// yardstick `ratio_vs_in_memory` is measured against.
+    in_memory_parallel_ms: f64,
+    rows: Vec<PipelinedIngestRow>,
+    /// Every pipelined stream (and the in-memory parallel run) matched the
+    /// in-memory batch engine bit-for-bit.
+    results_identical: bool,
+    report_digest: String,
+}
+
 #[derive(Debug, Serialize)]
 struct IngestReport {
     workload: StreamWorkloadReport,
     chunk_events: usize,
+    /// Cores visible to this run.
+    available_parallelism: usize,
     record_ms: f64,
     /// In-memory batch analysis of the same trace — the digest reference
     /// and the "as fast as in-memory" yardstick.
@@ -688,6 +761,10 @@ struct IngestReport {
     /// One spill + re-ingest row per on-disk format, same shape as
     /// `BENCH_stream.json`'s `file_roundtrip` rows.
     rows: Vec<FormatRoundtripReport>,
+    /// The pipelined parallel ingestion path: `PipelinedChunkReader` into
+    /// `ParallelStreamingDetector`, graded against the in-memory parallel
+    /// yardstick.
+    pipelined: PipelinedIngestReport,
     /// pbin events/sec over jsonl events/sec on the re-ingest leg.
     ingest_speedup: f64,
     /// pbin bytes/event over jsonl bytes/event (below 1 means denser).
@@ -737,7 +814,7 @@ fn run_ingest(quick: bool, out: &str) {
     let total_sections = batch_analysis.sections.len();
     drop(batch_analysis);
 
-    let rows: Vec<FormatRoundtripReport> = [ChunkFormat::Json, ChunkFormat::Pbin]
+    let files: Vec<(ChunkFormat, std::path::PathBuf)> = [ChunkFormat::Json, ChunkFormat::Pbin]
         .into_iter()
         .map(|format| {
             let path = std::env::temp_dir().join(format!(
@@ -745,7 +822,15 @@ fn run_ingest(quick: bool, out: &str) {
                 std::process::id(),
                 format.name()
             ));
-            roundtrip_row(&trace, format, &path, false, chunk_events, config, &batch)
+            (format, path)
+        })
+        .collect();
+    // Keep the spilled files alive past the sequential rows — the pipelined
+    // legs below re-read them.
+    let rows: Vec<FormatRoundtripReport> = files
+        .iter()
+        .map(|(format, path)| {
+            roundtrip_row(&trace, *format, path, true, chunk_events, config, &batch)
         })
         .collect();
     let ingest_speedup = rows[1].events_per_sec / rows[0].events_per_sec.max(1e-9);
@@ -753,6 +838,66 @@ fn run_ingest(quick: bool, out: &str) {
     let results_identical = rows
         .iter()
         .all(|r| r.identical_to_batch && r.report_digest == batch_ranked);
+
+    // The pipelined parallel path: first the in-memory parallel yardstick
+    // (the speed on-disk analysis is supposed to approach), then the
+    // pipelined reader feeding the same sharded detector off each file.
+    let detect_workers = parallel_workers();
+    let decode_workers = default_decode_workers();
+    let (par, in_memory_parallel_ms) = time_ms(|| {
+        ParallelStreamingDetector::with_workers(config, detect_workers)
+            .analyze_trace(&trace, chunk_events)
+            .expect("in-memory chunk stream never fails")
+    });
+    eprintln!("in-memory parallel x{detect_workers}: {in_memory_parallel_ms:.0}ms");
+    let par_identical = digest(&par.analysis) == batch
+        && format!("{:016x}", ranked_digest(&par.analysis)) == batch_ranked;
+    drop(par);
+    let pipelined_rows: Vec<PipelinedIngestRow> = files
+        .iter()
+        .map(|(format, path)| {
+            let (result, stream_from_file_ms) = time_ms(|| {
+                let mut reader = PipelinedChunkReader::with_options(
+                    path,
+                    RecoveryPolicy::Fail,
+                    None,
+                    decode_workers,
+                )
+                .expect("chunk file opens");
+                ParallelStreamingDetector::with_workers(config, detect_workers)
+                    .analyze(&mut reader)
+                    .expect("file stream analyzes")
+            });
+            let row_digest = format!("{:016x}", ranked_digest(&result.analysis));
+            let identical_to_batch =
+                digest(&result.analysis) == batch && row_digest == batch_ranked;
+            eprintln!(
+                "{} pipelined re-ingest+detect: {stream_from_file_ms:.0}ms \
+                 ({:.2}x in-memory parallel)",
+                format.name(),
+                stream_from_file_ms / in_memory_parallel_ms.max(1e-9),
+            );
+            PipelinedIngestRow {
+                format: format.name().to_string(),
+                stream_from_file_ms,
+                ratio_vs_in_memory: stream_from_file_ms / in_memory_parallel_ms.max(1e-9),
+                identical_to_batch,
+                report_digest: row_digest,
+            }
+        })
+        .collect();
+    for (_, path) in &files {
+        std::fs::remove_file(path).ok();
+    }
+    let pipelined = PipelinedIngestReport {
+        available_parallelism: available_parallelism_now(),
+        decode_workers,
+        detect_workers,
+        in_memory_parallel_ms,
+        results_identical: par_identical && pipelined_rows.iter().all(|r| r.identical_to_batch),
+        rows: pipelined_rows,
+        report_digest: batch_ranked.clone(),
+    };
 
     let breakdown = batch.breakdown;
     let report = IngestReport {
@@ -765,9 +910,11 @@ fn run_ingest(quick: bool, out: &str) {
             total_sections,
         },
         chunk_events,
+        available_parallelism: available_parallelism_now(),
         record_ms,
         batch_ms,
         rows,
+        pipelined,
         ingest_speedup,
         density_ratio,
         results_identical,
@@ -783,6 +930,10 @@ fn run_ingest(quick: bool, out: &str) {
         report.results_identical,
         "file-streamed detection diverged across formats or from the in-memory engine"
     );
+    assert!(
+        report.pipelined.results_identical,
+        "pipelined file-streamed detection diverged from the in-memory engine"
+    );
     if !quick {
         assert!(
             report.ingest_speedup >= 4.0,
@@ -794,11 +945,32 @@ fn run_ingest(quick: bool, out: &str) {
             "pbin density ratio {:.3} exceeds the 1/3 acceptance ceiling",
             report.density_ratio
         );
+        let pbin = report
+            .pipelined
+            .rows
+            .iter()
+            .find(|r| r.format == "pbin")
+            .expect("pbin pipelined row exists");
+        assert!(
+            pbin.ratio_vs_in_memory <= 2.0,
+            "pipelined pbin re-ingest+detect is {:.2}x the in-memory parallel time \
+             (acceptance ceiling: 2x)",
+            pbin.ratio_vs_in_memory
+        );
     }
     eprintln!(
         "ingest: pbin {:.2}x events/sec at {:.2}x bytes/event vs jsonl, digests identical -> {out}",
         report.ingest_speedup, report.density_ratio
     );
+    for row in &report.pipelined.rows {
+        eprintln!(
+            "pipelined {}: {:.0}ms, {:.2}x in-memory parallel ({:.0}ms), identical",
+            row.format,
+            row.stream_from_file_ms,
+            row.ratio_vs_in_memory,
+            report.pipelined.in_memory_parallel_ms
+        );
+    }
 }
 
 #[derive(Debug, Serialize)]
@@ -813,6 +985,8 @@ struct ConvertArtifact {
     bytes_in: u64,
     bytes_out: u64,
     convert_ms: f64,
+    /// Decode-worker pool size of the pipelined source scanner.
+    decode_workers: usize,
 }
 
 /// `repro convert --chunk-file SRC --out DST [--format json|pbin]`:
@@ -832,7 +1006,12 @@ fn run_convert(src: &str, dst: &str, format: Option<&str>) {
             }
         },
     };
-    let (result, convert_ms) = time_ms(|| convert_chunk_file(src, dst, to));
+    // Conversion reads through the pipelined scanner: source framing and
+    // decoding overlap with re-encoding and writing. The output file and
+    // every error are identical to the sequential path's.
+    let decode_workers = default_decode_workers();
+    let (result, convert_ms) =
+        time_ms(|| convert_chunk_file_pipelined(src, dst, to, decode_workers));
     let summary = match result {
         Ok(summary) => summary,
         Err(e) => {
@@ -851,6 +1030,7 @@ fn run_convert(src: &str, dst: &str, format: Option<&str>) {
         bytes_in: summary.bytes_in,
         bytes_out: summary.bytes_out,
         convert_ms,
+        decode_workers,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("summary serializes");
     println!("{json}");
@@ -2035,9 +2215,15 @@ struct ChunkFileReport {
     path: String,
     /// Worker count of the sharded engine; `None` for the sequential one.
     workers: Option<usize>,
+    /// Decode-worker pool of the pipelined reader; `None` when the
+    /// sequential reader ran.
+    decode_workers: Option<usize>,
     analyze_ms: f64,
     events: usize,
     sections: usize,
+    /// Ranked-report digest — the cross-path identity check between the
+    /// sequential and pipelined runs over the same file.
+    report_digest: String,
     streaming: StreamingStats,
     memory: MemoryReport,
     breakdown: BreakdownReport,
@@ -2051,20 +2237,35 @@ struct ChunkFileReport {
 /// structured `StreamError` on a malformed or truncated file.
 fn run_stream_file(path: &str, out: Option<&str>, parallel: bool) {
     let config = detect_bench_config();
-    let mut reader = match ChunkFileReader::open(path) {
-        Ok(reader) => reader,
-        Err(e) => {
-            eprintln!("cannot open chunk file {path}: {e}");
-            std::process::exit(1);
+    let workers = parallel.then(parallel_workers);
+    let decode_workers = parallel.then(default_decode_workers);
+    // The parallel run pairs the pipelined reader with the sharded
+    // detector; the sequential run keeps the single-threaded reader. Both
+    // yield bit-identical streams, reports, and error diagnostics.
+    let (result, analyze_ms) = match workers {
+        Some(workers) => {
+            let mut reader = match PipelinedChunkReader::open(path) {
+                Ok(reader) => reader,
+                Err(e) => {
+                    eprintln!("cannot open chunk file {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            time_ms(|| {
+                ParallelStreamingDetector::with_workers(config, workers).analyze(&mut reader)
+            })
+        }
+        None => {
+            let mut reader = match ChunkFileReader::open(path) {
+                Ok(reader) => reader,
+                Err(e) => {
+                    eprintln!("cannot open chunk file {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            time_ms(|| StreamingDetector::new(config).analyze(&mut reader))
         }
     };
-    let workers = parallel.then(parallel_workers);
-    let (result, analyze_ms) = time_ms(|| match workers {
-        Some(workers) => {
-            ParallelStreamingDetector::with_workers(config, workers).analyze(&mut reader)
-        }
-        None => StreamingDetector::new(config).analyze(&mut reader),
-    });
     let streamed = match result {
         Ok(streamed) => streamed,
         Err(e) => {
@@ -2075,9 +2276,11 @@ fn run_stream_file(path: &str, out: Option<&str>, parallel: bool) {
     let report = ChunkFileReport {
         path: path.to_string(),
         workers,
+        decode_workers,
         analyze_ms,
         events: streamed.stats.events,
         sections: streamed.stats.sections,
+        report_digest: format!("{:016x}", ranked_digest(&streamed.analysis)),
         memory: MemoryReport::from_streaming(&streamed.stats),
         streaming: streamed.stats,
         breakdown: (&streamed.analysis.breakdown).into(),

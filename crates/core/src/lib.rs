@@ -55,14 +55,14 @@ pub mod prelude {
         UlcpAnalysis, UlcpBreakdown, UlcpKind, UlcpSink,
     };
     pub use perfplay_lint::{
-        analyze_schedule, codes_for_fault, lint_chunk_file, lint_source, lint_trace, Diagnostic,
-        DiagnosticCode, FaultExpectation, LintConfig, LintReport, LintStats, Location, Severity,
-        StreamLinter,
+        analyze_schedule, codes_for_fault, lint_chunk_file, lint_chunk_file_pipelined, lint_source,
+        lint_trace, Diagnostic, DiagnosticCode, FaultExpectation, LintConfig, LintReport,
+        LintStats, Location, Severity, StreamLinter,
     };
     pub use perfplay_program::{Program, ProgramBuilder};
     pub use perfplay_record::{
-        convert_chunk_file, spill_trace, spill_trace_with_format, ChunkedWriter, ConvertSummary,
-        Recorder, RecordingMode, WallClockRecorder,
+        convert_chunk_file, convert_chunk_file_pipelined, spill_trace, spill_trace_with_format,
+        ChunkedWriter, ConvertSummary, Recorder, RecordingMode, WallClockRecorder,
     };
     pub use perfplay_replay::{
         measure_fidelity, FidelityReport, ReplayConfig, ReplayResult, ReplaySchedule, Replayer,
@@ -77,8 +77,8 @@ pub mod prelude {
     };
     pub use perfplay_sim::{ExecutionResult, Executor, SimConfig};
     pub use perfplay_trace::{
-        ChunkFileReader, ChunkFormat, EventSource, RecoveryPolicy, StreamError, StreamGap,
-        StreamItem, TraceChunk, TraceChunks,
+        default_decode_workers, ChunkFileReader, ChunkFormat, EventSource, PipelinedChunkReader,
+        RecoveryPolicy, StreamError, StreamGap, StreamItem, TraceChunk, TraceChunks,
     };
     pub use perfplay_trace::{Time, Trace, TraceStats};
     pub use perfplay_transform::{TransformConfig, TransformedTrace, Transformer};
@@ -249,6 +249,7 @@ impl PerfPlayConfig {
             original_schedule: self.original_schedule,
             chunk_events,
             parallel_streams: 0,
+            decode_workers: 0,
             preflight: self.preflight,
         }
     }

@@ -60,7 +60,9 @@ mod wellformed;
 pub use diag::{Diagnostic, DiagnosticCode, LintReport, LintStats, Location, Severity};
 pub use faults::{codes_for_fault, FaultExpectation};
 pub use lockorder::{analyze_schedule, LockOrderGraph};
-pub use wellformed::{lint_chunk_file, lint_source, lint_trace, LintConfig, StreamLinter};
+pub use wellformed::{
+    lint_chunk_file, lint_chunk_file_pipelined, lint_source, lint_trace, LintConfig, StreamLinter,
+};
 
 // Re-exported so downstream code can name the schedule type the analyses
 // operate on without depending on perfplay-transform directly.

@@ -629,19 +629,44 @@ pub fn lint_trace(trace: &Trace, chunk_events: usize) -> LintReport {
 /// the file's problems.
 pub fn lint_chunk_file(path: impl AsRef<Path>, config: &LintConfig) -> LintReport {
     let path_str = path.as_ref().display().to_string();
-    let records = match RawChunkRecords::open(&path) {
-        Ok(r) => r,
-        Err(e) => {
-            let mut report = LintReport::default();
-            report.diagnostics.push(Diagnostic::new(
-                DiagnosticCode::Io,
-                Location::file(&path_str, 0, 0),
-                format!("cannot open chunk file: {e}"),
-            ));
-            return report;
-        }
-    };
+    match RawChunkRecords::open(&path) {
+        Ok(records) => lint_records(path_str, records, config),
+        Err(e) => open_failure_report(&path_str, &e),
+    }
+}
 
+/// Lints a chunk file record by record through the pipelined scanner
+/// ([`perfplay_trace::RawChunkRecords::open_pipelined`]): framing and record
+/// decoding overlap across threads, while the diagnostics are identical to
+/// [`lint_chunk_file`]'s because both paths yield the same record sequence.
+/// `decode_workers` of `0` sizes the decode pool from
+/// [`perfplay_trace::default_decode_workers`].
+pub fn lint_chunk_file_pipelined(
+    path: impl AsRef<Path>,
+    config: &LintConfig,
+    decode_workers: usize,
+) -> LintReport {
+    let path_str = path.as_ref().display().to_string();
+    match RawChunkRecords::open_pipelined(&path, None, decode_workers) {
+        Ok(records) => lint_records(path_str, records, config),
+        Err(e) => open_failure_report(&path_str, &e),
+    }
+}
+
+/// The report for a chunk file that could not even be opened.
+fn open_failure_report(path_str: &str, error: &StreamError) -> LintReport {
+    let mut report = LintReport::default();
+    report.diagnostics.push(Diagnostic::new(
+        DiagnosticCode::Io,
+        Location::file(path_str, 0, 0),
+        format!("cannot open chunk file: {error}"),
+    ));
+    report
+}
+
+/// Shared record-by-record lint loop behind [`lint_chunk_file`] and
+/// [`lint_chunk_file_pipelined`] — the scan logic is scanner-agnostic.
+fn lint_records(path_str: String, records: RawChunkRecords, config: &LintConfig) -> LintReport {
     let mut linter: Option<StreamLinter> = None;
     let mut pre_header: Vec<Diagnostic> = Vec::new();
     let mut trailer: Option<(ChunkFileTrailer, usize, u64)> = None;

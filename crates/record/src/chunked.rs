@@ -472,6 +472,36 @@ pub fn convert_chunk_file(
 ) -> Result<ConvertSummary, StreamError> {
     let src_path = src.as_ref().display().to_string();
     let records = RawChunkRecords::open(&src)?;
+    convert_records(src_path, records, dst, to)
+}
+
+/// [`convert_chunk_file`] through the pipelined scanner: source framing and
+/// record decoding overlap with re-encoding and writing, which pays off on
+/// multi-core machines for large jsonl sources. `decode_workers` of `0`
+/// sizes the decode pool from [`perfplay_trace::default_decode_workers`].
+/// The converted file is byte-identical to the sequential path's output.
+///
+/// # Errors
+///
+/// Same conditions as [`convert_chunk_file`], plus thread-spawn failures.
+pub fn convert_chunk_file_pipelined(
+    src: impl AsRef<Path>,
+    dst: impl AsRef<Path>,
+    to: Option<ChunkFormat>,
+    decode_workers: usize,
+) -> Result<ConvertSummary, StreamError> {
+    let src_path = src.as_ref().display().to_string();
+    let records = RawChunkRecords::open_pipelined(&src, None, decode_workers)?;
+    convert_records(src_path, records, dst, to)
+}
+
+/// Shared translate-and-write loop behind both convert entry points.
+fn convert_records(
+    src_path: String,
+    records: RawChunkRecords,
+    dst: impl AsRef<Path>,
+    to: Option<ChunkFormat>,
+) -> Result<ConvertSummary, StreamError> {
     let from = records.format();
     let to = to.unwrap_or_else(|| ChunkFormat::for_path(&dst));
     let file = std::fs::File::create(&dst).map_err(StreamError::from)?;

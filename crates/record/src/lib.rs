@@ -26,8 +26,8 @@ mod recorder;
 mod wallclock;
 
 pub use chunked::{
-    convert_chunk_file, spill_trace, spill_trace_with_format, ChunkedWriteSummary, ChunkedWriter,
-    ConvertSummary,
+    convert_chunk_file, convert_chunk_file_pipelined, spill_trace, spill_trace_with_format,
+    ChunkedWriteSummary, ChunkedWriter, ConvertSummary,
 };
 pub use recorder::{
     checkpoints, selective_compress, CheckpointLocation, RecordedExecution, Recorder, RecordingMode,

@@ -27,12 +27,15 @@ use perfplay_detect::{
     ParallelStreamingDetector, PlanAggregator, SiteAggregates, StreamingDetector, StreamingStats,
     UlcpBreakdown,
 };
-use perfplay_lint::{analyze_schedule, lint_chunk_file, lint_trace, Diagnostic, LintConfig};
+use perfplay_lint::{
+    analyze_schedule, lint_chunk_file, lint_chunk_file_pipelined, lint_trace, Diagnostic,
+    LintConfig,
+};
 use perfplay_replay::{
     ReplayConfig, ReplayError, ReplayResult, ReplaySchedule, Replayer, ScheduleKind,
     UlcpFreeReplayer,
 };
-use perfplay_trace::{ChunkFileReader, RecoveryPolicy, StreamError, Trace};
+use perfplay_trace::{ChunkFileReader, PipelinedChunkReader, RecoveryPolicy, StreamError, Trace};
 use perfplay_transform::{TransformConfig, Transformer};
 
 use crate::fusion::{fuse_aggregates, rank_groups, Recommendation};
@@ -150,6 +153,12 @@ pub struct PipelineConfig {
     /// [`ParallelStreamingDetector`] with `n` sharded per-lock workers.
     /// Output is bit-identical either way.
     pub parallel_streams: usize,
+    /// Decode-worker pool size for the pipelined chunk-file reader used
+    /// when [`stream_workers`](Self::stream_workers) resolves to parallel
+    /// detection: `0` sizes the pool from
+    /// [`perfplay_trace::default_decode_workers`]; output is bit-identical
+    /// for every value.
+    pub decode_workers: usize,
     /// Opt-in static preflight: lint the input trace (or chunk file) before
     /// detection and the transformed schedule before the ULCP-free replay.
     /// Error-severity findings abort the run with
@@ -168,6 +177,7 @@ impl Default for PipelineConfig {
             original_schedule: ScheduleKind::ElscS,
             chunk_events: None,
             parallel_streams: 0,
+            decode_workers: 0,
             preflight: false,
         }
     }
@@ -489,7 +499,15 @@ pub fn analyze_chunk_files<P: AsRef<Path>>(
     for (trace_index, path) in paths.iter().enumerate() {
         let path = path.as_ref().display().to_string();
         if config.preflight {
-            if let Some(errors) = preflight_errors(lint_chunk_file(&path, &LintConfig::default())) {
+            // The preflight scan uses the same reader family as the
+            // detection run that follows: pipelined when parallel.
+            let report = match config.stream_workers() {
+                Some(_) => {
+                    lint_chunk_file_pipelined(&path, &LintConfig::default(), config.decode_workers)
+                }
+                None => lint_chunk_file(&path, &LintConfig::default()),
+            };
+            if let Some(errors) = preflight_errors(report) {
                 failures.push(BatchItemError {
                     trace_index,
                     error: PipelineError::Preflight(errors),
@@ -498,16 +516,30 @@ pub fn analyze_chunk_files<P: AsRef<Path>>(
             }
         }
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            let mut reader = ChunkFileReader::with_policy(&path, policy)?;
             let sink = PlanAggregator::new(BodyOverlapGain);
+            // The parallel detector gets the pipelined reader so framing,
+            // decode, and detection overlap; the sequential engine keeps the
+            // single-threaded reader (pipeline hand-off buys nothing there).
+            // Both pairings yield bit-identical streams and reports.
             let streamed = match config.stream_workers() {
-                Some(workers) => ParallelStreamingDetector::with_workers(config.detector, workers)
-                    .analyze_with(&mut reader, sink)?,
-                None => StreamingDetector::new(DetectorConfig {
-                    parallel: false,
-                    ..config.detector
-                })
-                .analyze_with(&mut reader, sink)?,
+                Some(workers) => {
+                    let mut reader = PipelinedChunkReader::with_options(
+                        &path,
+                        policy,
+                        None,
+                        config.decode_workers,
+                    )?;
+                    ParallelStreamingDetector::with_workers(config.detector, workers)
+                        .analyze_with(&mut reader, sink)?
+                }
+                None => {
+                    let mut reader = ChunkFileReader::with_policy(&path, policy)?;
+                    StreamingDetector::new(DetectorConfig {
+                        parallel: false,
+                        ..config.detector
+                    })
+                    .analyze_with(&mut reader, sink)?
+                }
             };
             let (plan, stats) = DetectionPlan::from_streaming(streamed);
             Ok((plan, stats))

@@ -48,6 +48,7 @@ mod event;
 mod footprint;
 mod ids;
 pub mod pbin;
+mod pipelined;
 mod section;
 mod site;
 mod stats;
@@ -59,6 +60,7 @@ pub use event::{Event, LockGrant, TimedEvent, WriteOp};
 pub use footprint::Footprint;
 pub use ids::{AuxLockId, BarrierId, CodeSiteId, CondId, LockId, ObjectId, SectionId, ThreadId};
 pub use pbin::ChunkFormat;
+pub use pipelined::{default_decode_workers, PipelinedChunkReader};
 pub use section::{extract_critical_sections, sections_by_lock, CriticalSection, MemAccess};
 pub use site::{CodeRegion, CodeSite, SiteTable};
 pub use stats::TraceStats;

@@ -643,6 +643,39 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<ChunkFileRecord, String> {
     }
 }
 
+/// CRC-checks and decodes one framed payload — the decode half of record
+/// scanning, shared by the sequential scanner and the pipelined decode
+/// workers. The CRC input is rebuilt from `kind` and the payload length,
+/// which is byte-identical to the on-disk `kind | len | payload` region the
+/// writer checksummed, so the verdict (and the error message) matches the
+/// single-threaded scanner exactly.
+pub(crate) fn decode_checked_payload(
+    kind: u8,
+    stored: u32,
+    payload: &[u8],
+    ordinal: usize,
+) -> Result<ChunkFileRecord, StreamError> {
+    let len_le = (payload.len() as u32).to_le_bytes();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in std::iter::once(&kind)
+        .chain(len_le.iter())
+        .chain(payload.iter())
+    {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    let computed = !crc;
+    if stored != computed {
+        return Err(StreamError::Parse {
+            line: ordinal,
+            message: format!("frame CRC mismatch: stored {stored:08x}, computed {computed:08x}"),
+        });
+    }
+    decode_payload(kind, payload).map_err(|message| StreamError::Parse {
+        line: ordinal,
+        message,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Scanner.
 // ---------------------------------------------------------------------------
@@ -692,6 +725,62 @@ impl ByteReader {
     }
 }
 
+/// One raw frame surfaced by [`PbinScanner::next_frame`]: the framing-stage
+/// view of a record — exact file coordinates plus either an undecoded
+/// payload (CRC not yet checked) or the framing-level failure. This is the
+/// unit of work the pipelined reader hands to its decode workers.
+#[derive(Debug)]
+pub(crate) struct PbinFrame {
+    /// 1-based record ordinal.
+    pub ordinal: usize,
+    /// Byte offset of the record's start (the file prelude is accounted to
+    /// the first record).
+    pub offset: u64,
+    /// Total byte extent of the record.
+    pub bytes: u64,
+    /// What the framing walk found.
+    pub body: PbinFrameBody,
+}
+
+/// Outcome of walking one frame without decoding it.
+#[derive(Debug)]
+pub(crate) enum PbinFrameBody {
+    /// A structurally complete frame: the caller's buffer holds the payload
+    /// bytes; CRC verification and payload decoding are still pending
+    /// ([`decode_checked_payload`]).
+    Payload {
+        /// Record kind byte from the frame header.
+        kind: u8,
+        /// CRC stored in the frame, to be checked against the payload.
+        stored_crc: u32,
+    },
+    /// A framing-level failure (bad prelude, truncation, I/O error, or a
+    /// resynchronization skip), already shaped as the record error the
+    /// sequential scanner would report.
+    Failed(StreamError),
+}
+
+fn failed_frame(ordinal: usize, offset: u64, bytes: u64, error: StreamError) -> PbinFrame {
+    PbinFrame {
+        ordinal,
+        offset,
+        bytes,
+        body: PbinFrameBody::Failed(error),
+    }
+}
+
+fn parse_failed(ordinal: usize, offset: u64, bytes: u64, message: String) -> PbinFrame {
+    failed_frame(
+        ordinal,
+        offset,
+        bytes,
+        StreamError::Parse {
+            line: ordinal,
+            message,
+        },
+    )
+}
+
 /// Frame-by-frame scanner of a PBIN chunk file: the binary counterpart of
 /// the JSON-lines scanner. Decode failures are data, not stream terminators
 /// — the scanner resynchronizes on the next frame marker and keeps going.
@@ -729,37 +818,17 @@ impl PbinScanner {
         })
     }
 
-    fn error_record(
-        &self,
-        ordinal: usize,
-        offset: u64,
-        bytes: u64,
-        error: StreamError,
-    ) -> RawRecord {
-        RawRecord {
-            line: ordinal,
-            offset,
-            bytes,
-            record: Err(error),
-        }
-    }
-
-    fn parse_error(&self, ordinal: usize, offset: u64, bytes: u64, message: String) -> RawRecord {
-        self.error_record(
-            ordinal,
-            offset,
-            bytes,
-            StreamError::Parse {
-                line: ordinal,
-                message,
-            },
-        )
+    /// Whether the last frame ended the scan (I/O error, truncation, bad
+    /// prelude, or EOF during resynchronization) — the framing-stage view of
+    /// the sequential scanner's stop condition.
+    pub(crate) fn is_done(&self) -> bool {
+        self.done
     }
 
     /// Consumes bytes until the next frame marker (pushed back for the next
     /// call) or EOF, and reports the skipped region as one parse-error
-    /// record.
-    fn resync(&mut self, ordinal: usize, start: u64, reason: String) -> RawRecord {
+    /// frame.
+    fn resync(&mut self, ordinal: usize, start: u64, reason: String) -> PbinFrame {
         let mut window = [0u8; 4];
         let mut filled = 0usize;
         loop {
@@ -768,12 +837,7 @@ impl PbinScanner {
                 Err(e) => {
                     self.done = true;
                     let bytes = self.input.pos - start;
-                    return self.error_record(
-                        ordinal,
-                        start,
-                        bytes,
-                        StreamError::Io(e.to_string()),
-                    );
+                    return failed_frame(ordinal, start, bytes, StreamError::Io(e.to_string()));
                 }
                 Ok(0) => {
                     self.done = true;
@@ -791,11 +855,17 @@ impl PbinScanner {
             }
         }
         let bytes = self.input.pos - start;
-        self.parse_error(ordinal, start, bytes, reason)
+        parse_failed(ordinal, start, bytes, reason)
     }
 
-    /// Pulls the next record, or `None` at a clean end of file.
-    pub fn next_record(&mut self) -> Option<RawRecord> {
+    /// Walks to the next frame boundary without CRC-checking or decoding the
+    /// payload — the framing stage of the pipelined reader. On a
+    /// [`PbinFrameBody::Payload`] outcome the payload bytes are left in
+    /// `payload` (resized to exactly the payload length); resynchronization,
+    /// truncation and I/O handling are identical to the sequential scanner,
+    /// so frame coordinates and framing errors cannot diverge between the
+    /// two paths. Returns `None` at a clean end of file.
+    pub(crate) fn next_frame(&mut self, payload: &mut Vec<u8>) -> Option<PbinFrame> {
         if self.done {
             return None;
         }
@@ -808,11 +878,11 @@ impl PbinScanner {
             match self.input.read_up_to(&mut prelude) {
                 Err(e) => {
                     self.done = true;
-                    return Some(self.error_record(1, 0, 0, StreamError::Io(e.to_string())));
+                    return Some(failed_frame(1, 0, 0, StreamError::Io(e.to_string())));
                 }
                 Ok(n) if n < PRELUDE_LEN => {
                     self.done = true;
-                    return Some(self.parse_error(
+                    return Some(parse_failed(
                         1,
                         0,
                         n as u64,
@@ -823,7 +893,7 @@ impl PbinScanner {
             }
             if prelude[0..4] != MAGIC {
                 self.done = true;
-                return Some(self.error_record(
+                return Some(failed_frame(
                     1,
                     0,
                     PRELUDE_LEN as u64,
@@ -833,7 +903,7 @@ impl PbinScanner {
             let version = u16::from_le_bytes([prelude[4], prelude[5]]);
             if version != FORMAT_VERSION {
                 self.done = true;
-                return Some(self.error_record(
+                return Some(failed_frame(
                     1,
                     0,
                     PRELUDE_LEN as u64,
@@ -851,7 +921,7 @@ impl PbinScanner {
         let n = match self.input.read_up_to(&mut head) {
             Err(e) => {
                 self.done = true;
-                return Some(self.error_record(
+                return Some(failed_frame(
                     ordinal,
                     start,
                     prelude_bytes,
@@ -867,7 +937,7 @@ impl PbinScanner {
         self.ordinal = ordinal;
         if n < FRAME_HEAD_LEN {
             self.done = true;
-            return Some(self.parse_error(
+            return Some(parse_failed(
                 ordinal,
                 start,
                 prelude_bytes + n as u64,
@@ -889,11 +959,11 @@ impl PbinScanner {
             };
             return Some(self.resync(ordinal, start, reason));
         }
-        self.scratch.resize(len + 4, 0);
-        let got = match self.input.read_up_to(&mut self.scratch) {
+        payload.resize(len + 4, 0);
+        let got = match self.input.read_up_to(payload) {
             Err(e) => {
                 self.done = true;
-                return Some(self.error_record(
+                return Some(failed_frame(
                     ordinal,
                     start,
                     prelude_bytes + FRAME_HEAD_LEN as u64,
@@ -904,7 +974,7 @@ impl PbinScanner {
         };
         if got < len + 4 {
             self.done = true;
-            return Some(self.parse_error(
+            return Some(parse_failed(
                 ordinal,
                 start,
                 prelude_bytes + (FRAME_HEAD_LEN + got) as u64,
@@ -912,34 +982,39 @@ impl PbinScanner {
             ));
         }
         let total = prelude_bytes + (FRAME_HEAD_LEN + len + 4) as u64;
-        let stored = u32::from_le_bytes([
-            self.scratch[len],
-            self.scratch[len + 1],
-            self.scratch[len + 2],
-            self.scratch[len + 3],
+        let stored_crc = u32::from_le_bytes([
+            payload[len],
+            payload[len + 1],
+            payload[len + 2],
+            payload[len + 3],
         ]);
-        let mut crc = 0xFFFF_FFFFu32;
-        for &b in head[4..].iter().chain(self.scratch[..len].iter()) {
-            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
-        }
-        let computed = !crc;
-        if stored != computed {
-            return Some(self.parse_error(
-                ordinal,
-                start,
-                total,
-                format!("frame CRC mismatch: stored {stored:08x}, computed {computed:08x}"),
-            ));
-        }
-        let record =
-            decode_payload(kind, &self.scratch[..len]).map_err(|message| StreamError::Parse {
-                line: ordinal,
-                message,
-            });
-        Some(RawRecord {
-            line: ordinal,
+        payload.truncate(len);
+        Some(PbinFrame {
+            ordinal,
             offset: start,
             bytes: total,
+            body: PbinFrameBody::Payload { kind, stored_crc },
+        })
+    }
+
+    /// Pulls the next record, or `None` at a clean end of file: the framing
+    /// walk ([`next_frame`](Self::next_frame)) plus the CRC check and
+    /// payload decode, out of one reused buffer.
+    pub fn next_record(&mut self) -> Option<RawRecord> {
+        let mut payload = std::mem::take(&mut self.scratch);
+        let frame = self.next_frame(&mut payload);
+        self.scratch = payload;
+        let frame = frame?;
+        let record = match frame.body {
+            PbinFrameBody::Failed(e) => Err(e),
+            PbinFrameBody::Payload { kind, stored_crc } => {
+                decode_checked_payload(kind, stored_crc, &self.scratch, frame.ordinal)
+            }
+        };
+        Some(RawRecord {
+            line: frame.ordinal,
+            offset: frame.offset,
+            bytes: frame.bytes,
             record,
         })
     }

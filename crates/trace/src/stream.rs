@@ -45,6 +45,7 @@ use serde::{Deserialize, Serialize};
 use crate::event::{LockGrant, TimedEvent};
 use crate::ids::ThreadId;
 use crate::pbin::{ChunkFormat, PbinScanner};
+use crate::pipelined::PipelinedScanner;
 use crate::site::SiteTable;
 use crate::time::Time;
 use crate::trace::{Trace, TraceError, TraceMeta};
@@ -506,13 +507,62 @@ impl ChunkFileReader {
         format: Option<ChunkFormat>,
     ) -> Result<Self, StreamError> {
         let path_str = path.as_ref().display().to_string();
+        let (format, scanner) =
+            RecordScanner::open(&path, format).map_err(|e| StreamError::At {
+                path: path_str.clone(),
+                line: 0,
+                offset: 0,
+                source: Box::new(e),
+            })?;
+        Self::from_scanner(path_str, format, scanner, policy)
+    }
+
+    /// Opens a chunked trace file through the pipelined scanner
+    /// ([`crate::PipelinedChunkReader`] is the public face): a framing
+    /// thread plus `decode_workers` deserialization workers (`0` sizes the
+    /// pool from `available_parallelism`), delivering the identical record
+    /// stream the sequential scanner would.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`open`](Self::open), plus thread-spawn failures
+    /// reported as [`StreamError::Io`].
+    pub fn open_pipelined(
+        path: impl AsRef<Path>,
+        policy: RecoveryPolicy,
+        format: Option<ChunkFormat>,
+        decode_workers: usize,
+    ) -> Result<Self, StreamError> {
+        let path_str = path.as_ref().display().to_string();
+        let at0 = |source: StreamError| StreamError::At {
+            path: path_str.clone(),
+            line: 0,
+            offset: 0,
+            source: Box::new(source),
+        };
+        let format = match format {
+            Some(f) => f,
+            None => ChunkFormat::detect(&path).map_err(&at0)?,
+        };
+        let scanner =
+            PipelinedScanner::spawn(path.as_ref(), format, decode_workers).map_err(&at0)?;
+        Self::from_scanner(path_str, format, RecordScanner::Pipelined(scanner), policy)
+    }
+
+    /// Shared constructor tail: reads the header record (required under
+    /// every policy) and seeds the reader state.
+    fn from_scanner(
+        path_str: String,
+        format: ChunkFormat,
+        mut scanner: RecordScanner,
+        policy: RecoveryPolicy,
+    ) -> Result<Self, StreamError> {
         let at = |line: usize, offset: u64, source: StreamError| StreamError::At {
             path: path_str.clone(),
             line,
             offset,
             source: Box::new(source),
         };
-        let (format, mut scanner) = RecordScanner::open(&path, format).map_err(|e| at(0, 0, e))?;
         let first = scanner
             .next_record()
             .ok_or_else(|| at(1, 0, StreamError::Format("empty chunk file".into())))?;
@@ -873,17 +923,37 @@ pub struct RawRecord {
     pub record: Result<ChunkFileRecord, StreamError>,
 }
 
+/// The I/O-error message `BufRead::lines` reports for invalid UTF-8; the
+/// buffer-reusing scanner and the pipelined decode workers reproduce it so
+/// the error surface is independent of the read path.
+pub(crate) const UTF8_ERROR: &str = "stream did not contain valid UTF-8";
+
+/// Strips the line terminator the way `BufRead::lines` does: a trailing
+/// `\n`, then a single `\r` before it (only when the `\n` was present).
+pub(crate) fn trim_line(buf: &[u8]) -> &[u8] {
+    match buf {
+        [head @ .., b'\r', b'\n'] => head,
+        [head @ .., b'\n'] => head,
+        _ => buf,
+    }
+}
+
 /// Format-dispatching record scanner: yields every record of a chunk file,
 /// parse failures included, in either [`ChunkFormat`].
 #[derive(Debug)]
 enum RecordScanner {
     Json {
-        lines: std::io::Lines<BufReader<std::fs::File>>,
+        input: BufReader<std::fs::File>,
+        /// Reused line buffer: one allocation serves every record.
+        buf: Vec<u8>,
         line_no: usize,
         offset: u64,
         done: bool,
     },
     Pbin(PbinScanner),
+    /// Three-stage pipelined scanner (framing thread + decode workers),
+    /// delivering the identical record stream as the two above.
+    Pipelined(PipelinedScanner),
 }
 
 impl RecordScanner {
@@ -901,7 +971,8 @@ impl RecordScanner {
             ChunkFormat::Json => {
                 let file = std::fs::File::open(&path).map_err(StreamError::from)?;
                 RecordScanner::Json {
-                    lines: BufReader::new(file).lines(),
+                    input: BufReader::new(file),
+                    buf: Vec::new(),
                     line_no: 0,
                     offset: 0,
                     done: false,
@@ -915,7 +986,8 @@ impl RecordScanner {
     fn next_record(&mut self) -> Option<RawRecord> {
         match self {
             RecordScanner::Json {
-                lines,
+                input,
+                buf,
                 line_no,
                 offset,
                 done,
@@ -925,8 +997,9 @@ impl RecordScanner {
                 }
                 let this_line = *line_no + 1;
                 let line_offset = *offset;
-                let line = match lines.next()? {
-                    Ok(l) => l,
+                buf.clear();
+                let n = match input.read_until(b'\n', buf) {
+                    Ok(n) => n,
                     Err(e) => {
                         *done = true;
                         return Some(RawRecord {
@@ -937,10 +1010,24 @@ impl RecordScanner {
                         });
                     }
                 };
+                if n == 0 {
+                    *done = true;
+                    return None;
+                }
+                let content = trim_line(buf);
+                let Ok(text) = std::str::from_utf8(content) else {
+                    *done = true;
+                    return Some(RawRecord {
+                        line: this_line,
+                        offset: line_offset,
+                        bytes: 0,
+                        record: Err(StreamError::Io(UTF8_ERROR.into())),
+                    });
+                };
                 *line_no = this_line;
-                let bytes = line.len() as u64 + 1;
+                let bytes = content.len() as u64 + 1;
                 *offset += bytes;
-                let record = serde_json::from_str(&line).map_err(|e| StreamError::Parse {
+                let record = serde_json::from_str(text).map_err(|e| StreamError::Parse {
                     line: this_line,
                     message: e.0,
                 });
@@ -952,6 +1039,7 @@ impl RecordScanner {
                 })
             }
             RecordScanner::Pbin(scanner) => scanner.next_record(),
+            RecordScanner::Pipelined(scanner) => scanner.next_record(),
         }
     }
 }
@@ -999,6 +1087,31 @@ impl RawChunkRecords {
     ) -> Result<Self, StreamError> {
         let (format, scanner) = RecordScanner::open(path, format)?;
         Ok(RawChunkRecords { scanner, format })
+    }
+
+    /// Opens a chunk file for raw scanning through the three-stage pipelined
+    /// scanner: a framing thread walks record boundaries while a pool of
+    /// `decode_workers` threads deserializes payloads (`0` sizes the pool
+    /// from [`crate::default_decode_workers`]). Yields the identical record
+    /// sequence as [`open`](Self::open).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`open`](Self::open), plus thread-spawn failures.
+    pub fn open_pipelined(
+        path: impl AsRef<Path>,
+        format: Option<ChunkFormat>,
+        decode_workers: usize,
+    ) -> Result<Self, StreamError> {
+        let format = match format {
+            Some(f) => f,
+            None => ChunkFormat::detect(&path)?,
+        };
+        let scanner = PipelinedScanner::spawn(path.as_ref(), format, decode_workers)?;
+        Ok(RawChunkRecords {
+            scanner: RecordScanner::Pipelined(scanner),
+            format,
+        })
     }
 
     /// The on-disk format being scanned.

@@ -63,6 +63,7 @@ fn hardened_files() -> Vec<PathBuf> {
     let mut files = vec![
         root.join("crates/trace/src/stream.rs"),
         root.join("crates/trace/src/pbin.rs"),
+        root.join("crates/trace/src/pipelined.rs"),
         root.join("crates/detect/src/inject.rs"),
         root.join("crates/record/src/chunked.rs"),
     ];
